@@ -1,0 +1,77 @@
+// Ablation: sensitivity to the necessary-data fraction.
+//
+// The paper cites 6.4%–33.3% of an image as what on-demand formats actually
+// download (§II-D); Gear's win hinges on that fraction being small. This
+// bench sweeps the access fraction well past the cited range and reports
+// Gear's speedup over Docker at two bandwidths — locating the break-even
+// point where lazy pulling stops paying.
+#include "bench_common.hpp"
+#include "docker/client.hpp"
+
+using namespace gear;
+
+int main() {
+  bench::Env e = bench::env();
+  bench::print_title("Ablation: necessary-data fraction sensitivity", e);
+
+  workload::CorpusGenerator gen(e.seed, e.scale);
+  workload::SeriesSpec spec;
+  for (const auto& s : workload::table1_corpus()) {
+    if (s.name == "mysql") spec = s;
+  }
+
+  docker::DockerRegistry classic;
+  docker::DockerRegistry index_registry;
+  GearRegistry file_registry;
+  docker::Image image = gen.generate_image(spec, 0);
+  classic.push_image(image);
+  push_gear_image(GearConverter().convert(image).image, index_registry,
+                  file_registry);
+  vfs::FileTree flat = image.flatten();
+
+  const double fractions[] = {0.05, 0.10, 0.20, 0.33, 0.50, 0.75, 1.00};
+  const double bandwidths[] = {904.0, 20.0};
+
+  std::vector<int> w = {10, 14, 14, 12, 14, 14, 12};
+  bench::print_row({"fraction", "docker@904", "gear@904", "speedup",
+                    "docker@20", "gear@20", "speedup"},
+                   w);
+  bench::print_rule(w);
+
+  for (double fraction : fractions) {
+    workload::AccessProfile profile;
+    profile.data_fraction = fraction;
+    profile.core_bias = spec.access_core_bias;
+    profile.seed = 31337;
+    workload::AccessSet access = workload::derive_access_set(flat, profile);
+
+    std::vector<std::string> cells = {format_percent(fraction)};
+    for (double mbps : bandwidths) {
+      double docker_total, gear_total;
+      {
+        sim::SimClock c;
+        sim::NetworkLink l = sim::scaled_link(c, mbps, e.scale);
+        sim::DiskModel d = sim::DiskModel::scaled_hdd(c, e.scale);
+        docker::DockerClient client(classic, l, d);
+        docker_total = client.deploy("mysql:v0", access).total_seconds();
+      }
+      {
+        sim::SimClock c;
+        sim::NetworkLink l = sim::scaled_link(c, mbps, e.scale);
+        sim::DiskModel d = sim::DiskModel::scaled_hdd(c, e.scale);
+        GearClient client(index_registry, file_registry, l, d);
+        gear_total = client.deploy("mysql:v0", access).total_seconds();
+      }
+      cells.push_back(format_duration(docker_total));
+      cells.push_back(format_duration(gear_total));
+      cells.push_back(format_speedup(docker_total / gear_total));
+    }
+    bench::print_row(cells, w);
+  }
+
+  std::printf("\nexpected shape: speedup decays as the task touches more of "
+              "the image; even at 100%% Gear roughly matches Docker (same "
+              "bytes, no unpack of unused layers), so lazy pulling never "
+              "loses badly — it just stops winning\n");
+  return 0;
+}

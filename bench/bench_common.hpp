@@ -1,0 +1,103 @@
+// Shared plumbing for the reproduction benches (bench_table2..bench_fig11).
+//
+// Every bench binary regenerates one table/figure of the paper. They share:
+//  * the corpus scale convention — all byte quantities are scaled by
+//    GEAR_SCALE (default 1/1000 of the real ~370 GB corpus) and network/disk
+//    throughputs are scaled identically, so time and ratio shapes match the
+//    paper while runs fit in memory (see DESIGN.md §2);
+//  * environment knobs: GEAR_SCALE, GEAR_SEED, GEAR_FAST=1 (reduced corpus
+//    for smoke runs);
+//  * aligned table printing.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "docker/registry.hpp"
+#include "gear/client.hpp"
+#include "gear/converter.hpp"
+#include "util/format.hpp"
+#include "workload/generator.hpp"
+#include "workload/spec.hpp"
+
+namespace gear::bench {
+
+struct Env {
+  double scale = 0.001;
+  std::uint64_t seed = 42;
+  bool fast = false;
+};
+
+inline Env env() {
+  Env e;
+  if (const char* s = std::getenv("GEAR_SCALE")) e.scale = std::atof(s);
+  if (const char* s = std::getenv("GEAR_SEED")) {
+    e.seed = static_cast<std::uint64_t>(std::atoll(s));
+  }
+  if (const char* s = std::getenv("GEAR_FAST")) e.fast = std::atoi(s) != 0;
+  if (e.scale <= 0 || e.scale > 1) e.scale = 0.001;
+  return e;
+}
+
+/// Corpus for this run: full Table I, or a reduced set with GEAR_FAST=1.
+inline std::vector<workload::SeriesSpec> corpus(const Env& e) {
+  if (e.fast) return workload::small_corpus(2, 5);
+  return workload::table1_corpus();
+}
+
+inline void print_title(const std::string& title, const Env& e) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("corpus scale %.5f (bytes and bandwidths scaled together; "
+              "seed %llu%s)\n\n",
+              e.scale, static_cast<unsigned long long>(e.seed),
+              e.fast ? ", FAST subset" : "");
+}
+
+inline void print_row(const std::vector<std::string>& cells,
+                      const std::vector<int>& widths) {
+  std::string line;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    int w = i < widths.size() ? widths[i] : 12;
+    line += (i == 0 ? pad_right(cells[i], static_cast<std::size_t>(w))
+                    : pad_left(cells[i], static_cast<std::size_t>(w)));
+    line += "  ";
+  }
+  std::printf("%s\n", line.c_str());
+}
+
+inline void print_rule(const std::vector<int>& widths) {
+  std::size_t total = 0;
+  for (int w : widths) total += static_cast<std::size_t>(w) + 2;
+  std::printf("%s\n", std::string(total, '-').c_str());
+}
+
+/// Un-scales a scaled byte count back to "paper-equivalent" units for
+/// side-by-side display with the published numbers.
+inline std::string full_scale_size(std::uint64_t scaled_bytes, double scale) {
+  return format_size(
+      static_cast<std::uint64_t>(static_cast<double>(scaled_bytes) / scale));
+}
+
+/// Converts and pushes every version of every series into the given
+/// registries; optionally also pushes the classic images.
+inline void ingest_corpus(const std::vector<workload::SeriesSpec>& specs,
+                          const workload::CorpusGenerator& gen,
+                          docker::DockerRegistry* classic,
+                          docker::DockerRegistry* index_registry,
+                          GearRegistry* file_registry) {
+  GearConverter converter;
+  for (const auto& spec : specs) {
+    for (int v = 0; v < spec.versions; ++v) {
+      docker::Image image = gen.generate_image(spec, v);
+      if (classic != nullptr) classic->push_image(image);
+      if (index_registry != nullptr && file_registry != nullptr) {
+        ConversionResult conv = converter.convert(image);
+        push_gear_image(conv.image, *index_registry, *file_registry);
+      }
+    }
+  }
+}
+
+}  // namespace gear::bench

@@ -1,0 +1,113 @@
+// Extension bench (paper §VII future work): chunked on-demand reads for
+// big files — "AI containers with big models".
+//
+// Scenario: an inference image carries a 64 MB weights file. The container's
+// startup probes the model header and metadata (a fraction of the file)
+// before deciding to page in more. Compares classic whole-file Gear
+// materialization against chunked storage + range reads, and measures the
+// update-path win when a new model version changes only a slice of chunks.
+#include <cstdio>
+
+#include "gear/client.hpp"
+#include "gear/converter.hpp"
+#include "util/format.hpp"
+#include "util/rng.hpp"
+
+using namespace gear;
+
+namespace {
+
+constexpr std::uint64_t kModelBytes = 64ull * 1024 * 1024;
+constexpr std::uint64_t kChunkBytes = 128 * 1024;
+
+docker::Image model_image(const Bytes& model, const std::string& tag) {
+  vfs::FileTree root;
+  root.add_file("models/weights.bin", model);
+  root.add_file("etc/inference.json", to_bytes("{\"batch\":8}"));
+  root.add_file("bin/server", Bytes(512 * 1024, 0x3c));
+  docker::ImageBuilder b;
+  b.add_snapshot(root);
+  return b.build("inference", tag, {});
+}
+
+}  // namespace
+
+int main() {
+  std::printf("\n=== Extension: chunked big-file reads (paper §VII) ===\n");
+  std::printf("model %s, chunk size %s, link 100 Mbps (unscaled: the "
+              "scenario carries its own data)\n\n",
+              format_size(kModelBytes).c_str(),
+              format_size(kChunkBytes).c_str());
+
+  Rng rng(77);
+  Bytes model = rng.next_bytes(kModelBytes, 0.2);
+  docker::Image image = model_image(model, "v1");
+  GearConverter converter;
+  ConversionResult conv = converter.convert(image);
+
+  const ChunkPolicy policy{/*threshold_bytes=*/4 * 1024 * 1024, kChunkBytes};
+
+  struct Mode {
+    const char* label;
+    bool chunked;
+  };
+  for (Mode mode : {Mode{"plain gear (whole-file)", false},
+                    Mode{"chunked gear (range reads)", true}}) {
+    docker::DockerRegistry index_registry;
+    GearRegistry file_registry;
+    push_gear_image(conv.image, index_registry, file_registry,
+                    mode.chunked ? policy : ChunkPolicy{});
+
+    sim::SimClock clock;
+    sim::NetworkLink link(clock, 100.0, 0.0005, 0.0003);
+    sim::DiskModel disk = sim::DiskModel::ssd(clock);
+    GearClient client(index_registry, file_registry, link, disk);
+    client.pull("inference:v1");
+    std::string container = client.store().create_container("inference:v1");
+
+    // Startup probe: 256 KB header + 3 random 64 KB metadata windows.
+    sim::SimTimer timer(clock);
+    sim::NetworkStats before = link.stats();
+    client.read_range(container, "models/weights.bin", 0, 256 * 1024).value();
+    Rng probe(5);
+    for (int i = 0; i < 3; ++i) {
+      std::uint64_t off = probe.next_below(kModelBytes - 65536);
+      client.read_range(container, "models/weights.bin", off, 65536).value();
+    }
+    sim::NetworkStats delta = link.stats() - before;
+    std::printf("%-28s probe: %s moved in %s (%llu requests)\n", mode.label,
+                format_size(delta.bytes_transferred).c_str(),
+                format_duration(timer.elapsed()).c_str(),
+                static_cast<unsigned long long>(delta.requests));
+  }
+
+  // Update path: v2 rewrites 5% of the model's chunks.
+  Bytes model_v2 = model;
+  Rng upd(99);
+  for (int i = 0; i < static_cast<int>(kModelBytes / kChunkBytes / 20); ++i) {
+    std::uint64_t chunk =
+        upd.next_below(kModelBytes / kChunkBytes);
+    Bytes fresh = upd.next_bytes(kChunkBytes, 0.2);
+    std::copy(fresh.begin(), fresh.end(),
+              model_v2.begin() + static_cast<std::ptrdiff_t>(chunk * kChunkBytes));
+  }
+  docker::Image image_v2 = model_image(model_v2, "v2");
+  ConversionResult conv_v2 = converter.convert(image_v2);
+
+  std::printf("\nmodel update (v2 rewrites ~5%% of chunks):\n");
+  for (Mode mode : {Mode{"plain gear", false}, Mode{"chunked gear", true}}) {
+    docker::DockerRegistry index_registry;
+    GearRegistry file_registry;
+    push_gear_image(conv.image, index_registry, file_registry,
+                    mode.chunked ? policy : ChunkPolicy{});
+    std::uint64_t before = file_registry.storage_bytes();
+    push_gear_image(conv_v2.image, index_registry, file_registry,
+                    mode.chunked ? policy : ChunkPolicy{});
+    std::printf("  %-14s v2 adds %s to the registry\n", mode.label,
+                format_size(file_registry.storage_bytes() - before).c_str());
+  }
+
+  std::printf("\nexpected shape: chunked probe moves ~1%% of the model; "
+              "chunked update stores ~5%% instead of a second full copy\n");
+  return 0;
+}

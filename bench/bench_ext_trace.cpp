@@ -1,0 +1,130 @@
+// Extension bench: trace-driven node under serverless/CI-CD load.
+//
+// The paper's motivation (§I): cold-start latency is dominated by image
+// downloading, and CI/CD churns versions constantly. This bench replays a
+// deterministic Poisson deployment trace (Zipf-popular series, versions
+// advancing on release cadences, bounded live containers) against Docker
+// and Gear on the same 100 Mbps node and reports the latency distribution.
+#include <set>
+
+#include "bench_common.hpp"
+#include "docker/client.hpp"
+#include "workload/trace.hpp"
+
+using namespace gear;
+
+int main() {
+  bench::Env e = bench::env();
+  bench::print_title("Extension: trace-driven deployments (serverless/CI-CD)",
+                     e);
+
+  std::vector<workload::SeriesSpec> specs =
+      workload::small_corpus(2, 20);
+  workload::TraceSpec tspec;
+  tspec.duration_seconds = e.fast ? 1200 : 3600;
+  tspec.mean_interarrival_seconds = 6.0;
+  tspec.release_cadence_seconds = 240;
+  tspec.max_live_containers = 24;
+  tspec.seed = e.seed;
+  std::vector<workload::TraceEvent> events =
+      workload::generate_trace(specs, tspec);
+  std::printf("trace: %zu deployments over %s across %zu series\n\n",
+              events.size(), format_duration(tspec.duration_seconds).c_str(),
+              specs.size());
+
+  // Ingest every (series, version) the trace touches.
+  workload::CorpusGenerator gen(e.seed, e.scale);
+  docker::DockerRegistry classic;
+  docker::DockerRegistry index_registry;
+  GearRegistry file_registry;
+  GearConverter converter;
+  std::set<std::pair<std::size_t, int>> pushed;
+  for (const auto& ev : events) {
+    if (!pushed.insert({ev.series_index, ev.version}).second) continue;
+    docker::Image image =
+        gen.generate_image(specs[ev.series_index], ev.version);
+    classic.push_image(image);
+    push_gear_image(converter.convert(image).image, index_registry,
+                    file_registry);
+  }
+  std::printf("distinct image versions in trace: %zu\n\n", pushed.size());
+
+  auto access_of = [&](std::size_t series, int version) {
+    return gen.access_set(specs[series], version);
+  };
+
+  std::vector<int> w = {10, 12, 12, 12, 12, 14, 12};
+  bench::print_row({"system", "mean", "p50", "p90", "p99", "bytes moved",
+                    "makespan"},
+                   w);
+  bench::print_rule(w);
+
+  // Docker replay.
+  {
+    sim::SimClock clock;
+    sim::NetworkLink link = sim::scaled_link(clock, 100.0, e.scale);
+    sim::DiskModel disk = sim::DiskModel::scaled_hdd(clock, e.scale);
+    docker::DockerClient client(classic, link, disk);
+    int counter = 0;
+    workload::TraceResult r = workload::replay_trace(
+        clock, events, tspec,
+        [&](std::size_t series, int version) {
+          std::string ref =
+              specs[series].name + ":v" + std::to_string(version);
+          client.deploy(ref, access_of(series, version));
+          // Docker has no per-container handle in this client; synthesize
+          // one and charge the teardown at destroy time.
+          return ref + "#" + std::to_string(counter++);
+        },
+        [&](const std::string& container) {
+          std::string ref = container.substr(0, container.find('#'));
+          client.destroy(ref);
+        });
+    const Histogram& h = r.deploy_latency;
+    bench::print_row({"docker", format_duration(h.mean()),
+                      format_duration(h.percentile(50)),
+                      format_duration(h.percentile(90)),
+                      format_duration(h.percentile(99)),
+                      format_size(link.stats().bytes_transferred),
+                      format_duration(r.makespan_seconds)},
+                     w);
+  }
+
+  // Gear replay.
+  {
+    sim::SimClock clock;
+    sim::NetworkLink link = sim::scaled_link(clock, 100.0, e.scale);
+    sim::DiskModel disk = sim::DiskModel::scaled_hdd(clock, e.scale);
+    GearClient client(index_registry, file_registry, link, disk);
+    workload::TraceResult r = workload::replay_trace(
+        clock, events, tspec,
+        [&](std::size_t series, int version) {
+          std::string ref =
+              specs[series].name + ":v" + std::to_string(version);
+          std::string container;
+          client.deploy(ref, access_of(series, version), &container);
+          return container;
+        },
+        [&](const std::string& container) { client.destroy(container); });
+    const Histogram& h = r.deploy_latency;
+    bench::print_row({"gear", format_duration(h.mean()),
+                      format_duration(h.percentile(50)),
+                      format_duration(h.percentile(90)),
+                      format_duration(h.percentile(99)),
+                      format_size(link.stats().bytes_transferred),
+                      format_duration(r.makespan_seconds)},
+                     w);
+    const CacheStats& cs = client.store().cache().stats();
+    std::printf("\ngear cache over the trace: %.1f%% hit rate, %zu entries, "
+                "%s\n",
+                100.0 * static_cast<double>(cs.hits) /
+                    static_cast<double>(cs.hits + cs.misses),
+                client.store().cache().entry_count(),
+                format_size(client.store().cache().size_bytes()).c_str());
+  }
+
+  std::printf("expected shape: Gear's tail (p99, fresh releases) and median "
+              "(warm repeats) both beat Docker; bytes moved shrink several-"
+              "fold\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Fig. 11(a): service throughput of long-running containers (Redis,
+// Memcached via a memtier-style 1:10 SET:GET loop; Nginx, Httpd via an
+// ab-style request loop), normalized to Docker.
+//
+// Paper: Gear and Docker have similar performance — once the touched files
+// are materialized, Gear's I/O path is the same Overlay2-style union.
+#include "bench_common.hpp"
+#include "docker/client.hpp"
+#include "workload/service.hpp"
+
+using namespace gear;
+
+int main() {
+  bench::Env e = bench::env();
+  bench::print_title("Fig. 11a: long-running service throughput", e);
+
+  workload::CorpusGenerator gen(e.seed, e.scale);
+  docker::DockerRegistry classic;
+  docker::DockerRegistry index_registry;
+  GearRegistry file_registry;
+
+  std::vector<int> w = {12, 16, 16, 14};
+  bench::print_row({"service", "docker req/s", "gear req/s", "normalized"},
+                   w);
+  bench::print_rule(w);
+
+  GearConverter converter;
+  for (const workload::ServiceSpec& svc : workload::fig11_services()) {
+    // Each service runs in its matching image series.
+    workload::SeriesSpec spec;
+    for (const auto& s : workload::table1_corpus()) {
+      if (s.name == svc.name) spec = s;
+    }
+    docker::Image image = gen.generate_image(spec, 0);
+    classic.push_image(image);
+    push_gear_image(converter.convert(image).image, index_registry,
+                    file_registry);
+
+    workload::AccessSet access = gen.access_set(spec, 0);
+    std::string ref = spec.name + ":v0";
+
+    // Hot paths: the first files of the access set (config/modules/content).
+    std::vector<std::string> hot;
+    for (const auto& fa : access.files) {
+      hot.push_back(fa.path);
+      if (static_cast<int>(hot.size()) >= svc.hot_files) break;
+    }
+
+    // Docker side.
+    double docker_rps = 0;
+    {
+      sim::SimClock c;
+      sim::NetworkLink l = sim::scaled_link(c, 904.0, e.scale);
+      sim::DiskModel d = sim::DiskModel::scaled_ssd(c, e.scale);
+      docker::DockerClient client(classic, l, d);
+      client.deploy(ref, access);
+      docker::OverlayMount mount = client.mount(ref);
+      workload::ServiceRun run = workload::run_service(
+          c, svc, hot,
+          [&mount](const std::string& path) {
+            return mount.read_file(path).value();
+          },
+          [&mount](const std::string& path, Bytes data) {
+            mount.write_file(path, std::move(data));
+          },
+          client.params().per_file_open_seconds);
+      docker_rps = run.requests_per_second();
+    }
+
+    // Gear side.
+    double gear_rps = 0;
+    {
+      sim::SimClock c;
+      sim::NetworkLink l = sim::scaled_link(c, 904.0, e.scale);
+      sim::DiskModel d = sim::DiskModel::scaled_ssd(c, e.scale);
+      GearClient client(index_registry, file_registry, l, d);
+      std::string container;
+      client.deploy(ref, access, &container);
+      GearFileViewer viewer = client.open_viewer(container);
+      workload::ServiceRun run = workload::run_service(
+          c, svc, hot,
+          [&viewer](const std::string& path) {
+            return viewer.read_file(path).value();
+          },
+          [&viewer](const std::string& path, Bytes data) {
+            viewer.write_file(path, std::move(data));
+          },
+          client.params().per_file_open_seconds);
+      gear_rps = run.requests_per_second();
+    }
+
+    char rate[32];
+    std::snprintf(rate, sizeof(rate), "%.3f", gear_rps / docker_rps);
+    char drps[32], grps[32];
+    std::snprintf(drps, sizeof(drps), "%.0f", docker_rps);
+    std::snprintf(grps, sizeof(grps), "%.0f", gear_rps);
+    bench::print_row({svc.name, drps, grps, rate}, w);
+  }
+
+  std::printf("\nexpected shape: normalized rate ~ 1.0 for every service "
+              "(paper Fig. 11a)\n");
+  return 0;
+}

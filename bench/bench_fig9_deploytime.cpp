@@ -1,0 +1,134 @@
+// Fig. 9: deployment time (pull + run) under different network bandwidths,
+// for Docker, Gear without a local cache, and Gear with a warm shared cache.
+//
+// Paper speedups over Docker (averaged over all images):
+//   904 Mbps: 1.64x (cache) / 1.4x (no cache)
+//   100 Mbps: 2.61x / 1.92x
+//    20 Mbps: 3.45x / 2.23x
+//     5 Mbps: 5.01x / 2.95x
+// Shapes: Gear's pull phase is tiny and its run phase longer than Docker's;
+// the advantage grows as bandwidth shrinks.
+#include "bench_common.hpp"
+#include "docker/client.hpp"
+
+using namespace gear;
+
+namespace {
+
+struct Phase {
+  double pull = 0;
+  double run = 0;
+  double total() const { return pull + run; }
+};
+
+}  // namespace
+
+int main() {
+  bench::Env e = bench::env();
+  bench::print_title("Fig. 9: deployment time under different bandwidths", e);
+
+  workload::CorpusGenerator gen(e.seed, e.scale);
+  std::vector<workload::SeriesSpec> all = bench::corpus(e);
+
+  docker::DockerRegistry classic;
+  docker::DockerRegistry index_registry;
+  GearRegistry file_registry;
+
+  // Ingest: two versions per series (warm-up version + measured version).
+  GearConverter converter;
+  for (const auto& spec : all) {
+    for (int v = 0; v < std::min(spec.versions, 2); ++v) {
+      docker::Image image = gen.generate_image(spec, v);
+      classic.push_image(image);
+      push_gear_image(converter.convert(image).image, index_registry,
+                      file_registry);
+    }
+  }
+
+  const double paper_cache[] = {1.64, 2.61, 3.45, 5.01};
+  const double paper_nocache[] = {1.40, 1.92, 2.23, 2.95};
+  const double bandwidths[] = {904.0, 100.0, 20.0, 5.0};
+
+  for (int bi = 0; bi < 4; ++bi) {
+    double mbps = bandwidths[bi];
+    Phase docker_avg, nocache_avg, cache_avg;
+    int n = 0;
+
+    for (const auto& spec : all) {
+      if (spec.versions < 2) continue;
+      workload::AccessSet warm_access = gen.access_set(spec, 0);
+      workload::AccessSet access = gen.access_set(spec, 1);
+      std::string warm_ref = spec.name + ":v0";
+      std::string ref = spec.name + ":v1";
+
+      // Docker: cold client deploys the target image (full pull).
+      {
+        sim::SimClock c;
+        sim::NetworkLink l = sim::scaled_link(c, mbps, e.scale);
+        sim::DiskModel d = sim::DiskModel::scaled_hdd(c, e.scale);
+        docker::DockerClient client(classic, l, d);
+        docker::DeployStats s = client.deploy(ref, access);
+        docker_avg.pull += s.pull.seconds;
+        docker_avg.run += s.run_seconds;
+      }
+      // Gear without local cache: cold client.
+      {
+        sim::SimClock c;
+        sim::NetworkLink l = sim::scaled_link(c, mbps, e.scale);
+        sim::DiskModel d = sim::DiskModel::scaled_hdd(c, e.scale);
+        GearClient client(index_registry, file_registry, l, d);
+        docker::DeployStats s = client.deploy(ref, access);
+        nocache_avg.pull += s.pull.seconds;
+        nocache_avg.run += s.run_seconds;
+      }
+      // Gear with cache warmed by the previous version of the series.
+      {
+        sim::SimClock c;
+        sim::NetworkLink l = sim::scaled_link(c, mbps, e.scale);
+        sim::DiskModel d = sim::DiskModel::scaled_hdd(c, e.scale);
+        GearClient client(index_registry, file_registry, l, d);
+        client.deploy(warm_ref, warm_access);  // not measured
+        docker::DeployStats s = client.deploy(ref, access);
+        cache_avg.pull += s.pull.seconds;
+        cache_avg.run += s.run_seconds;
+      }
+      ++n;
+    }
+
+    docker_avg.pull /= n; docker_avg.run /= n;
+    nocache_avg.pull /= n; nocache_avg.run /= n;
+    cache_avg.pull /= n; cache_avg.run /= n;
+
+    std::printf("-- %.0f Mbps --\n", mbps);
+    std::vector<int> wd = {16, 12, 12, 12, 18};
+    bench::print_row({"system", "pull", "run", "total", "speedup (paper)"},
+                     wd);
+    bench::print_rule(wd);
+    bench::print_row({"docker", format_duration(docker_avg.pull),
+                      format_duration(docker_avg.run),
+                      format_duration(docker_avg.total()), "1.00x"},
+                     wd);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%s (%.2fx)",
+                  format_speedup(docker_avg.total() / nocache_avg.total())
+                      .c_str(),
+                  paper_nocache[bi]);
+    bench::print_row({"gear (no cache)", format_duration(nocache_avg.pull),
+                      format_duration(nocache_avg.run),
+                      format_duration(nocache_avg.total()), buf},
+                     wd);
+    std::snprintf(buf, sizeof(buf), "%s (%.2fx)",
+                  format_speedup(docker_avg.total() / cache_avg.total())
+                      .c_str(),
+                  paper_cache[bi]);
+    bench::print_row({"gear (cache)", format_duration(cache_avg.pull),
+                      format_duration(cache_avg.run),
+                      format_duration(cache_avg.total()), buf},
+                     wd);
+    std::printf("\n");
+  }
+
+  std::printf("expected shape: Gear pull << Docker pull, Gear run > Docker "
+              "run, total speedup grows as bandwidth drops, cache > no-cache\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Example: fingerprint collision handling, end to end (paper §III-B).
+//
+// Gear identifies files by MD5; the paper argues collisions are negligible
+// (Eq. 1) but specifies a detection path anyway: compare contents on a
+// fingerprint match during conversion, and give colliding files salted
+// unique IDs. This example makes the path observable by converting with a
+// deliberately truncated (12-bit) hash, then proves correctness survives.
+//
+// Build & run:  cmake --build build && ./build/examples/collision_audit
+#include <cstdio>
+
+#include "gear/client.hpp"
+#include "gear/converter.hpp"
+#include "util/format.hpp"
+#include "util/rng.hpp"
+
+using namespace gear;
+
+int main() {
+  std::printf("== fingerprint collision audit ==\n\n");
+
+  // Paper Eq. 1: expected collision bound for all of Docker Hub under MD5.
+  double hub_files = 5e10;
+  std::printf("birthday bound, %.0e files @128-bit MD5: p <= %.1e\n",
+              hub_files, collision_probability_bound(hub_files, 128));
+  std::printf("disk error probability band:             ~1e-12 .. 1e-15\n");
+  std::printf("-> collisions are far below hardware noise. Now force some "
+              "anyway.\n\n");
+
+  // An image with 600 random files, converted under a 12-bit hash
+  // (4096 possible fingerprints): collisions guaranteed in expectation.
+  Rng rng(2024);
+  vfs::FileTree root;
+  for (int i = 0; i < 600; ++i) {
+    root.add_file("data/blob" + std::to_string(i), rng.next_bytes(128));
+  }
+  docker::ImageBuilder builder;
+  builder.add_snapshot(root);
+  docker::Image image = builder.build("colliding", "1.0", {});
+
+  TruncatedFingerprintHasher weak(12);
+  GearConverter converter(weak);
+  ConversionResult conv = converter.convert(image);
+
+  std::printf("converted with %s hash: %zu files, %zu unique, "
+              "%zu collisions detected and uniquified\n",
+              weak.name().c_str(), conv.stats.files_seen,
+              conv.stats.files_unique, conv.stats.collisions);
+
+  // Prove correctness: push, deploy, and byte-compare every file.
+  docker::DockerRegistry index_registry;
+  GearRegistry file_registry;
+  push_gear_image(conv.image, index_registry, file_registry);
+
+  sim::SimClock clock;
+  sim::NetworkLink link(clock, 904.0, 0.0005, 0.0003);
+  sim::DiskModel disk = sim::DiskModel::ssd(clock);
+  GearClient client(index_registry, file_registry, link, disk);
+  client.pull("colliding:1.0");
+  std::string container = client.store().create_container("colliding:1.0");
+  GearFileViewer viewer = client.open_viewer(container);
+
+  int verified = 0;
+  int mismatches = 0;
+  root.walk([&](const std::string& path, const vfs::FileNode& node) {
+    if (!node.is_regular()) return;
+    Bytes got = viewer.read_file(path).value();
+    if (got != node.content()) ++mismatches;
+    ++verified;
+  });
+  std::printf("deployed and verified %d files: %d mismatches\n", verified,
+              mismatches);
+  std::printf("gear registry holds %zu objects (= unique contents, collisions "
+              "included)\n\n",
+              file_registry.object_count());
+
+  if (mismatches != 0) {
+    std::printf("FAILED: collision handling corrupted content\n");
+    return 1;
+  }
+  std::printf("collision handling preserves content exactly — dedup is "
+              "disabled only for the colliding files (paper §III-B).\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Example: running a private registry and watching file-level deduplication
+// work as image versions are pushed (the paper's §V-C storage story).
+//
+// Pushes 8 versions of a synthetic "webapp" series into a Docker registry
+// and a Gear registry side by side, printing both footprints after each
+// push. Layer-level dedup helps only when whole layers repeat; Gear's
+// file-level sharing absorbs each version's unchanged files no matter how
+// the layers were cut.
+//
+// Build & run:  cmake --build build && ./build/examples/registry_dedupe
+#include <cstdio>
+
+#include "gear/client.hpp"
+#include "gear/converter.hpp"
+#include "util/format.hpp"
+#include "workload/generator.hpp"
+
+using namespace gear;
+
+int main() {
+  std::printf("== private registry deduplication ==\n\n");
+
+  // A mid-size web application series: debian base, runtime env that is
+  // stable across versions, application files churning 25% per release.
+  workload::SeriesSpec spec;
+  for (const auto& s : workload::table1_corpus()) {
+    if (s.name == "tomcat") spec = s;
+  }
+  spec.versions = 8;
+  workload::CorpusGenerator gen(/*seed=*/7, /*scale=*/0.002);
+
+  docker::DockerRegistry docker_registry;
+  docker::DockerRegistry index_registry;
+  GearRegistry file_registry;
+  GearConverter converter;
+
+  std::printf("%-10s  %14s  %14s  %8s  %10s\n", "push", "docker registry",
+              "gear registry", "saving", "files(new)");
+  std::printf("%s\n", std::string(68, '-').c_str());
+
+  for (int v = 0; v < spec.versions; ++v) {
+    docker::Image image = gen.generate_image(spec, v);
+    docker::PushResult push = docker_registry.push_image(image);
+
+    ConversionResult conv = converter.convert(image);
+    std::size_t new_files =
+        push_gear_image(conv.image, index_registry, file_registry);
+
+    std::uint64_t docker_bytes = docker_registry.storage_bytes();
+    std::uint64_t gear_bytes =
+        file_registry.storage_bytes() + index_registry.storage_bytes();
+    std::printf("%-10s  %14s  %14s  %7.1f%%  %6zu/%zu\n",
+                image.manifest.reference().c_str(),
+                format_size(docker_bytes).c_str(),
+                format_size(gear_bytes).c_str(),
+                100.0 * (1.0 - static_cast<double>(gear_bytes) /
+                                   static_cast<double>(docker_bytes)),
+                new_files, conv.stats.files_unique);
+    std::printf("%-10s  (layers: %zu uploaded, %zu deduplicated)\n", "",
+                push.layers_uploaded, push.layers_deduplicated);
+  }
+
+  std::printf("\ngear registry objects: %zu unique files, "
+              "%llu uploads deduplicated by fingerprint query\n",
+              file_registry.object_count(),
+              static_cast<unsigned long long>(
+                  file_registry.stats().uploads_deduplicated));
+  std::printf("note how the Docker side grows by roughly one app layer per "
+              "version,\nwhile the Gear side grows only by the churned "
+              "files.\n");
+  return 0;
+}

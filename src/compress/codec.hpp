@@ -1,0 +1,42 @@
+// Self-describing compressed container format.
+//
+// Frame layout:
+//   magic  "GZC1"           (4 bytes)
+//   method u8                (0 = stored, 1 = lzss)
+//   orig_size varint
+//   payload
+//
+// compress() falls back to "stored" whenever LZSS fails to shrink the input,
+// so incompressible data (already-compressed Gear files, random content)
+// never grows by more than the 6..14 byte header.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace gear {
+
+enum class CompressionMethod : std::uint8_t {
+  kStored = 0,
+  kLzss = 1,
+};
+
+/// Compresses `input`, choosing kStored when LZSS does not help.
+Bytes compress(BytesView input);
+
+/// Decompresses a frame produced by compress().
+/// Throws Error(kCorruptData) on bad magic/method/payload.
+Bytes decompress(BytesView frame);
+
+/// Reads the original (decompressed) size from a frame without decoding it.
+std::uint64_t compressed_frame_original_size(BytesView frame);
+
+/// Method recorded in the frame header.
+CompressionMethod compressed_frame_method(BytesView frame);
+
+/// Varint helpers shared with other serializers (LEB128, unsigned).
+void put_varint(Bytes& out, std::uint64_t v);
+std::uint64_t get_varint(BytesView data, std::size_t& pos);
+
+}  // namespace gear

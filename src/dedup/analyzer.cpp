@@ -1,0 +1,56 @@
+#include "dedup/analyzer.hpp"
+
+#include "compress/codec.hpp"
+#include "util/error.hpp"
+#include "util/md5.hpp"
+
+namespace gear::dedup {
+
+DedupAnalyzer::DedupAnalyzer(std::uint64_t chunk_bytes)
+    : chunk_bytes_(chunk_bytes) {
+  if (chunk_bytes == 0) {
+    throw_error(ErrorCode::kInvalidArgument, "chunk size must be positive");
+  }
+}
+
+void DedupAnalyzer::add_image(const docker::Image& image) {
+  // No dedup: the unpacked image stored whole; one object per image.
+  none_.storage_bytes += image.uncompressed_size();
+  none_.object_count += 1;
+
+  for (const docker::Layer& layer : image.layers) {
+    if (!seen_layers_.insert(layer.digest()).second) {
+      continue;  // duplicate layer: both layer- and chunk-level skip it
+    }
+    // Layer-level: store the unique compressed tarball.
+    layer_.storage_bytes += layer.compressed_size();
+    layer_.object_count += 1;
+
+    // Chunk-level: fixed-size chunks of the *unpacked* layer stream,
+    // deduplicated globally and compressed individually.
+    Bytes tarball = decompress(layer.blob());
+    for (std::size_t off = 0; off < tarball.size(); off += chunk_bytes_) {
+      std::size_t len = std::min<std::size_t>(chunk_bytes_,
+                                              tarball.size() - off);
+      BytesView chunk(tarball.data() + off, len);
+      Fingerprint fp{Md5::hash(chunk)};
+      if (!seen_chunks_.insert(fp).second) continue;
+      chunk_.storage_bytes += compress(chunk).size();
+      chunk_.object_count += 1;
+    }
+  }
+
+  // File-level: unique files across the flattened image, compressed
+  // individually (what the Gear registry stores).
+  vfs::FileTree root = image.flatten();
+  root.walk([this](const std::string& path, const vfs::FileNode& node) {
+    (void)path;
+    if (!node.is_regular()) return;
+    Fingerprint fp{Md5::hash(node.content())};
+    if (!seen_files_.insert(fp).second) return;
+    file_.storage_bytes += compress(node.content()).size();
+    file_.object_count += 1;
+  });
+}
+
+}  // namespace gear::dedup

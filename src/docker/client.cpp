@@ -1,0 +1,112 @@
+#include "docker/client.hpp"
+
+#include "vfs/tree_diff.hpp"
+
+namespace gear::docker {
+
+DockerClient::DockerClient(DockerRegistry& registry, sim::NetworkLink& link,
+                           sim::DiskModel& disk, RuntimeParams params)
+    : registry_(registry), link_(link), disk_(disk), params_(params) {}
+
+PullStats DockerClient::pull(const std::string& reference) {
+  PullStats stats;
+  sim::SimTimer timer(link_.clock());
+
+  Manifest manifest = registry_.get_manifest(reference).value();
+  link_.request(manifest.wire_size());
+  stats.bytes_downloaded += manifest.wire_size();
+
+  for (const LayerDescriptor& desc : manifest.layers) {
+    if (layer_store_.count(desc.digest) != 0) {
+      ++stats.layers_local;
+      continue;
+    }
+    Bytes blob = registry_.get_blob(desc.digest).value();
+    link_.request(blob.size());
+    stats.bytes_downloaded += blob.size();
+    ++stats.layers_fetched;
+
+    // The graph driver writes the compressed blob, then unpacks the layer
+    // into its diff/ directory.
+    disk_.write(blob.size());
+    Layer layer = Layer::from_blob(std::move(blob), desc.digest);
+    vfs::FileTree tree = layer.to_tree();
+    disk_.write(layer.uncompressed_size());
+
+    local_bytes_ += layer.uncompressed_size();
+    layer_store_.emplace(desc.digest,
+                         StoredLayer{std::move(tree), layer.uncompressed_size()});
+  }
+
+  manifests_[reference] = std::move(manifest);
+  stats.seconds = timer.elapsed();
+  return stats;
+}
+
+OverlayMount DockerClient::mount(const std::string& reference) const {
+  auto it = manifests_.find(reference);
+  if (it == manifests_.end()) {
+    throw_error(ErrorCode::kNotFound, "image not pulled: " + reference);
+  }
+  std::vector<const vfs::FileTree*> lowers;
+  for (const LayerDescriptor& desc : it->second.layers) {
+    auto lit = layer_store_.find(desc.digest);
+    if (lit == layer_store_.end()) {
+      throw_error(ErrorCode::kNotFound,
+                  "layer missing locally: " + desc.digest.hex());
+    }
+    lowers.push_back(&lit->second.tree);
+  }
+  return OverlayMount(std::move(lowers));
+}
+
+DeployStats DockerClient::deploy(const std::string& reference,
+                                 const workload::AccessSet& access) {
+  DeployStats stats;
+  stats.pull = pull(reference);
+
+  sim::SimTimer timer(link_.clock());
+  link_.clock().advance(params_.mount_seconds + params_.startup_seconds);
+  OverlayMount root = mount(reference);
+
+  for (const workload::FileAccess& fa : access.files) {
+    Bytes content = root.read_file(fa.path).value();
+    if (content.size() != fa.size) {
+      throw_error(ErrorCode::kInternal,
+                  "access set size mismatch at " + fa.path);
+    }
+    link_.clock().advance(params_.per_file_open_seconds);
+    disk_.read(content.size());
+  }
+  stats.run_seconds = timer.elapsed();
+  return stats;
+}
+
+double DockerClient::destroy(const std::string& reference) const {
+  auto it = manifests_.find(reference);
+  if (it == manifests_.end()) {
+    throw_error(ErrorCode::kNotFound, "image not pulled: " + reference);
+  }
+  // Docker tears down the whole mount: every inode the image populated in
+  // the dentry/inode caches is dropped.
+  std::uint64_t inodes = 0;
+  for (const LayerDescriptor& desc : it->second.layers) {
+    auto lit = layer_store_.find(desc.digest);
+    if (lit == layer_store_.end()) continue;
+    vfs::TreeStats s = lit->second.tree.stats();
+    inodes += s.regular_files + s.directories + s.symlinks;
+  }
+  double seconds =
+      params_.teardown_fixed_seconds +
+      static_cast<double>(inodes) * params_.per_inode_teardown_seconds;
+  link_.clock().advance(seconds);
+  return seconds;
+}
+
+void DockerClient::clear_local_state() {
+  layer_store_.clear();
+  manifests_.clear();
+  local_bytes_ = 0;
+}
+
+}  // namespace gear::docker

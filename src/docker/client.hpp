@@ -1,0 +1,99 @@
+// Docker deployment client: the daemon-side pull + run path.
+//
+// Reproduces the two-step deployment of §II-C: (1) fetch the manifest, then
+// download and unpack every layer not already present locally; (2) mount the
+// layer stack with Overlay2 and start the container. All network and disk
+// costs run through the simulation models, and the run phase actually reads
+// the task's files through the union mount, so timing and correctness are
+// exercised together.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "docker/overlay.hpp"
+#include "docker/registry.hpp"
+#include "sim/disk.hpp"
+#include "sim/network.hpp"
+#include "workload/access.hpp"
+
+namespace gear::docker {
+
+/// Cost constants of the container runtime itself (shared by the Docker,
+/// Gear, and Slacker clients so comparisons isolate the image format).
+struct RuntimeParams {
+  double startup_seconds = 0.12;       // runc/namespace setup
+  double mount_seconds = 0.02;         // graph-driver mount
+  double per_file_open_seconds = 2e-4; // VFS open+read syscall path
+  double teardown_fixed_seconds = 0.015;     // cgroup/namespace teardown
+  double per_inode_teardown_seconds = 5e-5;  // unmount: drop one cached inode
+};
+
+struct PullStats {
+  std::uint64_t bytes_downloaded = 0;
+  double seconds = 0;
+  std::size_t layers_fetched = 0;
+  std::size_t layers_local = 0;  // reused from the local layer store
+};
+
+struct DeployStats {
+  PullStats pull;
+  double run_seconds = 0;
+  std::uint64_t run_bytes_downloaded = 0;  // on-demand fetches (Gear/Slacker)
+  double total_seconds() const { return pull.seconds + run_seconds; }
+  std::uint64_t total_bytes() const {
+    return pull.bytes_downloaded + run_bytes_downloaded;
+  }
+};
+
+class DockerClient {
+ public:
+  DockerClient(DockerRegistry& registry, sim::NetworkLink& link,
+               sim::DiskModel& disk, RuntimeParams params = {});
+
+  /// Step 1 of deployment: manifest + missing layers, charged to the link
+  /// and local disk; layers are unpacked into the local layer store
+  /// (Overlay2 "diff/" directories) keyed by digest for cross-image reuse.
+  PullStats pull(const std::string& reference);
+
+  /// Step 2: mounts a pulled image's layer stack. Throws if layers are
+  /// missing locally.
+  OverlayMount mount(const std::string& reference) const;
+
+  /// Full deployment: pull + start the container and replay `access`
+  /// through the mounted root. Every accessed file must exist in the image.
+  DeployStats deploy(const std::string& reference,
+                     const workload::AccessSet& access);
+
+  /// Tears down a container of `reference` (Fig. 11b: unmount cost scales
+  /// with cached inodes — for Docker, every file the image holds).
+  double destroy(const std::string& reference) const;
+
+  bool has_layer(const Digest& digest) const {
+    return layer_store_.count(digest) != 0;
+  }
+  std::uint64_t local_storage_bytes() const noexcept { return local_bytes_; }
+
+  /// Drops all local layers (cold-client experiments).
+  void clear_local_state();
+
+  const RuntimeParams& params() const noexcept { return params_; }
+
+ private:
+  struct StoredLayer {
+    vfs::FileTree tree;             // unpacked diff directory
+    std::uint64_t unpacked_bytes = 0;
+  };
+
+  DockerRegistry& registry_;
+  sim::NetworkLink& link_;
+  sim::DiskModel& disk_;
+  RuntimeParams params_;
+  std::unordered_map<Digest, StoredLayer, DigestHash> layer_store_;
+  std::map<std::string, Manifest> manifests_;  // locally known images
+  std::uint64_t local_bytes_ = 0;
+};
+
+}  // namespace gear::docker

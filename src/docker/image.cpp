@@ -1,0 +1,64 @@
+#include "docker/image.hpp"
+
+#include "util/error.hpp"
+#include "vfs/tree_diff.hpp"
+
+namespace gear::docker {
+
+vfs::FileTree Image::flatten() const {
+  vfs::FileTree merged;
+  for (const Layer& layer : layers) {
+    merged = vfs::apply_layer(merged, layer.to_tree());
+  }
+  return merged;
+}
+
+std::uint64_t Image::compressed_size() const {
+  std::uint64_t total = 0;
+  for (const Layer& l : layers) total += l.compressed_size();
+  return total;
+}
+
+std::uint64_t Image::uncompressed_size() const {
+  std::uint64_t total = 0;
+  for (const Layer& l : layers) total += l.uncompressed_size();
+  return total;
+}
+
+ImageBuilder::ImageBuilder(const Image& base)
+    : layers_(base.layers), state_(base.flatten()) {}
+
+ImageBuilder& ImageBuilder::add_snapshot(const vfs::FileTree& snapshot) {
+  vfs::FileTree diff = vfs::diff_trees(state_, snapshot);
+  if (diff.root().children().empty()) {
+    throw_error(ErrorCode::kInvalidArgument,
+                "add_snapshot: snapshot is identical to current state");
+  }
+  layers_.push_back(Layer::from_tree(diff));
+  state_ = snapshot;
+  return *this;
+}
+
+ImageBuilder& ImageBuilder::add_diff(const vfs::FileTree& diff) {
+  layers_.push_back(Layer::from_tree(diff));
+  state_ = vfs::apply_layer(state_, diff);
+  return *this;
+}
+
+Image ImageBuilder::build(std::string name, std::string tag,
+                          ImageConfig config) const {
+  if (layers_.empty()) {
+    throw_error(ErrorCode::kInvalidArgument, "build: image has no layers");
+  }
+  Image image;
+  image.manifest.name = std::move(name);
+  image.manifest.tag = std::move(tag);
+  image.manifest.config = std::move(config);
+  for (const Layer& l : layers_) {
+    image.manifest.layers.push_back({l.digest(), l.compressed_size()});
+  }
+  image.layers = layers_;
+  return image;
+}
+
+}  // namespace gear::docker

@@ -1,0 +1,62 @@
+// Layered images and the builder that produces them.
+//
+// An Image bundles a manifest with its materialized layers. ImageBuilder
+// mimics how Dockerfiles create images: a sequence of filesystem snapshots,
+// each becoming one layer (the diff against the previous snapshot). Images
+// may share lower layers by construction (e.g. every nginx version starts
+// from the same debian base snapshot), which is what layer-level dedup in
+// the registry exploits (paper Fig. 1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "docker/layer.hpp"
+#include "docker/manifest.hpp"
+#include "vfs/file_tree.hpp"
+
+namespace gear::docker {
+
+/// A complete image: manifest plus layer blobs (bottom first).
+struct Image {
+  Manifest manifest;
+  std::vector<Layer> layers;
+
+  /// Reconstructs the root filesystem by applying all layers bottom-to-top.
+  vfs::FileTree flatten() const;
+
+  /// Total compressed bytes across layers.
+  std::uint64_t compressed_size() const;
+
+  /// Total uncompressed (tarball) bytes across layers.
+  std::uint64_t uncompressed_size() const;
+};
+
+/// Builds an image from successive full-filesystem snapshots.
+class ImageBuilder {
+ public:
+  /// Starts from an existing image's layers (a child image "FROM base").
+  /// The new image shares the base's layer blobs.
+  explicit ImageBuilder(const Image& base);
+  ImageBuilder() = default;
+
+  /// Appends a layer capturing the diff between the current state and
+  /// `snapshot`. A snapshot identical to the current state is rejected
+  /// (Docker refuses empty commits). Returns *this for chaining.
+  ImageBuilder& add_snapshot(const vfs::FileTree& snapshot);
+
+  /// Appends a pre-computed diff tree as a layer.
+  ImageBuilder& add_diff(const vfs::FileTree& diff);
+
+  /// Current merged filesystem state.
+  const vfs::FileTree& state() const noexcept { return state_; }
+
+  /// Finalizes the image.
+  Image build(std::string name, std::string tag, ImageConfig config) const;
+
+ private:
+  std::vector<Layer> layers_;
+  vfs::FileTree state_;
+};
+
+}  // namespace gear::docker

@@ -1,0 +1,88 @@
+#include "docker/manifest.hpp"
+
+#include "util/error.hpp"
+
+namespace gear::docker {
+namespace {
+
+JsonArray strings_to_json(const std::vector<std::string>& v) {
+  JsonArray arr;
+  arr.reserve(v.size());
+  for (const auto& s : v) arr.emplace_back(s);
+  return arr;
+}
+
+std::vector<std::string> json_to_strings(const Json& j) {
+  std::vector<std::string> out;
+  for (const Json& v : j.as_array()) out.push_back(v.as_string());
+  return out;
+}
+
+}  // namespace
+
+Json ImageConfig::to_json() const {
+  JsonObject obj;
+  obj["Env"] = Json(strings_to_json(env));
+  obj["Entrypoint"] = Json(strings_to_json(entrypoint));
+  obj["Cmd"] = Json(strings_to_json(cmd));
+  obj["WorkingDir"] = Json(working_dir);
+  JsonObject label_obj;
+  for (const auto& [k, v] : labels) label_obj[k] = Json(v);
+  obj["Labels"] = Json(std::move(label_obj));
+  return Json(std::move(obj));
+}
+
+ImageConfig ImageConfig::from_json(const Json& j) {
+  ImageConfig cfg;
+  cfg.env = json_to_strings(j.at("Env"));
+  cfg.entrypoint = json_to_strings(j.at("Entrypoint"));
+  cfg.cmd = json_to_strings(j.at("Cmd"));
+  cfg.working_dir = j.at("WorkingDir").as_string();
+  for (const auto& [k, v] : j.at("Labels").as_object()) {
+    cfg.labels[k] = v.as_string();
+  }
+  return cfg;
+}
+
+std::uint64_t Manifest::total_layer_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& l : layers) total += l.compressed_size;
+  return total;
+}
+
+std::string Manifest::to_json_string() const {
+  JsonObject obj;
+  obj["schemaVersion"] = Json(2);
+  obj["name"] = Json(name);
+  obj["tag"] = Json(tag);
+  obj["config"] = config.to_json();
+  JsonArray layer_arr;
+  for (const auto& l : layers) {
+    JsonObject lo;
+    lo["digest"] = Json(l.digest.to_string());
+    lo["size"] = Json(l.compressed_size);
+    layer_arr.emplace_back(std::move(lo));
+  }
+  obj["layers"] = Json(std::move(layer_arr));
+  return Json(std::move(obj)).dump();
+}
+
+Manifest Manifest::from_json_string(std::string_view json_text) {
+  Json j = Json::parse(json_text);
+  if (j.at("schemaVersion").as_int() != 2) {
+    throw_error(ErrorCode::kUnsupported, "manifest: unknown schema version");
+  }
+  Manifest m;
+  m.name = j.at("name").as_string();
+  m.tag = j.at("tag").as_string();
+  m.config = ImageConfig::from_json(j.at("config"));
+  for (const Json& lo : j.at("layers").as_array()) {
+    LayerDescriptor d;
+    d.digest = Digest::from_string(lo.at("digest").as_string());
+    d.compressed_size = static_cast<std::uint64_t>(lo.at("size").as_int());
+    m.layers.push_back(d);
+  }
+  return m;
+}
+
+}  // namespace gear::docker

@@ -1,0 +1,67 @@
+// Image manifests and runtime configuration.
+//
+// The manifest is the JSON document the registry serves first on a pull
+// (paper §II-B): it names the image's layers by digest and carries the
+// runtime configuration (environment, entrypoint) that the Gear converter
+// must copy into the index image so applications still execute properly
+// (paper §III-C).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "docker/layer.hpp"
+#include "util/json.hpp"
+
+namespace gear::docker {
+
+/// Runtime configuration of an image (subset of Docker's config blob that
+/// matters for correct execution of the contained application).
+struct ImageConfig {
+  std::vector<std::string> env;         // "KEY=value" pairs
+  std::vector<std::string> entrypoint;  // argv
+  std::vector<std::string> cmd;         // default args
+  std::string working_dir;
+  std::map<std::string, std::string> labels;
+
+  Json to_json() const;
+  static ImageConfig from_json(const Json& j);
+
+  friend bool operator==(const ImageConfig&, const ImageConfig&) = default;
+};
+
+/// Reference to a layer inside a manifest.
+struct LayerDescriptor {
+  Digest digest;
+  std::uint64_t compressed_size = 0;
+
+  friend bool operator==(const LayerDescriptor&,
+                         const LayerDescriptor&) = default;
+};
+
+/// An image manifest: name:tag, ordered layers (bottom first), config.
+struct Manifest {
+  std::string name;
+  std::string tag;
+  ImageConfig config;
+  std::vector<LayerDescriptor> layers;
+
+  /// Canonical reference "name:tag".
+  std::string reference() const { return name + ":" + tag; }
+
+  /// Total compressed size of all layers.
+  std::uint64_t total_layer_bytes() const;
+
+  /// JSON round-trip (what the registry stores and serves).
+  std::string to_json_string() const;
+  static Manifest from_json_string(std::string_view json_text);
+
+  /// Serialized size in bytes — charged to the network when pulled.
+  std::uint64_t wire_size() const { return to_json_string().size(); }
+
+  friend bool operator==(const Manifest&, const Manifest&) = default;
+};
+
+}  // namespace gear::docker

@@ -1,0 +1,130 @@
+#include "docker/registry.hpp"
+
+namespace gear::docker {
+
+bool DockerRegistry::has_blob(const Digest& digest) const {
+  return blobs_.count(digest) != 0;
+}
+
+void DockerRegistry::put_blob(const Digest& digest, Bytes blob) {
+  if (Digest::of(blob) != digest) {
+    throw_error(ErrorCode::kCorruptData,
+                "put_blob: content does not match digest");
+  }
+  auto [it, inserted] = blobs_.emplace(digest, std::move(blob));
+  if (inserted) blob_bytes_ += it->second.size();
+}
+
+StatusOr<Bytes> DockerRegistry::get_blob(const Digest& digest) const {
+  auto it = blobs_.find(digest);
+  if (it == blobs_.end()) {
+    return {ErrorCode::kNotFound, "blob not found: " + digest.hex()};
+  }
+  return it->second;
+}
+
+PushResult DockerRegistry::push_image(const Image& image) {
+  PushResult result;
+  for (const Layer& layer : image.layers) {
+    if (has_blob(layer.digest())) {
+      ++result.layers_deduplicated;
+      continue;
+    }
+    put_blob(layer.digest(), layer.blob());
+    ++result.layers_uploaded;
+    result.bytes_uploaded += layer.compressed_size();
+  }
+  manifests_[image.manifest.reference()] = image.manifest.to_json_string();
+  return result;
+}
+
+StatusOr<Manifest> DockerRegistry::get_manifest(
+    const std::string& reference) const {
+  auto it = manifests_.find(reference);
+  if (it == manifests_.end()) {
+    return {ErrorCode::kNotFound, "manifest not found: " + reference};
+  }
+  return Manifest::from_json_string(it->second);
+}
+
+std::vector<std::string> DockerRegistry::list_manifests() const {
+  std::vector<std::string> refs;
+  refs.reserve(manifests_.size());
+  for (const auto& [ref, json] : manifests_) {
+    (void)json;
+    refs.push_back(ref);
+  }
+  return refs;
+}
+
+bool DockerRegistry::delete_manifest(const std::string& reference) {
+  return manifests_.erase(reference) > 0;
+}
+
+std::vector<Digest> DockerRegistry::list_blobs() const {
+  std::vector<Digest> out;
+  out.reserve(blobs_.size());
+  for (const auto& [digest, blob] : blobs_) {
+    (void)blob;
+    out.push_back(digest);
+  }
+  return out;
+}
+
+StatusOr<std::string> DockerRegistry::get_manifest_json(
+    const std::string& reference) const {
+  auto it = manifests_.find(reference);
+  if (it == manifests_.end()) {
+    return {ErrorCode::kNotFound, "manifest not found: " + reference};
+  }
+  return it->second;
+}
+
+void DockerRegistry::put_manifest_json(const std::string& reference,
+                                       std::string json) {
+  Manifest parsed = Manifest::from_json_string(json);  // validate
+  if (parsed.reference() != reference) {
+    throw_error(ErrorCode::kInvalidArgument,
+                "manifest reference mismatch: " + reference);
+  }
+  manifests_[reference] = std::move(json);
+}
+
+std::uint64_t DockerRegistry::delete_blob(const Digest& digest) {
+  auto it = blobs_.find(digest);
+  if (it == blobs_.end()) return 0;
+  std::uint64_t freed = it->second.size();
+  blob_bytes_ -= freed;
+  blobs_.erase(it);
+  return freed;
+}
+
+std::pair<std::size_t, std::uint64_t> DockerRegistry::collect_garbage() {
+  std::unordered_set<Digest, DigestHash> live;
+  for (const auto& [ref, json] : manifests_) {
+    (void)ref;
+    Manifest manifest = Manifest::from_json_string(json);
+    for (const LayerDescriptor& desc : manifest.layers) {
+      live.insert(desc.digest);
+    }
+  }
+  std::size_t swept = 0;
+  std::uint64_t reclaimed = 0;
+  for (const Digest& digest : list_blobs()) {
+    if (live.count(digest) != 0) continue;
+    reclaimed += delete_blob(digest);
+    ++swept;
+  }
+  return {swept, reclaimed};
+}
+
+std::uint64_t DockerRegistry::manifest_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& [ref, json] : manifests_) {
+    (void)ref;
+    total += json.size();
+  }
+  return total;
+}
+
+}  // namespace gear::docker

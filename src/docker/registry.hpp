@@ -1,0 +1,90 @@
+// Docker Registry: content-addressed layer store + manifest store.
+//
+// Implements the storage side of the classic distribution model (paper
+// §II-B): layers arrive as compressed tarballs, are deduplicated at layer
+// granularity by digest comparison, and manifests are JSON documents served
+// by reference "name:tag". Storage accounting matches how the paper
+// measures registry footprint (unique blob bytes + manifest bytes).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_set>
+#include <utility>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "docker/image.hpp"
+#include "docker/layer.hpp"
+#include "docker/manifest.hpp"
+#include "util/error.hpp"
+
+namespace gear::docker {
+
+/// Outcome of pushing one image.
+struct PushResult {
+  std::size_t layers_uploaded = 0;   // blobs actually transferred and stored
+  std::size_t layers_deduplicated = 0;  // blobs already present (skipped)
+  std::uint64_t bytes_uploaded = 0;  // compressed bytes stored
+};
+
+class DockerRegistry {
+ public:
+  /// True if a blob with this digest is already stored — the layer-level
+  /// deduplication check run before any upload.
+  bool has_blob(const Digest& digest) const;
+
+  /// Stores a blob under its digest. Verifies digest matches content.
+  /// Idempotent: re-putting an existing blob is a no-op.
+  void put_blob(const Digest& digest, Bytes blob);
+
+  /// Fetches a blob. kNotFound when absent.
+  StatusOr<Bytes> get_blob(const Digest& digest) const;
+
+  /// Pushes a full image: dedups layers by digest, stores the manifest.
+  PushResult push_image(const Image& image);
+
+  /// Serves a manifest by "name:tag" reference.
+  StatusOr<Manifest> get_manifest(const std::string& reference) const;
+
+  bool has_manifest(const std::string& reference) const {
+    return manifests_.count(reference) != 0;
+  }
+
+  /// All stored manifest references, sorted.
+  std::vector<std::string> list_manifests() const;
+
+  /// Deletes a manifest (image removal). Layer blobs stay until a registry
+  /// GC decides otherwise. Returns false when absent.
+  bool delete_manifest(const std::string& reference);
+
+  /// Enumerates stored blob digests (unordered) — persistence/GC support.
+  std::vector<Digest> list_blobs() const;
+
+  /// Raw manifest document access (persistence support).
+  StatusOr<std::string> get_manifest_json(const std::string& reference) const;
+  /// Stores a manifest document verbatim after validating it parses.
+  void put_manifest_json(const std::string& reference, std::string json);
+
+  /// Deletes a blob (GC sweep). Returns bytes freed, 0 when absent.
+  std::uint64_t delete_blob(const Digest& digest);
+
+  /// Mark-and-sweep GC: removes every blob no stored manifest references.
+  /// Returns (blobs swept, bytes reclaimed).
+  std::pair<std::size_t, std::uint64_t> collect_garbage();
+
+  /// Storage accounting.
+  std::uint64_t blob_bytes() const noexcept { return blob_bytes_; }
+  std::uint64_t manifest_bytes() const;
+  std::uint64_t storage_bytes() const { return blob_bytes() + manifest_bytes(); }
+  std::size_t blob_count() const noexcept { return blobs_.size(); }
+  std::size_t manifest_count() const noexcept { return manifests_.size(); }
+
+ private:
+  std::unordered_map<Digest, Bytes, DigestHash> blobs_;
+  std::map<std::string, std::string> manifests_;  // reference -> manifest JSON
+  std::uint64_t blob_bytes_ = 0;
+};
+
+}  // namespace gear::docker

@@ -1,0 +1,119 @@
+#include "gear/cache.hpp"
+
+namespace gear {
+
+SharedFileCache::SharedFileCache(std::uint64_t capacity_bytes,
+                                 EvictionPolicy policy)
+    : capacity_(capacity_bytes), policy_(policy) {}
+
+bool SharedFileCache::contains(const Fingerprint& fp) const {
+  return entries_.count(fp) != 0;
+}
+
+void SharedFileCache::touch(Entry& entry, const Fingerprint& fp) {
+  if (policy_ == EvictionPolicy::kLru) {
+    order_.erase(entry.order_it);
+    entry.order_it = order_.insert(order_.end(), fp);
+  }
+}
+
+StatusOr<Bytes> SharedFileCache::get(const Fingerprint& fp) {
+  auto it = entries_.find(fp);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return {ErrorCode::kNotFound, "cache miss: " + fp.hex()};
+  }
+  ++stats_.hits;
+  touch(it->second, fp);
+  return it->second.content;
+}
+
+bool SharedFileCache::make_room(std::uint64_t needed) {
+  if (capacity_ == 0) return true;  // unbounded
+  if (needed > capacity_) return false;
+  auto victim = order_.begin();
+  while (size_bytes_ + needed > capacity_ && victim != order_.end()) {
+    auto entry_it = entries_.find(*victim);
+    if (entry_it == entries_.end()) {
+      throw_error(ErrorCode::kInternal, "cache order list out of sync");
+    }
+    if (entry_it->second.links > 0) {
+      ++victim;  // pinned: skip
+      continue;
+    }
+    size_bytes_ -= entry_it->second.content.size();
+    victim = order_.erase(victim);
+    entries_.erase(entry_it);
+    ++stats_.evictions;
+  }
+  return size_bytes_ + needed <= capacity_;
+}
+
+bool SharedFileCache::put(const Fingerprint& fp, Bytes content) {
+  if (auto it = entries_.find(fp); it != entries_.end()) {
+    touch(it->second, fp);
+    return true;  // already cached (deduplicated)
+  }
+  if (!make_room(content.size())) {
+    ++stats_.rejected;
+    return false;
+  }
+  Entry entry;
+  size_bytes_ += content.size();
+  entry.content = std::move(content);
+  entry.order_it = order_.insert(order_.end(), fp);
+  entries_.emplace(fp, std::move(entry));
+  ++stats_.insertions;
+  return true;
+}
+
+void SharedFileCache::link(const Fingerprint& fp) {
+  auto it = entries_.find(fp);
+  if (it == entries_.end()) {
+    throw_error(ErrorCode::kNotFound, "link: not cached: " + fp.hex());
+  }
+  ++it->second.links;
+}
+
+void SharedFileCache::unlink(const Fingerprint& fp) {
+  auto it = entries_.find(fp);
+  if (it == entries_.end()) {
+    throw_error(ErrorCode::kNotFound, "unlink: not cached: " + fp.hex());
+  }
+  if (it->second.links == 0) {
+    throw_error(ErrorCode::kInvalidArgument,
+                "unlink: entry has no links: " + fp.hex());
+  }
+  --it->second.links;
+}
+
+std::uint32_t SharedFileCache::link_count(const Fingerprint& fp) const {
+  auto it = entries_.find(fp);
+  if (it == entries_.end()) return 0;
+  return it->second.links;
+}
+
+std::vector<Fingerprint> SharedFileCache::fingerprints() const {
+  std::vector<Fingerprint> out;
+  out.reserve(entries_.size());
+  for (const auto& [fp, entry] : entries_) {
+    (void)entry;
+    out.push_back(fp);
+  }
+  return out;
+}
+
+void SharedFileCache::clear_unpinned() {
+  for (auto it = order_.begin(); it != order_.end();) {
+    auto entry_it = entries_.find(*it);
+    if (entry_it != entries_.end() && entry_it->second.links == 0) {
+      size_bytes_ -= entry_it->second.content.size();
+      entries_.erase(entry_it);
+      it = order_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace gear

@@ -1,0 +1,92 @@
+// Shared local Gear-file cache — level 1 of the three-level storage.
+//
+// All Gear files a client has ever materialized live here, deduplicated by
+// fingerprint and shared by every image and container on the node (paper
+// §III-D1). Entries hard-linked into an index are pinned; only unlinked
+// entries are eviction candidates, under a user-chosen FIFO or LRU policy
+// and byte capacity — exactly the paper's cache-management contract.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+#include "util/fingerprint.hpp"
+
+namespace gear {
+
+enum class EvictionPolicy { kFifo, kLru };
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t rejected = 0;  // insertions that found no evictable space
+};
+
+class SharedFileCache {
+ public:
+  /// `capacity_bytes` = 0 means unbounded (the paper's default deployment).
+  explicit SharedFileCache(std::uint64_t capacity_bytes = 0,
+                           EvictionPolicy policy = EvictionPolicy::kLru);
+
+  bool contains(const Fingerprint& fp) const;
+
+  /// Fetches content; records a hit/miss and refreshes recency (LRU).
+  StatusOr<Bytes> get(const Fingerprint& fp);
+
+  /// Inserts content, evicting unlinked entries if needed. Returns false if
+  /// the entry could not fit (all other entries pinned). Inserting an
+  /// existing fingerprint is a no-op (returns true).
+  bool put(const Fingerprint& fp, Bytes content);
+
+  /// Pins the entry: one more index hard-links this file. Pinned entries
+  /// are never evicted. Throws kNotFound if absent.
+  void link(const Fingerprint& fp);
+
+  /// Unpins (image deletion). The entry stays cached and becomes evictable
+  /// when its link count reaches zero — deletion of images does not purge
+  /// shared files (paper: "its Gear files remain at the first level").
+  void unlink(const Fingerprint& fp);
+
+  std::uint32_t link_count(const Fingerprint& fp) const;
+
+  std::uint64_t size_bytes() const noexcept { return size_bytes_; }
+  std::size_t entry_count() const noexcept { return entries_.size(); }
+  std::uint64_t capacity_bytes() const noexcept { return capacity_; }
+  const CacheStats& stats() const noexcept { return stats_; }
+
+  /// Drops every unpinned entry (cold-cache experiments).
+  void clear_unpinned();
+
+  /// Enumerates cached fingerprints (unordered) — used by cooperative
+  /// distribution to advertise a node's holdings.
+  std::vector<Fingerprint> fingerprints() const;
+
+ private:
+  struct Entry {
+    Bytes content;
+    std::uint32_t links = 0;
+    std::list<Fingerprint>::iterator order_it;
+  };
+
+  /// Makes room for `needed` bytes by evicting unpinned entries in policy
+  /// order. Returns false if impossible.
+  bool make_room(std::uint64_t needed);
+
+  void touch(Entry& entry, const Fingerprint& fp);
+
+  std::uint64_t capacity_;
+  EvictionPolicy policy_;
+  std::unordered_map<Fingerprint, Entry, FingerprintHash> entries_;
+  /// Eviction order: front = next victim. FIFO appends on insert only;
+  /// LRU also moves to back on access.
+  std::list<Fingerprint> order_;
+  std::uint64_t size_bytes_ = 0;
+  CacheStats stats_;
+};
+
+}  // namespace gear

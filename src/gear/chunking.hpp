@@ -1,0 +1,63 @@
+// Chunked Gear files — the paper's future-work extension (§VII):
+// "enable Gear to read big files on demand in chunks to better accelerate
+//  containers that need to download big files, such as AI containers with
+//  big models."
+//
+// A file at or above the policy threshold is stored as a set of fixed-size
+// chunk objects (each content-addressed by its own MD5 fingerprint) plus a
+// chunk manifest stored under the *file's* fingerprint. Small files are
+// unaffected. Readers that need only part of a big file — a model header,
+// an archive index — fetch only the covering chunks; whole-file reads
+// reassemble transparently. Chunks dedup across files and versions: a model
+// whose tail weights changed re-uploads only the changed chunks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+#include "util/fingerprint.hpp"
+
+namespace gear {
+
+/// When and how to chunk.
+struct ChunkPolicy {
+  /// Files >= threshold bytes are chunked; 0 disables chunking.
+  std::uint64_t threshold_bytes = 0;
+  /// Fixed chunk size (the paper's Table II analysis uses 128 KB chunks).
+  std::uint64_t chunk_bytes = 128 * 1024;
+
+  bool enabled() const noexcept { return threshold_bytes > 0; }
+  bool applies_to(std::uint64_t file_size) const noexcept {
+    return enabled() && file_size >= threshold_bytes;
+  }
+};
+
+/// The manifest stored in place of a chunked file's content.
+struct ChunkManifest {
+  std::uint64_t file_size = 0;
+  std::uint64_t chunk_bytes = 0;
+  std::vector<Fingerprint> chunks;  // in offset order
+
+  /// Number of chunks covering [offset, offset+length).
+  /// Throws kInvalidArgument when the range exceeds the file.
+  std::pair<std::size_t, std::size_t> chunk_range(std::uint64_t offset,
+                                                  std::uint64_t length) const;
+
+  Bytes serialize() const;
+  static ChunkManifest parse(BytesView data);
+
+  friend bool operator==(const ChunkManifest&, const ChunkManifest&) = default;
+};
+
+/// Splits content into policy-sized chunks, fingerprinting each with
+/// `hasher`. The final chunk may be short.
+ChunkManifest build_chunk_manifest(BytesView content, const ChunkPolicy& policy,
+                                   const FingerprintHasher& hasher);
+
+/// View of one chunk's bytes within `content`.
+BytesView chunk_view(BytesView content, const ChunkManifest& manifest,
+                     std::size_t chunk_index);
+
+}  // namespace gear

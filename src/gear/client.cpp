@@ -1,0 +1,322 @@
+#include "gear/client.hpp"
+
+#include "gear/converter.hpp"
+
+namespace gear {
+
+std::size_t push_gear_image(const GearImage& image,
+                            docker::DockerRegistry& index_registry,
+                            GearRegistry& file_registry,
+                            const ChunkPolicy& chunk_policy) {
+  // Upload only the Gear files whose fingerprints the registry lacks
+  // (paper §III-C: compare fingerprints, upload the absent ones).
+  std::size_t uploaded = 0;
+  for (const auto& [fp, content] : image.files) {
+    if (file_registry.query(fp)) continue;
+    if (chunk_policy.applies_to(content.size())) {
+      file_registry.upload_chunked(fp, content, chunk_policy);
+    } else {
+      file_registry.upload(fp, content);
+    }
+    ++uploaded;
+  }
+  index_registry.push_image(image.index_image);
+  return uploaded;
+}
+
+GearClient::GearClient(docker::DockerRegistry& index_registry,
+                       GearRegistry& file_registry, sim::NetworkLink& link,
+                       sim::DiskModel& disk, docker::RuntimeParams params,
+                       std::uint64_t cache_capacity_bytes,
+                       EvictionPolicy policy)
+    : index_registry_(index_registry),
+      file_registry_(file_registry),
+      link_(link),
+      disk_(disk),
+      params_(params),
+      store_(cache_capacity_bytes, policy) {}
+
+docker::PullStats GearClient::pull(const std::string& reference) {
+  docker::PullStats stats;
+  sim::SimTimer timer(link_.clock());
+
+  docker::Manifest manifest =
+      index_registry_.get_manifest(reference).value();
+  link_.request(manifest.wire_size());
+  stats.bytes_downloaded += manifest.wire_size();
+
+  if (store_.has_index(reference)) {
+    stats.layers_local = manifest.layers.size();
+    stats.seconds = timer.elapsed();
+    return stats;
+  }
+
+  if (manifest.config.labels.count(kGearIndexLabel) == 0) {
+    throw_error(ErrorCode::kInvalidArgument,
+                reference + " is not a Gear index image");
+  }
+  if (manifest.layers.size() != 1) {
+    throw_error(ErrorCode::kCorruptData,
+                "Gear index image must have exactly one layer");
+  }
+
+  const docker::LayerDescriptor& desc = manifest.layers.front();
+  Bytes blob = index_registry_.get_blob(desc.digest).value();
+  link_.request(blob.size());
+  stats.bytes_downloaded += blob.size();
+  ++stats.layers_fetched;
+  disk_.write(blob.size());
+
+  docker::Layer layer = docker::Layer::from_blob(std::move(blob), desc.digest);
+  GearIndex index = GearIndex::from_wire_tree(layer.to_tree());
+  disk_.write(layer.uncompressed_size());  // set up the level-2 index dir
+  store_.add_index(reference, std::move(index));
+
+  stats.seconds = timer.elapsed();
+  return stats;
+}
+
+Bytes GearClient::materialize(const std::string& reference,
+                              const Fingerprint& fp, std::uint64_t size,
+                              std::uint64_t* downloaded) {
+  // Level 1 first: the shared cache.
+  if (StatusOr<Bytes> cached = store_.cache().get(fp); cached.ok()) {
+    disk_.touch();  // hard-link the cached file into the index
+    store_.record_link(reference, fp);
+    return std::move(cached).value();
+  }
+  // Cooperative source next (cluster peers, §VI-B) — cheaper than the WAN.
+  if (peer_source_) {
+    if (std::optional<Bytes> peer = peer_source_(fp, size)) {
+      if (peer->size() != size) {
+        throw_error(ErrorCode::kCorruptData,
+                    "peer served wrong size for " + fp.hex());
+      }
+      ++peer_hits_;
+      disk_.write(peer->size());
+      if (store_.cache().put(fp, *peer)) {
+        store_.record_link(reference, fp);
+      }
+      return std::move(*peer);
+    }
+  }
+
+  // Miss: fetch from the Gear Registry on demand, store at level 1, link.
+  // Chunked files move as one pipelined burst of manifest + chunks.
+  std::uint64_t wire = file_registry_.stored_size(fp).value();
+  if (file_registry_.is_chunked(fp)) {
+    std::uint64_t n_chunks =
+        file_registry_.chunk_manifest(fp).value().chunks.size();
+    link_.pipelined(wire, n_chunks + 1);
+  } else {
+    link_.request(wire);
+  }
+  *downloaded += wire;
+  Bytes content = file_registry_.download(fp).value();
+  if (content.size() != size) {
+    throw_error(ErrorCode::kCorruptData,
+                "gear file size mismatch: " + fp.hex());
+  }
+  disk_.write(content.size());
+  // A bounded cache may refuse the insert (everything else pinned). The
+  // container still gets the file — it lives only in this image's index
+  // directory then, unavailable for cross-image sharing.
+  if (store_.cache().put(fp, content)) {
+    store_.record_link(reference, fp);
+  }
+  return content;
+}
+
+docker::DeployStats GearClient::deploy(const std::string& reference,
+                                       const workload::AccessSet& access,
+                                       std::string* container_id_out) {
+  docker::DeployStats stats;
+  stats.pull = pull(reference);
+
+  sim::SimTimer timer(link_.clock());
+  link_.clock().advance(params_.mount_seconds + params_.startup_seconds);
+
+  std::string container_id = store_.create_container(reference);
+  if (container_id_out != nullptr) *container_id_out = container_id;
+
+  std::uint64_t downloaded = 0;
+  GearFileViewer viewer(
+      store_.index_tree(reference), store_.container_diff(container_id),
+      [&](const Fingerprint& fp, std::uint64_t size) {
+        return materialize(reference, fp, size, &downloaded);
+      });
+
+  for (const workload::FileAccess& fa : access.files) {
+    link_.clock().advance(params_.per_file_open_seconds);
+    Bytes content = viewer.read_file(fa.path).value();
+    if (content.size() != fa.size) {
+      throw_error(ErrorCode::kInternal,
+                  "access set size mismatch at " + fa.path);
+    }
+    disk_.read(content.size());
+  }
+
+  container_touched_[container_id] = access.files.size();
+  stats.run_bytes_downloaded = downloaded;
+  stats.run_seconds = timer.elapsed();
+  return stats;
+}
+
+GearFileViewer GearClient::open_viewer(const std::string& container_id) {
+  const std::string reference = store_.container_image(container_id);
+  return GearFileViewer(
+      store_.index_tree(reference), store_.container_diff(container_id),
+      [this, reference](const Fingerprint& fp, std::uint64_t size) {
+        return materialize(reference, fp, size, &untracked_downloaded_);
+      });
+}
+
+std::pair<std::size_t, std::uint64_t> GearClient::prefetch_remaining(
+    const std::string& reference) {
+  vfs::FileTree& index = store_.index_tree(reference);
+
+  // Collect the still-stubbed paths first (materialization mutates the tree).
+  std::vector<std::string> pending;
+  index.walk([&pending](const std::string& path, const vfs::FileNode& node) {
+    if (node.is_fingerprint()) pending.push_back(path);
+  });
+
+  std::size_t fetched = 0;
+  std::uint64_t bytes = 0;
+  vfs::FileTree scratch_diff;  // viewer needs an upper layer; stays empty
+  GearFileViewer viewer(index, scratch_diff,
+                        [&](const Fingerprint& fp, std::uint64_t size) {
+                          return materialize(reference, fp, size, &bytes);
+                        });
+  for (const std::string& path : pending) {
+    std::uint64_t before = bytes;
+    viewer.read_file(path).value();
+    if (bytes != before) ++fetched;
+  }
+  return {fetched, bytes};
+}
+
+StatusOr<Bytes> GearClient::read_range(const std::string& container_id,
+                                       std::string_view path,
+                                       std::uint64_t offset,
+                                       std::uint64_t length) {
+  if (length == 0) {
+    return {ErrorCode::kInvalidArgument, "read_range: zero length"};
+  }
+  const std::string reference = store_.container_image(container_id);
+
+  // Writable layer first (a modified file's new content wins).
+  auto slice_of = [&](const Bytes& content) -> StatusOr<Bytes> {
+    if (offset + length > content.size()) {
+      return {ErrorCode::kInvalidArgument, "read_range: out of bounds"};
+    }
+    disk_.read(length);
+    return Bytes(content.begin() + static_cast<std::ptrdiff_t>(offset),
+                 content.begin() + static_cast<std::ptrdiff_t>(offset + length));
+  };
+
+  if (const vfs::FileNode* d = store_.container_diff(container_id).lookup(path)) {
+    if (d->is_whiteout()) {
+      return {ErrorCode::kNotFound, "no such file: " + std::string(path)};
+    }
+    if (!d->is_regular()) {
+      return {ErrorCode::kInvalidArgument,
+              "not a regular file: " + std::string(path)};
+    }
+    link_.clock().advance(params_.per_file_open_seconds);
+    return slice_of(d->content());
+  }
+
+  const vfs::FileNode* node = store_.index_tree(reference).lookup(path);
+  if (node == nullptr) {
+    return {ErrorCode::kNotFound, "no such file: " + std::string(path)};
+  }
+  link_.clock().advance(params_.per_file_open_seconds);
+  if (node->is_regular()) {
+    return slice_of(node->content());  // already materialized
+  }
+  if (!node->is_fingerprint()) {
+    return {ErrorCode::kInvalidArgument,
+            "not a regular file: " + std::string(path)};
+  }
+  Fingerprint fp = node->fingerprint();
+  if (offset + length > node->stub_size()) {
+    return {ErrorCode::kInvalidArgument, "read_range: out of bounds"};
+  }
+
+  // Whole file already in the shared cache?
+  if (StatusOr<Bytes> cached = store_.cache().get(fp); cached.ok()) {
+    return slice_of(*cached);
+  }
+
+  if (!file_registry_.is_chunked(fp)) {
+    // Plain object: materialize fully (the classic path), then slice.
+    Bytes whole = materialize(reference, fp, node->stub_size(),
+                              &range_downloaded_);
+    return slice_of(whole);
+  }
+
+  // Chunked: fetch the manifest once per client, then only covering chunks.
+  auto mit = manifest_cache_.find(fp);
+  if (mit == manifest_cache_.end()) {
+    ChunkManifest manifest = file_registry_.chunk_manifest(fp).value();
+    std::uint64_t manifest_wire = manifest.serialize().size();
+    link_.request(manifest_wire);
+    range_downloaded_ += manifest_wire;
+    mit = manifest_cache_.emplace(fp, std::move(manifest)).first;
+  }
+  const ChunkManifest& manifest = mit->second;
+  auto [first, last] = manifest.chunk_range(offset, length);
+
+  Bytes assembled;
+  for (std::size_t c = first; c <= last; ++c) {
+    const Fingerprint& chunk_fp = manifest.chunks[c];
+    if (StatusOr<Bytes> cached = store_.cache().get(chunk_fp); cached.ok()) {
+      disk_.touch();
+      append(assembled, *cached);
+      continue;
+    }
+    std::uint64_t wire = 0;
+    std::uint64_t chunk_off = static_cast<std::uint64_t>(c) * manifest.chunk_bytes;
+    std::uint64_t chunk_len = std::min<std::uint64_t>(
+        manifest.chunk_bytes, manifest.file_size - chunk_off);
+    Bytes chunk = file_registry_
+                      .download_range(fp, chunk_off, chunk_len, &wire)
+                      .value();
+    link_.request(wire);
+    range_downloaded_ += wire;
+    disk_.write(chunk.size());
+    store_.cache().put(chunk_fp, chunk);
+    append(assembled, chunk);
+  }
+  std::uint64_t skip = offset - static_cast<std::uint64_t>(first) * manifest.chunk_bytes;
+  disk_.read(length);
+  return Bytes(assembled.begin() + static_cast<std::ptrdiff_t>(skip),
+               assembled.begin() + static_cast<std::ptrdiff_t>(skip + length));
+}
+
+double GearClient::destroy(const std::string& container_id) {
+  auto it = container_touched_.find(container_id);
+  std::size_t touched = it == container_touched_.end() ? 0 : it->second;
+  double seconds =
+      params_.teardown_fixed_seconds +
+      static_cast<double>(touched) * params_.per_inode_teardown_seconds;
+  link_.clock().advance(seconds);
+  store_.remove_container(container_id);
+  container_touched_.erase(container_id);
+  return seconds;
+}
+
+void GearClient::remove_image(const std::string& reference) {
+  store_.remove_image(reference);
+}
+
+void GearClient::clear_all_local_state() {
+  for (const std::string& ref : store_.images()) {
+    store_.remove_image(ref);
+  }
+  store_.cache().clear_unpinned();
+  container_touched_.clear();
+}
+
+}  // namespace gear

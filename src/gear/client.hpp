@@ -1,0 +1,140 @@
+// Gear deployment client (paper §III-D).
+//
+// Deploying a Gear container:
+//   pull — fetch the manifest and the tiny single-layer index image from the
+//          Docker registry (everything else stays remote), install the index
+//          into the three-level store;
+//   run  — create a container (level-3 diff), mount the Gear File Viewer,
+//          and serve the task's file accesses: irregular entries answered
+//          from the index, regular files materialized from the shared cache
+//          (hard link) or the Gear Registry (on-demand download).
+//
+// Every byte and request is charged to the simulated link/disk, making this
+// client directly comparable with DockerClient under identical conditions.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "docker/client.hpp"
+#include "docker/registry.hpp"
+#include "gear/index.hpp"
+#include "gear/registry.hpp"
+#include "gear/store.hpp"
+#include "gear/viewer.hpp"
+#include "sim/disk.hpp"
+#include "sim/network.hpp"
+#include "workload/access.hpp"
+
+namespace gear {
+
+/// Stores a converted Gear image: index image into the Docker registry
+/// (layer-deduplicated like any image), Gear files into the Gear registry
+/// (fingerprint-deduplicated). Returns the number of files actually
+/// uploaded. With a chunking policy, files above the threshold are stored
+/// as chunk objects + a manifest (paper §VII future work).
+std::size_t push_gear_image(const GearImage& image,
+                            docker::DockerRegistry& index_registry,
+                            GearRegistry& file_registry,
+                            const ChunkPolicy& chunk_policy = {});
+
+class GearClient {
+ public:
+  GearClient(docker::DockerRegistry& index_registry,
+             GearRegistry& file_registry, sim::NetworkLink& link,
+             sim::DiskModel& disk, docker::RuntimeParams params = {},
+             std::uint64_t cache_capacity_bytes = 0,
+             EvictionPolicy policy = EvictionPolicy::kLru);
+
+  /// Pull phase: manifest + (if not yet installed) the index layer.
+  docker::PullStats pull(const std::string& reference);
+
+  /// Full deployment: pull, launch a container, replay `access` through the
+  /// Gear File Viewer. Returns timing/bytes; the launched container id is
+  /// written to `container_id_out` when non-null.
+  docker::DeployStats deploy(const std::string& reference,
+                             const workload::AccessSet& access,
+                             std::string* container_id_out = nullptr);
+
+  /// Opens a viewer for an existing container (for direct file-system use
+  /// by examples/tests; costs are still charged to the models).
+  GearFileViewer open_viewer(const std::string& container_id);
+
+  /// Range read (paper §VII future work): reads [offset, offset+length) of
+  /// a file. For files stored chunked in the Gear Registry, only the
+  /// covering chunks are fetched — the stub is NOT fully materialized, so a
+  /// container peeking at a multi-gigabyte model's header moves kilobytes.
+  /// Chunks land in the shared cache and are reused by later reads.
+  /// Plain-stored files fall back to whole-file materialization + slice.
+  StatusOr<Bytes> read_range(const std::string& container_id,
+                             std::string_view path, std::uint64_t offset,
+                             std::uint64_t length);
+
+  /// Bytes fetched over the link by read_range calls (telemetry).
+  std::uint64_t range_bytes_downloaded() const noexcept {
+    return range_downloaded_;
+  }
+
+  /// Optional cooperative source consulted on a cache miss BEFORE the Gear
+  /// Registry (paper §VI-B: P2P/cooperative caches are orthogonal
+  /// accelerators for Gear file distribution). The callback itself must
+  /// account its transfer costs (e.g. against a cluster-local link);
+  /// returning nullopt falls through to the registry.
+  using PeerSource =
+      std::function<std::optional<Bytes>(const Fingerprint& fp,
+                                         std::uint64_t size)>;
+  void set_peer_source(PeerSource source) {
+    peer_source_ = std::move(source);
+  }
+
+  /// Count of files satisfied by the peer source (telemetry).
+  std::uint64_t peer_hits() const noexcept { return peer_hits_; }
+
+  /// Background prefetch: materializes every still-stubbed file of an
+  /// installed image (pipelined bulk fetch). Lazy pulling leaves a running
+  /// container dependent on registry availability for files it has not
+  /// touched yet; prefetching after startup closes that window at the cost
+  /// of the bandwidth Gear initially saved. Returns (files fetched, bytes
+  /// moved); both zero when the image is already fully local.
+  std::pair<std::size_t, std::uint64_t> prefetch_remaining(
+      const std::string& reference);
+
+  /// Tears down a container. Gear only drops the inode cache entries of the
+  /// files the container actually touched (paper §V-F), then deletes its
+  /// level-3 diff.
+  double destroy(const std::string& container_id);
+
+  /// Deletes an image: level-2 index goes away, pinned files are released
+  /// into the evictable pool but stay cached.
+  void remove_image(const std::string& reference);
+
+  ThreeLevelStore& store() noexcept { return store_; }
+  const ThreeLevelStore& store() const noexcept { return store_; }
+
+  /// Wipes the shared cache (cold-cache experiments; pinned entries of
+  /// installed images are unpinned and dropped too).
+  void clear_all_local_state();
+
+  const docker::RuntimeParams& params() const noexcept { return params_; }
+
+ private:
+  Bytes materialize(const std::string& reference, const Fingerprint& fp,
+                    std::uint64_t size, std::uint64_t* downloaded);
+
+  docker::DockerRegistry& index_registry_;
+  GearRegistry& file_registry_;
+  sim::NetworkLink& link_;
+  sim::DiskModel& disk_;
+  docker::RuntimeParams params_;
+  ThreeLevelStore store_;
+  std::map<std::string, std::size_t> container_touched_;  // id -> inode count
+  std::uint64_t untracked_downloaded_ = 0;  // bytes fetched via open_viewer
+  std::uint64_t range_downloaded_ = 0;      // bytes fetched via read_range
+  PeerSource peer_source_;                  // optional cooperative source
+  std::uint64_t peer_hits_ = 0;
+  /// Client-side cache of chunk manifests already transferred.
+  std::unordered_map<Fingerprint, ChunkManifest, FingerprintHash>
+      manifest_cache_;
+};
+
+}  // namespace gear

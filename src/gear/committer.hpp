@@ -1,0 +1,41 @@
+// Commit: turn a running Gear container into a new Gear image (paper §III-D2).
+//
+// The committer extracts the contents of the container's writable diff
+// directory into new Gear files, replaces them with fingerprint stubs, and
+// merges the result (including deletions) with the current image's index to
+// produce the new image's index — which is then packaged as a single-layer
+// Docker image exactly like the converter's output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "docker/manifest.hpp"
+#include "gear/index.hpp"
+#include "util/fingerprint.hpp"
+#include "vfs/file_tree.hpp"
+
+namespace gear {
+
+struct CommitResult {
+  GearImage image;
+  std::size_t files_extracted = 0;  // regular files found in the diff
+};
+
+class GearCommitter {
+ public:
+  explicit GearCommitter(const FingerprintHasher& hasher = default_hasher());
+
+  /// `index_tree`: the image's level-2 index (possibly with materialized
+  /// regular nodes — these are re-normalized to stubs, not re-uploaded).
+  /// `diff`: the container's level-3 writable layer.
+  CommitResult commit(const vfs::FileTree& index_tree,
+                      const vfs::FileTree& diff,
+                      const docker::ImageConfig& config, std::string name,
+                      std::string tag) const;
+
+ private:
+  const FingerprintHasher& hasher_;
+};
+
+}  // namespace gear

@@ -1,0 +1,81 @@
+// Registry-side conversion service (paper §III-B).
+//
+// "Gear Converter is responsible for automatically building a Gear image
+//  from a Docker image. It is in Docker Registry. ... The conversion of an
+//  image is performed only once. It is carried out in advance which will
+//  not affect the pulling of the corresponding Gear image."
+//
+// The service fronts a classic Docker registry: images are pushed to it as
+// usual; it converts each newly arrived image exactly once (keyed by the
+// image's layer digests, so re-pushes and re-tags skip conversion) and
+// publishes the index image + Gear files to the Gear-side registries. The
+// original classic image can optionally be dropped after conversion
+// ("managers can remove the original image if they want to save space").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "docker/registry.hpp"
+#include "gear/client.hpp"
+#include "gear/converter.hpp"
+
+namespace gear {
+
+struct ConversionServiceStats {
+  std::size_t images_received = 0;
+  std::size_t conversions_performed = 0;
+  std::size_t conversions_skipped = 0;  // identical layer set seen before
+  std::size_t files_uploaded = 0;
+  std::uint64_t bytes_seen = 0;
+};
+
+class ConversionService {
+ public:
+  struct Options {
+    /// Drop the classic image's manifest after conversion (its layers are
+    /// reclaimed by DockerRegistry::collect_garbage()).
+    bool drop_original = false;
+    /// Chunking policy applied to converted files (disabled by default).
+    ChunkPolicy chunk_policy = {};
+  };
+
+  ConversionService(docker::DockerRegistry& classic_registry,
+                    docker::DockerRegistry& index_registry,
+                    GearRegistry& file_registry, Options options);
+
+  // Default-options overload (a defaulted Options argument cannot appear
+  // inside the enclosing class while Options is still incomplete).
+  ConversionService(docker::DockerRegistry& classic_registry,
+                    docker::DockerRegistry& index_registry,
+                    GearRegistry& file_registry)
+      : ConversionService(classic_registry, index_registry, file_registry,
+                          Options()) {}
+
+  /// Accepts a classic image push and converts it (once per distinct layer
+  /// set). Returns the converted reference.
+  std::string receive_image(const docker::Image& image);
+
+  /// Converts every image already in the classic registry that has not
+  /// been converted yet (bulk migration). Returns how many were converted.
+  std::size_t convert_backlog();
+
+  const ConversionServiceStats& stats() const noexcept { return stats_; }
+
+ private:
+  /// Conversion identity: the ordered layer digests of an image.
+  static std::string layer_key(const docker::Manifest& manifest);
+
+  docker::DockerRegistry& classic_registry_;
+  docker::DockerRegistry& index_registry_;
+  GearRegistry& file_registry_;
+  Options options_;
+  GearConverter converter_;
+  /// layer-set key -> index reference already produced.
+  std::map<std::string, std::string> converted_;
+  ConversionServiceStats stats_;
+};
+
+}  // namespace gear

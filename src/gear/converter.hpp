@@ -1,0 +1,83 @@
+// Gear Converter: turns a layered Docker image into a Gear image.
+//
+// Runs registry-side, once per image (paper §III-B): decompress the image's
+// layers bottom-to-top, replay them into the full root filesystem (applying
+// whiteouts), then walk the tree building the Gear index and the set of
+// unique Gear files. The index is packaged as a single-layer Docker image
+// carrying the original image's config (env/entrypoint), so Docker tooling
+// stores and distributes it unchanged (paper §III-C).
+//
+// Collision handling (paper §III-B): when two different contents map to the
+// same fingerprint — impossible in practice with MD5, but exercised in tests
+// via a truncated hasher — the converter detects it by content comparison
+// and assigns the newcomer a salted unique fingerprint, disabling dedup for
+// that file only.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "docker/image.hpp"
+#include "gear/index.hpp"
+#include "sim/disk.hpp"
+#include "util/fingerprint.hpp"
+
+namespace gear {
+
+struct ConversionStats {
+  std::size_t files_seen = 0;       // regular files in the root fs
+  std::size_t files_unique = 0;     // distinct Gear files produced
+  std::size_t collisions = 0;       // salted unique IDs assigned
+  std::uint64_t bytes_seen = 0;     // logical file bytes
+  std::uint64_t index_wire_bytes = 0;  // compressed index layer size
+};
+
+struct ConversionResult {
+  GearImage image;
+  ConversionStats stats;
+};
+
+class GearConverter {
+ public:
+  /// `existing_lookup` resolves a fingerprint to content already stored in
+  /// the Gear registry, letting conversion detect collisions against files
+  /// from previously converted images; pass nullptr to check only within
+  /// the image being converted.
+  explicit GearConverter(
+      const FingerprintHasher& hasher = default_hasher(),
+      std::function<std::optional<Bytes>(const Fingerprint&)> existing_lookup =
+          nullptr);
+
+  /// Converts `image`. The index image is named "<name>:<tag>" with the
+  /// original config copied over; its manifest is distinguishable from a
+  /// classic image by the "gear.index" label.
+  ConversionResult convert(const docker::Image& image) const;
+
+  /// Converts while charging the work to a disk model: reading the
+  /// compressed layers, writing back the unpacked tree, reading it for the
+  /// walk, and writing unique Gear files + the index (Fig. 6's cost).
+  /// Returns the simulated seconds taken alongside the result.
+  ConversionResult convert_timed(const docker::Image& image,
+                                 sim::DiskModel& disk,
+                                 double* seconds_out) const;
+
+  /// Resolves the fingerprint for `content`: normally hasher(content), but
+  /// salted to a unique value when a different content already owns that
+  /// fingerprint. `local` is the in-conversion map of assigned fingerprints.
+  Fingerprint resolve_fingerprint(
+      const Bytes& content,
+      const std::unordered_map<Fingerprint, const Bytes*, FingerprintHash>&
+          local,
+      bool* collided) const;
+
+ private:
+  const FingerprintHasher& hasher_;
+  std::function<std::optional<Bytes>(const Fingerprint&)> existing_lookup_;
+};
+
+/// Marker label the converter writes into index-image manifests.
+inline constexpr const char* kGearIndexLabel = "gear.index";
+
+}  // namespace gear

@@ -1,0 +1,234 @@
+#include "gear/fs_store.hpp"
+
+#include "util/file_io.hpp"
+#include "vfs/tree_serialize.hpp"
+
+namespace gear {
+namespace fs = std::filesystem;
+
+std::string sanitize_reference(const std::string& reference) {
+  if (reference.empty()) {
+    throw_error(ErrorCode::kInvalidArgument, "empty image reference");
+  }
+  std::string out;
+  out.reserve(reference.size());
+  for (char c : reference) {
+    if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+        (c >= '0' && c <= '9') || c == '.' || c == '-') {
+      out.push_back(c);
+    } else if (c == ':' || c == '/' || c == '@') {
+      out.push_back('_');
+    } else {
+      throw_error(ErrorCode::kInvalidArgument,
+                  "unsupported character in reference: " + reference);
+    }
+  }
+  if (out[0] == '.') {
+    throw_error(ErrorCode::kInvalidArgument,
+                "reference must not start with '.'");
+  }
+  return out;
+}
+
+FsStore::FsStore(fs::path root) : root_(std::move(root)) {
+  fs::create_directories(root_ / "cache");
+  fs::create_directories(root_ / "images");
+  fs::create_directories(root_ / "containers");
+  // Recover containers created by earlier processes: each container dir
+  // carries a "ref" file naming its image.
+  for (const auto& entry : fs::directory_iterator(root_ / "containers")) {
+    if (!entry.is_directory()) continue;
+    fs::path ref_file = entry.path() / "ref";
+    if (!fs::exists(ref_file)) continue;
+    container_refs_[entry.path().filename().string()] =
+        to_string(read_file_bytes(ref_file));
+  }
+}
+
+fs::path FsStore::cache_path(const Fingerprint& fp) const {
+  return root_ / "cache" / fp.hex();
+}
+
+fs::path FsStore::image_dir(const std::string& reference) const {
+  return root_ / "images" / sanitize_reference(reference);
+}
+
+fs::path FsStore::container_dir(const std::string& id) const {
+  return root_ / "containers" / id;
+}
+
+bool FsStore::cache_contains(const Fingerprint& fp) const {
+  return fs::exists(cache_path(fp));
+}
+
+void FsStore::cache_put(const Fingerprint& fp, BytesView content) {
+  fs::path p = cache_path(fp);
+  if (fs::exists(p)) return;  // deduplicated
+  write_file_bytes(p, content);
+}
+
+StatusOr<Bytes> FsStore::cache_get(const Fingerprint& fp) const {
+  fs::path p = cache_path(fp);
+  if (!fs::exists(p)) {
+    return {ErrorCode::kNotFound, "not cached: " + fp.hex()};
+  }
+  return read_file_bytes(p);
+}
+
+std::size_t FsStore::cache_entries() const {
+  std::size_t n = 0;
+  for (const auto& entry : fs::directory_iterator(root_ / "cache")) {
+    (void)entry;
+    ++n;
+  }
+  return n;
+}
+
+std::uint64_t FsStore::cache_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& entry : fs::directory_iterator(root_ / "cache")) {
+    if (entry.is_regular_file()) total += entry.file_size();
+  }
+  return total;
+}
+
+std::uint64_t FsStore::link_count(const Fingerprint& fp) const {
+  fs::path p = cache_path(fp);
+  if (!fs::exists(p)) return 0;
+  return fs::hard_link_count(p);
+}
+
+std::size_t FsStore::evict_unlinked() {
+  std::size_t removed = 0;
+  for (const auto& entry : fs::directory_iterator(root_ / "cache")) {
+    if (entry.is_regular_file() && fs::hard_link_count(entry.path()) == 1) {
+      fs::remove(entry.path());
+      ++removed;
+    }
+  }
+  return removed;
+}
+
+void FsStore::install_index(const std::string& reference,
+                            const GearIndex& index) {
+  fs::path dir = image_dir(reference);
+  fs::create_directories(dir / "files");
+  write_file_bytes(dir / "index.gtree", vfs::serialize_tree(index.tree()));
+}
+
+bool FsStore::has_index(const std::string& reference) const {
+  return fs::exists(image_dir(reference) / "index.gtree");
+}
+
+GearIndex FsStore::load_index(const std::string& reference) const {
+  fs::path p = image_dir(reference) / "index.gtree";
+  if (!fs::exists(p)) {
+    throw_error(ErrorCode::kNotFound, "no index installed: " + reference);
+  }
+  return GearIndex{vfs::deserialize_tree(read_file_bytes(p))};
+}
+
+std::vector<std::string> FsStore::images() const {
+  std::vector<std::string> out;
+  for (const auto& entry : fs::directory_iterator(root_ / "images")) {
+    if (entry.is_directory()) out.push_back(entry.path().filename().string());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void FsStore::link_file(const std::string& reference, const std::string& path,
+                        const Fingerprint& fp) {
+  fs::path src = cache_path(fp);
+  if (!fs::exists(src)) {
+    throw_error(ErrorCode::kNotFound, "link_file: not cached: " + fp.hex());
+  }
+  // Validate the path through the tree rules (rejects "..", empty, etc.).
+  auto segments = vfs::FileTree::split_path(path);
+  fs::path dst = image_dir(reference) / "files";
+  for (std::size_t i = 0; i + 1 < segments.size(); ++i) dst /= segments[i];
+  fs::create_directories(dst);
+  dst /= segments.back();
+  if (fs::exists(dst)) return;  // already materialized
+  fs::create_hard_link(src, dst);
+}
+
+bool FsStore::is_materialized(const std::string& reference,
+                              const std::string& path) const {
+  auto segments = vfs::FileTree::split_path(path);
+  fs::path p = image_dir(reference) / "files";
+  for (const auto& seg : segments) p /= seg;
+  return fs::exists(p);
+}
+
+StatusOr<Bytes> FsStore::read_materialized(const std::string& reference,
+                                           const std::string& path) const {
+  auto segments = vfs::FileTree::split_path(path);
+  fs::path p = image_dir(reference) / "files";
+  for (const auto& seg : segments) p /= seg;
+  if (!fs::exists(p)) {
+    return {ErrorCode::kNotFound, "not materialized: " + path};
+  }
+  return read_file_bytes(p);
+}
+
+void FsStore::remove_image(const std::string& reference) {
+  fs::path dir = image_dir(reference);
+  if (!fs::exists(dir)) {
+    throw_error(ErrorCode::kNotFound, "no such image: " + reference);
+  }
+  fs::remove_all(dir);
+}
+
+std::string FsStore::create_container(const std::string& reference) {
+  if (!has_index(reference)) {
+    throw_error(ErrorCode::kNotFound, "no index installed: " + reference);
+  }
+  // Skip ids already on disk (containers created by earlier processes).
+  std::string id;
+  do {
+    id = sanitize_reference(reference) + "-c" +
+         std::to_string(next_container_++);
+  } while (fs::exists(container_dir(id)));
+  fs::create_directories(container_dir(id));
+  write_file_bytes(container_dir(id) / "ref", to_bytes(reference));
+  save_diff(id, vfs::FileTree{});
+  container_refs_[id] = reference;
+  return id;
+}
+
+bool FsStore::has_container(const std::string& container_id) const {
+  return container_refs_.count(container_id) != 0;
+}
+
+void FsStore::save_diff(const std::string& container_id,
+                        const vfs::FileTree& diff) {
+  write_file_bytes(container_dir(container_id) / "diff.gtree",
+                   vfs::serialize_tree(diff));
+}
+
+vfs::FileTree FsStore::load_diff(const std::string& container_id) const {
+  fs::path p = container_dir(container_id) / "diff.gtree";
+  if (!fs::exists(p)) {
+    throw_error(ErrorCode::kNotFound, "no container: " + container_id);
+  }
+  return vfs::deserialize_tree(read_file_bytes(p));
+}
+
+const std::string& FsStore::container_image(
+    const std::string& container_id) const {
+  auto it = container_refs_.find(container_id);
+  if (it == container_refs_.end()) {
+    throw_error(ErrorCode::kNotFound, "no container: " + container_id);
+  }
+  return it->second;
+}
+
+void FsStore::remove_container(const std::string& container_id) {
+  if (container_refs_.erase(container_id) == 0) {
+    throw_error(ErrorCode::kNotFound, "no container: " + container_id);
+  }
+  fs::remove_all(container_dir(container_id));
+}
+
+}  // namespace gear

@@ -1,0 +1,104 @@
+// On-disk three-level storage (paper Fig. 5) backed by a real filesystem.
+//
+// The in-memory ThreeLevelStore drives the simulations; this backend
+// persists the same structure to disk with the paper's actual mechanism —
+// POSIX hard links:
+//
+//   <root>/cache/<fp-hex>                    level 1: shared Gear files
+//   <root>/images/<ref>/index.gtree          level 2: serialized index
+//   <root>/images/<ref>/files/<path...>      materialized files, hard-linked
+//                                            from the cache (st_nlink > 1)
+//   <root>/containers/<id>/diff.gtree        level 3: writable-layer state
+//
+// Deleting an image removes its directory; its files survive in the cache
+// because the link count only drops to 1. evict_unlinked() is the cache
+// replacement candidate scan: exactly the files with st_nlink == 1 ("files
+// that are not linked to Gear indexes", §III-D1).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gear/index.hpp"
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+#include "util/fingerprint.hpp"
+
+namespace gear {
+
+class FsStore {
+ public:
+  /// Opens (creating if needed) a store rooted at `root`.
+  explicit FsStore(std::filesystem::path root);
+
+  const std::filesystem::path& root() const noexcept { return root_; }
+
+  // ---- Level 1: shared cache ------------------------------------
+
+  bool cache_contains(const Fingerprint& fp) const;
+
+  /// Stores content under its fingerprint. Idempotent.
+  void cache_put(const Fingerprint& fp, BytesView content);
+
+  StatusOr<Bytes> cache_get(const Fingerprint& fp) const;
+
+  std::size_t cache_entries() const;
+  std::uint64_t cache_bytes() const;
+
+  /// Hard-link count of a cached file: 1 = cache only (evictable),
+  /// 1 + N = linked into N image directories.
+  std::uint64_t link_count(const Fingerprint& fp) const;
+
+  /// Removes every cache entry no image links to. Returns count removed.
+  std::size_t evict_unlinked();
+
+  // ---- Level 2: image index directories --------------------------
+
+  /// Persists an image's index. The reference ("name:tag") is sanitized
+  /// into a directory name.
+  void install_index(const std::string& reference, const GearIndex& index);
+
+  bool has_index(const std::string& reference) const;
+  GearIndex load_index(const std::string& reference) const;
+  std::vector<std::string> images() const;
+
+  /// Materializes one stub: hard-links the cached file into the image's
+  /// files/ directory at the stub's path. The cache entry must exist.
+  void link_file(const std::string& reference, const std::string& path,
+                 const Fingerprint& fp);
+
+  bool is_materialized(const std::string& reference,
+                       const std::string& path) const;
+  StatusOr<Bytes> read_materialized(const std::string& reference,
+                                    const std::string& path) const;
+
+  /// Deletes the image directory. Hard-linked files stay alive in the cache.
+  void remove_image(const std::string& reference);
+
+  // ---- Level 3: container diff directories -----------------------
+
+  std::string create_container(const std::string& reference);
+  bool has_container(const std::string& container_id) const;
+  void save_diff(const std::string& container_id, const vfs::FileTree& diff);
+  vfs::FileTree load_diff(const std::string& container_id) const;
+  const std::string& container_image(const std::string& container_id) const;
+  void remove_container(const std::string& container_id);
+
+ private:
+  std::filesystem::path cache_path(const Fingerprint& fp) const;
+  std::filesystem::path image_dir(const std::string& reference) const;
+  std::filesystem::path container_dir(const std::string& id) const;
+
+  std::filesystem::path root_;
+  std::map<std::string, std::string> container_refs_;  // id -> reference
+  std::uint64_t next_container_ = 1;
+};
+
+/// Turns an image reference into a safe single directory name
+/// ("nginx:1.17" -> "nginx_1.17"). Rejects references that would escape.
+std::string sanitize_reference(const std::string& reference);
+
+}  // namespace gear

@@ -1,0 +1,175 @@
+#include "gear/index.hpp"
+
+#include <charconv>
+
+#include "util/error.hpp"
+#include "util/hex.hpp"
+
+namespace gear {
+namespace {
+
+constexpr std::string_view kStubPrefix = "GEARFP1:";
+
+void check_index_tree(const vfs::FileTree& tree) {
+  tree.walk([](const std::string& path, const vfs::FileNode& node) {
+    if (node.is_regular() || node.is_whiteout()) {
+      throw_error(ErrorCode::kInvalidArgument,
+                  "gear index may not contain regular files or whiteouts: " +
+                      path);
+    }
+  });
+}
+
+}  // namespace
+
+GearIndex::GearIndex(vfs::FileTree tree) : tree_(std::move(tree)) {
+  check_index_tree(tree_);
+}
+
+GearIndex GearIndex::from_root_fs(
+    const vfs::FileTree& root,
+    const std::function<Fingerprint(const std::string& path,
+                                    const Bytes& content)>& fingerprint_of) {
+  vfs::FileTree out;
+  out.root().metadata() = root.root().metadata();
+  root.walk([&](const std::string& path, const vfs::FileNode& node) {
+    switch (node.type()) {
+      case vfs::NodeType::kDirectory:
+        out.add_directory(path, node.metadata());
+        break;
+      case vfs::NodeType::kSymlink:
+        out.add_symlink(path, node.link_target(), node.metadata());
+        break;
+      case vfs::NodeType::kRegular: {
+        Fingerprint fp = fingerprint_of(path, node.content());
+        out.add_fingerprint_stub(path, fp, node.content().size(),
+                                 node.metadata());
+        break;
+      }
+      case vfs::NodeType::kWhiteout:
+        throw_error(ErrorCode::kInvalidArgument,
+                    "root filesystem contains a whiteout: " + path);
+      case vfs::NodeType::kFingerprint:
+        // Already a stub (re-indexing an index is the identity).
+        out.add_fingerprint_stub(path, node.fingerprint(), node.stub_size(),
+                                 node.metadata());
+        break;
+    }
+  });
+  GearIndex index;
+  index.tree_ = std::move(out);
+  return index;
+}
+
+std::vector<GearIndex::StubRef> GearIndex::stubs() const {
+  std::vector<StubRef> out;
+  tree_.walk([&out](const std::string& path, const vfs::FileNode& node) {
+    if (node.is_fingerprint()) {
+      out.push_back({path, node.fingerprint(), node.stub_size()});
+    }
+  });
+  return out;
+}
+
+std::vector<Fingerprint> GearIndex::distinct_fingerprints() const {
+  std::vector<Fingerprint> fps;
+  for (const StubRef& s : stubs()) fps.push_back(s.fingerprint);
+  std::sort(fps.begin(), fps.end());
+  fps.erase(std::unique(fps.begin(), fps.end()), fps.end());
+  return fps;
+}
+
+std::uint64_t GearIndex::referenced_bytes() const {
+  std::uint64_t total = 0;
+  for (const StubRef& s : stubs()) total += s.size;
+  return total;
+}
+
+std::string GearIndex::encode_stub(const Fingerprint& fp, std::uint64_t size) {
+  return std::string(kStubPrefix) + fp.hex() + ":" + std::to_string(size) +
+         "\n";
+}
+
+bool GearIndex::decode_stub(BytesView content, Fingerprint* fp,
+                            std::uint64_t* size) {
+  std::string_view text(reinterpret_cast<const char*>(content.data()),
+                        content.size());
+  if (text.rfind(kStubPrefix, 0) != 0) return false;
+  text.remove_prefix(kStubPrefix.size());
+  if (text.size() < 34 || text[32] != ':') return false;
+  std::string_view hex = text.substr(0, 32);
+  std::string_view size_str = text.substr(33);
+  if (!size_str.empty() && size_str.back() == '\n') {
+    size_str.remove_suffix(1);
+  }
+  std::uint64_t parsed_size = 0;
+  auto [p, ec] = std::from_chars(size_str.data(),
+                                 size_str.data() + size_str.size(),
+                                 parsed_size);
+  if (ec != std::errc() || p != size_str.data() + size_str.size()) {
+    return false;
+  }
+  try {
+    *fp = Fingerprint::from_hex(hex);
+  } catch (const Error&) {
+    return false;
+  }
+  *size = parsed_size;
+  return true;
+}
+
+vfs::FileTree GearIndex::to_wire_tree() const {
+  vfs::FileTree wire;
+  wire.root().metadata() = tree_.root().metadata();
+  tree_.walk([&](const std::string& path, const vfs::FileNode& node) {
+    switch (node.type()) {
+      case vfs::NodeType::kDirectory:
+        wire.add_directory(path, node.metadata());
+        break;
+      case vfs::NodeType::kSymlink:
+        wire.add_symlink(path, node.link_target(), node.metadata());
+        break;
+      case vfs::NodeType::kFingerprint:
+        wire.add_file(path,
+                      to_bytes(encode_stub(node.fingerprint(), node.stub_size())),
+                      node.metadata());
+        break;
+      default:
+        throw_error(ErrorCode::kInternal, "invalid node in gear index: " + path);
+    }
+  });
+  return wire;
+}
+
+GearIndex GearIndex::from_wire_tree(const vfs::FileTree& wire) {
+  vfs::FileTree out;
+  out.root().metadata() = wire.root().metadata();
+  wire.walk([&](const std::string& path, const vfs::FileNode& node) {
+    switch (node.type()) {
+      case vfs::NodeType::kDirectory:
+        out.add_directory(path, node.metadata());
+        break;
+      case vfs::NodeType::kSymlink:
+        out.add_symlink(path, node.link_target(), node.metadata());
+        break;
+      case vfs::NodeType::kRegular: {
+        Fingerprint fp;
+        std::uint64_t size = 0;
+        if (!decode_stub(node.content(), &fp, &size)) {
+          throw_error(ErrorCode::kCorruptData,
+                      "index wire tree has a non-stub regular file: " + path);
+        }
+        out.add_fingerprint_stub(path, fp, size, node.metadata());
+        break;
+      }
+      default:
+        throw_error(ErrorCode::kCorruptData,
+                    "unexpected node in index wire tree: " + path);
+    }
+  });
+  GearIndex index;
+  index.tree_ = std::move(out);
+  return index;
+}
+
+}  // namespace gear

@@ -1,0 +1,146 @@
+#include "gear/local_runtime.hpp"
+
+#include "docker/layer.hpp"
+#include "gear/converter.hpp"  // kGearIndexLabel
+#include "gear/client.hpp"     // push_gear_image
+#include "gear/viewer.hpp"
+
+namespace gear {
+
+LocalRuntime::LocalRuntime(docker::DockerRegistry& index_registry,
+                           GearRegistry& file_registry,
+                           std::filesystem::path root)
+    : index_registry_(index_registry),
+      file_registry_(file_registry),
+      store_(std::move(root)) {}
+
+void LocalRuntime::pull(const std::string& reference) {
+  if (store_.has_index(reference)) return;
+  docker::Manifest manifest =
+      index_registry_.get_manifest(reference).value();
+  if (manifest.config.labels.count(kGearIndexLabel) == 0 ||
+      manifest.layers.size() != 1) {
+    throw_error(ErrorCode::kInvalidArgument,
+                reference + " is not a Gear index image");
+  }
+  docker::Layer layer = docker::Layer::from_blob(
+      index_registry_.get_blob(manifest.layers[0].digest).value(),
+      manifest.layers[0].digest);
+  store_.install_index(reference, GearIndex::from_wire_tree(layer.to_tree()));
+}
+
+bool LocalRuntime::has_image(const std::string& reference) const {
+  return store_.has_index(reference);
+}
+
+std::string LocalRuntime::launch(const std::string& reference) {
+  return store_.create_container(reference);
+}
+
+vfs::FileTree LocalRuntime::load_index_tree(
+    const std::string& reference) const {
+  return vfs::FileTree(store_.load_index(reference).tree());
+}
+
+Bytes LocalRuntime::materialize(const std::string& reference,
+                                const std::string& path,
+                                const Fingerprint& fp) {
+  // Already hard-linked into the image directory by an earlier access?
+  if (StatusOr<Bytes> local = store_.read_materialized(reference, path);
+      local.ok()) {
+    return std::move(local).value();
+  }
+  // Shared cache, then the registry.
+  Bytes content;
+  if (StatusOr<Bytes> cached = store_.cache_get(fp); cached.ok()) {
+    content = std::move(cached).value();
+  } else {
+    content = file_registry_.download(fp).value();
+    store_.cache_put(fp, content);
+  }
+  store_.link_file(reference, path, fp);
+  return content;
+}
+
+StatusOr<Bytes> LocalRuntime::read(const std::string& container_id,
+                                   std::string_view path) {
+  if (!store_.has_container(container_id)) {
+    return {ErrorCode::kNotFound, "no container: " + container_id};
+  }
+  const std::string reference = store_.container_image(container_id);
+  vfs::FileTree index = load_index_tree(reference);
+  vfs::FileTree diff = store_.load_diff(container_id);
+  std::string path_str(path);
+  GearFileViewer viewer(
+      index, diff,
+      [this, &reference, &path_str](const Fingerprint& fp, std::uint64_t) {
+        return materialize(reference, path_str, fp);
+      });
+  return viewer.read_file(path);
+}
+
+StatusOr<std::string> LocalRuntime::read_symlink(
+    const std::string& container_id, std::string_view path) {
+  if (!store_.has_container(container_id)) {
+    return {ErrorCode::kNotFound, "no container: " + container_id};
+  }
+  const std::string reference = store_.container_image(container_id);
+  vfs::FileTree index = load_index_tree(reference);
+  vfs::FileTree diff = store_.load_diff(container_id);
+  GearFileViewer viewer(index, diff,
+                        [](const Fingerprint&, std::uint64_t) -> Bytes {
+                          throw_error(ErrorCode::kInternal,
+                                      "symlink read fetched a file");
+                        });
+  return viewer.read_symlink(path);
+}
+
+void LocalRuntime::write(const std::string& container_id,
+                         std::string_view path, BytesView content) {
+  const std::string reference = store_.container_image(container_id);
+  vfs::FileTree index = load_index_tree(reference);
+  vfs::FileTree diff = store_.load_diff(container_id);
+  GearFileViewer viewer(index, diff,
+                        [](const Fingerprint&, std::uint64_t) -> Bytes {
+                          throw_error(ErrorCode::kInternal,
+                                      "write fetched a file");
+                        });
+  viewer.write_file(path, Bytes(content.begin(), content.end()));
+  store_.save_diff(container_id, diff);
+}
+
+bool LocalRuntime::remove_path(const std::string& container_id,
+                               std::string_view path) {
+  const std::string reference = store_.container_image(container_id);
+  vfs::FileTree index = load_index_tree(reference);
+  vfs::FileTree diff = store_.load_diff(container_id);
+  GearFileViewer viewer(index, diff,
+                        [](const Fingerprint&, std::uint64_t) -> Bytes {
+                          throw_error(ErrorCode::kInternal,
+                                      "remove fetched a file");
+                        });
+  bool removed = viewer.remove(path);
+  if (removed) store_.save_diff(container_id, diff);
+  return removed;
+}
+
+std::string LocalRuntime::commit(const std::string& container_id,
+                                 const std::string& name,
+                                 const std::string& tag) {
+  const std::string reference = store_.container_image(container_id);
+  vfs::FileTree index = load_index_tree(reference);
+  vfs::FileTree diff = store_.load_diff(container_id);
+  docker::ImageConfig config =
+      index_registry_.get_manifest(reference).value().config;
+
+  CommitResult result =
+      GearCommitter().commit(index, diff, config, name, tag);
+  push_gear_image(result.image, index_registry_, file_registry_);
+  return name + ":" + tag;
+}
+
+void LocalRuntime::destroy(const std::string& container_id) {
+  store_.remove_container(container_id);
+}
+
+}  // namespace gear

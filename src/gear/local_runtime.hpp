@@ -1,0 +1,88 @@
+// Disk-backed Gear runtime.
+//
+// The simulation-facing GearClient measures costs; this runtime performs the
+// same deployment semantics on a real filesystem (FsStore, paper Fig. 5) so
+// tooling like gearctl can actually host containers:
+//
+//   pull     — install the image's index into <root>/images/<ref>/;
+//   launch   — create a container with a persisted diff tree;
+//   read     — union lookup (diff over index); the first touch of a stub
+//              materializes it: shared cache -> Gear Registry, then a hard
+//              link into the image's files/ directory;
+//   write /  — copy-up into the container's diff with whiteouts, persisted
+//   remove     across process restarts;
+//   commit   — extract the diff into new Gear files + a merged index and
+//              push the result as a new image.
+//
+// All state lives under one directory; reopening the runtime on the same
+// root resumes exactly where the previous process stopped.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "docker/registry.hpp"
+#include "gear/committer.hpp"
+#include "gear/fs_store.hpp"
+#include "gear/registry.hpp"
+
+namespace gear {
+
+class LocalRuntime {
+ public:
+  LocalRuntime(docker::DockerRegistry& index_registry,
+               GearRegistry& file_registry, std::filesystem::path root);
+
+  /// Installs `reference`'s index from the Docker registry (no-op when
+  /// already installed). Throws for classic (non-Gear) references.
+  void pull(const std::string& reference);
+
+  bool has_image(const std::string& reference) const;
+
+  /// Creates a container from an installed image; returns its id.
+  std::string launch(const std::string& reference);
+
+  /// Reads a file through the container's union view, materializing stubs
+  /// on demand (cache -> registry -> hard link).
+  StatusOr<Bytes> read(const std::string& container_id,
+                       std::string_view path);
+
+  /// Resolves a symlink target from the union view.
+  StatusOr<std::string> read_symlink(const std::string& container_id,
+                                     std::string_view path);
+
+  /// Writes a file into the container's diff (persisted immediately).
+  void write(const std::string& container_id, std::string_view path,
+             BytesView content);
+
+  /// Removes a path from the container's view (whiteout when the image
+  /// still provides it). Returns false when absent.
+  bool remove_path(const std::string& container_id, std::string_view path);
+
+  /// Commits the container as a new image and pushes it to the registries.
+  /// Returns the new reference.
+  std::string commit(const std::string& container_id, const std::string& name,
+                     const std::string& tag);
+
+  /// Deletes the container (its diff only; the image stays launchable).
+  void destroy(const std::string& container_id);
+
+  FsStore& store() noexcept { return store_; }
+
+ private:
+  /// Loads the semantic index of a container's image with already
+  /// materialized files reported through the FsStore.
+  vfs::FileTree load_index_tree(const std::string& reference) const;
+
+  /// Materializer callback bound to (reference); fetches through
+  /// FsStore-materialized -> cache -> registry, hard-linking on success.
+  Bytes materialize(const std::string& reference, const std::string& path,
+                    const Fingerprint& fp);
+
+  docker::DockerRegistry& index_registry_;
+  GearRegistry& file_registry_;
+  FsStore store_;
+};
+
+}  // namespace gear

@@ -1,0 +1,93 @@
+#include "gear/persistence.hpp"
+
+#include "gear/fs_store.hpp"  // sanitize_reference
+#include "util/file_io.hpp"
+
+namespace gear {
+namespace fs = std::filesystem;
+
+PersistReport save_registries(const docker::DockerRegistry& docker_registry,
+                              const GearRegistry& gear_registry,
+                              const fs::path& root) {
+  PersistReport report;
+  // Full snapshot semantics: anything removed from the in-memory registries
+  // (deleted manifests, GC-swept objects) must disappear on disk too.
+  fs::remove_all(root / "docker");
+  fs::remove_all(root / "gear");
+  fs::create_directories(root / "docker" / "blobs");
+  fs::create_directories(root / "docker" / "manifests");
+  fs::create_directories(root / "gear" / "objects");
+  fs::create_directories(root / "gear" / "chunked");
+
+  for (const docker::Digest& digest : docker_registry.list_blobs()) {
+    write_file_bytes(root / "docker" / "blobs" / digest.hex(),
+              docker_registry.get_blob(digest).value());
+    ++report.blobs;
+  }
+  for (const std::string& ref : docker_registry.list_manifests()) {
+    std::string json = docker_registry.get_manifest_json(ref).value();
+    write_file_bytes(root / "docker" / "manifests" /
+                  (sanitize_reference(ref) + ".json"),
+              to_bytes(json));
+    ++report.manifests;
+  }
+  for (const Fingerprint& fp : gear_registry.list_objects()) {
+    // list_objects() covers plain files AND individual chunks; both are
+    // written decompressed and re-compressed deterministically on load.
+    write_file_bytes(root / "gear" / "objects" / fp.hex(),
+              gear_registry.download(fp).value());
+    ++report.objects;
+  }
+  for (const Fingerprint& fp : gear_registry.list_chunked()) {
+    write_file_bytes(root / "gear" / "chunked" / (fp.hex() + ".gcm"),
+              gear_registry.chunk_manifest(fp).value().serialize());
+    ++report.chunk_manifests;
+  }
+  return report;
+}
+
+PersistReport load_registries(const fs::path& root,
+                              docker::DockerRegistry* docker_registry,
+                              GearRegistry* gear_registry) {
+  if (!fs::is_directory(root / "docker") || !fs::is_directory(root / "gear")) {
+    throw_error(ErrorCode::kNotFound,
+                "no persisted registries at " + root.string());
+  }
+  PersistReport report;
+
+  for (const auto& entry : fs::directory_iterator(root / "docker" / "blobs")) {
+    Bytes blob = read_file_bytes(entry.path());
+    docker::Digest digest =
+        docker::Digest::from_string(entry.path().filename().string());
+    docker_registry->put_blob(digest, std::move(blob));  // verifies digest
+    ++report.blobs;
+  }
+  for (const auto& entry :
+       fs::directory_iterator(root / "docker" / "manifests")) {
+    std::string json = to_string(read_file_bytes(entry.path()));
+    docker::Manifest manifest = docker::Manifest::from_json_string(json);
+    docker_registry->put_manifest_json(manifest.reference(), std::move(json));
+    ++report.manifests;
+  }
+  for (const auto& entry :
+       fs::directory_iterator(root / "gear" / "objects")) {
+    Fingerprint fp =
+        Fingerprint::from_hex(entry.path().filename().string());
+    gear_registry->upload(fp, read_file_bytes(entry.path()));
+    ++report.objects;
+  }
+  for (const auto& entry :
+       fs::directory_iterator(root / "gear" / "chunked")) {
+    std::string name = entry.path().filename().string();
+    if (name.size() < 5) {
+      throw_error(ErrorCode::kCorruptData, "bad chunk manifest name: " + name);
+    }
+    Fingerprint fp = Fingerprint::from_hex(name.substr(0, name.size() - 4));
+    gear_registry->restore_chunked(fp,
+                                   ChunkManifest::parse(read_file_bytes(entry.path())));
+    ++report.chunk_manifests;
+  }
+  return report;
+}
+
+}  // namespace gear

@@ -1,0 +1,40 @@
+// Registry persistence: save/load both registries to plain directories.
+//
+// Layout (what a real deployment would keep on the registry host's disk):
+//
+//   <root>/docker/blobs/<sha256-hex>         compressed layer tarballs
+//   <root>/docker/manifests/<ref>.json       manifest documents
+//   <root>/gear/objects/<md5-hex>            Gear files / chunks (raw bytes)
+//   <root>/gear/chunked/<md5-hex>.gcm        chunk manifests
+//
+// Object files are stored decompressed; load re-compresses with the
+// deterministic in-tree codec, reproducing identical registry state.
+#pragma once
+
+#include <filesystem>
+
+#include "docker/registry.hpp"
+#include "gear/registry.hpp"
+
+namespace gear {
+
+struct PersistReport {
+  std::size_t blobs = 0;
+  std::size_t manifests = 0;
+  std::size_t objects = 0;
+  std::size_t chunk_manifests = 0;
+};
+
+/// Writes both registries under `root` (created if needed) as a full
+/// snapshot: stale files from earlier saves are removed.
+PersistReport save_registries(const docker::DockerRegistry& docker_registry,
+                              const GearRegistry& gear_registry,
+                              const std::filesystem::path& root);
+
+/// Loads both registries from `root`. Throws Error(kNotFound) when the
+/// layout is missing, kCorruptData on damaged content.
+PersistReport load_registries(const std::filesystem::path& root,
+                              docker::DockerRegistry* docker_registry,
+                              GearRegistry* gear_registry);
+
+}  // namespace gear

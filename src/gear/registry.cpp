@@ -1,0 +1,208 @@
+#include "gear/registry.hpp"
+
+#include "compress/codec.hpp"
+
+namespace gear {
+
+bool GearRegistry::query(const Fingerprint& fp) const {
+  ++stats_.queries;
+  return objects_.count(fp) != 0 || chunked_.count(fp) != 0;
+}
+
+bool GearRegistry::upload(const Fingerprint& fp, BytesView content) {
+  if (objects_.count(fp) != 0 || chunked_.count(fp) != 0) {
+    ++stats_.uploads_deduplicated;
+    return false;
+  }
+  Bytes compressed = compress(content);
+  stored_bytes_ += compressed.size();
+  objects_.emplace(fp, std::move(compressed));
+  ++stats_.uploads_accepted;
+  return true;
+}
+
+bool GearRegistry::upload_chunked(const Fingerprint& fp, BytesView content,
+                                  const ChunkPolicy& policy,
+                                  const FingerprintHasher& hasher) {
+  if (!policy.applies_to(content.size())) {
+    return upload(fp, content);
+  }
+  if (objects_.count(fp) != 0 || chunked_.count(fp) != 0) {
+    ++stats_.uploads_deduplicated;
+    return false;
+  }
+  ChunkManifest manifest = build_chunk_manifest(content, policy, hasher);
+  if (manifest.chunks.size() <= 1) {
+    // A single-chunk manifest buys nothing and would alias the file's
+    // fingerprint with its only chunk's (identical content): store plain.
+    return upload(fp, content);
+  }
+  for (std::size_t i = 0; i < manifest.chunks.size(); ++i) {
+    const Fingerprint& chunk_fp = manifest.chunks[i];
+    if (objects_.count(chunk_fp) != 0) continue;  // shared chunk: dedup
+    Bytes compressed = compress(chunk_view(content, manifest, i));
+    stored_bytes_ += compressed.size();
+    objects_.emplace(chunk_fp, std::move(compressed));
+  }
+  stored_bytes_ += manifest.serialize().size();
+  chunked_.emplace(fp, std::move(manifest));
+  ++stats_.uploads_accepted;
+  return true;
+}
+
+bool GearRegistry::is_chunked(const Fingerprint& fp) const {
+  return chunked_.count(fp) != 0;
+}
+
+StatusOr<ChunkManifest> GearRegistry::chunk_manifest(
+    const Fingerprint& fp) const {
+  auto it = chunked_.find(fp);
+  if (it == chunked_.end()) {
+    return {ErrorCode::kNotFound, "no chunk manifest for " + fp.hex()};
+  }
+  return it->second;
+}
+
+StatusOr<Bytes> GearRegistry::download(const Fingerprint& fp) const {
+  if (auto it = chunked_.find(fp); it != chunked_.end()) {
+    ++stats_.downloads;
+    const ChunkManifest& m = it->second;
+    Bytes out;
+    out.reserve(m.file_size);
+    for (const Fingerprint& chunk_fp : m.chunks) {
+      auto chunk_it = objects_.find(chunk_fp);
+      if (chunk_it == objects_.end()) {
+        return {ErrorCode::kCorruptData,
+                "chunk missing for " + fp.hex() + ": " + chunk_fp.hex()};
+      }
+      append(out, decompress(chunk_it->second));
+    }
+    if (out.size() != m.file_size) {
+      return {ErrorCode::kCorruptData, "chunked reassembly size mismatch"};
+    }
+    return out;
+  }
+  auto it = objects_.find(fp);
+  if (it == objects_.end()) {
+    return {ErrorCode::kNotFound, "gear file not found: " + fp.hex()};
+  }
+  ++stats_.downloads;
+  return decompress(it->second);
+}
+
+StatusOr<Bytes> GearRegistry::download_range(
+    const Fingerprint& fp, std::uint64_t offset, std::uint64_t length,
+    std::uint64_t* wire_bytes_out) const {
+  if (auto it = chunked_.find(fp); it != chunked_.end()) {
+    const ChunkManifest& m = it->second;
+    auto [first, last] = m.chunk_range(offset, length);
+    ++stats_.downloads;
+    Bytes assembled;
+    std::uint64_t wire = 0;
+    for (std::size_t c = first; c <= last; ++c) {
+      auto chunk_it = objects_.find(m.chunks[c]);
+      if (chunk_it == objects_.end()) {
+        return {ErrorCode::kCorruptData, "chunk missing: " + m.chunks[c].hex()};
+      }
+      wire += chunk_it->second.size();
+      append(assembled, decompress(chunk_it->second));
+    }
+    if (wire_bytes_out != nullptr) *wire_bytes_out = wire;
+    std::uint64_t skip = offset - first * m.chunk_bytes;
+    if (skip + length > assembled.size()) {
+      return {ErrorCode::kCorruptData, "chunk range reassembly too short"};
+    }
+    return Bytes(assembled.begin() + static_cast<std::ptrdiff_t>(skip),
+                 assembled.begin() + static_cast<std::ptrdiff_t>(skip + length));
+  }
+
+  // Plain object: the whole blob moves; slice client-side.
+  auto it = objects_.find(fp);
+  if (it == objects_.end()) {
+    return {ErrorCode::kNotFound, "gear file not found: " + fp.hex()};
+  }
+  ++stats_.downloads;
+  if (wire_bytes_out != nullptr) *wire_bytes_out = it->second.size();
+  Bytes whole = decompress(it->second);
+  if (offset + length > whole.size() || length == 0) {
+    return {ErrorCode::kInvalidArgument, "range out of bounds"};
+  }
+  return Bytes(whole.begin() + static_cast<std::ptrdiff_t>(offset),
+               whole.begin() + static_cast<std::ptrdiff_t>(offset + length));
+}
+
+StatusOr<std::uint64_t> GearRegistry::stored_size(const Fingerprint& fp) const {
+  if (auto it = chunked_.find(fp); it != chunked_.end()) {
+    std::uint64_t total = it->second.serialize().size();
+    for (const Fingerprint& chunk_fp : it->second.chunks) {
+      auto chunk_it = objects_.find(chunk_fp);
+      if (chunk_it != objects_.end()) total += chunk_it->second.size();
+    }
+    return total;
+  }
+  auto it = objects_.find(fp);
+  if (it == objects_.end()) {
+    return {ErrorCode::kNotFound, "gear file not found: " + fp.hex()};
+  }
+  return it->second.size();
+}
+
+StatusOr<std::uint64_t> GearRegistry::chunk_stored_size(
+    const Fingerprint& chunk_fp) const {
+  auto it = objects_.find(chunk_fp);
+  if (it == objects_.end()) {
+    return {ErrorCode::kNotFound, "chunk not found: " + chunk_fp.hex()};
+  }
+  return it->second.size();
+}
+
+void GearRegistry::restore_chunked(const Fingerprint& fp,
+                                   ChunkManifest manifest) {
+  if (chunked_.count(fp) != 0) return;  // already registered
+  for (const Fingerprint& chunk_fp : manifest.chunks) {
+    if (objects_.count(chunk_fp) == 0) {
+      throw_error(ErrorCode::kCorruptData,
+                  "restore_chunked: missing chunk " + chunk_fp.hex());
+    }
+  }
+  stored_bytes_ += manifest.serialize().size();
+  chunked_.emplace(fp, std::move(manifest));
+}
+
+std::vector<Fingerprint> GearRegistry::list_objects() const {
+  std::vector<Fingerprint> out;
+  out.reserve(objects_.size());
+  for (const auto& [fp, blob] : objects_) {
+    (void)blob;
+    out.push_back(fp);
+  }
+  return out;
+}
+
+std::vector<Fingerprint> GearRegistry::list_chunked() const {
+  std::vector<Fingerprint> out;
+  out.reserve(chunked_.size());
+  for (const auto& [fp, manifest] : chunked_) {
+    (void)manifest;
+    out.push_back(fp);
+  }
+  return out;
+}
+
+std::uint64_t GearRegistry::remove(const Fingerprint& fp) {
+  // An fp can name both a plain/chunk object and a chunk manifest when
+  // contents coincide; an unreferenced fp releases every role it plays.
+  std::uint64_t freed = 0;
+  if (auto it = objects_.find(fp); it != objects_.end()) {
+    freed += it->second.size();
+    objects_.erase(it);
+  }
+  if (auto it = chunked_.find(fp); it != chunked_.end()) {
+    freed += it->second.serialize().size();
+    chunked_.erase(it);
+  }
+  stored_bytes_ -= freed;
+  return freed;
+}
+
+}  // namespace gear

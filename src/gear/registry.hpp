@@ -1,0 +1,102 @@
+// Gear Registry: the content-addressed Gear file store.
+//
+// Mirrors the paper's MinIO-backed file server (§IV) and its three HTTP
+// interfaces — query, upload, download (§III-C). Objects are keyed by
+// fingerprint; re-uploading an existing fingerprint is deduplicated, which
+// is how file-level sharing removes duplicate data across all images in the
+// registry. Objects are stored compressed.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "gear/chunking.hpp"
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+#include "util/fingerprint.hpp"
+
+namespace gear {
+
+struct GearRegistryStats {
+  std::uint64_t uploads_accepted = 0;
+  std::uint64_t uploads_deduplicated = 0;
+  std::uint64_t downloads = 0;
+  std::uint64_t queries = 0;
+};
+
+class GearRegistry {
+ public:
+  /// "query" interface: does a Gear file with this fingerprint exist?
+  bool query(const Fingerprint& fp) const;
+
+  /// "upload" interface: stores `content` under `fp` (compressing it).
+  /// Returns true if stored, false if deduplicated (already present).
+  bool upload(const Fingerprint& fp, BytesView content);
+
+  /// Chunked upload (future-work extension, paper §VII): stores the file as
+  /// policy-sized chunk objects plus a chunk manifest under `fp`. Chunks
+  /// shared with other files are deduplicated individually. Falls back to a
+  /// plain upload when the policy does not apply to this file size.
+  bool upload_chunked(const Fingerprint& fp, BytesView content,
+                      const ChunkPolicy& policy,
+                      const FingerprintHasher& hasher = default_hasher());
+
+  /// True when `fp` is stored in chunked form.
+  bool is_chunked(const Fingerprint& fp) const;
+
+  /// The chunk manifest of a chunked file. kNotFound otherwise.
+  StatusOr<ChunkManifest> chunk_manifest(const Fingerprint& fp) const;
+
+  /// "download" interface: returns the decompressed file content.
+  /// Chunked files are reassembled transparently.
+  StatusOr<Bytes> download(const Fingerprint& fp) const;
+
+  /// Partial download of a chunked file: only the chunks covering
+  /// [offset, offset+length) move. `wire_bytes_out` (optional) receives the
+  /// compressed bytes a client would transfer. Works on plain files too
+  /// (whole object moves; the range is sliced client-side).
+  StatusOr<Bytes> download_range(const Fingerprint& fp, std::uint64_t offset,
+                                 std::uint64_t length,
+                                 std::uint64_t* wire_bytes_out = nullptr) const;
+
+  /// Compressed (on-the-wire / on-disk) size of one object; what a client
+  /// transfers when fetching this file whole (manifest + chunks when
+  /// chunked). kNotFound when absent.
+  StatusOr<std::uint64_t> stored_size(const Fingerprint& fp) const;
+
+  /// Wire size of one stored chunk object. kNotFound when absent.
+  StatusOr<std::uint64_t> chunk_stored_size(const Fingerprint& chunk_fp) const;
+
+  /// Enumerates plain/chunk object fingerprints (unordered).
+  std::vector<Fingerprint> list_objects() const;
+
+  /// Enumerates chunked-file (manifest) fingerprints (unordered).
+  std::vector<Fingerprint> list_chunked() const;
+
+  /// Deletes one object or chunk manifest (GC sweep). Returns bytes freed,
+  /// 0 when absent. Removing a manifest does NOT remove its chunks — they
+  /// are swept individually if unreferenced.
+  std::uint64_t remove(const Fingerprint& fp);
+
+  /// Re-registers a chunk manifest (persistence restore). Every chunk must
+  /// already be present as an object; throws kCorruptData otherwise.
+  void restore_chunked(const Fingerprint& fp, ChunkManifest manifest);
+
+  /// Storage accounting. Chunked files count one manifest object plus their
+  /// (deduplicated) chunk objects.
+  std::uint64_t storage_bytes() const noexcept { return stored_bytes_; }
+  std::size_t object_count() const noexcept {
+    return objects_.size() + chunked_.size();
+  }
+  const GearRegistryStats& stats() const noexcept { return stats_; }
+
+ private:
+  std::unordered_map<Fingerprint, Bytes, FingerprintHash> objects_;
+  /// Chunk manifests of chunked files, keyed by the file fingerprint; the
+  /// chunks themselves are ordinary objects in objects_ under chunk fps.
+  std::unordered_map<Fingerprint, ChunkManifest, FingerprintHash> chunked_;
+  std::uint64_t stored_bytes_ = 0;
+  mutable GearRegistryStats stats_;
+};
+
+}  // namespace gear

@@ -1,0 +1,112 @@
+#include "gear/store.hpp"
+
+#include "util/error.hpp"
+
+namespace gear {
+
+ThreeLevelStore::ThreeLevelStore(std::uint64_t cache_capacity_bytes,
+                                 EvictionPolicy policy)
+    : cache_(cache_capacity_bytes, policy) {}
+
+void ThreeLevelStore::add_index(const std::string& reference,
+                                GearIndex index) {
+  // Replacing an index releases the previous links first.
+  if (auto it = indexes_.find(reference); it != indexes_.end()) {
+    remove_image(reference);
+  }
+  IndexDir dir;
+  dir.tree = std::move(index.tree());
+  indexes_[reference] = std::move(dir);
+}
+
+bool ThreeLevelStore::has_index(const std::string& reference) const {
+  return indexes_.count(reference) != 0;
+}
+
+vfs::FileTree& ThreeLevelStore::index_tree(const std::string& reference) {
+  auto it = indexes_.find(reference);
+  if (it == indexes_.end()) {
+    throw_error(ErrorCode::kNotFound, "no index for image: " + reference);
+  }
+  return it->second.tree;
+}
+
+const vfs::FileTree& ThreeLevelStore::index_tree(
+    const std::string& reference) const {
+  auto it = indexes_.find(reference);
+  if (it == indexes_.end()) {
+    throw_error(ErrorCode::kNotFound, "no index for image: " + reference);
+  }
+  return it->second.tree;
+}
+
+void ThreeLevelStore::record_link(const std::string& reference,
+                                  const Fingerprint& fp) {
+  auto it = indexes_.find(reference);
+  if (it == indexes_.end()) {
+    throw_error(ErrorCode::kNotFound, "no index for image: " + reference);
+  }
+  if (it->second.linked.insert(fp).second) {
+    cache_.link(fp);
+  }
+}
+
+void ThreeLevelStore::remove_image(const std::string& reference) {
+  auto it = indexes_.find(reference);
+  if (it == indexes_.end()) {
+    throw_error(ErrorCode::kNotFound, "no index for image: " + reference);
+  }
+  for (const Fingerprint& fp : it->second.linked) {
+    cache_.unlink(fp);
+  }
+  indexes_.erase(it);
+}
+
+std::vector<std::string> ThreeLevelStore::images() const {
+  std::vector<std::string> refs;
+  refs.reserve(indexes_.size());
+  for (const auto& [ref, dir] : indexes_) {
+    (void)dir;
+    refs.push_back(ref);
+  }
+  return refs;
+}
+
+std::string ThreeLevelStore::create_container(const std::string& reference) {
+  if (!has_index(reference)) {
+    throw_error(ErrorCode::kNotFound, "no index for image: " + reference);
+  }
+  std::string id = reference + "#" + std::to_string(next_container_++);
+  containers_[id] = ContainerDir{reference, vfs::FileTree{}};
+  return id;
+}
+
+bool ThreeLevelStore::has_container(const std::string& container_id) const {
+  return containers_.count(container_id) != 0;
+}
+
+vfs::FileTree& ThreeLevelStore::container_diff(
+    const std::string& container_id) {
+  auto it = containers_.find(container_id);
+  if (it == containers_.end()) {
+    throw_error(ErrorCode::kNotFound, "no container: " + container_id);
+  }
+  return it->second.diff;
+}
+
+const std::string& ThreeLevelStore::container_image(
+    const std::string& container_id) const {
+  auto it = containers_.find(container_id);
+  if (it == containers_.end()) {
+    throw_error(ErrorCode::kNotFound, "no container: " + container_id);
+  }
+  return it->second.reference;
+}
+
+void ThreeLevelStore::remove_container(const std::string& container_id) {
+  if (containers_.erase(container_id) == 0) {
+    throw_error(ErrorCode::kNotFound, "no container: " + container_id);
+  }
+}
+
+}  // namespace gear

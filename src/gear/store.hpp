@@ -1,0 +1,91 @@
+// Three-level local storage structure (paper §III-D1, Fig. 5).
+//
+//   Level 1 — shared cache of Gear files, deduplicated by fingerprint,
+//             shared by all images on the node (SharedFileCache).
+//   Level 2 — one "index directory" per image: the mutable Gear index tree.
+//             Materializing a stub hard-links the cached file into the index
+//             (modeled by rewriting the stub node into a regular node and
+//             pinning the cache entry), so later containers of the image
+//             serve the file without searching level 1 again.
+//   Level 3 — one writable "diff directory" per container instance.
+//
+// The split decouples the life cycles: deleting a container removes only its
+// level-3 diff; deleting an image removes its level-2 index and unpins its
+// files, which stay shareable in level 1 until evicted.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "gear/cache.hpp"
+#include "gear/index.hpp"
+
+namespace gear {
+
+class ThreeLevelStore {
+ public:
+  explicit ThreeLevelStore(std::uint64_t cache_capacity_bytes = 0,
+                           EvictionPolicy policy = EvictionPolicy::kLru);
+
+  SharedFileCache& cache() noexcept { return cache_; }
+  const SharedFileCache& cache() const noexcept { return cache_; }
+
+  // ---- Level 2: index directories -----------------------------------
+
+  /// Installs the index of image `reference`. Overwrites any previous index
+  /// for the same reference (image update).
+  void add_index(const std::string& reference, GearIndex index);
+
+  bool has_index(const std::string& reference) const;
+
+  /// Mutable index tree (the viewer materializes stubs in place).
+  vfs::FileTree& index_tree(const std::string& reference);
+  const vfs::FileTree& index_tree(const std::string& reference) const;
+
+  /// Records that `fp` was hard-linked into `reference`'s index; pins the
+  /// cache entry. Idempotent per (reference, fp).
+  void record_link(const std::string& reference, const Fingerprint& fp);
+
+  /// Deletes an image: drops its index directory and unpins its linked
+  /// files. Containers already running keep their diffs (level 3) but new
+  /// containers can no longer launch from this reference. Its Gear files
+  /// remain in the cache for other images to share.
+  void remove_image(const std::string& reference);
+
+  std::vector<std::string> images() const;
+
+  // ---- Level 3: container diff directories --------------------------
+
+  /// Creates a container from an installed image; returns the container id.
+  std::string create_container(const std::string& reference);
+
+  bool has_container(const std::string& container_id) const;
+  vfs::FileTree& container_diff(const std::string& container_id);
+  const std::string& container_image(const std::string& container_id) const;
+
+  /// Deletes a container: only its diff directory goes away; the image's
+  /// index (level 2) can keep launching new instances.
+  void remove_container(const std::string& container_id);
+
+  std::size_t container_count() const noexcept { return containers_.size(); }
+
+ private:
+  struct IndexDir {
+    vfs::FileTree tree;
+    std::unordered_set<Fingerprint, FingerprintHash> linked;
+  };
+  struct ContainerDir {
+    std::string reference;
+    vfs::FileTree diff;
+  };
+
+  SharedFileCache cache_;
+  std::map<std::string, IndexDir> indexes_;
+  std::map<std::string, ContainerDir> containers_;
+  std::uint64_t next_container_ = 1;
+};
+
+}  // namespace gear

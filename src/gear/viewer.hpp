@@ -1,0 +1,101 @@
+// Gear File Viewer: the container's root filesystem view (paper §III-D2).
+//
+// Union-mounts the image's read-only index directory (level 2) under the
+// container's writable diff directory (level 3), with Overlay2 semantics for
+// whiteouts and copy-up. The Gear twist is the lookup path: when a read
+// reaches a fingerprint stub, the viewer pauses the access and calls its
+// materializer — the model of the paper's modified ovl_lookup_single() plus
+// the user-mode helper that hard-links the file from the shared cache or
+// downloads it from the Gear Registry. After materialization the stub node
+// becomes a regular node backed by the shared content, so every later access
+// (from this or any other container of the image) is served directly.
+//
+// Irregular files (directories, symlinks) are answered straight from the
+// index without any fetch.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+#include "util/fingerprint.hpp"
+#include "vfs/file_tree.hpp"
+
+namespace gear {
+
+class GearFileViewer {
+ public:
+  /// Fetches the content of a Gear file by fingerprint, from the shared
+  /// cache or the Gear Registry. Must throw (or propagate) on failure.
+  using Materializer =
+      std::function<Bytes(const Fingerprint& fp, std::uint64_t size)>;
+
+  /// `index`: the image's index tree (level 2, shared across containers of
+  /// the image — stub materialization mutates it in place).
+  /// `diff`: the container's writable layer (level 3).
+  /// Both must outlive the viewer.
+  GearFileViewer(vfs::FileTree& index, vfs::FileTree& diff,
+                 Materializer materializer);
+
+  /// Reads a regular file, materializing a stub on first access.
+  StatusOr<Bytes> read_file(std::string_view path);
+
+  /// Reads a symlink target directly from the union (no materialization).
+  StatusOr<std::string> read_symlink(std::string_view path) const;
+
+  /// True if `path` resolves in the union view.
+  bool exists(std::string_view path) const;
+
+  /// Size of the file at `path` without materializing it (stat on a stub
+  /// answers from the index).
+  StatusOr<std::uint64_t> stat_size(std::string_view path) const;
+
+  /// Merged directory listing.
+  std::vector<std::string> list_dir(std::string_view path) const;
+
+  /// Writes a file into the diff layer (copy-up semantics: the index copy,
+  /// if any, is masked, not modified).
+  void write_file(std::string_view path, Bytes content,
+                  const vfs::Metadata& meta = {});
+
+  /// Creates a directory in the diff layer.
+  void make_dir(std::string_view path, const vfs::Metadata& meta = {});
+
+  /// Deletes `path` from the view: removes any diff entry and places a
+  /// whiteout if the index still provides it. Returns false when absent.
+  bool remove(std::string_view path);
+
+  /// Count of stubs materialized through this viewer (telemetry).
+  std::uint64_t materialized_count() const noexcept { return materialized_; }
+
+  const vfs::FileTree& diff() const noexcept { return diff_; }
+  const vfs::FileTree& index() const noexcept { return index_; }
+
+ private:
+  /// Both sides of a masked resolution: the diff node (if any, and not a
+  /// whiteout) and the index node (if visible through the union, i.e. not
+  /// masked by a whiteout, opaque directory, or non-directory ancestor).
+  struct ResolvedPair {
+    const vfs::FileNode* diff_node = nullptr;
+    const vfs::FileNode* index_node = nullptr;
+    bool whiteout = false;  // diff holds a whiteout at the final segment
+  };
+  ResolvedPair resolve_pair(const std::vector<std::string>& segments) const;
+
+  /// Resolves a path through diff-then-index with whiteout masking.
+  /// Sets *from_diff when the winning node lives in the diff layer.
+  const vfs::FileNode* resolve(std::string_view path, bool* from_diff) const;
+
+  /// Ensures parent directories of `path` exist in the diff layer,
+  /// validating against the union; returns the parent node.
+  vfs::FileNode& ensure_diff_parent(const std::vector<std::string>& segments);
+
+  vfs::FileTree& index_;
+  vfs::FileTree& diff_;
+  Materializer materializer_;
+  std::uint64_t materialized_ = 0;
+};
+
+}  // namespace gear

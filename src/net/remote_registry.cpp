@@ -1,0 +1,69 @@
+#include "net/remote_registry.hpp"
+
+namespace gear::net {
+
+WireMessage RemoteGearRegistry::call(const WireMessage& request,
+                                     MessageType expected_type) {
+  Bytes frame = encode_message(request);
+  for (int attempt = 0; attempt < max_attempts_; ++attempt) {
+    if (attempt > 0) ++stats_.retries;
+    ++stats_.requests;
+    Bytes response_frame = transport_.round_trip(frame);
+    StatusOr<WireMessage> response = decode_message(response_frame);
+    if (!response.ok()) {
+      ++stats_.integrity_failures;
+      continue;  // damaged or dropped: retry
+    }
+    if (response->type != expected_type || response->fp != request.fp) {
+      ++stats_.integrity_failures;
+      continue;  // cross-wired response: retry
+    }
+    if (response->status == Status::kServerError) {
+      continue;
+    }
+    return std::move(response).value();
+  }
+  throw_error(ErrorCode::kInternal,
+              "remote registry unreachable after " +
+                  std::to_string(max_attempts_) + " attempts");
+}
+
+bool RemoteGearRegistry::query(const Fingerprint& fp) {
+  WireMessage request;
+  request.type = MessageType::kQueryRequest;
+  request.fp = fp;
+  WireMessage response = call(request, MessageType::kQueryResponse);
+  return response.status == Status::kExists;
+}
+
+bool RemoteGearRegistry::upload(const Fingerprint& fp, BytesView content) {
+  WireMessage request;
+  request.type = MessageType::kUploadRequest;
+  request.fp = fp;
+  request.payload.assign(content.begin(), content.end());
+  WireMessage response = call(request, MessageType::kUploadResponse);
+  return response.status == Status::kOk;
+}
+
+StatusOr<Bytes> RemoteGearRegistry::download(const Fingerprint& fp) {
+  WireMessage request;
+  request.type = MessageType::kDownloadRequest;
+  request.fp = fp;
+
+  for (int attempt = 0; attempt < max_attempts_; ++attempt) {
+    WireMessage response = call(request, MessageType::kDownloadResponse);
+    if (response.status == Status::kNotFound) {
+      return {ErrorCode::kNotFound, "remote: no such file: " + fp.hex()};
+    }
+    // End-to-end verification: the content must hash back to the requested
+    // fingerprint (the CRC guards the frame; this guards the server).
+    if (!verify_content_ || hasher_.fingerprint(response.payload) == fp) {
+      return std::move(response.payload);
+    }
+    ++stats_.integrity_failures;
+  }
+  return {ErrorCode::kCorruptData,
+          "remote: content repeatedly failed fingerprint check: " + fp.hex()};
+}
+
+}  // namespace gear::net

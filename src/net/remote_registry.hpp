@@ -1,0 +1,63 @@
+// Client stub for a Gear Registry reached over a Transport.
+//
+// Presents the registry's query/upload/download API while framing every
+// call through the wire protocol. Responses that fail integrity checking
+// (bad CRC, truncation, drops) are retried up to a bounded number of
+// attempts — transient transmission faults must not surface to the
+// deployment path; persistent ones become kUnavailable-style errors.
+// Downloaded content is additionally verified against the requested
+// fingerprint (end-to-end check, independent of the CRC).
+#pragma once
+
+#include <cstdint>
+
+#include "net/transport.hpp"
+#include "util/fingerprint.hpp"
+
+namespace gear::net {
+
+struct RemoteRegistryStats {
+  std::uint64_t requests = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t integrity_failures = 0;  // bad frames + fingerprint mismatch
+};
+
+class RemoteGearRegistry {
+ public:
+  /// `verify_content`: re-hash downloaded payloads and require a match
+  /// with the requested fingerprint (end-to-end server check). Disable when
+  /// the registry stores collision-salted unique IDs (paper §III-B), whose
+  /// names intentionally differ from their content hash.
+  explicit RemoteGearRegistry(Transport& transport, int max_attempts = 3,
+                              bool verify_content = true,
+                              const FingerprintHasher& hasher = default_hasher())
+      : transport_(transport),
+        max_attempts_(max_attempts),
+        verify_content_(verify_content),
+        hasher_(hasher) {}
+
+  /// query interface. Throws kInternal after exhausting retries.
+  bool query(const Fingerprint& fp);
+
+  /// upload interface. Returns true if stored, false if deduplicated.
+  bool upload(const Fingerprint& fp, BytesView content);
+
+  /// download interface. kNotFound is NOT retried (it is an answer);
+  /// damaged frames and fingerprint mismatches are.
+  StatusOr<Bytes> download(const Fingerprint& fp);
+
+  const RemoteRegistryStats& stats() const noexcept { return stats_; }
+
+ private:
+  /// Sends and decodes with retries; validates the response type and that
+  /// the echoed fingerprint matches.
+  WireMessage call(const WireMessage& request, MessageType expected_type);
+
+  Transport& transport_;
+  int max_attempts_;
+  bool verify_content_;
+  const FingerprintHasher& hasher_;
+  RemoteRegistryStats stats_;
+};
+
+}  // namespace gear::net

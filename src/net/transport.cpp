@@ -1,0 +1,75 @@
+#include "net/transport.hpp"
+
+namespace gear::net {
+
+Bytes LoopbackTransport::round_trip(BytesView request_frame) {
+  if (link_ != nullptr) link_->request(request_frame.size());
+
+  WireMessage response;
+  StatusOr<WireMessage> request = decode_message(request_frame);
+  if (!request.ok()) {
+    // A server cannot even parse the request: answer with a server error
+    // carrying an empty fingerprint.
+    response.type = MessageType::kQueryResponse;
+    response.status = Status::kServerError;
+  } else {
+    const WireMessage& req = *request;
+    response.fp = req.fp;
+    switch (req.type) {
+      case MessageType::kQueryRequest:
+        response.type = MessageType::kQueryResponse;
+        response.status =
+            registry_.query(req.fp) ? Status::kExists : Status::kNotFound;
+        break;
+      case MessageType::kUploadRequest:
+        response.type = MessageType::kUploadResponse;
+        response.status = registry_.upload(req.fp, req.payload)
+                              ? Status::kOk
+                              : Status::kExists;
+        break;
+      case MessageType::kDownloadRequest: {
+        response.type = MessageType::kDownloadResponse;
+        StatusOr<Bytes> content = registry_.download(req.fp);
+        if (content.ok()) {
+          response.status = Status::kOk;
+          response.payload = std::move(content).value();
+        } else {
+          response.status = Status::kNotFound;
+        }
+        break;
+      }
+      default:
+        response.type = MessageType::kQueryResponse;
+        response.status = Status::kServerError;
+        break;
+    }
+  }
+
+  Bytes frame = encode_message(response);
+  if (link_ != nullptr) link_->request(frame.size());
+  return frame;
+}
+
+Bytes FaultyTransport::round_trip(BytesView request_frame) {
+  Bytes response = inner_.round_trip(request_frame);
+  ++calls_;
+  if (plan_.period == 0 || calls_ % plan_.period != 0) {
+    return response;
+  }
+  ++faults_;
+  switch (plan_.kind) {
+    case FaultPlan::Kind::kFlipByte:
+      if (!response.empty()) {
+        response[rng_.next_below(response.size())] ^= 0xFF;
+      }
+      return response;
+    case FaultPlan::Kind::kTruncate:
+      response.resize(response.size() / 2);
+      return response;
+    case FaultPlan::Kind::kDrop:
+      return {};
+  }
+  return response;
+}
+
+}  // namespace gear::net

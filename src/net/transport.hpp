@@ -1,0 +1,71 @@
+// Transports: how wire frames reach the Gear Registry.
+//
+//  * LoopbackTransport — serves a GearRegistry in-process: decodes the
+//    request, performs the operation, encodes the response; optionally
+//    charges the frames to a simulated link.
+//  * FaultyTransport — decorator injecting transmission faults (bit flips,
+//    truncation, drops) on a deterministic schedule, for exercising the
+//    client stub's integrity checking and retry logic.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "gear/registry.hpp"
+#include "net/wire.hpp"
+#include "sim/network.hpp"
+#include "util/rng.hpp"
+
+namespace gear::net {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Sends a request frame, returns the response frame. Transport-level
+  /// failures surface as frames that fail decode_message (the client treats
+  /// them as retryable), or as an empty frame for a dropped response.
+  virtual Bytes round_trip(BytesView request_frame) = 0;
+};
+
+class LoopbackTransport final : public Transport {
+ public:
+  /// `link`: optional; when given, every request/response frame's bytes are
+  /// charged to it.
+  explicit LoopbackTransport(GearRegistry& registry,
+                             sim::NetworkLink* link = nullptr)
+      : registry_(registry), link_(link) {}
+
+  Bytes round_trip(BytesView request_frame) override;
+
+ private:
+  GearRegistry& registry_;
+  sim::NetworkLink* link_;
+};
+
+/// Fault schedule: every `period`-th round trip is damaged.
+struct FaultPlan {
+  enum class Kind { kFlipByte, kTruncate, kDrop };
+  Kind kind = Kind::kFlipByte;
+  /// 1 = every call, 2 = every second call, ...; 0 disables faults.
+  std::uint32_t period = 0;
+};
+
+class FaultyTransport final : public Transport {
+ public:
+  FaultyTransport(Transport& inner, FaultPlan plan, std::uint64_t seed = 1)
+      : inner_(inner), plan_(plan), rng_(seed) {}
+
+  Bytes round_trip(BytesView request_frame) override;
+
+  std::uint64_t faults_injected() const noexcept { return faults_; }
+
+ private:
+  Transport& inner_;
+  FaultPlan plan_;
+  Rng rng_;
+  std::uint64_t calls_ = 0;
+  std::uint64_t faults_ = 0;
+};
+
+}  // namespace gear::net

@@ -1,0 +1,91 @@
+#include "net/wire.hpp"
+
+#include <cstring>
+
+#include "compress/codec.hpp"  // varint helpers
+#include "util/crc32.hpp"
+
+namespace gear::net {
+namespace {
+
+constexpr char kMagic[4] = {'G', 'W', 'P', '1'};
+
+bool valid_type(std::uint8_t t) {
+  return t >= static_cast<std::uint8_t>(MessageType::kQueryRequest) &&
+         t <= static_cast<std::uint8_t>(MessageType::kDownloadResponse);
+}
+
+bool valid_status(std::uint8_t s) {
+  return s <= static_cast<std::uint8_t>(Status::kServerError);
+}
+
+void put_u32(Bytes& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+std::uint32_t get_u32(BytesView data, std::size_t pos) {
+  return static_cast<std::uint32_t>(data[pos]) |
+         (static_cast<std::uint32_t>(data[pos + 1]) << 8) |
+         (static_cast<std::uint32_t>(data[pos + 2]) << 16) |
+         (static_cast<std::uint32_t>(data[pos + 3]) << 24);
+}
+
+}  // namespace
+
+Bytes encode_message(const WireMessage& message) {
+  Bytes out;
+  out.reserve(message.payload.size() + 32);
+  out.insert(out.end(), kMagic, kMagic + 4);
+  out.push_back(static_cast<std::uint8_t>(message.type));
+  out.push_back(static_cast<std::uint8_t>(message.status));
+  out.insert(out.end(), message.fp.raw().begin(), message.fp.raw().end());
+  put_varint(out, message.payload.size());
+  append(out, message.payload);
+  put_u32(out, crc32(out));
+  return out;
+}
+
+StatusOr<WireMessage> decode_message(BytesView frame) {
+  // Minimum frame: magic 4 + type 1 + status 1 + fp 16 + varint 1 + crc 4.
+  if (frame.size() < 27 || std::memcmp(frame.data(), kMagic, 4) != 0) {
+    return {ErrorCode::kCorruptData, "wire: bad magic or truncated frame"};
+  }
+  std::uint32_t expected = get_u32(frame, frame.size() - 4);
+  BytesView body = frame.subspan(0, frame.size() - 4);
+  if (crc32(body) != expected) {
+    return {ErrorCode::kCorruptData, "wire: checksum mismatch"};
+  }
+
+  WireMessage message;
+  std::size_t pos = 4;
+  std::uint8_t type_byte = frame[pos++];
+  std::uint8_t status_byte = frame[pos++];
+  if (!valid_type(type_byte) || !valid_status(status_byte)) {
+    return {ErrorCode::kCorruptData, "wire: unknown type or status"};
+  }
+  message.type = static_cast<MessageType>(type_byte);
+  message.status = static_cast<Status>(status_byte);
+
+  std::array<std::uint8_t, Fingerprint::kSize> raw{};
+  std::memcpy(raw.data(), frame.data() + pos, raw.size());
+  pos += raw.size();
+  message.fp = Fingerprint(raw);
+
+  std::uint64_t payload_len;
+  try {
+    payload_len = get_varint(body, pos);
+  } catch (const Error&) {
+    return {ErrorCode::kCorruptData, "wire: bad payload length"};
+  }
+  if (pos + payload_len != body.size()) {
+    return {ErrorCode::kCorruptData, "wire: payload length mismatch"};
+  }
+  message.payload.assign(body.begin() + static_cast<std::ptrdiff_t>(pos),
+                         body.end());
+  return message;
+}
+
+}  // namespace gear::net

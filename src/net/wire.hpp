@@ -1,0 +1,55 @@
+// Wire protocol for the Gear Registry's three interfaces.
+//
+// The paper's components "communicate with each other via HTTP" (§IV) with
+// three operations against the file server: query, upload, download. This
+// module defines the message framing those calls travel in:
+//
+//   magic "GWP1" | type u8 | status u8 | fingerprint 16B |
+//   payload varint-length + bytes | crc32 of everything before it
+//
+// The trailing CRC detects frames damaged in transit; content *identity*
+// is still verified end-to-end by fingerprints. decode rejects anything
+// malformed with kCorruptData, which the client stub turns into retries.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+#include "util/fingerprint.hpp"
+
+namespace gear::net {
+
+enum class MessageType : std::uint8_t {
+  kQueryRequest = 1,
+  kQueryResponse = 2,
+  kUploadRequest = 3,
+  kUploadResponse = 4,
+  kDownloadRequest = 5,
+  kDownloadResponse = 6,
+};
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kNotFound = 1,
+  kExists = 2,      // query hit / upload deduplicated
+  kServerError = 3,
+};
+
+struct WireMessage {
+  MessageType type = MessageType::kQueryRequest;
+  Status status = Status::kOk;
+  Fingerprint fp;
+  Bytes payload;  // upload request content / download response content
+
+  friend bool operator==(const WireMessage&, const WireMessage&) = default;
+};
+
+/// Encodes a message into a checksummed frame.
+Bytes encode_message(const WireMessage& message);
+
+/// Decodes a frame; returns kCorruptData for bad magic, bad CRC, truncation,
+/// unknown type/status, or trailing garbage.
+StatusOr<WireMessage> decode_message(BytesView frame);
+
+}  // namespace gear::net

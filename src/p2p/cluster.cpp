@@ -1,0 +1,123 @@
+#include "p2p/cluster.hpp"
+
+namespace gear::p2p {
+
+void PeerTracker::announce(const std::string& node_id, const Fingerprint& fp) {
+  holders_[fp].insert(node_id);
+}
+
+void PeerTracker::announce_all(const std::string& node_id,
+                               const std::vector<Fingerprint>& fps) {
+  for (const Fingerprint& fp : fps) announce(node_id, fp);
+}
+
+void PeerTracker::retract_node(const std::string& node_id) {
+  for (auto it = holders_.begin(); it != holders_.end();) {
+    it->second.erase(node_id);
+    if (it->second.empty()) {
+      it = holders_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+StatusOr<std::string> PeerTracker::locate(const Fingerprint& fp,
+                                          const std::string& requester) const {
+  auto it = holders_.find(fp);
+  if (it == holders_.end()) {
+    return {ErrorCode::kNotFound, "no holder for " + fp.hex()};
+  }
+  for (const std::string& node : it->second) {
+    if (node != requester) return node;
+  }
+  return {ErrorCode::kNotFound, "only the requester holds " + fp.hex()};
+}
+
+Cluster::Cluster(docker::DockerRegistry& index_registry,
+                 GearRegistry& file_registry, const Params& params) {
+  if (params.nodes == 0) {
+    throw_error(ErrorCode::kInvalidArgument, "cluster needs nodes");
+  }
+  for (std::size_t i = 0; i < params.nodes; ++i) {
+    auto node = std::make_unique<Node>();
+    node->id = "node" + std::to_string(i);
+    node->wan = std::make_unique<sim::NetworkLink>(
+        sim::scaled_link(clock_, params.wan_mbps, params.byte_scale));
+    node->lan = std::make_unique<sim::NetworkLink>(
+        sim::scaled_link(clock_, params.lan_mbps, params.byte_scale,
+                         /*rtt_seconds=*/0.0002,
+                         /*request_overhead_seconds=*/0.0001));
+    node->disk = std::make_unique<sim::DiskModel>(
+        sim::DiskModel::scaled_ssd(clock_, params.byte_scale));
+    node->client = std::make_unique<GearClient>(
+        index_registry, file_registry, *node->wan, *node->disk,
+        params.runtime);
+
+    // Peer fetch path: tracker lookup, then read straight out of the
+    // holder's shared cache over the LAN link.
+    Node* raw = node.get();
+    node->client->set_peer_source(
+        [this, raw](const Fingerprint& fp,
+                    std::uint64_t size) -> std::optional<Bytes> {
+          StatusOr<std::string> holder = tracker_.locate(fp, raw->id);
+          if (!holder.ok()) return std::nullopt;
+          for (const auto& peer : nodes_) {
+            if (peer->id != *holder || peer->retired) continue;
+            StatusOr<Bytes> content = peer->client->store().cache().get(fp);
+            if (!content.ok()) return std::nullopt;  // stale advertisement
+            (void)size;
+            raw->lan->request(content->size());
+            lan_bytes_ += content->size();
+            return std::move(content).value();
+          }
+          return std::nullopt;
+        });
+    nodes_.push_back(std::move(node));
+  }
+}
+
+docker::DeployStats Cluster::deploy(std::size_t node,
+                                    const std::string& reference,
+                                    const workload::AccessSet& access) {
+  if (node >= nodes_.size()) {
+    throw_error(ErrorCode::kInvalidArgument, "no such node");
+  }
+  Node& n = *nodes_[node];
+  docker::DeployStats stats = n.client->deploy(reference, access);
+  if (!n.retired) {
+    tracker_.announce_all(n.id, n.client->store().cache().fingerprints());
+  }
+  return stats;
+}
+
+void Cluster::retire_node(std::size_t node) {
+  if (node >= nodes_.size()) {
+    throw_error(ErrorCode::kInvalidArgument, "no such node");
+  }
+  nodes_[node]->retired = true;
+  tracker_.retract_node(nodes_[node]->id);
+}
+
+std::uint64_t Cluster::wan_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& node : nodes_) {
+    total += node->wan->stats().bytes_transferred;
+  }
+  return total;
+}
+
+std::uint64_t Cluster::peer_hits() const {
+  std::uint64_t total = 0;
+  for (const auto& node : nodes_) total += node->client->peer_hits();
+  return total;
+}
+
+GearClient& Cluster::node(std::size_t i) {
+  if (i >= nodes_.size()) {
+    throw_error(ErrorCode::kInvalidArgument, "no such node");
+  }
+  return *nodes_[i]->client;
+}
+
+}  // namespace gear::p2p

@@ -1,0 +1,103 @@
+// Cooperative (P2P) Gear-file distribution within a cluster.
+//
+// The paper's related work (§VI-B) notes that cooperative caches and P2P
+// distribution — CoMICon, Wharf, Dragonfly, FID — are orthogonal to Gear
+// and "also help speed up the distribution of Gear files". This module
+// realizes that composition: every node in a cluster advertises the
+// fingerprints it caches to a tracker; a node missing a file asks the
+// tracker, pulls from a peer over the cluster-local link, and only falls
+// back to the registry over the WAN when no peer holds the file. With N
+// nodes cold-starting the same image, registry egress collapses to ~1/N.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "docker/registry.hpp"
+#include "gear/client.hpp"
+#include "gear/registry.hpp"
+#include "sim/clock.hpp"
+#include "sim/disk.hpp"
+#include "sim/network.hpp"
+
+namespace gear::p2p {
+
+/// Who has which fingerprint. A plain in-memory tracker, as CoMICon's
+/// master or Dragonfly's supernode would keep.
+class PeerTracker {
+ public:
+  void announce(const std::string& node_id, const Fingerprint& fp);
+  void announce_all(const std::string& node_id,
+                    const std::vector<Fingerprint>& fps);
+
+  /// Drops every announcement of a node (node left / crashed).
+  void retract_node(const std::string& node_id);
+
+  /// A node currently advertising `fp`, excluding `requester`; kNotFound
+  /// when no such peer exists.
+  StatusOr<std::string> locate(const Fingerprint& fp,
+                               const std::string& requester) const;
+
+  std::size_t announced_objects() const noexcept { return holders_.size(); }
+
+ private:
+  std::map<Fingerprint, std::set<std::string>> holders_;
+};
+
+/// A cluster of Gear nodes sharing one simulated clock: each node has a WAN
+/// link to the registries and a LAN link to its peers.
+class Cluster {
+ public:
+  struct Params {
+    double wan_mbps = 100.0;
+    double lan_mbps = 1000.0;
+    double byte_scale = 1.0;  // corpus scale (scales both link speeds)
+    std::size_t nodes = 3;
+    docker::RuntimeParams runtime = {};
+  };
+
+  Cluster(docker::DockerRegistry& index_registry, GearRegistry& file_registry,
+          const Params& params);
+
+  std::size_t size() const noexcept { return nodes_.size(); }
+  sim::SimClock& clock() noexcept { return clock_; }
+
+  /// Deploys on one node; peer fetches and tracker announcements happen
+  /// automatically.
+  docker::DeployStats deploy(std::size_t node, const std::string& reference,
+                             const workload::AccessSet& access);
+
+  /// Removes a node's advertisements (simulated departure). The node's
+  /// client keeps working but no longer serves peers.
+  void retire_node(std::size_t node);
+
+  /// Aggregate WAN bytes pulled from the registries by all nodes.
+  std::uint64_t wan_bytes() const;
+  /// Aggregate LAN bytes moved between peers.
+  std::uint64_t lan_bytes() const noexcept { return lan_bytes_; }
+  /// Peer-satisfied fetches across the cluster.
+  std::uint64_t peer_hits() const;
+
+  GearClient& node(std::size_t i);
+
+ private:
+  struct Node {
+    std::string id;
+    std::unique_ptr<sim::NetworkLink> wan;
+    std::unique_ptr<sim::NetworkLink> lan;
+    std::unique_ptr<sim::DiskModel> disk;
+    std::unique_ptr<GearClient> client;
+    bool retired = false;
+  };
+
+  sim::SimClock clock_;
+  PeerTracker tracker_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::uint64_t lan_bytes_ = 0;
+};
+
+}  // namespace gear::p2p

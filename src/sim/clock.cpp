@@ -1,0 +1,14 @@
+#include "sim/clock.hpp"
+
+#include "util/error.hpp"
+
+namespace gear::sim {
+
+void SimClock::advance(double seconds) {
+  if (seconds < 0) {
+    throw_error(ErrorCode::kInvalidArgument, "SimClock::advance(negative)");
+  }
+  now_ += seconds;
+}
+
+}  // namespace gear::sim

@@ -1,0 +1,42 @@
+// Deterministic simulated clock.
+//
+// The paper measures deployment time on two servers joined by links of
+// 904/100/20/5 Mbps. This repo replays the same experiments against a
+// simulated clock: every modeled cost (network transfer, disk access,
+// process startup) advances the clock explicitly, so results are exact,
+// repeatable, and independent of the host machine.
+#pragma once
+
+#include <cstdint>
+
+namespace gear::sim {
+
+class SimClock {
+ public:
+  /// Current simulated time in seconds since simulation start.
+  double now() const noexcept { return now_; }
+
+  /// Advances the clock by `seconds` (must be >= 0).
+  void advance(double seconds);
+
+  /// Resets to t=0.
+  void reset() noexcept { now_ = 0.0; }
+
+ private:
+  double now_ = 0.0;
+};
+
+/// RAII measurement of a simulated interval.
+class SimTimer {
+ public:
+  explicit SimTimer(const SimClock& clock)
+      : clock_(clock), start_(clock.now()) {}
+
+  double elapsed() const noexcept { return clock_.now() - start_; }
+
+ private:
+  const SimClock& clock_;
+  double start_;
+};
+
+}  // namespace gear::sim

@@ -1,0 +1,56 @@
+#include "sim/disk.hpp"
+
+#include "util/error.hpp"
+
+namespace gear::sim {
+
+DiskModel::DiskModel(SimClock& clock, double seek_seconds, double read_mbps,
+                     double write_mbps)
+    : clock_(clock),
+      seek_(seek_seconds),
+      read_mbps_(read_mbps),
+      write_mbps_(write_mbps) {
+  if (seek_seconds < 0 || read_mbps <= 0 || write_mbps <= 0) {
+    throw_error(ErrorCode::kInvalidArgument, "DiskModel: bad parameters");
+  }
+}
+
+DiskModel DiskModel::hdd(SimClock& clock) {
+  return DiskModel(clock, 8e-3, 150.0, 140.0);
+}
+
+DiskModel DiskModel::ssd(SimClock& clock) {
+  return DiskModel(clock, 8e-5, 520.0, 480.0);
+}
+
+DiskModel DiskModel::scaled_hdd(SimClock& clock, double byte_scale) {
+  return DiskModel(clock, 8e-3, 150.0 * byte_scale, 140.0 * byte_scale);
+}
+
+DiskModel DiskModel::scaled_ssd(SimClock& clock, double byte_scale) {
+  return DiskModel(clock, 8e-5, 520.0 * byte_scale, 480.0 * byte_scale);
+}
+
+double DiskModel::read(std::uint64_t bytes) {
+  double elapsed = seek_ + static_cast<double>(bytes) / (read_mbps_ * 1e6);
+  clock_.advance(elapsed);
+  stats_.bytes_read += bytes;
+  stats_.read_ops += 1;
+  return elapsed;
+}
+
+double DiskModel::write(std::uint64_t bytes) {
+  double elapsed = seek_ + static_cast<double>(bytes) / (write_mbps_ * 1e6);
+  clock_.advance(elapsed);
+  stats_.bytes_written += bytes;
+  stats_.write_ops += 1;
+  return elapsed;
+}
+
+double DiskModel::touch() {
+  clock_.advance(seek_);
+  stats_.read_ops += 1;
+  return seek_;
+}
+
+}  // namespace gear::sim

@@ -1,0 +1,55 @@
+#include "sim/network.hpp"
+
+#include "util/error.hpp"
+
+namespace gear::sim {
+
+NetworkLink::NetworkLink(SimClock& clock, double bandwidth_mbps,
+                         double rtt_seconds,
+                         double request_overhead_seconds)
+    : clock_(clock),
+      bandwidth_mbps_(bandwidth_mbps),
+      rtt_(rtt_seconds),
+      request_overhead_(request_overhead_seconds) {
+  if (bandwidth_mbps <= 0 || rtt_seconds < 0 || request_overhead_seconds < 0) {
+    throw_error(ErrorCode::kInvalidArgument, "NetworkLink: bad parameters");
+  }
+}
+
+double NetworkLink::transmission_time(std::uint64_t bytes) const {
+  return static_cast<double>(bytes) * 8.0 / (bandwidth_mbps_ * 1e6);
+}
+
+double NetworkLink::request(std::uint64_t payload_bytes) {
+  double elapsed = rtt_ + request_overhead_ + transmission_time(payload_bytes);
+  clock_.advance(elapsed);
+  stats_.bytes_transferred += payload_bytes;
+  stats_.requests += 1;
+  return elapsed;
+}
+
+double NetworkLink::pipelined(std::uint64_t payload_bytes,
+                              std::uint64_t n_requests) {
+  if (n_requests == 0) {
+    throw_error(ErrorCode::kInvalidArgument, "pipelined: zero requests");
+  }
+  double elapsed = rtt_ +
+                   request_overhead_ * static_cast<double>(n_requests) +
+                   transmission_time(payload_bytes);
+  clock_.advance(elapsed);
+  stats_.bytes_transferred += payload_bytes;
+  stats_.requests += n_requests;
+  return elapsed;
+}
+
+NetworkLink scaled_link(SimClock& clock, double real_mbps, double byte_scale,
+                        double rtt_seconds,
+                        double request_overhead_seconds) {
+  if (byte_scale <= 0 || byte_scale > 1.0) {
+    throw_error(ErrorCode::kInvalidArgument, "scaled_link: bad byte scale");
+  }
+  return NetworkLink(clock, real_mbps * byte_scale, rtt_seconds,
+                     request_overhead_seconds);
+}
+
+}  // namespace gear::sim

@@ -1,0 +1,72 @@
+// Bandwidth- and latency-modeled network link.
+//
+// Models the registry<->client link: each request pays one round-trip plus a
+// fixed per-request service overhead, and the payload streams at the link
+// bandwidth. This captures exactly the two effects the paper's deployment
+// experiments depend on: total bytes over bandwidth (dominant for Docker's
+// full-image pulls) and per-request cost (dominant for fine-grained lazy
+// pulls — the reason Slacker degrades at low bandwidth, §V-E2).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/clock.hpp"
+
+namespace gear::sim {
+
+/// Cumulative transfer accounting (monotonic; never reset by experiments so
+/// benches can diff before/after snapshots).
+struct NetworkStats {
+  std::uint64_t bytes_transferred = 0;
+  std::uint64_t requests = 0;
+
+  friend NetworkStats operator-(const NetworkStats& a, const NetworkStats& b) {
+    return {a.bytes_transferred - b.bytes_transferred,
+            a.requests - b.requests};
+  }
+};
+
+class NetworkLink {
+ public:
+  /// `bandwidth_mbps`: link speed in megabits/second.
+  /// `rtt_seconds`: request round-trip latency.
+  /// `request_overhead_seconds`: fixed server-side handling cost per request
+  /// (connection setup, object lookup).
+  NetworkLink(SimClock& clock, double bandwidth_mbps, double rtt_seconds,
+              double request_overhead_seconds);
+
+  /// Performs one request transferring `payload_bytes`, advancing the clock
+  /// by rtt + overhead + payload/bandwidth. Returns the elapsed seconds.
+  double request(std::uint64_t payload_bytes);
+
+  /// Transfers `payload_bytes` as `n_requests` pipelined requests: latency is
+  /// paid once, per-request overhead per request. Models HTTP keep-alive
+  /// batched fetches.
+  double pipelined(std::uint64_t payload_bytes, std::uint64_t n_requests);
+
+  /// Pure transmission time of `bytes` at link bandwidth (no latency).
+  double transmission_time(std::uint64_t bytes) const;
+
+  double bandwidth_mbps() const noexcept { return bandwidth_mbps_; }
+  double rtt() const noexcept { return rtt_; }
+  const NetworkStats& stats() const noexcept { return stats_; }
+  SimClock& clock() noexcept { return clock_; }
+
+ private:
+  SimClock& clock_;
+  double bandwidth_mbps_;
+  double rtt_;
+  double request_overhead_;
+  NetworkStats stats_;
+};
+
+/// Link whose bandwidth is scaled by the corpus byte scale. When the
+/// synthetic corpus shrinks every byte quantity by `byte_scale`, scaling the
+/// bandwidth by the same factor preserves all transfer-time ratios (a 390 MB
+/// image over 904 Mbps takes exactly as long as its 390 KB scaled twin over
+/// 0.904 Mbps), while latencies and per-request costs stay real.
+NetworkLink scaled_link(SimClock& clock, double real_mbps, double byte_scale,
+                        double rtt_seconds = 0.0005,
+                        double request_overhead_seconds = 0.0003);
+
+}  // namespace gear::sim

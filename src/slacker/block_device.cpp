@@ -1,0 +1,59 @@
+#include "slacker/block_device.hpp"
+
+namespace gear::slacker {
+
+VirtualBlockDevice VirtualBlockDevice::from_tree(const vfs::FileTree& root,
+                                                 std::uint64_t block_size,
+                                                 std::uint64_t capacity_blocks) {
+  if (block_size == 0 || capacity_blocks == 0) {
+    throw_error(ErrorCode::kInvalidArgument, "bad block device geometry");
+  }
+  VirtualBlockDevice dev;
+  dev.block_size_ = block_size;
+  dev.capacity_blocks_ = capacity_blocks;
+
+  root.walk([&dev](const std::string& path, const vfs::FileNode& node) {
+    if (!node.is_regular()) return;
+    std::uint64_t blocks =
+        (node.content().size() + dev.block_size_ - 1) / dev.block_size_;
+    if (blocks == 0) blocks = 1;  // even empty files own one block (inode+data)
+    if (dev.used_blocks_ + blocks > dev.capacity_blocks_) {
+      throw_error(ErrorCode::kOutOfSpace,
+                  "image exceeds fixed device size at " + path);
+    }
+    Extent e{dev.used_blocks_, blocks, node.content().size()};
+    dev.extents_.emplace(path, e);
+    dev.used_blocks_ += blocks;
+
+    dev.data_.resize(dev.used_blocks_ * dev.block_size_, 0);
+    std::copy(node.content().begin(), node.content().end(),
+              dev.data_.begin() +
+                  static_cast<std::ptrdiff_t>(e.first_block * dev.block_size_));
+  });
+  return dev;
+}
+
+StatusOr<Extent> VirtualBlockDevice::extent_of(const std::string& path) const {
+  auto it = extents_.find(path);
+  if (it == extents_.end()) {
+    return {ErrorCode::kNotFound, "no extent for " + path};
+  }
+  return it->second;
+}
+
+Bytes VirtualBlockDevice::read_block(std::uint64_t block_index) const {
+  if (block_index >= capacity_blocks_) {
+    throw_error(ErrorCode::kInvalidArgument, "block index out of range");
+  }
+  Bytes out(block_size_, 0);
+  std::uint64_t offset = block_index * block_size_;
+  if (offset < data_.size()) {
+    std::uint64_t n = std::min<std::uint64_t>(block_size_, data_.size() - offset);
+    std::copy(data_.begin() + static_cast<std::ptrdiff_t>(offset),
+              data_.begin() + static_cast<std::ptrdiff_t>(offset + n),
+              out.begin());
+  }
+  return out;
+}
+
+}  // namespace gear::slacker

@@ -1,0 +1,61 @@
+// Virtual block device for the Slacker baseline.
+//
+// Slacker (FAST'16) serves images as block devices over NFS/LVM: each
+// container gets a fixed-size virtual device; data is pulled lazily at block
+// granularity. This models the two properties the paper contrasts with Gear
+// (§II-D, §V-E2): a fixed device size that cannot track the actual image
+// size, and block-granular transfer — more, smaller objects than files, plus
+// rounding waste for small files.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+#include "vfs/file_tree.hpp"
+
+namespace gear::slacker {
+
+/// One file's placement on the device.
+struct Extent {
+  std::uint64_t first_block = 0;
+  std::uint64_t block_count = 0;
+  std::uint64_t file_bytes = 0;
+};
+
+class VirtualBlockDevice {
+ public:
+  /// Packs the regular files of a root filesystem onto a device of
+  /// `capacity_blocks` blocks of `block_size` bytes each. Files are laid out
+  /// contiguously in path order (mkfs-style allocation). Throws kOutOfSpace
+  /// if the image does not fit — the fixed-size limitation the paper notes.
+  static VirtualBlockDevice from_tree(const vfs::FileTree& root,
+                                      std::uint64_t block_size,
+                                      std::uint64_t capacity_blocks);
+
+  std::uint64_t block_size() const noexcept { return block_size_; }
+  std::uint64_t capacity_blocks() const noexcept { return capacity_blocks_; }
+  std::uint64_t used_blocks() const noexcept { return used_blocks_; }
+  std::uint64_t device_bytes() const { return block_size_ * capacity_blocks_; }
+
+  /// Placement of a file; kNotFound for paths without block allocation.
+  StatusOr<Extent> extent_of(const std::string& path) const;
+
+  /// Content of one block (zero-padded tail for partial blocks).
+  Bytes read_block(std::uint64_t block_index) const;
+
+  /// Number of files packed.
+  std::size_t file_count() const noexcept { return extents_.size(); }
+
+ private:
+  std::uint64_t block_size_ = 0;
+  std::uint64_t capacity_blocks_ = 0;
+  std::uint64_t used_blocks_ = 0;
+  std::map<std::string, Extent> extents_;
+  Bytes data_;  // packed blocks
+};
+
+}  // namespace gear::slacker

@@ -1,0 +1,94 @@
+#include "slacker/slacker.hpp"
+
+namespace gear::slacker {
+
+void SlackerRegistry::put_image(const std::string& reference,
+                                VirtualBlockDevice device) {
+  devices_.insert_or_assign(reference, std::move(device));
+}
+
+bool SlackerRegistry::has_image(const std::string& reference) const {
+  return devices_.count(reference) != 0;
+}
+
+const VirtualBlockDevice& SlackerRegistry::device(
+    const std::string& reference) const {
+  auto it = devices_.find(reference);
+  if (it == devices_.end()) {
+    throw_error(ErrorCode::kNotFound, "no slacker image: " + reference);
+  }
+  return it->second;
+}
+
+std::uint64_t SlackerRegistry::storage_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& [ref, dev] : devices_) {
+    (void)ref;
+    total += dev.used_blocks() * dev.block_size();
+  }
+  return total;
+}
+
+SlackerClient::SlackerClient(SlackerRegistry& registry, sim::NetworkLink& link,
+                             sim::DiskModel& disk,
+                             docker::RuntimeParams params)
+    : registry_(registry), link_(link), disk_(disk), params_(params) {}
+
+docker::DeployStats SlackerClient::deploy(const std::string& reference,
+                                          const workload::AccessSet& access) {
+  docker::DeployStats stats;
+  const VirtualBlockDevice& dev = registry_.device(reference);
+
+  // Pull phase: snapshot clone + loopback/NFS mount. No data moves; Slacker's
+  // flattening/clone bookkeeping is a small constant plus one round trip.
+  sim::SimTimer pull_timer(link_.clock());
+  link_.request(4096);  // clone RPC + superblock read
+  stats.pull.bytes_downloaded += 4096;
+  link_.clock().advance(params_.mount_seconds);
+  stats.pull.seconds = pull_timer.elapsed();
+
+  // Run phase: start the container and fault blocks in as files are read.
+  sim::SimTimer run_timer(link_.clock());
+  link_.clock().advance(params_.startup_seconds);
+
+  std::set<std::uint64_t>& cache = fetched_[reference];
+  for (const workload::FileAccess& fa : access.files) {
+    link_.clock().advance(params_.per_file_open_seconds);
+    Extent e = dev.extent_of(fa.path).value();
+    if (e.file_bytes != fa.size) {
+      throw_error(ErrorCode::kInternal, "device size mismatch at " + fa.path);
+    }
+    // Fetch the extent's missing blocks as one contiguous request per run
+    // of absent blocks (NFS readahead batches sequential blocks).
+    std::uint64_t run_start = 0;
+    std::uint64_t run_len = 0;
+    auto flush = [&] {
+      if (run_len == 0) return;
+      std::uint64_t bytes = run_len * dev.block_size();
+      link_.request(bytes);
+      stats.run_bytes_downloaded += bytes;
+      disk_.write(bytes);
+      blocks_fetched_ += run_len;
+      run_len = 0;
+    };
+    for (std::uint64_t b = e.first_block; b < e.first_block + e.block_count;
+         ++b) {
+      if (cache.count(b) != 0) {
+        flush();
+        continue;
+      }
+      cache.insert(b);
+      if (run_len == 0) run_start = b;
+      (void)run_start;
+      ++run_len;
+    }
+    flush();
+    disk_.read(fa.size);
+  }
+  stats.run_seconds = run_timer.elapsed();
+  return stats;
+}
+
+void SlackerClient::clear_cache() { fetched_.clear(); }
+
+}  // namespace gear::slacker

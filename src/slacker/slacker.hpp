@@ -1,0 +1,68 @@
+// Slacker baseline: block-level lazy image distribution (paper §V-E2).
+//
+// The registry side keeps one virtual block device per image version
+// (server-side snapshots/clones are free, as with Tintri VMstore). A client
+// deploying a container clones the device (constant-time, metadata only) and
+// then faults blocks in on demand over the link. Key contrasts with Gear:
+//  * transfer unit is a block, so small files round up to whole blocks and
+//    the object count is much higher than file count;
+//  * fetched blocks are cached per image *version* — there is no
+//    content-based sharing across versions or images, so every new version
+//    re-downloads everything it touches.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "docker/client.hpp"  // RuntimeParams / DeployStats
+#include "sim/disk.hpp"
+#include "sim/network.hpp"
+#include "slacker/block_device.hpp"
+#include "workload/access.hpp"
+
+namespace gear::slacker {
+
+class SlackerRegistry {
+ public:
+  /// Registers an image version as a block device.
+  void put_image(const std::string& reference, VirtualBlockDevice device);
+
+  bool has_image(const std::string& reference) const;
+  const VirtualBlockDevice& device(const std::string& reference) const;
+
+  /// Server storage: devices are stored thin (used blocks only), and
+  /// identical devices are NOT deduplicated across versions.
+  std::uint64_t storage_bytes() const;
+
+ private:
+  std::map<std::string, VirtualBlockDevice> devices_;
+};
+
+class SlackerClient {
+ public:
+  SlackerClient(SlackerRegistry& registry, sim::NetworkLink& link,
+                sim::DiskModel& disk, docker::RuntimeParams params = {});
+
+  /// Deploys a container: snapshot-clone + NFS mount (cheap, constant), then
+  /// replay `access`, faulting in missing blocks file-extent by file-extent.
+  docker::DeployStats deploy(const std::string& reference,
+                             const workload::AccessSet& access);
+
+  /// Drops the per-version NFS client block cache (cold runs).
+  void clear_cache();
+
+  std::uint64_t blocks_fetched() const noexcept { return blocks_fetched_; }
+
+ private:
+  SlackerRegistry& registry_;
+  sim::NetworkLink& link_;
+  sim::DiskModel& disk_;
+  docker::RuntimeParams params_;
+  /// reference -> set of block indices already fetched (NFS client cache,
+  /// shared between containers of the SAME image version only).
+  std::map<std::string, std::set<std::uint64_t>> fetched_;
+  std::uint64_t blocks_fetched_ = 0;
+};
+
+}  // namespace gear::slacker

@@ -1,0 +1,281 @@
+#include "tar/tar.hpp"
+
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace gear::tar {
+namespace {
+
+constexpr std::size_t kBlockSize = 512;
+constexpr char kWhiteoutPrefix[] = ".wh.";
+constexpr char kOpaqueMarker[] = ".wh..wh..opq";
+
+struct Header {
+  char name[100];
+  char mode[8];
+  char uid[8];
+  char gid[8];
+  char size[12];
+  char mtime[12];
+  char chksum[8];
+  char typeflag;
+  char linkname[100];
+  char magic[6];
+  char version[2];
+  char uname[32];
+  char gname[32];
+  char devmajor[8];
+  char devminor[8];
+  char prefix[155];
+  char padding[12];
+};
+static_assert(sizeof(Header) == kBlockSize, "ustar header must be 512 bytes");
+
+void write_octal(char* field, std::size_t len, std::uint64_t value) {
+  // len-1 octal digits followed by NUL, zero padded.
+  for (std::size_t i = len - 1; i-- > 0;) {
+    field[i] = static_cast<char>('0' + (value & 7));
+    value >>= 3;
+  }
+  field[len - 1] = '\0';
+  if (value != 0) {
+    throw_error(ErrorCode::kInvalidArgument, "tar: numeric field overflow");
+  }
+}
+
+std::uint64_t read_octal(const char* field, std::size_t len) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < len && field[i] != '\0' && field[i] != ' '; ++i) {
+    if (field[i] < '0' || field[i] > '7') {
+      throw_error(ErrorCode::kCorruptData, "tar: bad octal digit");
+    }
+    v = (v << 3) | static_cast<std::uint64_t>(field[i] - '0');
+  }
+  return v;
+}
+
+void set_path(Header& h, const std::string& path) {
+  if (path.size() <= sizeof(h.name)) {
+    std::memcpy(h.name, path.data(), path.size());
+    return;
+  }
+  // Split into prefix/name at a '/' so that prefix <= 155 and name <= 100.
+  std::size_t split = path.rfind('/', sizeof(h.prefix));
+  if (split == std::string::npos || path.size() - split - 1 > sizeof(h.name)) {
+    throw_error(ErrorCode::kInvalidArgument, "tar: path too long: " + path);
+  }
+  std::memcpy(h.prefix, path.data(), split);
+  std::memcpy(h.name, path.data() + split + 1, path.size() - split - 1);
+}
+
+std::string get_path(const Header& h) {
+  auto field_str = [](const char* f, std::size_t n) {
+    std::size_t len = 0;
+    while (len < n && f[len] != '\0') ++len;
+    return std::string(f, len);
+  };
+  std::string name = field_str(h.name, sizeof(h.name));
+  std::string prefix = field_str(h.prefix, sizeof(h.prefix));
+  if (prefix.empty()) return name;
+  return prefix + "/" + name;
+}
+
+void finalize_checksum(Header& h) {
+  std::memset(h.chksum, ' ', sizeof(h.chksum));
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(&h);
+  std::uint32_t sum = 0;
+  for (std::size_t i = 0; i < kBlockSize; ++i) sum += bytes[i];
+  // 6 octal digits, NUL, space (historical ustar layout).
+  for (std::size_t i = 6; i-- > 0;) {
+    h.chksum[i] = static_cast<char>('0' + (sum & 7));
+    sum >>= 3;
+  }
+  h.chksum[6] = '\0';
+  h.chksum[7] = ' ';
+}
+
+bool verify_checksum(const Header& h) {
+  Header copy = h;
+  std::memset(copy.chksum, ' ', sizeof(copy.chksum));
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(&copy);
+  std::uint32_t sum = 0;
+  for (std::size_t i = 0; i < kBlockSize; ++i) sum += bytes[i];
+  return read_octal(h.chksum, sizeof(h.chksum)) == sum;
+}
+
+void emit_entry(Bytes& out, const std::string& path, char typeflag,
+                const vfs::Metadata& meta, BytesView content,
+                const std::string& linkname) {
+  Header h{};
+  set_path(h, path);
+  write_octal(h.mode, sizeof(h.mode), meta.mode);
+  write_octal(h.uid, sizeof(h.uid), meta.uid);
+  write_octal(h.gid, sizeof(h.gid), meta.gid);
+  write_octal(h.size, sizeof(h.size), typeflag == '0' ? content.size() : 0);
+  write_octal(h.mtime, sizeof(h.mtime), meta.mtime);
+  h.typeflag = typeflag;
+  if (!linkname.empty()) {
+    if (linkname.size() > sizeof(h.linkname)) {
+      throw_error(ErrorCode::kInvalidArgument, "tar: link target too long");
+    }
+    std::memcpy(h.linkname, linkname.data(), linkname.size());
+  }
+  std::memcpy(h.magic, "ustar", 6);
+  std::memcpy(h.version, "00", 2);
+  finalize_checksum(h);
+
+  const auto* hbytes = reinterpret_cast<const std::uint8_t*>(&h);
+  out.insert(out.end(), hbytes, hbytes + kBlockSize);
+  if (typeflag == '0' && !content.empty()) {
+    append(out, content);
+    std::size_t rem = content.size() % kBlockSize;
+    if (rem != 0) out.insert(out.end(), kBlockSize - rem, 0);
+  }
+}
+
+void emit_node(Bytes& out, const std::string& path, const vfs::FileNode& node) {
+  switch (node.type()) {
+    case vfs::NodeType::kWhiteout: {
+      // ".wh.<name>" zero-length file in the parent directory.
+      std::size_t slash = path.rfind('/');
+      std::string wh = slash == std::string::npos
+                           ? std::string(kWhiteoutPrefix) + path
+                           : path.substr(0, slash + 1) + kWhiteoutPrefix +
+                                 path.substr(slash + 1);
+      emit_entry(out, wh, '0', vfs::Metadata{}, {}, "");
+      return;
+    }
+    case vfs::NodeType::kDirectory: {
+      emit_entry(out, path + "/", '5', node.metadata(), {}, "");
+      if (node.opaque()) {
+        emit_entry(out, path + "/" + kOpaqueMarker, '0', vfs::Metadata{}, {},
+                   "");
+      }
+      for (const auto& [name, child] : node.children()) {
+        emit_node(out, path + "/" + name, *child);
+      }
+      return;
+    }
+    case vfs::NodeType::kRegular:
+      emit_entry(out, path, '0', node.metadata(), node.content(), "");
+      return;
+    case vfs::NodeType::kSymlink:
+      emit_entry(out, path, '2', node.metadata(), {}, node.link_target());
+      return;
+    case vfs::NodeType::kFingerprint:
+      // Index stubs never travel inside layer tarballs; the Gear index uses
+      // the tree serializer instead.
+      throw_error(ErrorCode::kUnsupported,
+                  "tar: fingerprint stubs cannot be archived");
+  }
+}
+
+}  // namespace
+
+Bytes archive_tree(const vfs::FileTree& tree) {
+  Bytes out;
+  for (const auto& [name, child] : tree.root().children()) {
+    emit_node(out, name, *child);
+  }
+  // Trailer: two zero blocks.
+  out.insert(out.end(), 2 * kBlockSize, 0);
+  return out;
+}
+
+vfs::FileTree extract_tree(BytesView archive) {
+  if (archive.size() % kBlockSize != 0) {
+    throw_error(ErrorCode::kCorruptData, "tar: size not block-aligned");
+  }
+  vfs::FileTree tree;
+  std::size_t pos = 0;
+  while (pos + kBlockSize <= archive.size()) {
+    Header h;
+    std::memcpy(&h, archive.data() + pos, kBlockSize);
+    pos += kBlockSize;
+
+    // End-of-archive: an all-zero block.
+    bool all_zero = true;
+    const auto* raw = reinterpret_cast<const std::uint8_t*>(&h);
+    for (std::size_t i = 0; i < kBlockSize && all_zero; ++i) {
+      all_zero = raw[i] == 0;
+    }
+    if (all_zero) break;
+
+    if (std::memcmp(h.magic, "ustar", 5) != 0) {
+      throw_error(ErrorCode::kCorruptData, "tar: bad magic");
+    }
+    if (!verify_checksum(h)) {
+      throw_error(ErrorCode::kCorruptData, "tar: header checksum mismatch");
+    }
+
+    std::string path = get_path(h);
+    while (!path.empty() && path.back() == '/') path.pop_back();
+    std::uint64_t size = read_octal(h.size, sizeof(h.size));
+    vfs::Metadata meta;
+    meta.mode = static_cast<std::uint32_t>(read_octal(h.mode, sizeof(h.mode)));
+    meta.uid = static_cast<std::uint32_t>(read_octal(h.uid, sizeof(h.uid)));
+    meta.gid = static_cast<std::uint32_t>(read_octal(h.gid, sizeof(h.gid)));
+    meta.mtime = read_octal(h.mtime, sizeof(h.mtime));
+
+    Bytes content;
+    if (h.typeflag == '0' || h.typeflag == '\0') {
+      if (pos + size > archive.size()) {
+        throw_error(ErrorCode::kCorruptData, "tar: truncated file payload");
+      }
+      content.assign(archive.begin() + pos, archive.begin() + pos + size);
+      pos += (size + kBlockSize - 1) / kBlockSize * kBlockSize;
+    }
+
+    // Decode whiteout / opaque conventions back into node types.
+    std::size_t slash = path.rfind('/');
+    std::string basename =
+        slash == std::string::npos ? path : path.substr(slash + 1);
+
+    if (basename == kOpaqueMarker) {
+      std::string dir = path.substr(0, slash);
+      vfs::FileNode* node = tree.lookup(dir);
+      if (node == nullptr || !node->is_directory()) {
+        throw_error(ErrorCode::kCorruptData,
+                    "tar: opaque marker without directory");
+      }
+      node->set_opaque(true);
+      continue;
+    }
+    if (basename.rfind(kWhiteoutPrefix, 0) == 0) {
+      std::string target_name = basename.substr(std::strlen(kWhiteoutPrefix));
+      std::string target = slash == std::string::npos
+                               ? target_name
+                               : path.substr(0, slash + 1) + target_name;
+      tree.add_whiteout(target);
+      continue;
+    }
+
+    switch (h.typeflag) {
+      case '0':
+      case '\0':
+        tree.add_file(path, std::move(content), meta);
+        break;
+      case '5':
+        tree.add_directory(path, meta);
+        break;
+      case '2': {
+        std::size_t len = 0;
+        while (len < sizeof(h.linkname) && h.linkname[len] != '\0') ++len;
+        tree.add_symlink(path, std::string(h.linkname, len), meta);
+        break;
+      }
+      default:
+        throw_error(ErrorCode::kUnsupported,
+                    std::string("tar: unsupported entry type '") +
+                        h.typeflag + "'");
+    }
+  }
+  return tree;
+}
+
+std::uint64_t archive_block_count(const vfs::FileTree& tree) {
+  return archive_tree(tree).size() / kBlockSize;
+}
+
+}  // namespace gear::tar

@@ -1,0 +1,31 @@
+// POSIX ustar archive writer/reader.
+//
+// Docker stores every image layer as a (compressed) tarball (paper §II-B).
+// This module serializes a layer's diff tree into a ustar archive and back:
+//  * regular files, directories, and symlinks map to their tar entry types;
+//  * whiteouts use Docker's on-the-wire convention — a zero-length file named
+//    ".wh.<name>" in the parent directory;
+//  * opaque directories carry a ".wh..wh..opq" marker entry inside them.
+#pragma once
+
+#include "util/bytes.hpp"
+#include "vfs/file_tree.hpp"
+
+namespace gear::tar {
+
+/// Serializes a layer tree into a ustar archive. Whiteout/opaque markers are
+/// encoded with the Docker naming convention. Entry order is deterministic
+/// (depth-first, name-ordered), so equal trees produce byte-equal archives —
+/// the property layer digests rely on.
+Bytes archive_tree(const vfs::FileTree& tree);
+
+/// Parses a ustar archive produced by archive_tree (or any compatible ustar
+/// stream limited to files/dirs/symlinks) back into a layer tree.
+/// Throws Error(kCorruptData) on malformed archives.
+vfs::FileTree extract_tree(BytesView archive);
+
+/// Number of 512-byte blocks (headers + padded payloads + trailer) the
+/// archive of `tree` will occupy; exposed for capacity planning in tests.
+std::uint64_t archive_block_count(const vfs::FileTree& tree);
+
+}  // namespace gear::tar

@@ -1,0 +1,39 @@
+#include "util/crc32.hpp"
+
+#include <array>
+
+namespace gear {
+namespace {
+
+constexpr std::uint32_t kPolynomial = 0xEDB88320u;  // reflected 0x04C11DB7
+
+std::array<std::uint32_t, 256> build_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1) ? (kPolynomial ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& table() {
+  static const std::array<std::uint32_t, 256> t = build_table();
+  return t;
+}
+
+}  // namespace
+
+std::uint32_t crc32_update(std::uint32_t crc, BytesView data) {
+  std::uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (std::uint8_t byte : data) {
+    c = table()[(c ^ byte) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t crc32(BytesView data) { return crc32_update(0, data); }
+
+}  // namespace gear

@@ -1,0 +1,30 @@
+#include "util/file_io.hpp"
+
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace gear {
+
+Bytes read_file_bytes(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw_error(ErrorCode::kInternal, "cannot open " + path.string());
+  }
+  return Bytes((std::istreambuf_iterator<char>(in)),
+               std::istreambuf_iterator<char>());
+}
+
+void write_file_bytes(const std::filesystem::path& path, BytesView content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw_error(ErrorCode::kInternal, "cannot create " + path.string());
+  }
+  out.write(reinterpret_cast<const char*>(content.data()),
+            static_cast<std::streamsize>(content.size()));
+  if (!out) {
+    throw_error(ErrorCode::kInternal, "short write to " + path.string());
+  }
+}
+
+}  // namespace gear

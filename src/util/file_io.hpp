@@ -1,0 +1,18 @@
+// Small filesystem I/O helpers shared by the on-disk backends
+// (gear/fs_store, gear/persistence, vfs/fs_io).
+#pragma once
+
+#include <filesystem>
+
+#include "util/bytes.hpp"
+
+namespace gear {
+
+/// Reads a whole file. Throws Error(kInternal) when unreadable.
+Bytes read_file_bytes(const std::filesystem::path& path);
+
+/// Creates/truncates `path` and writes `content`. Throws Error(kInternal)
+/// on failure (including short writes).
+void write_file_bytes(const std::filesystem::path& path, BytesView content);
+
+}  // namespace gear

@@ -1,0 +1,64 @@
+#include "util/fingerprint.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/hex.hpp"
+#include "util/md5.hpp"
+
+namespace gear {
+
+Fingerprint Fingerprint::from_hex(std::string_view hex) {
+  Bytes raw = hex_decode(hex);
+  if (raw.size() != kSize) {
+    throw_error(ErrorCode::kInvalidArgument,
+                "fingerprint must be 32 hex chars");
+  }
+  std::array<std::uint8_t, kSize> arr{};
+  std::copy(raw.begin(), raw.end(), arr.begin());
+  return Fingerprint(arr);
+}
+
+std::string Fingerprint::hex() const {
+  return hex_encode(BytesView(raw_.data(), raw_.size()));
+}
+
+Fingerprint Md5FingerprintHasher::fingerprint(BytesView content) const {
+  return Fingerprint(Md5::hash(content));
+}
+
+TruncatedFingerprintHasher::TruncatedFingerprintHasher(unsigned bits)
+    : bits_(bits) {
+  if (bits == 0 || bits > 128) {
+    throw_error(ErrorCode::kInvalidArgument,
+                "truncated hasher bits must be in [1,128]");
+  }
+}
+
+Fingerprint TruncatedFingerprintHasher::fingerprint(BytesView content) const {
+  Md5Digest full = Md5::hash(content);
+  std::array<std::uint8_t, Fingerprint::kSize> truncated{};
+  unsigned whole_bytes = bits_ / 8;
+  unsigned rem_bits = bits_ % 8;
+  for (unsigned i = 0; i < whole_bytes; ++i) truncated[i] = full[i];
+  if (rem_bits > 0) {
+    std::uint8_t mask = static_cast<std::uint8_t>(0xff << (8 - rem_bits));
+    truncated[whole_bytes] = full[whole_bytes] & mask;
+  }
+  return Fingerprint(truncated);
+}
+
+std::string TruncatedFingerprintHasher::name() const {
+  return "md5/" + std::to_string(bits_);
+}
+
+const FingerprintHasher& default_hasher() {
+  static const Md5FingerprintHasher hasher;
+  return hasher;
+}
+
+double collision_probability_bound(double n, unsigned bits) {
+  return n * (n - 1.0) / 2.0 * std::exp2(-static_cast<double>(bits));
+}
+
+}  // namespace gear

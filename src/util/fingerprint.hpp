@@ -1,0 +1,89 @@
+// Content fingerprints for Gear files.
+//
+// The paper (§III-B) identifies every regular file by the MD5 hash of its
+// content; the fingerprint doubles as the file's name in the Gear file pool
+// and registries. The hasher is pluggable so tests can substitute a
+// deliberately weak hash and exercise the collision-detection path
+// (paper §III-B, "In cases where concerns over the collision-resistant
+// functions arise...").
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace gear {
+
+/// A 128-bit content fingerprint. For the default MD5 scheme all 16 bytes are
+/// significant; weaker schemes zero-fill the tail.
+class Fingerprint {
+ public:
+  static constexpr std::size_t kSize = 16;
+
+  Fingerprint() = default;
+  explicit Fingerprint(const std::array<std::uint8_t, kSize>& raw) : raw_(raw) {}
+
+  /// Parses a lowercase/uppercase hex fingerprint (32 hex chars).
+  static Fingerprint from_hex(std::string_view hex);
+
+  const std::array<std::uint8_t, kSize>& raw() const noexcept { return raw_; }
+  std::string hex() const;
+
+  auto operator<=>(const Fingerprint&) const = default;
+
+ private:
+  std::array<std::uint8_t, kSize> raw_{};
+};
+
+/// std::hash support so fingerprints key unordered containers directly.
+struct FingerprintHash {
+  std::size_t operator()(const Fingerprint& f) const noexcept {
+    std::size_t h = 0;
+    for (std::size_t i = 0; i < sizeof(std::size_t); ++i) {
+      h = (h << 8) | f.raw()[i];
+    }
+    return h;
+  }
+};
+
+/// Strategy interface producing fingerprints from file content.
+class FingerprintHasher {
+ public:
+  virtual ~FingerprintHasher() = default;
+  virtual Fingerprint fingerprint(BytesView content) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Production hasher: full MD5 (RFC 1321).
+class Md5FingerprintHasher final : public FingerprintHasher {
+ public:
+  Fingerprint fingerprint(BytesView content) const override;
+  std::string name() const override { return "md5"; }
+};
+
+/// Test hasher keeping only the first `bits` of the MD5 digest, making
+/// collisions likely on small corpora. Never used in production paths.
+class TruncatedFingerprintHasher final : public FingerprintHasher {
+ public:
+  explicit TruncatedFingerprintHasher(unsigned bits);
+  Fingerprint fingerprint(BytesView content) const override;
+  std::string name() const override;
+
+ private:
+  unsigned bits_;
+};
+
+/// Shared default hasher instance (stateless, therefore safely shared).
+const FingerprintHasher& default_hasher();
+
+/// Upper bound on the probability that one or more collisions occur among
+/// `n` uniformly distributed `bits`-bit fingerprints (paper Eq. 1,
+/// "birthday paradox" bound): p <= n(n-1)/2 * 2^-bits.
+double collision_probability_bound(double n, unsigned bits);
+
+}  // namespace gear

@@ -1,0 +1,66 @@
+#include "util/format.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace gear {
+namespace {
+
+std::string printf_str(const char* fmt, double v, const char* unit) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v, unit);
+  return buf;
+}
+
+}  // namespace
+
+std::string format_size(std::uint64_t bytes) {
+  static constexpr std::array<const char*, 5> kUnits = {"B", "KB", "MB", "GB",
+                                                        "TB"};
+  double v = static_cast<double>(bytes);
+  std::size_t unit = 0;
+  while (v >= 1000.0 && unit + 1 < kUnits.size()) {
+    v /= 1000.0;
+    ++unit;
+  }
+  if (unit == 0) {
+    return std::to_string(bytes) + " B";
+  }
+  return printf_str("%.1f %s", v, kUnits[unit]);
+}
+
+std::string format_duration(double seconds) {
+  if (seconds < 0) return "-" + format_duration(-seconds);
+  if (seconds < 1e-3) {
+    return printf_str("%.1f %s", seconds * 1e6, "us");
+  }
+  if (seconds < 1.0) {
+    return printf_str("%.1f %s", seconds * 1e3, "ms");
+  }
+  if (seconds < 120.0) {
+    return printf_str("%.2f %s", seconds, "s");
+  }
+  return printf_str("%.1f %s", seconds / 60.0, "min");
+}
+
+std::string format_percent(double fraction) {
+  return printf_str("%.1f %s", fraction * 100.0, "%");
+}
+
+std::string format_speedup(double factor) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2fx", factor);
+  return buf;
+}
+
+std::string pad_left(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return std::string(width - s.size(), ' ') + s;
+}
+
+std::string pad_right(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return s + std::string(width - s.size(), ' ');
+}
+
+}  // namespace gear

@@ -1,0 +1,28 @@
+// Human-readable formatting of sizes, durations, and ratios for benchmark
+// and example output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gear {
+
+/// "370.0 GB", "1.5 MB", "823 B". Decimal units (as the paper reports).
+std::string format_size(std::uint64_t bytes);
+
+/// "46.2 s", "320 ms", "1.2 min".
+std::string format_duration(double seconds);
+
+/// "54.2 %".
+std::string format_percent(double fraction);
+
+/// "2.61x".
+std::string format_speedup(double factor);
+
+/// Left-pads `s` to `width` (for aligned table output).
+std::string pad_left(const std::string& s, std::size_t width);
+
+/// Right-pads `s` to `width`.
+std::string pad_right(const std::string& s, std::size_t width);
+
+}  // namespace gear

@@ -1,0 +1,19 @@
+// Hexadecimal encoding/decoding of byte buffers.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+
+namespace gear {
+
+/// Encodes bytes as lowercase hexadecimal.
+std::string hex_encode(BytesView data);
+
+/// Decodes a hexadecimal string (case-insensitive).
+/// Throws Error(kInvalidArgument) on odd length or non-hex characters.
+Bytes hex_decode(std::string_view hex);
+
+}  // namespace gear

@@ -1,0 +1,70 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/format.hpp"
+
+namespace gear {
+
+void Histogram::record(double value) {
+  samples_.push_back(value);
+  sum_ += value;
+  sorted_valid_ = false;
+}
+
+void Histogram::ensure_sorted() const {
+  if (sorted_valid_) return;
+  sorted_ = samples_;
+  std::sort(sorted_.begin(), sorted_.end());
+  sorted_valid_ = true;
+}
+
+double Histogram::min() const {
+  if (samples_.empty()) {
+    throw_error(ErrorCode::kInvalidArgument, "histogram is empty");
+  }
+  ensure_sorted();
+  return sorted_.front();
+}
+
+double Histogram::max() const {
+  if (samples_.empty()) {
+    throw_error(ErrorCode::kInvalidArgument, "histogram is empty");
+  }
+  ensure_sorted();
+  return sorted_.back();
+}
+
+double Histogram::mean() const {
+  if (samples_.empty()) {
+    throw_error(ErrorCode::kInvalidArgument, "histogram is empty");
+  }
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+double Histogram::percentile(double p) const {
+  if (samples_.empty()) {
+    throw_error(ErrorCode::kInvalidArgument, "histogram is empty");
+  }
+  if (p < 0.0 || p > 100.0) {
+    throw_error(ErrorCode::kInvalidArgument, "percentile out of range");
+  }
+  ensure_sorted();
+  if (p == 0.0) return sorted_.front();
+  auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(sorted_.size())));
+  return sorted_[std::min(rank, sorted_.size()) - 1];
+}
+
+std::string Histogram::summary_seconds() const {
+  if (samples_.empty()) return "n=0";
+  return "n=" + std::to_string(count()) + " mean=" + format_duration(mean()) +
+         " p50=" + format_duration(percentile(50)) +
+         " p90=" + format_duration(percentile(90)) +
+         " p99=" + format_duration(percentile(99)) +
+         " max=" + format_duration(max());
+}
+
+}  // namespace gear

@@ -1,0 +1,43 @@
+// Latency/size histogram with exact percentiles.
+//
+// Used by the trace-driven experiments to report p50/p90/p99 deployment
+// latencies. Samples are kept exactly (traces are small); percentiles use
+// the nearest-rank method.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gear {
+
+class Histogram {
+ public:
+  void record(double value);
+
+  std::size_t count() const noexcept { return samples_.size(); }
+  double min() const;
+  double max() const;
+  double mean() const;
+  double sum() const noexcept { return sum_; }
+
+  /// Nearest-rank percentile, p in [0, 100]. Throws on empty histogram or
+  /// out-of-range p.
+  double percentile(double p) const;
+
+  /// "n=.. mean=.. p50=.. p90=.. p99=.. max=.." one-liner via a formatting
+  /// callback (e.g. format_duration).
+  std::string summary(const std::string& (*unused)(const std::string&)) const =
+      delete;
+  std::string summary_seconds() const;
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+  double sum_ = 0;
+};
+
+}  // namespace gear

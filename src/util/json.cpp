@@ -1,0 +1,324 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace gear {
+namespace {
+
+void dump_string(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json parse_document() {
+    Json v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) {
+    throw_error(ErrorCode::kCorruptData,
+                "json: " + why + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  char take() {
+    char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    if (take() != c) fail(std::string("expected '") + c + "'");
+  }
+
+  void expect_keyword(std::string_view kw) {
+    if (text_.substr(pos_, kw.size()) != kw) fail("bad keyword");
+    pos_ += kw.size();
+  }
+
+  Json parse_value() {
+    skip_ws();
+    char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Json(parse_string());
+      case 't': expect_keyword("true"); return Json(true);
+      case 'f': expect_keyword("false"); return Json(false);
+      case 'n': expect_keyword("null"); return Json(nullptr);
+      default: return parse_number();
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      char c = take();
+      if (c == '"') return out;
+      if (c == '\\') {
+        char esc = take();
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = take();
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else fail("bad \\u escape");
+            }
+            // UTF-8 encode the BMP code point (surrogate pairs unsupported;
+            // manifests never contain them).
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xc0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+            } else {
+              out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+            }
+            break;
+          }
+          default: fail("bad escape");
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        fail("control character in string");
+      } else {
+        out.push_back(c);
+      }
+    }
+  }
+
+  Json parse_number() {
+    std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    bool is_double = false;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      is_double = true;
+      ++pos_;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      is_double = true;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    std::string_view num = text_.substr(start, pos_ - start);
+    if (num.empty() || num == "-") fail("bad number");
+    if (!is_double) {
+      std::int64_t v = 0;
+      auto [p, ec] = std::from_chars(num.data(), num.data() + num.size(), v);
+      if (ec == std::errc() && p == num.data() + num.size()) return Json(v);
+    }
+    double d = 0;
+    auto [p, ec] = std::from_chars(num.data(), num.data() + num.size(), d);
+    if (ec != std::errc() || p != num.data() + num.size()) fail("bad number");
+    return Json(d);
+  }
+
+  Json parse_array() {
+    expect('[');
+    JsonArray arr;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Json(std::move(arr));
+    }
+    for (;;) {
+      arr.push_back(parse_value());
+      skip_ws();
+      char c = take();
+      if (c == ']') return Json(std::move(arr));
+      if (c != ',') fail("expected ',' or ']'");
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    JsonObject obj;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Json(std::move(obj));
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj[key] = parse_value();
+      skip_ws();
+      char c = take();
+      if (c == '}') return Json(std::move(obj));
+      if (c != ',') fail("expected ',' or '}'");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool Json::as_bool() const {
+  if (!is_bool()) throw_error(ErrorCode::kInvalidArgument, "json: not a bool");
+  return std::get<bool>(value_);
+}
+
+std::int64_t Json::as_int() const {
+  if (is_int()) return std::get<std::int64_t>(value_);
+  if (is_double()) {
+    double d = std::get<double>(value_);
+    if (d == std::floor(d)) return static_cast<std::int64_t>(d);
+  }
+  throw_error(ErrorCode::kInvalidArgument, "json: not an integer");
+}
+
+double Json::as_double() const {
+  if (is_double()) return std::get<double>(value_);
+  if (is_int()) return static_cast<double>(std::get<std::int64_t>(value_));
+  throw_error(ErrorCode::kInvalidArgument, "json: not a number");
+}
+
+const std::string& Json::as_string() const {
+  if (!is_string()) throw_error(ErrorCode::kInvalidArgument, "json: not a string");
+  return std::get<std::string>(value_);
+}
+
+const JsonArray& Json::as_array() const {
+  if (!is_array()) throw_error(ErrorCode::kInvalidArgument, "json: not an array");
+  return std::get<JsonArray>(value_);
+}
+
+JsonArray& Json::as_array() {
+  if (!is_array()) throw_error(ErrorCode::kInvalidArgument, "json: not an array");
+  return std::get<JsonArray>(value_);
+}
+
+const JsonObject& Json::as_object() const {
+  if (!is_object()) throw_error(ErrorCode::kInvalidArgument, "json: not an object");
+  return std::get<JsonObject>(value_);
+}
+
+JsonObject& Json::as_object() {
+  if (!is_object()) throw_error(ErrorCode::kInvalidArgument, "json: not an object");
+  return std::get<JsonObject>(value_);
+}
+
+const Json& Json::at(const std::string& key) const {
+  const Json* v = get(key);
+  if (v == nullptr) throw_error(ErrorCode::kNotFound, "json: missing key " + key);
+  return *v;
+}
+
+const Json* Json::get(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  const auto& obj = std::get<JsonObject>(value_);
+  auto it = obj.find(key);
+  return it == obj.end() ? nullptr : &it->second;
+}
+
+Json& Json::operator[](const std::string& key) {
+  if (is_null()) value_ = JsonObject{};
+  return as_object()[key];
+}
+
+std::string Json::dump() const {
+  std::string out;
+  if (is_null()) {
+    out = "null";
+  } else if (is_bool()) {
+    out = as_bool() ? "true" : "false";
+  } else if (is_int()) {
+    out = std::to_string(std::get<std::int64_t>(value_));
+  } else if (is_double()) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", std::get<double>(value_));
+    out = buf;
+  } else if (is_string()) {
+    dump_string(out, as_string());
+  } else if (is_array()) {
+    out.push_back('[');
+    bool first = true;
+    for (const Json& v : as_array()) {
+      if (!first) out.push_back(',');
+      first = false;
+      out += v.dump();
+    }
+    out.push_back(']');
+  } else {
+    out.push_back('{');
+    bool first = true;
+    for (const auto& [k, v] : as_object()) {
+      if (!first) out.push_back(',');
+      first = false;
+      dump_string(out, k);
+      out.push_back(':');
+      out += v.dump();
+    }
+    out.push_back('}');
+  }
+  return out;
+}
+
+Json Json::parse(std::string_view text) { return Parser(text).parse_document(); }
+
+}  // namespace gear

@@ -1,0 +1,77 @@
+// Minimal JSON value type with parser and serializer.
+//
+// Docker image manifests and config blobs are JSON documents (paper §II-B);
+// the Docker substrate serializes its manifests with this module so they
+// survive registry round-trips as real documents rather than in-memory
+// structs. Supports the full JSON grammar except exotic number forms
+// (numbers are stored as int64 when integral, double otherwise).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace gear {
+
+class Json;
+using JsonArray = std::vector<Json>;
+using JsonObject = std::map<std::string, Json>;  // ordered => stable dumps
+
+class Json {
+ public:
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}          // NOLINT
+  Json(bool b) : value_(b) {}                        // NOLINT
+  Json(std::int64_t i) : value_(i) {}                // NOLINT
+  Json(int i) : value_(static_cast<std::int64_t>(i)) {}  // NOLINT
+  Json(std::uint64_t u) : value_(static_cast<std::int64_t>(u)) {}  // NOLINT
+  Json(double d) : value_(d) {}                      // NOLINT
+  Json(std::string s) : value_(std::move(s)) {}      // NOLINT
+  Json(const char* s) : value_(std::string(s)) {}    // NOLINT
+  Json(JsonArray a) : value_(std::move(a)) {}        // NOLINT
+  Json(JsonObject o) : value_(std::move(o)) {}       // NOLINT
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_int() const { return std::holds_alternative<std::int64_t>(value_); }
+  bool is_double() const { return std::holds_alternative<double>(value_); }
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_array() const { return std::holds_alternative<JsonArray>(value_); }
+  bool is_object() const { return std::holds_alternative<JsonObject>(value_); }
+
+  /// Typed accessors; throw Error(kInvalidArgument) on type mismatch.
+  bool as_bool() const;
+  std::int64_t as_int() const;
+  double as_double() const;
+  const std::string& as_string() const;
+  const JsonArray& as_array() const;
+  JsonArray& as_array();
+  const JsonObject& as_object() const;
+  JsonObject& as_object();
+
+  /// Object member access; `at` throws kNotFound when absent, `get` returns
+  /// nullptr.
+  const Json& at(const std::string& key) const;
+  const Json* get(const std::string& key) const;
+  Json& operator[](const std::string& key);
+
+  /// Serializes to a compact JSON string.
+  std::string dump() const;
+
+  /// Parses a JSON document. Throws Error(kCorruptData) on syntax errors.
+  static Json parse(std::string_view text);
+
+  friend bool operator==(const Json&, const Json&) = default;
+
+ private:
+  std::variant<std::nullptr_t, bool, std::int64_t, double, std::string,
+               JsonArray, JsonObject>
+      value_;
+};
+
+}  // namespace gear

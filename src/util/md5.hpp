@@ -1,0 +1,50 @@
+// MD5 message digest (RFC 1321), implemented from scratch.
+//
+// Gear uses MD5 to fingerprint regular file contents (paper §III-B). The
+// incremental interface lets callers hash streamed data (tar extraction,
+// chunked downloads) without buffering whole files.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace gear {
+
+/// 128-bit MD5 digest.
+using Md5Digest = std::array<std::uint8_t, 16>;
+
+/// Incremental MD5 hasher.
+class Md5 {
+ public:
+  Md5() { reset(); }
+
+  /// Resets to the initial state, discarding any absorbed data.
+  void reset();
+
+  /// Absorbs `data` into the hash state.
+  void update(BytesView data);
+
+  /// Finalizes and returns the digest. The hasher must be reset() before
+  /// further use.
+  Md5Digest finish();
+
+  /// One-shot convenience: digest of `data`.
+  static Md5Digest hash(BytesView data);
+
+  /// One-shot convenience: lowercase hex digest of `data`.
+  static std::string hex(BytesView data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 4> state_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::uint64_t total_len_ = 0;  // bytes absorbed so far
+  std::size_t buffer_len_ = 0;   // bytes pending in buffer_
+  bool finished_ = false;
+};
+
+}  // namespace gear

@@ -1,0 +1,130 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace gear {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl64(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+// FNV-1a over a label, for deriving per-entity sub-seeds.
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+Rng Rng::from_label(std::uint64_t base_seed, std::string_view label) {
+  return Rng(base_seed ^ fnv1a(label));
+}
+
+void Rng::reseed(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+}
+
+std::uint64_t Rng::next_u64() {
+  std::uint64_t result = rotl64(s_[0] + s_[3], 23) + s_[0];
+  std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl64(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  if (bound == 0) {
+    throw_error(ErrorCode::kInvalidArgument, "Rng::next_below(0)");
+  }
+  // Rejection sampling to avoid modulo bias.
+  std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    std::uint64_t r = next_u64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::uint64_t Rng::next_range(std::uint64_t lo, std::uint64_t hi) {
+  if (lo > hi) {
+    throw_error(ErrorCode::kInvalidArgument, "Rng::next_range: lo > hi");
+  }
+  return lo + next_below(hi - lo + 1);
+}
+
+double Rng::next_double() {
+  // 53 top bits -> double in [0,1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::next_bool(double p) { return next_double() < p; }
+
+std::uint64_t Rng::next_log_uniform(std::uint64_t lo, std::uint64_t hi) {
+  if (lo == 0 || lo > hi) {
+    throw_error(ErrorCode::kInvalidArgument, "Rng::next_log_uniform bounds");
+  }
+  double llo = std::log(static_cast<double>(lo));
+  double lhi = std::log(static_cast<double>(hi));
+  double v = std::exp(llo + next_double() * (lhi - llo));
+  auto out = static_cast<std::uint64_t>(v);
+  return std::min(std::max(out, lo), hi);
+}
+
+Bytes Rng::next_bytes(std::size_t n, double compressibility) {
+  Bytes out;
+  out.reserve(n);
+  // Repetitive runs of length proportional to compressibility interleaved
+  // with random bytes give the LZSS codec a tunable ratio.
+  while (out.size() < n) {
+    if (compressibility > 0 && next_bool(compressibility)) {
+      std::uint8_t b = static_cast<std::uint8_t>(next_u64());
+      std::size_t run = static_cast<std::size_t>(
+          next_range(8, 8 + static_cast<std::uint64_t>(120 * compressibility)));
+      run = std::min(run, n - out.size());
+      out.insert(out.end(), run, b);
+    } else {
+      std::uint64_t r = next_u64();
+      for (int i = 0; i < 8 && out.size() < n; ++i) {
+        out.push_back(static_cast<std::uint8_t>(r >> (i * 8)));
+      }
+    }
+  }
+  return out;
+}
+
+std::size_t Rng::next_zipf(std::size_t n, double s) {
+  if (n == 0) {
+    throw_error(ErrorCode::kInvalidArgument, "Rng::next_zipf(0)");
+  }
+  // Inverse-CDF sampling over the (approximate) continuous Zipf distribution;
+  // accurate enough for workload skew and O(1) per draw.
+  double u = next_double();
+  if (s == 1.0) s = 1.0000001;
+  double nn = static_cast<double>(n);
+  double h = (std::pow(nn, 1.0 - s) - 1.0) / (1.0 - s);
+  // x lands in [1, n]; ranks are 0-based.
+  double x = std::pow(1.0 + u * h * (1.0 - s), 1.0 / (1.0 - s));
+  auto rank = static_cast<std::size_t>(x) - 1;
+  return std::min(rank, n - 1);
+}
+
+}  // namespace gear

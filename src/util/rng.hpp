@@ -1,0 +1,61 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// All randomness in the repository flows through this generator so that the
+// synthetic Docker-Hub corpus, access sets, and benchmarks are bit-for-bit
+// reproducible from a seed (DESIGN.md §7).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace gear {
+
+/// xoshiro256++ PRNG seeded via splitmix64. Not cryptographic; used only for
+/// workload generation.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) { reseed(seed); }
+
+  /// Derives a seed from a string label, so independent streams (one per
+  /// image series, per version, ...) can be created without coordination.
+  static Rng from_label(std::uint64_t base_seed, std::string_view label);
+
+  void reseed(std::uint64_t seed);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t next_range(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli trial with probability p of returning true.
+  bool next_bool(double p);
+
+  /// Log-uniform size in [lo, hi]: sizes spread evenly across orders of
+  /// magnitude, matching the heavy-tailed small-file distribution of
+  /// container images (paper §V-B: "files are usually small").
+  std::uint64_t next_log_uniform(std::uint64_t lo, std::uint64_t hi);
+
+  /// Fills a byte buffer with pseudo-random data of the given
+  /// compressibility in [0,1]: 0 -> fully random (incompressible),
+  /// 1 -> highly repetitive.
+  Bytes next_bytes(std::size_t n, double compressibility = 0.0);
+
+  /// Zipf-like rank selection over `n` items with exponent `s` — used for
+  /// skewed file popularity in access sets.
+  std::size_t next_zipf(std::size_t n, double s);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace gear

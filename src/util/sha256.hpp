@@ -1,0 +1,40 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Docker identifies image layers by the SHA-256 of their (compressed) tarball
+// content (paper §II-A); the Docker substrate in this repo does the same.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace gear {
+
+/// 256-bit SHA-256 digest.
+using Sha256Digest = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256 hasher.
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  void update(BytesView data);
+  Sha256Digest finish();
+
+  static Sha256Digest hash(BytesView data);
+  static std::string hex(BytesView data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::uint64_t total_len_ = 0;
+  std::size_t buffer_len_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace gear

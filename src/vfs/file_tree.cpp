@@ -1,0 +1,271 @@
+#include "vfs/file_tree.hpp"
+
+#include "util/error.hpp"
+
+namespace gear::vfs {
+
+void FileNode::set_content(Bytes content) {
+  if (type_ != NodeType::kRegular) {
+    throw_error(ErrorCode::kInvalidArgument, "set_content on non-regular node");
+  }
+  content_ = std::move(content);
+}
+
+void FileNode::set_link_target(std::string target) {
+  if (type_ != NodeType::kSymlink) {
+    throw_error(ErrorCode::kInvalidArgument,
+                "set_link_target on non-symlink node");
+  }
+  link_target_ = std::move(target);
+}
+
+void FileNode::set_fingerprint(const Fingerprint& fp,
+                               std::uint64_t original_size) {
+  if (type_ != NodeType::kFingerprint) {
+    throw_error(ErrorCode::kInvalidArgument,
+                "set_fingerprint on non-stub node");
+  }
+  fingerprint_ = fp;
+  stub_size_ = original_size;
+}
+
+FileNode* FileNode::child(std::string_view name) {
+  auto it = children_.find(std::string(name));
+  return it == children_.end() ? nullptr : it->second.get();
+}
+
+const FileNode* FileNode::child(std::string_view name) const {
+  auto it = children_.find(std::string(name));
+  return it == children_.end() ? nullptr : it->second.get();
+}
+
+FileNode& FileNode::add_child(std::string name,
+                              std::unique_ptr<FileNode> node) {
+  if (type_ != NodeType::kDirectory) {
+    throw_error(ErrorCode::kInvalidArgument, "add_child on non-directory");
+  }
+  auto [it, inserted] = children_.insert_or_assign(std::move(name),
+                                                   std::move(node));
+  (void)inserted;
+  return *it->second;
+}
+
+bool FileNode::remove_child(std::string_view name) {
+  return children_.erase(std::string(name)) > 0;
+}
+
+std::unique_ptr<FileNode> FileNode::clone() const {
+  auto copy = std::make_unique<FileNode>(type_);
+  copy->meta_ = meta_;
+  copy->content_ = content_;
+  copy->link_target_ = link_target_;
+  copy->fingerprint_ = fingerprint_;
+  copy->stub_size_ = stub_size_;
+  copy->opaque_ = opaque_;
+  for (const auto& [name, child] : children_) {
+    copy->children_.emplace(name, child->clone());
+  }
+  return copy;
+}
+
+bool FileNode::equals(const FileNode& other) const {
+  if (type_ != other.type_ || !(meta_ == other.meta_) ||
+      opaque_ != other.opaque_) {
+    return false;
+  }
+  switch (type_) {
+    case NodeType::kRegular:
+      if (content_ != other.content_) return false;
+      break;
+    case NodeType::kSymlink:
+      if (link_target_ != other.link_target_) return false;
+      break;
+    case NodeType::kFingerprint:
+      if (fingerprint_ != other.fingerprint_ || stub_size_ != other.stub_size_)
+        return false;
+      break;
+    case NodeType::kDirectory:
+    case NodeType::kWhiteout:
+      break;
+  }
+  if (children_.size() != other.children_.size()) return false;
+  auto it = children_.begin();
+  auto jt = other.children_.begin();
+  for (; it != children_.end(); ++it, ++jt) {
+    if (it->first != jt->first || !it->second->equals(*jt->second)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+FileTree& FileTree::operator=(const FileTree& other) {
+  if (this != &other) root_ = other.root_->clone();
+  return *this;
+}
+
+std::vector<std::string> FileTree::split_path(std::string_view path) {
+  std::vector<std::string> segments;
+  std::size_t start = 0;
+  while (start <= path.size()) {
+    std::size_t end = path.find('/', start);
+    if (end == std::string_view::npos) end = path.size();
+    std::string_view seg = path.substr(start, end - start);
+    if (!seg.empty() && seg != ".") {
+      if (seg == "..") {
+        throw_error(ErrorCode::kInvalidArgument,
+                    "path must not contain '..': " + std::string(path));
+      }
+      segments.emplace_back(seg);
+    }
+    start = end + 1;
+  }
+  if (segments.empty()) {
+    throw_error(ErrorCode::kInvalidArgument, "empty path");
+  }
+  return segments;
+}
+
+FileNode& FileTree::ensure_parent(const std::vector<std::string>& segments) {
+  FileNode* node = root_.get();
+  for (std::size_t i = 0; i + 1 < segments.size(); ++i) {
+    FileNode* next = node->child(segments[i]);
+    if (next == nullptr) {
+      next = &node->add_child(segments[i],
+                              std::make_unique<FileNode>(NodeType::kDirectory));
+    } else if (!next->is_directory()) {
+      throw_error(ErrorCode::kInvalidArgument,
+                  "path component is not a directory: " + segments[i]);
+    }
+    node = next;
+  }
+  return *node;
+}
+
+FileNode& FileTree::add_file(std::string_view path, Bytes content,
+                             const Metadata& meta) {
+  auto segments = split_path(path);
+  FileNode& parent = ensure_parent(segments);
+  auto node = std::make_unique<FileNode>(NodeType::kRegular);
+  node->metadata() = meta;
+  node->set_content(std::move(content));
+  return parent.add_child(segments.back(), std::move(node));
+}
+
+FileNode& FileTree::add_directory(std::string_view path, const Metadata& meta) {
+  auto segments = split_path(path);
+  FileNode& parent = ensure_parent(segments);
+  if (FileNode* existing = parent.child(segments.back())) {
+    if (!existing->is_directory()) {
+      throw_error(ErrorCode::kAlreadyExists,
+                  "non-directory already exists at " + std::string(path));
+    }
+    return *existing;
+  }
+  auto node = std::make_unique<FileNode>(NodeType::kDirectory);
+  node->metadata() = meta;
+  return parent.add_child(segments.back(), std::move(node));
+}
+
+FileNode& FileTree::add_symlink(std::string_view path, std::string target,
+                                const Metadata& meta) {
+  auto segments = split_path(path);
+  FileNode& parent = ensure_parent(segments);
+  auto node = std::make_unique<FileNode>(NodeType::kSymlink);
+  node->metadata() = meta;
+  node->set_link_target(std::move(target));
+  return parent.add_child(segments.back(), std::move(node));
+}
+
+FileNode& FileTree::add_whiteout(std::string_view path) {
+  auto segments = split_path(path);
+  FileNode& parent = ensure_parent(segments);
+  auto node = std::make_unique<FileNode>(NodeType::kWhiteout);
+  return parent.add_child(segments.back(), std::move(node));
+}
+
+FileNode& FileTree::add_fingerprint_stub(std::string_view path,
+                                         const Fingerprint& fp,
+                                         std::uint64_t original_size,
+                                         const Metadata& meta) {
+  auto segments = split_path(path);
+  FileNode& parent = ensure_parent(segments);
+  auto node = std::make_unique<FileNode>(NodeType::kFingerprint);
+  node->metadata() = meta;
+  node->set_fingerprint(fp, original_size);
+  return parent.add_child(segments.back(), std::move(node));
+}
+
+const FileNode* FileTree::lookup(std::string_view path) const {
+  auto segments = split_path(path);
+  const FileNode* node = root_.get();
+  for (const auto& seg : segments) {
+    if (!node->is_directory()) return nullptr;
+    node = node->child(seg);
+    if (node == nullptr) return nullptr;
+  }
+  return node;
+}
+
+FileNode* FileTree::lookup(std::string_view path) {
+  return const_cast<FileNode*>(
+      static_cast<const FileTree*>(this)->lookup(path));
+}
+
+bool FileTree::remove(std::string_view path) {
+  auto segments = split_path(path);
+  FileNode* node = root_.get();
+  for (std::size_t i = 0; i + 1 < segments.size(); ++i) {
+    node = node->child(segments[i]);
+    if (node == nullptr || !node->is_directory()) return false;
+  }
+  return node->remove_child(segments.back());
+}
+
+namespace {
+
+void walk_node(const std::string& prefix, const FileNode& node,
+               const std::function<void(const std::string&, const FileNode&)>&
+                   visitor) {
+  for (const auto& [name, child] : node.children()) {
+    std::string path = prefix.empty() ? name : prefix + "/" + name;
+    visitor(path, *child);
+    if (child->is_directory()) walk_node(path, *child, visitor);
+  }
+}
+
+}  // namespace
+
+void FileTree::walk(
+    const std::function<void(const std::string&, const FileNode&)>& visitor)
+    const {
+  walk_node("", *root_, visitor);
+}
+
+TreeStats FileTree::stats() const {
+  TreeStats s;
+  walk([&s](const std::string&, const FileNode& node) {
+    switch (node.type()) {
+      case NodeType::kRegular:
+        ++s.regular_files;
+        s.total_file_bytes += node.content().size();
+        break;
+      case NodeType::kDirectory:
+        ++s.directories;
+        break;
+      case NodeType::kSymlink:
+        ++s.symlinks;
+        break;
+      case NodeType::kWhiteout:
+        ++s.whiteouts;
+        break;
+      case NodeType::kFingerprint:
+        ++s.fingerprint_stubs;
+        s.total_file_bytes += node.stub_size();
+        break;
+    }
+  });
+  return s;
+}
+
+}  // namespace gear::vfs

@@ -1,0 +1,112 @@
+#include "vfs/fs_io.hpp"
+
+#include <fstream>
+
+#include "util/error.hpp"
+#include "util/file_io.hpp"
+
+namespace gear::vfs {
+namespace fs = std::filesystem;
+
+namespace {
+
+Metadata metadata_of(const fs::path& p) {
+  Metadata meta;
+  std::error_code ec;
+  fs::perms perms = fs::symlink_status(p, ec).permissions();
+  if (!ec) {
+    meta.mode = static_cast<std::uint32_t>(perms) & 07777;
+  }
+  auto mtime = fs::last_write_time(p, ec);
+  if (!ec) {
+    // file_clock's epoch is implementation-defined (clock_cast is missing
+    // in this libstdc++); anchor against "now" on both clocks instead, and
+    // clamp pre-1970 stamps to 0 (tar stores unsigned seconds).
+    auto file_now = fs::file_time_type::clock::now();
+    auto sys_now = std::chrono::system_clock::now();
+    auto sys = sys_now + std::chrono::duration_cast<
+                             std::chrono::system_clock::duration>(
+                             mtime - file_now);
+    auto secs = std::chrono::duration_cast<std::chrono::seconds>(
+                    sys.time_since_epoch())
+                    .count();
+    meta.mtime = secs > 0 ? static_cast<std::uint64_t>(secs) : 0;
+  }
+  return meta;
+}
+
+void load_dir(const fs::path& dir, const std::string& prefix, FileTree* tree,
+              const LoadOptions& options, std::uint64_t* loaded_bytes) {
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    std::string name = entry.path().filename().string();
+    std::string path = prefix.empty() ? name : prefix + "/" + name;
+    if (entry.is_symlink()) {
+      tree->add_symlink(path, fs::read_symlink(entry.path()).string(),
+                        metadata_of(entry.path()));
+    } else if (entry.is_directory()) {
+      tree->add_directory(path, metadata_of(entry.path()));
+      load_dir(entry.path(), path, tree, options, loaded_bytes);
+    } else if (entry.is_regular_file()) {
+      *loaded_bytes += entry.file_size();
+      if (options.max_total_bytes != 0 &&
+          *loaded_bytes > options.max_total_bytes) {
+        throw_error(ErrorCode::kOutOfSpace,
+                    "import exceeds byte budget at " + path);
+      }
+      tree->add_file(path, read_file_bytes(entry.path()),
+                     metadata_of(entry.path()));
+    } else if (!options.skip_special) {
+      throw_error(ErrorCode::kUnsupported,
+                  "unsupported file type at " + path);
+    }
+  }
+}
+
+}  // namespace
+
+FileTree load_tree(const fs::path& root, const LoadOptions& options) {
+  if (!fs::is_directory(root)) {
+    throw_error(ErrorCode::kInvalidArgument,
+                "not a directory: " + root.string());
+  }
+  FileTree tree;
+  std::uint64_t loaded = 0;
+  load_dir(root, "", &tree, options, &loaded);
+  return tree;
+}
+
+void write_tree(const FileTree& tree, const fs::path& root) {
+  fs::create_directories(root);
+  tree.walk([&root](const std::string& path, const FileNode& node) {
+    fs::path target = root;
+    for (const std::string& seg : FileTree::split_path(path)) target /= seg;
+    switch (node.type()) {
+      case NodeType::kDirectory:
+        fs::create_directories(target);
+        break;
+      case NodeType::kRegular: {
+        fs::create_directories(target.parent_path());
+        std::ofstream out(target, std::ios::binary | std::ios::trunc);
+        if (!out) {
+          throw_error(ErrorCode::kInternal, "cannot write " + target.string());
+        }
+        out.write(reinterpret_cast<const char*>(node.content().data()),
+                  static_cast<std::streamsize>(node.content().size()));
+        break;
+      }
+      case NodeType::kSymlink: {
+        fs::create_directories(target.parent_path());
+        std::error_code ec;
+        fs::remove(target, ec);
+        fs::create_symlink(node.link_target(), target);
+        break;
+      }
+      case NodeType::kWhiteout:
+      case NodeType::kFingerprint:
+        throw_error(ErrorCode::kInvalidArgument,
+                    "cannot export unmaterialized node at " + path);
+    }
+  });
+}
+
+}  // namespace gear::vfs

@@ -1,0 +1,145 @@
+#include "vfs/tree_diff.hpp"
+
+#include "util/error.hpp"
+
+namespace gear::vfs {
+namespace {
+
+void check_merged_tree(const FileNode& node, const char* which) {
+  if (node.is_whiteout()) {
+    throw_error(ErrorCode::kInvalidArgument,
+                std::string(which) + " tree contains whiteouts");
+  }
+  if (node.is_directory()) {
+    if (node.opaque()) {
+      throw_error(ErrorCode::kInvalidArgument,
+                  std::string(which) + " tree contains opaque markers");
+    }
+    for (const auto& [name, child] : node.children()) {
+      (void)name;
+      check_merged_tree(*child, which);
+    }
+  }
+}
+
+/// Shallow (payload + metadata, not children) equality of two nodes.
+bool same_entry(const FileNode& a, const FileNode& b) {
+  if (a.type() != b.type() || !(a.metadata() == b.metadata())) return false;
+  switch (a.type()) {
+    case NodeType::kRegular:
+      return a.content() == b.content();
+    case NodeType::kSymlink:
+      return a.link_target() == b.link_target();
+    case NodeType::kFingerprint:
+      return a.fingerprint() == b.fingerprint() &&
+             a.stub_size() == b.stub_size();
+    case NodeType::kDirectory:
+    case NodeType::kWhiteout:
+      return true;
+  }
+  return false;
+}
+
+/// Recursively diffs directory nodes `base` and `target`, appending entries
+/// to `out` (a directory node in the layer tree). Returns true if `out`
+/// received any child (i.e. the directories differ below this point).
+bool diff_dir(const FileNode& base, const FileNode& target, FileNode& out) {
+  bool changed = false;
+
+  // Entries removed or replaced.
+  for (const auto& [name, base_child] : base.children()) {
+    const FileNode* target_child = target.child(name);
+    if (target_child == nullptr) {
+      out.add_child(name, std::make_unique<FileNode>(NodeType::kWhiteout));
+      changed = true;
+    }
+  }
+
+  // Entries added or modified.
+  for (const auto& [name, target_child] : target.children()) {
+    const FileNode* base_child = base.child(name);
+    if (base_child == nullptr) {
+      out.add_child(name, target_child->clone());
+      changed = true;
+      continue;
+    }
+    if (target_child->is_directory() && base_child->is_directory()) {
+      auto sub = std::make_unique<FileNode>(NodeType::kDirectory);
+      sub->metadata() = target_child->metadata();
+      bool child_changed = diff_dir(*base_child, *target_child, *sub);
+      bool meta_changed =
+          !(base_child->metadata() == target_child->metadata());
+      if (child_changed || meta_changed) {
+        out.add_child(name, std::move(sub));
+        changed = true;
+      }
+      continue;
+    }
+    if (target_child->is_directory()) {
+      // Non-directory replaced by a directory: opaque dir masks the lower
+      // entry entirely.
+      auto clone = target_child->clone();
+      clone->set_opaque(true);
+      out.add_child(name, std::move(clone));
+      changed = true;
+      continue;
+    }
+    if (!same_entry(*base_child, *target_child)) {
+      out.add_child(name, target_child->clone());
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+void apply_dir(const FileNode& layer, FileNode& merged) {
+  for (const auto& [name, layer_child] : layer.children()) {
+    if (layer_child->is_whiteout()) {
+      merged.remove_child(name);
+      continue;
+    }
+    FileNode* existing = merged.child(name);
+    if (layer_child->is_directory()) {
+      if (existing != nullptr && existing->is_directory() &&
+          !layer_child->opaque()) {
+        existing->metadata() = layer_child->metadata();
+        apply_dir(*layer_child, *existing);
+        continue;
+      }
+      // Opaque, or lower entry is absent / not a directory: replace.
+      auto clone = layer_child->clone();
+      clone->set_opaque(false);
+      merged.add_child(name, std::move(clone));
+      continue;
+    }
+    merged.add_child(name, layer_child->clone());
+  }
+}
+
+}  // namespace
+
+FileTree diff_trees(const FileTree& base, const FileTree& target) {
+  check_merged_tree(base.root(), "base");
+  check_merged_tree(target.root(), "target");
+  FileTree layer;
+  layer.root().metadata() = target.root().metadata();
+  diff_dir(base.root(), target.root(), layer.root());
+  return layer;
+}
+
+FileTree apply_layer(const FileTree& base, const FileTree& layer) {
+  FileTree merged(base);
+  merged.root().metadata() = layer.root().metadata();
+  apply_dir(layer.root(), merged.root());
+  return merged;
+}
+
+FileTree flatten_layers(const std::vector<FileTree>& layers) {
+  FileTree merged;
+  for (const FileTree& layer : layers) {
+    merged = apply_layer(merged, layer);
+  }
+  return merged;
+}
+
+}  // namespace gear::vfs

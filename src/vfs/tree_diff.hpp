@@ -1,0 +1,28 @@
+// Layer diff and union-apply over file trees.
+//
+// These two operations are the heart of layered images (paper §II-A/§II-C):
+//  * diff_trees(base, target) produces a *layer* — the minimal tree that,
+//    unioned on top of `base`, reproduces `target`. Deletions become
+//    whiteouts; a directory that replaces a non-directory (or whose lower
+//    contents must be discarded) is marked opaque.
+//  * apply_layer(base, layer) performs the union, i.e. what Overlay2 does
+//    when it merges lowerdir + upperdir into one mount.
+#pragma once
+
+#include "vfs/file_tree.hpp"
+
+namespace gear::vfs {
+
+/// Computes the layer turning `base` into `target`.
+/// Whiteout/opaque markers in `base`/`target` themselves are invalid input
+/// (they only belong in layer trees) and throw kInvalidArgument.
+FileTree diff_trees(const FileTree& base, const FileTree& target);
+
+/// Applies `layer` on top of `base` and returns the merged tree.
+/// The result contains no whiteouts or opaque flags.
+FileTree apply_layer(const FileTree& base, const FileTree& layer);
+
+/// Applies a sequence of layers bottom-to-top onto an empty tree.
+FileTree flatten_layers(const std::vector<FileTree>& layers);
+
+}  // namespace gear::vfs

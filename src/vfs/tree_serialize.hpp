@@ -1,0 +1,21 @@
+// Binary (de)serialization of file trees.
+//
+// A deterministic, compact encoding used for: the Gear index payload (the
+// single file carried by the index's single-layer Docker image), layer diff
+// trees inside tar archives' side metadata, and test round-trips. Children
+// are emitted in name order, so equal trees always encode to equal bytes —
+// which in turn makes digests of serialized trees stable.
+#pragma once
+
+#include "util/bytes.hpp"
+#include "vfs/file_tree.hpp"
+
+namespace gear::vfs {
+
+/// Serializes a tree. The encoding is self-delimiting and versioned.
+Bytes serialize_tree(const FileTree& tree);
+
+/// Parses a serialized tree. Throws Error(kCorruptData) on malformed input.
+FileTree deserialize_tree(BytesView data);
+
+}  // namespace gear::vfs

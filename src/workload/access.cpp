@@ -1,0 +1,122 @@
+#include "workload/access.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace gear::workload {
+namespace {
+
+/// Deterministic 64-bit mix of a fingerprint and salts (splitmix64 core).
+std::uint64_t mix(const Fingerprint& fp, std::uint64_t a, std::uint64_t b = 0) {
+  std::uint64_t x = a ^ (b * 0x9e3779b97f4a7c15ull);
+  for (std::size_t i = 0; i < 8; ++i) {
+    x ^= static_cast<std::uint64_t>(fp.raw()[i]) << (i * 8);
+  }
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t AccessSet::total_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& f : files) total += f.size;
+  return total;
+}
+
+AccessSet derive_access_set(const vfs::FileTree& tree,
+                            const AccessProfile& profile) {
+  struct Candidate {
+    FileAccess access;
+    std::uint64_t priority;
+  };
+  std::vector<Candidate> candidates;
+  std::uint64_t total_bytes = 0;
+
+  tree.walk([&](const std::string& path, const vfs::FileNode& node) {
+    FileAccess fa;
+    fa.path = path;
+    if (node.is_regular()) {
+      fa.size = node.content().size();
+      fa.fingerprint = default_hasher().fingerprint(node.content());
+    } else if (node.is_fingerprint()) {
+      fa.size = node.stub_size();
+      fa.fingerprint = node.fingerprint();
+    } else {
+      return;
+    }
+    total_bytes += fa.size;
+
+    // Stable priority keeps the same content ranked identically across
+    // versions (the shared task); the noisy branch injects per-image
+    // variation for the non-core part of the selection.
+    bool stable = mix(fa.fingerprint, profile.seed) % 1000 <
+                  static_cast<std::uint64_t>(profile.core_bias * 1000);
+    std::uint64_t priority =
+        stable ? mix(fa.fingerprint, profile.seed)
+               : mix(fa.fingerprint, profile.seed, profile.image_salt * 31 + 7);
+    candidates.push_back({std::move(fa), priority});
+  });
+
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.priority != b.priority) return a.priority < b.priority;
+              return a.access.path < b.access.path;
+            });
+
+  auto budget = static_cast<std::uint64_t>(
+      profile.data_fraction * static_cast<double>(total_bytes));
+  AccessSet set;
+  std::uint64_t taken = 0;
+  for (Candidate& c : candidates) {
+    if (taken >= budget && !set.files.empty()) break;
+    taken += c.access.size;
+    set.files.push_back(std::move(c.access));
+  }
+  return set;
+}
+
+double access_redundancy(const std::vector<AccessSet>& sets) {
+  struct Entry {
+    std::uint64_t size = 0;
+    int set_count = 0;
+  };
+  std::unordered_map<Fingerprint, Entry, FingerprintHash> by_fp;
+  for (const AccessSet& set : sets) {
+    std::unordered_set<Fingerprint, FingerprintHash> seen;
+    for (const FileAccess& f : set.files) {
+      if (!seen.insert(f.fingerprint).second) continue;
+      Entry& e = by_fp[f.fingerprint];
+      e.size = f.size;
+      ++e.set_count;
+    }
+  }
+  std::uint64_t union_bytes = 0;
+  std::uint64_t redundant_bytes = 0;
+  for (const auto& [fp, e] : by_fp) {
+    (void)fp;
+    union_bytes += e.size;
+    if (e.set_count > 1) redundant_bytes += e.size;
+  }
+  if (union_bytes == 0) return 0.0;
+  return static_cast<double>(redundant_bytes) /
+         static_cast<double>(union_bytes);
+}
+
+std::uint64_t shared_bytes(const AccessSet& prev, const AccessSet& next) {
+  std::unordered_set<Fingerprint, FingerprintHash> have;
+  for (const FileAccess& f : prev.files) have.insert(f.fingerprint);
+  std::uint64_t total = 0;
+  std::unordered_set<Fingerprint, FingerprintHash> counted;
+  for (const FileAccess& f : next.files) {
+    if (have.count(f.fingerprint) != 0 && counted.insert(f.fingerprint).second) {
+      total += f.size;
+    }
+  }
+  return total;
+}
+
+}  // namespace gear::workload

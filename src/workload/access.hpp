@@ -1,0 +1,71 @@
+// Necessary-file access sets.
+//
+// Launching a container touches only a fraction of its image — the paper
+// cites 6.4%–33.3% for on-demand formats (§II-D) and builds Gear around
+// that fact. An AccessSet is the ordered list of regular files a container's
+// startup task actually reads; deployment harnesses replay it against a
+// mounted root filesystem and charge network/disk costs accordingly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/fingerprint.hpp"
+#include "util/rng.hpp"
+#include "vfs/file_tree.hpp"
+
+namespace gear::workload {
+
+/// One file access during container startup.
+struct FileAccess {
+  std::string path;        // path within the root filesystem
+  std::uint64_t size = 0;  // file size in bytes
+  Fingerprint fingerprint; // content fingerprint (for sharing analysis)
+};
+
+/// The set of files a container task reads at startup, in access order.
+struct AccessSet {
+  std::vector<FileAccess> files;
+
+  std::uint64_t total_bytes() const;
+  std::size_t file_count() const { return files.size(); }
+};
+
+/// Selection knobs for synthesizing an access set from an image tree.
+struct AccessProfile {
+  /// Fraction of the image's file *bytes* the task needs (0..1). The paper's
+  /// range for real images is 0.064–0.333.
+  double data_fraction = 0.25;
+  /// Preference for shared/base files: probability that selection starts
+  /// from the lexicographically stable "core" of the tree, which version
+  /// neighbours have in common.
+  double core_bias = 0.7;
+  /// Task seed shared by all versions of a series (the paper's premise:
+  /// versions of one image series run the same task, §II-D).
+  std::uint64_t seed = 1;
+  /// Per-image salt differentiating the non-core part of the selection
+  /// between versions.
+  std::uint64_t image_salt = 0;
+};
+
+/// Derives the access set of `tree` under `profile`.
+///
+/// Files are ranked deterministically (stable core files first, then
+/// version-specific ones) and greedily taken until the byte budget is met,
+/// with a seeded shuffle inside each rank band. The same file content
+/// appearing in two versions of an image yields the same fingerprint, so
+/// overlap between versions' access sets mirrors the redundancy the paper
+/// measures in Fig. 2.
+AccessSet derive_access_set(const vfs::FileTree& tree,
+                            const AccessProfile& profile);
+
+/// Redundancy between access sets: fraction of bytes in the union of the
+/// sets that appear in more than one set (the Fig. 2 metric across a series).
+double access_redundancy(const std::vector<AccessSet>& sets);
+
+/// Bytes of `next` already covered by `prev` (fingerprint intersection) —
+/// what a shared local cache saves when deploying `next` after `prev`.
+std::uint64_t shared_bytes(const AccessSet& prev, const AccessSet& next);
+
+}  // namespace gear::workload

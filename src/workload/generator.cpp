@@ -1,0 +1,263 @@
+#include "workload/generator.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace gear::workload {
+namespace {
+
+/// FNV-1a for stable label hashing.
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// Probability a base-pool file changes per distro release.
+constexpr double kBaseChurn = 0.75;
+/// Probability an environment file changes at an epoch boundary.
+constexpr double kEnvChurn = 0.7;
+
+/// Floor on the average generated file size. When the corpus is scaled down,
+/// file counts shrink along with bytes so per-file overheads (tar headers,
+/// index stubs, fetch requests) keep a realistic proportion to file data —
+/// without this floor, a 1/1000-scale corpus would be all 500-byte files and
+/// every per-object cost would dominate, inverting the paper's economics.
+constexpr std::uint64_t kMinAvgFileBytes = 4096;
+
+int effective_count(std::uint64_t budget, int nominal) {
+  if (budget == 0 || nominal <= 0) return 0;
+  auto by_size = static_cast<int>(budget / kMinAvgFileBytes);
+  return std::clamp(by_size, 1, nominal);
+}
+
+struct DistroPoolSpec {
+  std::uint64_t bytes;
+  int files;
+};
+
+DistroPoolSpec distro_pool_spec(const std::string& distro) {
+  // Matches the distro series' own image sizes (spec.cpp) so that a distro
+  // series essentially *is* its pool.
+  if (distro == "debian") return {118000000, 180};
+  if (distro == "ubuntu") return {75000000, 150};
+  if (distro == "alpine") return {6000000, 90};
+  if (distro == "centos") return {200000000, 200};
+  if (distro == "amazonlinux") return {160000000, 170};
+  if (distro == "busybox") return {1300000, 24};
+  if (distro == "scratch") return {0, 0};
+  throw_error(ErrorCode::kInvalidArgument, "unknown distro: " + distro);
+}
+
+/// Deterministic per-file size schedule summing (approximately) to `budget`.
+std::vector<std::uint64_t> size_schedule(std::uint64_t seed,
+                                         const std::string& prefix, int count,
+                                         std::uint64_t budget) {
+  if (count <= 0 || budget == 0) return {};
+  std::vector<std::uint64_t> weights(static_cast<std::size_t>(count));
+  std::uint64_t total_weight = 0;
+  for (int i = 0; i < count; ++i) {
+    Rng rng = Rng::from_label(seed, prefix + "/sz/" + std::to_string(i));
+    weights[static_cast<std::size_t>(i)] = rng.next_log_uniform(1, 512);
+    total_weight += weights[static_cast<std::size_t>(i)];
+  }
+  std::vector<std::uint64_t> sizes(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    auto s = static_cast<std::uint64_t>(
+        static_cast<double>(weights[static_cast<std::size_t>(i)]) /
+        static_cast<double>(total_weight) * static_cast<double>(budget));
+    sizes[static_cast<std::size_t>(i)] = std::max<std::uint64_t>(1, s);
+  }
+  return sizes;
+}
+
+std::string zero_pad(int v) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d", v);
+  return buf;
+}
+
+}  // namespace
+
+CorpusGenerator::CorpusGenerator(std::uint64_t seed, double scale)
+    : seed_(seed), scale_(scale) {
+  if (scale <= 0 || scale > 1.0) {
+    throw_error(ErrorCode::kInvalidArgument, "corpus scale must be in (0,1]");
+  }
+}
+
+int CorpusGenerator::revision_at(std::uint64_t base_seed,
+                                 const std::string& label, int version,
+                                 double change_prob) {
+  int rev = 0;
+  for (int v = 1; v <= version; ++v) {
+    std::uint64_t h =
+        fnv1a(label + "@" + std::to_string(v)) ^ (base_seed * 0x9e3779b97f4a7c15ull);
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+    if (static_cast<double>(h % 1000000) < change_prob * 1000000.0) ++rev;
+  }
+  return rev;
+}
+
+Bytes CorpusGenerator::file_content(const std::string& label, int revision,
+                                    std::uint64_t size,
+                                    double compressibility) const {
+  Rng rng = Rng::from_label(seed_, label + "#r" + std::to_string(revision));
+  return rng.next_bytes(size, compressibility);
+}
+
+std::vector<CorpusGenerator::PoolFile> CorpusGenerator::distro_pool(
+    const std::string& distro) const {
+  DistroPoolSpec spec = distro_pool_spec(distro);
+  auto budget = static_cast<std::uint64_t>(
+      static_cast<double>(spec.bytes) * scale_);
+  int files = effective_count(budget, spec.files);
+  std::vector<std::uint64_t> sizes =
+      size_schedule(seed_, "pool/" + distro, files, budget);
+  std::vector<PoolFile> pool;
+  pool.reserve(sizes.size());
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    pool.push_back({"usr/share/" + distro + "/f" + zero_pad(static_cast<int>(i)),
+                    sizes[i]});
+  }
+  return pool;
+}
+
+void CorpusGenerator::add_base_files(const SeriesSpec& spec, int version,
+                                     vfs::FileTree* tree) const {
+  std::vector<PoolFile> pool = distro_pool(spec.base_distro);
+  if (pool.empty()) return;
+
+  // Application series pin their base to epoch boundaries; distro series
+  // (base_epoch == 1) track every release.
+  int virtual_version = (version / spec.base_epoch) * spec.base_epoch;
+
+  auto budget = static_cast<std::uint64_t>(
+      spec.base_fraction * static_cast<double>(spec.image_bytes) * scale_);
+  std::uint64_t taken = 0;
+  for (std::size_t i = 0; i < pool.size() && taken < budget; ++i) {
+    const std::string label =
+        "base/" + spec.base_distro + "/" + std::to_string(i);
+    int rev = revision_at(seed_, label, virtual_version, kBaseChurn);
+    tree->add_file(pool[i].path,
+                   file_content(label, rev, pool[i].size, spec.compressibility));
+    taken += pool[i].size;
+  }
+  // A couple of stable symlinks, as real base images carry.
+  tree->add_symlink("bin/sh", "/usr/share/" + spec.base_distro + "/f0000");
+  tree->add_symlink("usr/bin/env", "../share/" + spec.base_distro + "/f0001");
+}
+
+void CorpusGenerator::add_env_files(const SeriesSpec& spec, int version,
+                                    vfs::FileTree* tree) const {
+  auto budget = static_cast<std::uint64_t>(
+      spec.env_fraction * static_cast<double>(spec.image_bytes) * scale_);
+  int n_env = effective_count(
+      budget, static_cast<int>(spec.env_fraction *
+                               static_cast<double>(spec.file_count)));
+  if (n_env <= 0) return;
+  std::vector<std::uint64_t> sizes =
+      size_schedule(seed_, "env/" + spec.name, n_env, budget);
+
+  int epoch = version / spec.env_epoch;
+  for (int i = 0; i < n_env; ++i) {
+    const std::string label = "env/" + spec.name + "/" + std::to_string(i);
+    int rev = revision_at(seed_, label, epoch, kEnvChurn);
+    tree->add_file("opt/" + spec.name + "/env/f" + zero_pad(i),
+                   file_content(label, rev, sizes[static_cast<std::size_t>(i)],
+                                spec.compressibility));
+  }
+}
+
+void CorpusGenerator::add_app_files(const SeriesSpec& spec, int version,
+                                    vfs::FileTree* tree) const {
+  double app_fraction =
+      std::max(0.05, 1.0 - spec.base_fraction - spec.env_fraction);
+  auto budget = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(app_fraction *
+                                    static_cast<double>(spec.image_bytes) *
+                                    scale_));
+  int n_app = std::max(
+      1, effective_count(budget, static_cast<int>(
+                                     app_fraction *
+                                     static_cast<double>(spec.file_count))));
+  std::vector<std::uint64_t> sizes =
+      size_schedule(seed_, "app/" + spec.name, n_app, budget);
+
+  for (int i = 0; i < n_app; ++i) {
+    const std::string label = "app/" + spec.name + "/" + std::to_string(i);
+    int rev = revision_at(seed_, label, version, spec.app_churn);
+    tree->add_file("app/" + spec.name + "/f" + zero_pad(i),
+                   file_content(label, rev, sizes[static_cast<std::size_t>(i)],
+                                spec.compressibility));
+  }
+  // Version marker (every version differs somewhere, like a build stamp).
+  tree->add_file("app/" + spec.name + "/VERSION",
+                 to_bytes(spec.name + " v" + std::to_string(version) + "\n"));
+}
+
+docker::Image CorpusGenerator::generate_image(const SeriesSpec& spec,
+                                              int version) const {
+  if (version < 0 || version >= spec.versions) {
+    throw_error(ErrorCode::kInvalidArgument,
+                "version out of range for series " + spec.name);
+  }
+
+  vfs::FileTree base;
+  add_base_files(spec, version, &base);
+
+  vfs::FileTree with_env = base;
+  add_env_files(spec, version, &with_env);
+
+  vfs::FileTree full = with_env;
+  add_app_files(spec, version, &full);
+
+  docker::ImageBuilder builder;
+  if (!base.root().children().empty()) builder.add_snapshot(base);
+  if (!with_env.equals(base)) builder.add_snapshot(with_env);
+  builder.add_snapshot(full);
+
+  docker::ImageConfig config;
+  config.env = {"PATH=/usr/local/sbin:/usr/local/bin:/usr/sbin:/usr/bin",
+                "SERIES=" + spec.name};
+  config.entrypoint = {"/app/" + spec.name + "/f0000"};
+  config.working_dir = "/app/" + spec.name;
+  config.labels["series"] = spec.name;
+  config.labels["category"] = category_name(spec.category);
+
+  return builder.build(spec.name, "v" + std::to_string(version),
+                       std::move(config));
+}
+
+std::vector<docker::Image> CorpusGenerator::generate_series(
+    const SeriesSpec& spec) const {
+  std::vector<docker::Image> images;
+  images.reserve(static_cast<std::size_t>(spec.versions));
+  for (int v = 0; v < spec.versions; ++v) {
+    images.push_back(generate_image(spec, v));
+  }
+  return images;
+}
+
+AccessProfile CorpusGenerator::access_profile(const SeriesSpec& spec,
+                                              int version) const {
+  AccessProfile profile;
+  profile.data_fraction = spec.access_fraction;
+  profile.core_bias = spec.access_core_bias;
+  profile.seed = fnv1a("task/" + spec.name) ^ seed_;
+  profile.image_salt = static_cast<std::uint64_t>(version) + 1;
+  return profile;
+}
+
+AccessSet CorpusGenerator::access_set(const SeriesSpec& spec,
+                                      int version) const {
+  docker::Image image = generate_image(spec, version);
+  return derive_access_set(image.flatten(), access_profile(spec, version));
+}
+
+}  // namespace gear::workload

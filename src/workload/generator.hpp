@@ -1,0 +1,80 @@
+// Synthetic image-corpus generator.
+//
+// Produces layered Docker images for the Table I series with the sharing
+// structure real official images exhibit:
+//  * every image stacks three layers — distro base, environment/runtime,
+//    application — built as snapshots so unchanged layers keep identical
+//    digests across versions (layer-level dedup in the Docker registry);
+//  * distro base files come from per-distro global pools, so all series on
+//    "debian" share those files byte-for-byte (cross-series file dedup);
+//  * environment files change only at epoch boundaries; application files
+//    churn per version with the series' rate — producing the inter-version
+//    duplicate files that file-level dedup removes but layer-level cannot;
+//  * everything derives deterministically from (seed, labels), so the same
+//    seed regenerates the same corpus bit-for-bit.
+//
+// `scale` shrinks byte sizes (default 1/1000 of the real corpus' ~370 GB) so
+// experiments run in memory; counts and ratios — the paper's shapes — are
+// preserved.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "docker/image.hpp"
+#include "workload/access.hpp"
+#include "workload/spec.hpp"
+
+namespace gear::workload {
+
+class CorpusGenerator {
+ public:
+  explicit CorpusGenerator(std::uint64_t seed = 42, double scale = 0.001);
+
+  /// Generates version `version` (0-based) of a series.
+  docker::Image generate_image(const SeriesSpec& spec, int version) const;
+
+  /// All versions of a series, oldest first.
+  std::vector<docker::Image> generate_series(const SeriesSpec& spec) const;
+
+  /// The access profile of the series' startup task at `version` (same task
+  /// across versions; per-version salt varies only the non-core selection).
+  AccessProfile access_profile(const SeriesSpec& spec, int version) const;
+
+  /// Convenience: access set of one generated image.
+  AccessSet access_set(const SeriesSpec& spec, int version) const;
+
+  double scale() const noexcept { return scale_; }
+  std::uint64_t seed() const noexcept { return seed_; }
+
+ private:
+  struct PoolFile {
+    std::string path;
+    std::uint64_t size;
+  };
+
+  /// The global file pool of a distro (path+size schedule; content depends
+  /// on per-file revision).
+  std::vector<PoolFile> distro_pool(const std::string& distro) const;
+
+  /// Deterministic revision of a file that changes with probability
+  /// `change_prob` at each of versions 1..version.
+  static int revision_at(std::uint64_t base_seed, const std::string& label,
+                         int version, double change_prob);
+
+  Bytes file_content(const std::string& label, int revision,
+                     std::uint64_t size, double compressibility) const;
+
+  void add_base_files(const SeriesSpec& spec, int version,
+                      vfs::FileTree* tree) const;
+  void add_env_files(const SeriesSpec& spec, int version,
+                     vfs::FileTree* tree) const;
+  void add_app_files(const SeriesSpec& spec, int version,
+                     vfs::FileTree* tree) const;
+
+  std::uint64_t seed_;
+  double scale_;
+};
+
+}  // namespace gear::workload

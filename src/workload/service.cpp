@@ -1,0 +1,62 @@
+#include "workload/service.hpp"
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace gear::workload {
+
+std::vector<ServiceSpec> fig11_services() {
+  // Request mixes follow the paper's benchmarks: memtier (1:10 SET:GET) for
+  // the key-value stores, ab (read-only GETs) for the web servers.
+  return {
+      {"redis", 20000, 8, 25e-6, 0.02, 1.0 / 11.0},
+      {"memcached", 20000, 8, 20e-6, 0.02, 1.0 / 11.0},
+      {"nginx", 20000, 24, 35e-6, 0.10, 0.0},
+      {"httpd", 20000, 24, 45e-6, 0.10, 0.0},
+  };
+}
+
+ServiceRun run_service(sim::SimClock& clock, const ServiceSpec& spec,
+                       const std::vector<std::string>& hot_paths,
+                       const std::function<Bytes(const std::string&)>& read_file,
+                       const std::function<void(const std::string&, Bytes)>&
+                           write_file,
+                       double per_file_open_seconds) {
+  if (hot_paths.empty()) {
+    throw_error(ErrorCode::kInvalidArgument, "service needs hot paths");
+  }
+  if (!read_file) {
+    throw_error(ErrorCode::kInvalidArgument, "service needs a read callback");
+  }
+
+  Rng rng = Rng::from_label(0x5eed, spec.name);
+  sim::SimTimer timer(clock);
+  ServiceRun run;
+
+  // Warm-up: the service opens its config/modules once at first request —
+  // all hot files are touched (this is where a Gear mount materializes).
+  for (const std::string& path : hot_paths) {
+    clock.advance(per_file_open_seconds);
+    (void)read_file(path);
+  }
+
+  for (int i = 0; i < spec.requests; ++i) {
+    clock.advance(spec.cpu_seconds_per_request);
+    bool mutating = spec.write_ratio > 0 && rng.next_bool(spec.write_ratio);
+    if (mutating && write_file) {
+      // Append-style mutation into the writable layer (e.g. AOF/dump).
+      const std::string& path = hot_paths[rng.next_below(hot_paths.size())];
+      clock.advance(per_file_open_seconds);
+      write_file(path + ".dirty", rng.next_bytes(64, 0.5));
+    } else if (rng.next_bool(spec.file_touch_ratio)) {
+      const std::string& path = hot_paths[rng.next_below(hot_paths.size())];
+      clock.advance(per_file_open_seconds);
+      (void)read_file(path);
+    }
+    ++run.requests;
+  }
+  run.seconds = timer.elapsed();
+  return run;
+}
+
+}  // namespace gear::workload

@@ -1,0 +1,60 @@
+// Post-deployment service workloads (paper §V-F, Fig. 11).
+//
+// Models the request loops of the paper's long-running benchmarks —
+// memtier_benchmark against Redis/Memcached (1:10 SET:GET) and Apache ab
+// against Nginx/Httpd — as clock-charged request streams that touch the
+// service's hot files through whichever root filesystem (Docker Overlay2 or
+// Gear File Viewer) the container mounts. After a short warm-up both mounts
+// serve from materialized files, which is why the paper measures near-equal
+// throughput.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/clock.hpp"
+#include "util/bytes.hpp"
+
+namespace gear::workload {
+
+struct ServiceSpec {
+  std::string name;
+  int requests = 10000;
+  /// Distinct hot files a request may touch (config, modules, content).
+  int hot_files = 16;
+  /// CPU time per request (independent of the storage stack).
+  double cpu_seconds_per_request = 40e-6;
+  /// Fraction of requests that touch a file at all (most hits are served
+  /// from application memory once warm).
+  double file_touch_ratio = 0.05;
+  /// SET:GET style mutation ratio — mutating requests write through to the
+  /// container's writable layer.
+  double write_ratio = 0.0;
+};
+
+/// The four services of Fig. 11a.
+std::vector<ServiceSpec> fig11_services();
+
+struct ServiceRun {
+  double seconds = 0;
+  std::uint64_t requests = 0;
+  double requests_per_second() const {
+    return seconds > 0 ? static_cast<double>(requests) / seconds : 0.0;
+  }
+};
+
+/// Drives `spec.requests` requests against a mounted root filesystem.
+/// `read_file(path)` must return the file's content (materializing it if the
+/// mount is a Gear viewer); `write_file(path, bytes)` applies a mutation
+/// (may be null when write_ratio is 0). `per_file_open_seconds` charges the
+/// VFS open path; CPU time is charged per request.
+ServiceRun run_service(sim::SimClock& clock, const ServiceSpec& spec,
+                       const std::vector<std::string>& hot_paths,
+                       const std::function<Bytes(const std::string&)>& read_file,
+                       const std::function<void(const std::string&, Bytes)>&
+                           write_file,
+                       double per_file_open_seconds);
+
+}  // namespace gear::workload

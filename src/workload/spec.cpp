@@ -1,0 +1,162 @@
+#include "workload/spec.hpp"
+
+namespace gear::workload {
+namespace {
+
+constexpr std::uint64_t MB = 1000ull * 1000ull;
+
+/// Category-level synthesis presets. Application-type categories keep most
+/// of their environment stable across versions (high file-level sharing,
+/// Fig. 7a shows 46–61% savings); base-image categories churn most of their
+/// content every version (20–33% savings).
+struct CategoryPreset {
+  double base_fraction;
+  double env_fraction;
+  double app_churn;
+  int env_epoch;
+  int base_epoch;
+  double access_fraction;
+  double access_core_bias;
+};
+
+CategoryPreset preset(Category c) {
+  switch (c) {
+    case Category::kLinuxDistro:
+      return {0.85, 0.10, 0.50, 1, 1, 0.08, 0.80};
+    case Category::kLanguage:
+      return {0.25, 0.55, 0.50, 2, 10, 0.15, 0.38};
+    case Category::kDatabase:
+      return {0.30, 0.38, 0.30, 8, 12, 0.30, 0.45};
+    case Category::kWebComponent:
+      return {0.30, 0.35, 0.25, 7, 12, 0.22, 0.40};
+    case Category::kApplicationPlatform:
+      return {0.28, 0.40, 0.28, 8, 12, 0.30, 0.50};
+    case Category::kOthers:
+      return {0.30, 0.35, 0.38, 5, 10, 0.20, 0.38};
+  }
+  return {};
+}
+
+SeriesSpec make(const std::string& name, Category cat, int versions,
+                double size_mb, int files, const std::string& distro,
+                double compressibility = 0.30) {
+  CategoryPreset p = preset(cat);
+  SeriesSpec s;
+  s.name = name;
+  s.category = cat;
+  s.versions = versions;
+  s.image_bytes = static_cast<std::uint64_t>(size_mb * static_cast<double>(MB));
+  s.file_count = files;
+  s.base_distro = distro;
+  s.base_fraction = p.base_fraction;
+  s.env_fraction = p.env_fraction;
+  s.app_churn = p.app_churn;
+  s.env_epoch = p.env_epoch;
+  s.base_epoch = p.base_epoch;
+  s.access_fraction = p.access_fraction;
+  s.access_core_bias = p.access_core_bias;
+  s.compressibility = compressibility;
+  return s;
+}
+
+}  // namespace
+
+std::vector<Category> all_categories() {
+  return {Category::kLinuxDistro,        Category::kLanguage,
+          Category::kDatabase,           Category::kWebComponent,
+          Category::kApplicationPlatform, Category::kOthers};
+}
+
+std::vector<SeriesSpec> table1_corpus() {
+  using C = Category;
+  std::vector<SeriesSpec> specs;
+
+  // Linux Distro (base images: whole content is the distro pool, churned
+  // almost every version).
+  specs.push_back(make("alpine", C::kLinuxDistro, 20, 6, 90, "alpine"));
+  specs.push_back(make("amazonlinux", C::kLinuxDistro, 20, 160, 170, "amazonlinux"));
+  specs.push_back(make("busybox", C::kLinuxDistro, 20, 1.3, 24, "busybox"));
+  specs.push_back(make("centos", C::kLinuxDistro, 10, 200, 200, "centos"));
+  specs.push_back(make("debian", C::kLinuxDistro, 20, 118, 180, "debian"));
+  specs.push_back(make("ubuntu", C::kLinuxDistro, 20, 75, 150, "ubuntu"));
+
+  // Language runtimes.
+  specs.push_back(make("golang", C::kLanguage, 20, 760, 480, "debian"));
+  specs.push_back(make("java", C::kLanguage, 20, 480, 360, "debian"));
+  specs.push_back(make("openjdk", C::kLanguage, 20, 470, 350, "debian"));
+  specs.push_back(make("php", C::kLanguage, 20, 380, 300, "debian"));
+  specs.push_back(make("python", C::kLanguage, 20, 880, 520, "debian"));
+  specs.push_back(make("ruby", C::kLanguage, 20, 840, 500, "debian"));
+
+  // Databases.
+  specs.push_back(make("cassandra", C::kDatabase, 20, 350, 300, "debian"));
+  specs.push_back(make("couchbase", C::kDatabase, 20, 600, 420, "ubuntu"));
+  specs.push_back(make("crate", C::kDatabase, 20, 500, 380, "centos"));
+  specs.push_back(make("elasticsearch", C::kDatabase, 20, 550, 400, "centos"));
+  specs.push_back(make("influxdb", C::kDatabase, 20, 250, 250, "debian"));
+  specs.push_back(make("mariadb", C::kDatabase, 20, 330, 290, "ubuntu"));
+  specs.push_back(make("memcached", C::kDatabase, 20, 80, 140, "debian"));
+  specs.push_back(make("mongo", C::kDatabase, 20, 400, 330, "ubuntu"));
+  specs.push_back(make("mysql", C::kDatabase, 20, 450, 350, "debian"));
+  specs.push_back(make("postgres", C::kDatabase, 20, 300, 280, "debian"));
+  specs.push_back(make("redis", C::kDatabase, 20, 100, 160, "debian"));
+
+  // Web components.
+  specs.push_back(make("consul", C::kWebComponent, 20, 120, 180, "alpine"));
+  specs.push_back(make("eclipse-mosquitto", C::kWebComponent, 18, 12, 60, "alpine"));
+  specs.push_back(make("haproxy", C::kWebComponent, 20, 90, 150, "debian"));
+  specs.push_back(make("httpd", C::kWebComponent, 20, 140, 200, "debian"));
+  specs.push_back(make("kibana", C::kWebComponent, 20, 700, 460, "centos"));
+  specs.push_back(make("kong", C::kWebComponent, 20, 300, 280, "alpine"));
+  specs.push_back(make("nginx", C::kWebComponent, 20, 130, 190, "debian"));
+  specs.push_back(make("node", C::kWebComponent, 20, 900, 520, "debian"));
+  specs.push_back(make("telegraf", C::kWebComponent, 20, 250, 250, "debian"));
+  specs.push_back(make("tomcat", C::kWebComponent, 20, 500, 380, "debian"));
+  specs.push_back(make("traefik", C::kWebComponent, 20, 95, 150, "alpine"));
+
+  // Application platforms.
+  specs.push_back(make("drupal", C::kApplicationPlatform, 20, 450, 350, "debian"));
+  specs.push_back(make("ghost", C::kApplicationPlatform, 20, 400, 330, "debian"));
+  specs.push_back(make("jenkins", C::kApplicationPlatform, 20, 600, 420, "debian"));
+  specs.push_back(make("nextcloud", C::kApplicationPlatform, 20, 700, 460, "debian"));
+  specs.push_back(make("rabbitmq", C::kApplicationPlatform, 20, 180, 220, "ubuntu"));
+  specs.push_back(make("solr", C::kApplicationPlatform, 20, 500, 380, "debian"));
+  specs.push_back(make("sonarqube", C::kApplicationPlatform, 20, 550, 400, "alpine"));
+  specs.push_back(make("wordpress", C::kApplicationPlatform, 20, 550, 400, "debian"));
+
+  // Others.
+  specs.push_back(make("chronograf", C::kOthers, 20, 230, 240, "alpine"));
+  specs.push_back(make("docker", C::kOthers, 20, 220, 240, "alpine"));
+  specs.push_back(make("gradle", C::kOthers, 20, 650, 440, "debian"));
+  specs.push_back(make("hello-world", C::kOthers, 3, 0.02, 4, "scratch"));
+  specs.push_back(make("logstash", C::kOthers, 20, 750, 470, "centos"));
+  specs.push_back(make("maven", C::kOthers, 20, 450, 350, "debian"));
+  specs.push_back(make("registry", C::kOthers, 20, 80, 140, "alpine"));
+  specs.push_back(make("vault", C::kOthers, 20, 200, 230, "alpine"));
+
+  return specs;
+}
+
+std::vector<SeriesSpec> small_corpus(int per_category, int versions) {
+  std::vector<SeriesSpec> full = table1_corpus();
+  std::vector<SeriesSpec> out;
+  for (Category cat : all_categories()) {
+    int taken = 0;
+    for (const SeriesSpec& s : full) {
+      if (s.category != cat || taken >= per_category) continue;
+      SeriesSpec copy = s;
+      copy.versions = std::min(copy.versions, versions);
+      out.push_back(std::move(copy));
+      ++taken;
+    }
+  }
+  return out;
+}
+
+int total_images(const std::vector<SeriesSpec>& specs) {
+  int total = 0;
+  for (const SeriesSpec& s : specs) total += s.versions;
+  return total;
+}
+
+}  // namespace gear::workload

@@ -1,0 +1,92 @@
+// The evaluation corpus: the paper's Table I workloads.
+//
+// 50 most-popular Docker Hub official image series in six categories, with
+// the most recent 20 versions each (hello-world, centos, eclipse-mosquitto
+// have fewer) — 971 images total. Since Docker Hub itself is unavailable,
+// each series carries synthesis parameters (size, file count, inter-version
+// churn, environment epoch length, necessary-data fraction) calibrated so
+// the aggregate statistics the paper reports (Table II, Fig. 2, Fig. 7)
+// emerge from the generated corpus.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gear::workload {
+
+enum class Category {
+  kLinuxDistro,
+  kLanguage,
+  kDatabase,
+  kWebComponent,
+  kApplicationPlatform,
+  kOthers,
+};
+
+constexpr const char* category_name(Category c) {
+  switch (c) {
+    case Category::kLinuxDistro: return "Linux Distro";
+    case Category::kLanguage: return "Language";
+    case Category::kDatabase: return "Database";
+    case Category::kWebComponent: return "Web Component";
+    case Category::kApplicationPlatform: return "Application Platform";
+    case Category::kOthers: return "Others";
+  }
+  return "?";
+}
+
+constexpr std::size_t kCategoryCount = 6;
+
+/// All categories in the paper's presentation order.
+std::vector<Category> all_categories();
+
+/// Synthesis parameters of one image series.
+struct SeriesSpec {
+  std::string name;
+  Category category;
+  int versions = 20;
+
+  /// Approximate uncompressed root-filesystem size of one image, bytes
+  /// (before corpus-wide scaling).
+  std::uint64_t image_bytes = 0;
+  /// Approximate number of regular files per image (before scaling).
+  int file_count = 0;
+
+  /// Which distro base pool the series builds on ("debian", "alpine", ...).
+  /// Series on the same base share those files exactly (cross-series dedup).
+  std::string base_distro;
+  /// Fraction of the image occupied by the shared distro base.
+  double base_fraction = 0.3;
+  /// Fraction occupied by the series' environment/runtime files; the rest
+  /// is application data.
+  double env_fraction = 0.3;
+
+  /// Fraction of application files that change between consecutive versions.
+  double app_churn = 0.3;
+  /// Environment files change only every `env_epoch` versions.
+  int env_epoch = 6;
+  /// Distro base revision advances every `base_epoch` versions (distro
+  /// series themselves churn per version).
+  int base_epoch = 10;
+
+  /// Fraction of image bytes the startup task needs (paper: 6.4%–33.3%).
+  double access_fraction = 0.2;
+  /// Stability of the access selection across versions (drives Fig. 2).
+  double access_core_bias = 0.8;
+
+  /// Mean content compressibility in [0,1] for generated files.
+  double compressibility = 0.30;
+};
+
+/// The full Table I corpus (50 series, 971 images).
+std::vector<SeriesSpec> table1_corpus();
+
+/// A reduced corpus for unit tests and quick runs: `per_category` series
+/// each truncated to `versions` versions.
+std::vector<SeriesSpec> small_corpus(int per_category, int versions);
+
+/// Total image count across specs.
+int total_images(const std::vector<SeriesSpec>& specs);
+
+}  // namespace gear::workload

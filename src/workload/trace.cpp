@@ -1,0 +1,90 @@
+#include "workload/trace.hpp"
+
+#include <cmath>
+#include <deque>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace gear::workload {
+
+std::vector<TraceEvent> generate_trace(const std::vector<SeriesSpec>& specs,
+                                       const TraceSpec& spec) {
+  if (specs.empty()) {
+    throw_error(ErrorCode::kInvalidArgument, "trace needs at least one series");
+  }
+  if (spec.mean_interarrival_seconds <= 0 || spec.duration_seconds <= 0 ||
+      spec.release_cadence_seconds <= 0) {
+    throw_error(ErrorCode::kInvalidArgument, "bad trace parameters");
+  }
+
+  Rng rng(spec.seed ^ 0x7ace7ace7ace7aceull);
+  std::vector<TraceEvent> events;
+  double t = 0;
+  for (;;) {
+    // Exponential inter-arrival (inverse CDF; clamp u away from 0).
+    double u = std::max(rng.next_double(), 1e-12);
+    t += -spec.mean_interarrival_seconds * std::log(u);
+    if (t >= spec.duration_seconds) break;
+
+    TraceEvent event;
+    event.arrival_seconds = t;
+    event.series_index = rng.next_zipf(specs.size(), spec.popularity_skew);
+
+    // Head version: staggered release clock per series.
+    const SeriesSpec& s = specs[event.series_index];
+    double phase = static_cast<double>(
+                       Rng::from_label(spec.seed, "phase/" + s.name)
+                           .next_below(1000)) /
+                   1000.0;
+    auto head = static_cast<int>(t / spec.release_cadence_seconds + phase);
+    event.version = std::min(head, s.versions - 1);
+    events.push_back(event);
+  }
+  return events;
+}
+
+TraceResult replay_trace(
+    sim::SimClock& clock, const std::vector<TraceEvent>& events,
+    const TraceSpec& spec,
+    const std::function<std::string(std::size_t, int)>& deploy,
+    const std::function<void(const std::string&)>& destroy) {
+  if (!deploy || !destroy) {
+    throw_error(ErrorCode::kInvalidArgument, "trace replay needs callbacks");
+  }
+  TraceResult result;
+  std::deque<std::string> live;
+  double start = clock.now();
+
+  for (const TraceEvent& event : events) {
+    // Wait for the arrival if the node is idle; if the previous deployment
+    // overran, start immediately (queued).
+    double arrival = start + event.arrival_seconds;
+    if (clock.now() < arrival) {
+      clock.advance(arrival - clock.now());
+    }
+
+    // Scale-down before scale-up when at capacity.
+    while (static_cast<int>(live.size()) >= spec.max_live_containers) {
+      destroy(live.front());
+      live.pop_front();
+      ++result.destroys;
+    }
+
+    sim::SimTimer timer(clock);
+    live.push_back(deploy(event.series_index, event.version));
+    result.deploy_latency.record(timer.elapsed());
+    ++result.deployments;
+  }
+
+  // Drain.
+  while (!live.empty()) {
+    destroy(live.front());
+    live.pop_front();
+    ++result.destroys;
+  }
+  result.makespan_seconds = clock.now() - start;
+  return result;
+}
+
+}  // namespace gear::workload

@@ -1,0 +1,72 @@
+// Trace-driven deployment workloads.
+//
+// The paper motivates Gear with serverless cold starts and CI/CD version
+// churn (§I, §II-D): a node does not deploy one image in isolation — it
+// serves a *stream* of launches across many images whose versions keep
+// advancing. This module synthesizes such streams deterministically and
+// replays them against any deployment client:
+//
+//  * arrivals  — exponential inter-arrival times (Poisson process);
+//  * images    — series chosen Zipf-skewed (a few hot services dominate);
+//  * versions  — each series releases on its own cadence; deployments
+//                always target the current head (the CI/CD pattern);
+//  * lifetime  — a bounded number of live containers; the oldest is
+//                destroyed when the cap is hit (scale-down / eviction).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/clock.hpp"
+#include "util/histogram.hpp"
+#include "workload/spec.hpp"
+
+namespace gear::workload {
+
+struct TraceSpec {
+  double duration_seconds = 3600;
+  double mean_interarrival_seconds = 8.0;
+  /// Zipf exponent for series popularity (1.0-1.3 typical).
+  double popularity_skew = 1.1;
+  /// A series releases a new version every `release_cadence_seconds`
+  /// (staggered per series), until it runs out of versions.
+  double release_cadence_seconds = 600;
+  /// Live-container cap; exceeding it destroys the oldest first.
+  int max_live_containers = 32;
+  std::uint64_t seed = 1;
+};
+
+struct TraceEvent {
+  double arrival_seconds = 0;
+  std::size_t series_index = 0;  // into the spec vector
+  int version = 0;               // head version at arrival time
+};
+
+/// Generates the deployment event stream. Deterministic per (specs, spec).
+std::vector<TraceEvent> generate_trace(const std::vector<SeriesSpec>& specs,
+                                       const TraceSpec& spec);
+
+/// Replay outcome.
+struct TraceResult {
+  Histogram deploy_latency;       // seconds per deployment
+  std::uint64_t deployments = 0;
+  std::uint64_t destroys = 0;
+  double makespan_seconds = 0;    // clock time to drain the trace
+};
+
+/// Replays `events` against a client through callbacks:
+///   deploy(series_index, version) -> container id (performs and charges
+///   the deployment; the runner measures its latency via `clock`);
+///   destroy(container_id) tears one down.
+/// The runner advances `clock` through idle gaps between arrivals (a
+/// deployment that overruns the next arrival simply delays it, as a busy
+/// single-node executor would).
+TraceResult replay_trace(
+    sim::SimClock& clock, const std::vector<TraceEvent>& events,
+    const TraceSpec& spec,
+    const std::function<std::string(std::size_t, int)>& deploy,
+    const std::function<void(const std::string&)>& destroy);
+
+}  // namespace gear::workload

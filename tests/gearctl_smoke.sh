@@ -1,0 +1,51 @@
+#!/bin/sh
+# End-to-end smoke test for the gearctl CLI: import a real directory,
+# inspect, cat, run (hard-link materialization), export, verify byte
+# equality, delete, and garbage-collect. Driven by CTest.
+set -eu
+
+GEARCTL="$1"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+SRC="$WORK/src"
+STORE="$WORK/store"
+OUT="$WORK/out"
+
+mkdir -p "$SRC/app" "$SRC/etc"
+printf 'hello from gearctl\n' > "$SRC/app/hello.txt"
+head -c 65536 /dev/urandom > "$SRC/app/blob.bin"
+printf 'mode=prod\n' > "$SRC/etc/app.conf"
+ln -s ../etc/app.conf "$SRC/app/conf-link"
+
+"$GEARCTL" "$STORE" init
+"$GEARCTL" "$STORE" import "$SRC" demo:v1
+"$GEARCTL" "$STORE" images | grep -q "demo:v1"
+"$GEARCTL" "$STORE" inspect demo:v1 | grep -q "files:"
+test "$("$GEARCTL" "$STORE" cat demo:v1 app/hello.txt)" = "hello from gearctl"
+
+# run twice: second hit must come from the local cache.
+"$GEARCTL" "$STORE" run demo:v1 app/blob.bin | grep -q "registry"
+"$GEARCTL" "$STORE" run demo:v1 app/blob.bin | grep -q "cache"
+
+"$GEARCTL" "$STORE" export demo:v1 "$OUT"
+diff -r "$SRC" "$OUT"
+
+# container lifecycle: launch, lazy read, write, commit, relaunch.
+C="$("$GEARCTL" "$STORE" launch demo:v1)"
+test "$("$GEARCTL" "$STORE" read "$C" app/hello.txt)" = "hello from gearctl"
+"$GEARCTL" "$STORE" write "$C" app/note.txt "patched"
+test "$("$GEARCTL" "$STORE" read "$C" app/note.txt)" = "patched"
+"$GEARCTL" "$STORE" commit "$C" demo:patched
+test "$("$GEARCTL" "$STORE" cat demo:patched app/note.txt)" = "patched"
+
+# second import of the same content deduplicates everything.
+"$GEARCTL" "$STORE" import "$SRC" demo:v2 | grep -q "0 uploaded"
+
+"$GEARCTL" "$STORE" rm demo:v1
+"$GEARCTL" "$STORE" rm demo:v2
+"$GEARCTL" "$STORE" rm demo:patched
+"$GEARCTL" "$STORE" gc | grep -q "swept"
+"$GEARCTL" "$STORE" stats | grep -q "0 objects"
+
+echo "gearctl smoke test passed"

@@ -1,0 +1,152 @@
+// Unit tests for the shared Gear-file cache: pinning, FIFO/LRU eviction.
+#include <gtest/gtest.h>
+
+#include "gear/cache.hpp"
+#include "util/error.hpp"
+
+namespace gear {
+namespace {
+
+Fingerprint fp_of(const std::string& s) {
+  return default_hasher().fingerprint(to_bytes(s));
+}
+
+TEST(Cache, PutGetRoundTrip) {
+  SharedFileCache cache;
+  Fingerprint fp = fp_of("a");
+  EXPECT_FALSE(cache.contains(fp));
+  EXPECT_TRUE(cache.put(fp, to_bytes("content-a")));
+  EXPECT_TRUE(cache.contains(fp));
+  EXPECT_EQ(to_string(cache.get(fp).value()), "content-a");
+  EXPECT_EQ(cache.size_bytes(), 9u);
+  EXPECT_EQ(cache.entry_count(), 1u);
+}
+
+TEST(Cache, MissRecordsStats) {
+  SharedFileCache cache;
+  EXPECT_FALSE(cache.get(fp_of("nope")).ok());
+  cache.put(fp_of("yes"), to_bytes("y"));
+  cache.get(fp_of("yes")).value();
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(Cache, DuplicatePutIsNoop) {
+  SharedFileCache cache;
+  Fingerprint fp = fp_of("a");
+  cache.put(fp, to_bytes("content"));
+  EXPECT_TRUE(cache.put(fp, to_bytes("content")));
+  EXPECT_EQ(cache.entry_count(), 1u);
+  EXPECT_EQ(cache.stats().insertions, 1u);
+}
+
+TEST(Cache, UnboundedNeverEvicts) {
+  SharedFileCache cache(0, EvictionPolicy::kLru);
+  for (int i = 0; i < 100; ++i) {
+    cache.put(fp_of(std::to_string(i)), Bytes(1000, 'x'));
+  }
+  EXPECT_EQ(cache.entry_count(), 100u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(Cache, FifoEvictsInsertionOrder) {
+  SharedFileCache cache(2500, EvictionPolicy::kFifo);
+  cache.put(fp_of("first"), Bytes(1000, 'a'));
+  cache.put(fp_of("second"), Bytes(1000, 'b'));
+  // Access "first" — FIFO must ignore recency.
+  cache.get(fp_of("first")).value();
+  cache.put(fp_of("third"), Bytes(1000, 'c'));
+  EXPECT_FALSE(cache.contains(fp_of("first")));
+  EXPECT_TRUE(cache.contains(fp_of("second")));
+  EXPECT_TRUE(cache.contains(fp_of("third")));
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed) {
+  SharedFileCache cache(2500, EvictionPolicy::kLru);
+  cache.put(fp_of("first"), Bytes(1000, 'a'));
+  cache.put(fp_of("second"), Bytes(1000, 'b'));
+  cache.get(fp_of("first")).value();  // refresh "first"
+  cache.put(fp_of("third"), Bytes(1000, 'c'));
+  EXPECT_TRUE(cache.contains(fp_of("first")));
+  EXPECT_FALSE(cache.contains(fp_of("second")));
+  EXPECT_TRUE(cache.contains(fp_of("third")));
+}
+
+TEST(Cache, PinnedEntriesSurviveEviction) {
+  SharedFileCache cache(2500, EvictionPolicy::kLru);
+  cache.put(fp_of("pinned"), Bytes(1000, 'p'));
+  cache.link(fp_of("pinned"));
+  cache.put(fp_of("other"), Bytes(1000, 'o'));
+  cache.put(fp_of("new"), Bytes(1000, 'n'));  // must evict "other"
+  EXPECT_TRUE(cache.contains(fp_of("pinned")));
+  EXPECT_FALSE(cache.contains(fp_of("other")));
+  EXPECT_TRUE(cache.contains(fp_of("new")));
+}
+
+TEST(Cache, RejectsWhenEverythingPinned) {
+  SharedFileCache cache(2000, EvictionPolicy::kLru);
+  cache.put(fp_of("a"), Bytes(1000, 'a'));
+  cache.put(fp_of("b"), Bytes(900, 'b'));
+  cache.link(fp_of("a"));
+  cache.link(fp_of("b"));
+  EXPECT_FALSE(cache.put(fp_of("c"), Bytes(500, 'c')));
+  EXPECT_EQ(cache.stats().rejected, 1u);
+}
+
+TEST(Cache, OversizedEntryRejected) {
+  SharedFileCache cache(100, EvictionPolicy::kFifo);
+  EXPECT_FALSE(cache.put(fp_of("big"), Bytes(200, 'x')));
+}
+
+TEST(Cache, UnlinkMakesEvictable) {
+  SharedFileCache cache(2500, EvictionPolicy::kFifo);
+  cache.put(fp_of("a"), Bytes(1000, 'a'));
+  cache.link(fp_of("a"));
+  cache.put(fp_of("b"), Bytes(1000, 'b'));
+  cache.unlink(fp_of("a"));
+  EXPECT_EQ(cache.link_count(fp_of("a")), 0u);
+  cache.put(fp_of("c"), Bytes(1000, 'c'));  // now "a" can be evicted
+  EXPECT_FALSE(cache.contains(fp_of("a")));
+}
+
+TEST(Cache, MultipleLinksCounted) {
+  SharedFileCache cache;
+  cache.put(fp_of("a"), to_bytes("x"));
+  cache.link(fp_of("a"));
+  cache.link(fp_of("a"));
+  EXPECT_EQ(cache.link_count(fp_of("a")), 2u);
+  cache.unlink(fp_of("a"));
+  EXPECT_EQ(cache.link_count(fp_of("a")), 1u);
+}
+
+TEST(Cache, LinkErrors) {
+  SharedFileCache cache;
+  EXPECT_THROW(cache.link(fp_of("absent")), Error);
+  EXPECT_THROW(cache.unlink(fp_of("absent")), Error);
+  cache.put(fp_of("a"), to_bytes("x"));
+  EXPECT_THROW(cache.unlink(fp_of("a")), Error);  // not linked
+}
+
+TEST(Cache, ClearUnpinnedKeepsPinned) {
+  SharedFileCache cache;
+  cache.put(fp_of("keep"), to_bytes("k"));
+  cache.put(fp_of("drop"), to_bytes("d"));
+  cache.link(fp_of("keep"));
+  cache.clear_unpinned();
+  EXPECT_TRUE(cache.contains(fp_of("keep")));
+  EXPECT_FALSE(cache.contains(fp_of("drop")));
+  EXPECT_EQ(cache.size_bytes(), 1u);
+}
+
+TEST(Cache, EvictionFreesExactBytes) {
+  SharedFileCache cache(3000, EvictionPolicy::kFifo);
+  cache.put(fp_of("a"), Bytes(1500, 'a'));
+  cache.put(fp_of("b"), Bytes(1400, 'b'));
+  EXPECT_EQ(cache.size_bytes(), 2900u);
+  cache.put(fp_of("c"), Bytes(2000, 'c'));
+  EXPECT_LE(cache.size_bytes(), 3000u);
+  EXPECT_TRUE(cache.contains(fp_of("c")));
+}
+
+}  // namespace
+}  // namespace gear

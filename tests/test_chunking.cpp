@@ -1,0 +1,257 @@
+// Tests for chunked Gear files (paper §VII future work): manifest codec,
+// chunked registry storage, chunk dedup, partial (range) downloads, and the
+// client-side lazy range-read path.
+#include <gtest/gtest.h>
+
+#include "docker/image.hpp"
+#include "gear/chunking.hpp"
+#include "gear/client.hpp"
+#include "gear/converter.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace gear {
+namespace {
+
+constexpr std::uint64_t kChunk = 4096;
+const ChunkPolicy kPolicy{/*threshold_bytes=*/16 * 1024, /*chunk_bytes=*/kChunk};
+
+Bytes big_content(std::uint64_t seed, std::size_t n) {
+  Rng rng(seed);
+  return rng.next_bytes(n, 0.3);
+}
+
+// ------------------------------------------------------------- manifest
+
+TEST(ChunkManifest, BuildGeometry) {
+  Bytes content = big_content(1, 3 * kChunk + 100);
+  ChunkManifest m = build_chunk_manifest(content, kPolicy, default_hasher());
+  EXPECT_EQ(m.file_size, content.size());
+  EXPECT_EQ(m.chunk_bytes, kChunk);
+  EXPECT_EQ(m.chunks.size(), 4u);
+  // Each chunk fingerprint matches its slice.
+  for (std::size_t i = 0; i < m.chunks.size(); ++i) {
+    EXPECT_EQ(m.chunks[i],
+              default_hasher().fingerprint(chunk_view(content, m, i)));
+  }
+}
+
+TEST(ChunkManifest, ExactMultipleHasNoShortTail) {
+  Bytes content = big_content(2, 2 * kChunk);
+  ChunkManifest m = build_chunk_manifest(content, kPolicy, default_hasher());
+  EXPECT_EQ(m.chunks.size(), 2u);
+  EXPECT_EQ(chunk_view(content, m, 1).size(), kChunk);
+}
+
+TEST(ChunkManifest, SerializeRoundTrip) {
+  Bytes content = big_content(3, 5 * kChunk + 7);
+  ChunkManifest m = build_chunk_manifest(content, kPolicy, default_hasher());
+  EXPECT_EQ(ChunkManifest::parse(m.serialize()), m);
+}
+
+TEST(ChunkManifest, ParseRejectsCorruption) {
+  Bytes content = big_content(4, 2 * kChunk);
+  Bytes data = build_chunk_manifest(content, kPolicy, default_hasher())
+                   .serialize();
+  Bytes bad_magic = data;
+  bad_magic[0] = 'X';
+  EXPECT_THROW(ChunkManifest::parse(bad_magic), Error);
+  Bytes truncated(data.begin(), data.end() - 3);
+  EXPECT_THROW(ChunkManifest::parse(truncated), Error);
+}
+
+TEST(ChunkManifest, ChunkRangeMath) {
+  ChunkManifest m;
+  m.file_size = 10 * kChunk;
+  m.chunk_bytes = kChunk;
+  m.chunks.resize(10);
+  auto [f1, l1] = m.chunk_range(0, 1);
+  EXPECT_EQ(f1, 0u);
+  EXPECT_EQ(l1, 0u);
+  auto [f2, l2] = m.chunk_range(kChunk - 1, 2);  // straddles 0/1
+  EXPECT_EQ(f2, 0u);
+  EXPECT_EQ(l2, 1u);
+  auto [f3, l3] = m.chunk_range(9 * kChunk, kChunk);  // last chunk
+  EXPECT_EQ(f3, 9u);
+  EXPECT_EQ(l3, 9u);
+  EXPECT_THROW(m.chunk_range(10 * kChunk, 1), Error);
+  EXPECT_THROW(m.chunk_range(0, 0), Error);
+}
+
+// ------------------------------------------------------------- registry
+
+TEST(ChunkedRegistry, UploadDownloadRoundTrip) {
+  GearRegistry reg;
+  Bytes content = big_content(10, 7 * kChunk + 123);
+  Fingerprint fp = default_hasher().fingerprint(content);
+  EXPECT_TRUE(reg.upload_chunked(fp, content, kPolicy));
+  EXPECT_TRUE(reg.query(fp));
+  EXPECT_TRUE(reg.is_chunked(fp));
+  EXPECT_EQ(reg.download(fp).value(), content);
+  // Objects: 8 chunks + 1 manifest.
+  EXPECT_EQ(reg.object_count(), 9u);
+}
+
+TEST(ChunkedRegistry, SmallFileFallsBackToPlain) {
+  GearRegistry reg;
+  Bytes content = big_content(11, 1024);  // below threshold
+  Fingerprint fp = default_hasher().fingerprint(content);
+  reg.upload_chunked(fp, content, kPolicy);
+  EXPECT_FALSE(reg.is_chunked(fp));
+  EXPECT_EQ(reg.download(fp).value(), content);
+}
+
+TEST(ChunkedRegistry, SharedChunksDeduplicated) {
+  GearRegistry reg;
+  // Two "model" files sharing a common prefix (chunk-aligned): v2 only
+  // changes the tail.
+  Bytes v1 = big_content(12, 8 * kChunk);
+  Bytes v2 = v1;
+  Rng rng(13);
+  Bytes tail = rng.next_bytes(kChunk, 0.3);
+  std::copy(tail.begin(), tail.end(), v2.end() - static_cast<std::ptrdiff_t>(kChunk));
+
+  reg.upload_chunked(default_hasher().fingerprint(v1), v1, kPolicy);
+  std::uint64_t after_v1 = reg.storage_bytes();
+  reg.upload_chunked(default_hasher().fingerprint(v2), v2, kPolicy);
+  std::uint64_t growth = reg.storage_bytes() - after_v1;
+  // v2 adds roughly one chunk + manifest, not 8 chunks.
+  EXPECT_LT(growth, after_v1 / 4);
+  EXPECT_EQ(reg.download(default_hasher().fingerprint(v2)).value(), v2);
+}
+
+TEST(ChunkedRegistry, DownloadRangeFetchesOnlyCoveringChunks) {
+  GearRegistry reg;
+  Bytes content = big_content(14, 16 * kChunk);
+  Fingerprint fp = default_hasher().fingerprint(content);
+  reg.upload_chunked(fp, content, kPolicy);
+
+  std::uint64_t wire = 0;
+  Bytes slice = reg.download_range(fp, 5, 100, &wire).value();
+  EXPECT_EQ(slice, Bytes(content.begin() + 5, content.begin() + 105));
+  // One chunk's compressed size, far below the whole file.
+  EXPECT_LT(wire, reg.stored_size(fp).value() / 8);
+}
+
+TEST(ChunkedRegistry, DownloadRangeAcrossChunkBoundary) {
+  GearRegistry reg;
+  Bytes content = big_content(15, 4 * kChunk);
+  Fingerprint fp = default_hasher().fingerprint(content);
+  reg.upload_chunked(fp, content, kPolicy);
+  Bytes slice =
+      reg.download_range(fp, kChunk - 10, 20, nullptr).value();
+  EXPECT_EQ(slice, Bytes(content.begin() + static_cast<std::ptrdiff_t>(kChunk - 10),
+                         content.begin() + static_cast<std::ptrdiff_t>(kChunk + 10)));
+}
+
+TEST(ChunkedRegistry, RangeOnPlainObjectMovesWholeBlob) {
+  GearRegistry reg;
+  Bytes content = big_content(16, 2048);
+  Fingerprint fp = default_hasher().fingerprint(content);
+  reg.upload(fp, content);
+  std::uint64_t wire = 0;
+  Bytes slice = reg.download_range(fp, 10, 20, &wire).value();
+  EXPECT_EQ(slice, Bytes(content.begin() + 10, content.begin() + 30));
+  EXPECT_EQ(wire, reg.stored_size(fp).value());
+}
+
+TEST(ChunkedRegistry, StoredSizeCoversManifestAndChunks) {
+  GearRegistry reg;
+  Bytes content = big_content(17, 6 * kChunk);
+  Fingerprint fp = default_hasher().fingerprint(content);
+  reg.upload_chunked(fp, content, kPolicy);
+  EXPECT_EQ(reg.stored_size(fp).value(), reg.storage_bytes());
+}
+
+// ----------------------------------------------------------- client path
+
+struct ChunkClientFixture : ::testing::Test {
+  sim::SimClock clock;
+  sim::NetworkLink link{clock, 100.0, 0.0005, 0.0003};
+  sim::DiskModel disk{clock, 0.0001, 500.0, 480.0};
+  docker::DockerRegistry index_registry;
+  GearRegistry file_registry;
+  Bytes model;
+  std::string container;
+  GearClient client{index_registry, file_registry, link, disk};
+
+  void SetUp() override {
+    model = big_content(20, 64 * kChunk);  // the "AI model" file
+    vfs::FileTree root;
+    root.add_file("models/weights.bin", model);
+    root.add_file("etc/config.json", to_bytes("{\"layers\":128}"));
+    docker::ImageBuilder b;
+    b.add_snapshot(root);
+    docker::Image image = b.build("ai", "v1", {});
+    ConversionResult conv = GearConverter().convert(image);
+    push_gear_image(conv.image, index_registry, file_registry, kPolicy);
+
+    client.pull("ai:v1");
+    container = client.store().create_container("ai:v1");
+  }
+};
+
+TEST_F(ChunkClientFixture, HeaderPeekMovesOnlyCoveringChunks) {
+  sim::NetworkStats before = link.stats();
+  Bytes header = client.read_range(container, "models/weights.bin", 0,
+                                   1024).value();
+  EXPECT_EQ(header, Bytes(model.begin(), model.begin() + 1024));
+  sim::NetworkStats delta = link.stats() - before;
+  // Manifest + one chunk, not 64 chunks.
+  EXPECT_LT(delta.bytes_transferred,
+            file_registry.stored_size(
+                default_hasher().fingerprint(model)).value() / 16);
+  EXPECT_GT(client.range_bytes_downloaded(), 0u);
+}
+
+TEST_F(ChunkClientFixture, RepeatedRangeReadsHitChunkCache) {
+  client.read_range(container, "models/weights.bin", 0, 1024).value();
+  sim::NetworkStats before = link.stats();
+  client.read_range(container, "models/weights.bin", 100, 500).value();
+  sim::NetworkStats delta = link.stats() - before;
+  EXPECT_EQ(delta.bytes_transferred, 0u);  // same chunk, cached
+}
+
+TEST_F(ChunkClientFixture, CrossChunkRangeCorrect) {
+  std::uint64_t off = 7 * kChunk - 100;
+  Bytes got = client.read_range(container, "models/weights.bin", off,
+                                300).value();
+  EXPECT_EQ(got, Bytes(model.begin() + static_cast<std::ptrdiff_t>(off),
+                       model.begin() + static_cast<std::ptrdiff_t>(off + 300)));
+}
+
+TEST_F(ChunkClientFixture, FullDeployStillByteExact) {
+  workload::AccessSet access;
+  access.files.push_back({"models/weights.bin", model.size(),
+                          default_hasher().fingerprint(model)});
+  docker::DeployStats stats = client.deploy("ai:v1", access);
+  EXPECT_GT(stats.run_bytes_downloaded, 0u);
+  GearFileViewer viewer = client.open_viewer(container);
+  EXPECT_EQ(viewer.read_file("models/weights.bin").value(), model);
+}
+
+TEST_F(ChunkClientFixture, RangeOnSmallPlainFileWorks) {
+  Bytes got = client.read_range(container, "etc/config.json", 1, 8).value();
+  EXPECT_EQ(to_string(got), "\"layers\"");
+}
+
+TEST_F(ChunkClientFixture, RangeErrors) {
+  EXPECT_FALSE(client.read_range(container, "missing", 0, 1).ok());
+  EXPECT_FALSE(
+      client.read_range(container, "models/weights.bin", 0, 0).ok());
+  EXPECT_FALSE(client
+                   .read_range(container, "models/weights.bin",
+                               model.size() - 1, 10)
+                   .ok());
+  EXPECT_FALSE(client.read_range(container, "models", 0, 1).ok());  // dir
+}
+
+TEST_F(ChunkClientFixture, DiffLayerWinsOverIndex) {
+  GearFileViewer viewer = client.open_viewer(container);
+  viewer.write_file("models/weights.bin", to_bytes("patched-model"));
+  Bytes got = client.read_range(container, "models/weights.bin", 0, 7).value();
+  EXPECT_EQ(to_string(got), "patched");
+}
+
+}  // namespace
+}  // namespace gear

@@ -1,0 +1,118 @@
+// Tests for the registry-side conversion service.
+#include <gtest/gtest.h>
+
+#include "gear/client.hpp"
+#include "gear/conversion_service.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace gear {
+namespace {
+
+struct ServiceFixture : ::testing::Test {
+  docker::DockerRegistry classic;
+  docker::DockerRegistry index_registry;
+  GearRegistry file_registry;
+
+  docker::Image make_image(std::uint64_t seed, const std::string& name,
+                           const std::string& tag) {
+    docker::ImageBuilder b;
+    b.add_snapshot(gear::testing::random_tree(seed, 15));
+    return b.build(name, tag, {});
+  }
+};
+
+TEST_F(ServiceFixture, ConvertsOnArrival) {
+  ConversionService service(classic, index_registry, file_registry);
+  docker::Image image = make_image(9000, "web", "v1");
+  std::string ref = service.receive_image(image);
+  EXPECT_EQ(ref, "web:v1");
+  EXPECT_TRUE(classic.has_manifest("web:v1"));
+  EXPECT_TRUE(index_registry.has_manifest("web:v1"));
+  EXPECT_GT(file_registry.object_count(), 0u);
+  EXPECT_EQ(service.stats().conversions_performed, 1u);
+
+  // The converted image deploys correctly.
+  sim::SimClock c;
+  sim::NetworkLink l(c, 904.0, 0.0005, 0.0003);
+  sim::DiskModel d = sim::DiskModel::ssd(c);
+  GearClient client(index_registry, file_registry, l, d);
+  client.pull("web:v1");
+  std::string container = client.store().create_container("web:v1");
+  GearFileViewer viewer = client.open_viewer(container);
+  vfs::FileTree flat = image.flatten();
+  flat.walk([&](const std::string& path, const vfs::FileNode& node) {
+    if (node.is_regular()) {
+      EXPECT_EQ(viewer.read_file(path).value(), node.content()) << path;
+    }
+  });
+}
+
+TEST_F(ServiceFixture, RepushSkipsConversion) {
+  ConversionService service(classic, index_registry, file_registry);
+  service.receive_image(make_image(9001, "app", "v1"));
+  std::uint64_t files_after_first = file_registry.object_count();
+
+  // Same content re-tagged: no re-conversion, but the alias manifest exists.
+  service.receive_image(make_image(9001, "app", "stable"));
+  EXPECT_EQ(service.stats().conversions_performed, 1u);
+  EXPECT_EQ(service.stats().conversions_skipped, 1u);
+  EXPECT_EQ(file_registry.object_count(), files_after_first);
+  EXPECT_TRUE(index_registry.has_manifest("app:stable"));
+
+  // Both references resolve to the same index layer.
+  docker::Manifest a = index_registry.get_manifest("app:v1").value();
+  docker::Manifest b = index_registry.get_manifest("app:stable").value();
+  EXPECT_EQ(a.layers[0].digest, b.layers[0].digest);
+}
+
+TEST_F(ServiceFixture, DropOriginalSavesClassicSpace) {
+  ConversionService::Options options;
+  options.drop_original = true;
+  ConversionService service(classic, index_registry, file_registry, options);
+  service.receive_image(make_image(9002, "tmp", "v1"));
+  EXPECT_FALSE(classic.has_manifest("tmp:v1"));
+  // Layers become garbage the classic registry can reclaim.
+  auto [swept, freed] = classic.collect_garbage();
+  EXPECT_GT(swept, 0u);
+  EXPECT_GT(freed, 0u);
+  // The Gear side is unaffected.
+  EXPECT_TRUE(index_registry.has_manifest("tmp:v1"));
+}
+
+TEST_F(ServiceFixture, BacklogMigration) {
+  // Images pushed before the service existed.
+  classic.push_image(make_image(9003, "old1", "v1"));
+  classic.push_image(make_image(9004, "old2", "v1"));
+  docker::Image shared = make_image(9003, "old1", "retag");  // same layers
+  classic.push_image(shared);
+
+  ConversionService service(classic, index_registry, file_registry);
+  std::size_t converted = service.convert_backlog();
+  // Distinct layer sets: old1 (shared with retag) and old2.
+  EXPECT_EQ(converted, 2u);
+  EXPECT_TRUE(index_registry.has_manifest("old1:v1"));
+  EXPECT_TRUE(index_registry.has_manifest("old2:v1"));
+
+  // Second run: nothing left.
+  EXPECT_EQ(service.convert_backlog(), 0u);
+}
+
+TEST_F(ServiceFixture, CrossImageDedupThroughService) {
+  ConversionService service(classic, index_registry, file_registry);
+  vfs::FileTree base = gear::testing::random_tree(9005, 20);
+  docker::ImageBuilder b1;
+  b1.add_snapshot(base);
+  service.receive_image(b1.build("a", "v1", {}));
+  std::size_t uploaded_first = service.stats().files_uploaded;
+
+  docker::ImageBuilder b2;
+  b2.add_snapshot(gear::testing::mutate_tree(base, 9006, 3));
+  service.receive_image(b2.build("b", "v1", {}));
+  std::size_t uploaded_second =
+      service.stats().files_uploaded - uploaded_first;
+  EXPECT_LT(uploaded_second, uploaded_first / 2);  // most files shared
+}
+
+}  // namespace
+}  // namespace gear

@@ -1,0 +1,203 @@
+// Additional coverage: Docker registry GC, scaled simulation models,
+// chunk-aware client transfer accounting, and assorted edge cases the main
+// suites don't reach.
+#include <gtest/gtest.h>
+
+#include "docker/client.hpp"
+#include "gear/client.hpp"
+#include "gear/converter.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace gear {
+namespace {
+
+docker::Image one_layer_image(std::uint64_t seed, const std::string& name,
+                              const std::string& tag) {
+  docker::ImageBuilder b;
+  b.add_snapshot(gear::testing::random_tree(seed, 15));
+  return b.build(name, tag, {});
+}
+
+// ----------------------------------------------------- docker registry GC
+
+TEST(DockerRegistryGc, SweepsOrphanedLayers) {
+  docker::DockerRegistry registry;
+  docker::Image a = one_layer_image(8000, "a", "v1");
+  docker::Image b = one_layer_image(8001, "b", "v1");
+  registry.push_image(a);
+  registry.push_image(b);
+  ASSERT_EQ(registry.blob_count(), 2u);
+
+  // Nothing to sweep while both manifests live.
+  auto [swept0, freed0] = registry.collect_garbage();
+  EXPECT_EQ(swept0, 0u);
+  EXPECT_EQ(freed0, 0u);
+
+  registry.delete_manifest("a:v1");
+  auto [swept1, freed1] = registry.collect_garbage();
+  EXPECT_EQ(swept1, 1u);
+  EXPECT_GT(freed1, 0u);
+  EXPECT_EQ(registry.blob_count(), 1u);
+  // b's layer still fetchable.
+  EXPECT_TRUE(registry.get_blob(b.manifest.layers[0].digest).ok());
+}
+
+TEST(DockerRegistryGc, SharedLayersSurvive) {
+  docker::DockerRegistry registry;
+  vfs::FileTree base = gear::testing::random_tree(8010, 12);
+  docker::ImageBuilder b1;
+  b1.add_snapshot(base);
+  docker::Image a = b1.build("a", "v1", {});
+  docker::ImageBuilder b2(a);
+  b2.add_snapshot(gear::testing::mutate_tree(base, 8011, 4));
+  docker::Image child = b2.build("child", "v1", {});
+  registry.push_image(a);
+  registry.push_image(child);
+
+  registry.delete_manifest("a:v1");
+  registry.collect_garbage();
+  // The shared base layer is still referenced by child.
+  EXPECT_TRUE(registry.get_blob(a.manifest.layers[0].digest).ok());
+}
+
+TEST(DockerRegistryGc, DeleteBlobReturnsZeroWhenAbsent) {
+  docker::DockerRegistry registry;
+  EXPECT_EQ(registry.delete_blob(docker::Digest::of(to_bytes("x"))), 0u);
+}
+
+// -------------------------------------------------------- scaled sim models
+
+TEST(ScaledModels, LinkPreservesTimeRatios) {
+  // A scaled transfer of scaled bytes must take exactly as long as the
+  // full-scale transfer of full-scale bytes.
+  sim::SimClock c1, c2;
+  sim::NetworkLink full(c1, 904.0, 0.0, 0.0);
+  sim::NetworkLink scaled = sim::scaled_link(c2, 904.0, 0.001, 0.0, 0.0);
+  full.request(390'000'000);
+  scaled.request(390'000);
+  EXPECT_NEAR(c1.now(), c2.now(), 1e-9);
+}
+
+TEST(ScaledModels, DiskPreservesTimeRatios) {
+  sim::SimClock c1, c2;
+  sim::DiskModel full = sim::DiskModel::hdd(c1);
+  sim::DiskModel scaled = sim::DiskModel::scaled_hdd(c2, 0.001);
+  full.read(150'000'000);
+  scaled.read(150'000);
+  EXPECT_NEAR(c1.now(), c2.now(), 1e-9);
+}
+
+TEST(ScaledModels, BadScaleRejected) {
+  sim::SimClock c;
+  EXPECT_THROW(sim::scaled_link(c, 100.0, 0.0), Error);
+  EXPECT_THROW(sim::scaled_link(c, 100.0, 1.5), Error);
+}
+
+// -------------------------------------------- chunked deploy wire accounting
+
+TEST(ChunkedDeployAccounting, PipelinedBurstCheaperThanPerChunkRequests) {
+  // A chunked whole-file materialization pays RTT once (pipelined), not
+  // once per chunk.
+  Rng rng(8100);
+  Bytes model = rng.next_bytes(64 * 4096, 0.3);
+  vfs::FileTree t;
+  t.add_file("m.bin", model);
+  docker::ImageBuilder b;
+  b.add_snapshot(t);
+  docker::Image image = b.build("m", "v1", {});
+  ConversionResult conv = GearConverter().convert(image);
+
+  const ChunkPolicy policy{16 * 1024, 4096};
+  workload::AccessSet access;
+  access.files.push_back(
+      {"m.bin", model.size(), default_hasher().fingerprint(model)});
+
+  auto deploy_seconds = [&](bool chunked) {
+    docker::DockerRegistry index_registry;
+    GearRegistry file_registry;
+    push_gear_image(conv.image, index_registry, file_registry,
+                    chunked ? policy : ChunkPolicy{});
+    sim::SimClock clock;
+    sim::NetworkLink link(clock, 904.0, /*rtt=*/0.05, 0.0003);
+    sim::DiskModel disk = sim::DiskModel::ssd(clock);
+    GearClient client(index_registry, file_registry, link, disk);
+    return client.deploy("m:v1", access).total_seconds();
+  };
+
+  double plain = deploy_seconds(false);
+  double chunked = deploy_seconds(true);
+  // 64 chunks at 50 ms RTT each would add >3 s; pipelining keeps the
+  // chunked deploy within a modest factor of the plain one.
+  EXPECT_LT(chunked, plain + 0.5);
+}
+
+// ------------------------------------------------------------ misc edges
+
+TEST(ViewerEdge, RootListingAndWhiteoutMask) {
+  vfs::FileTree index;
+  Fingerprint fp = default_hasher().fingerprint(to_bytes("x"));
+  index.add_fingerprint_stub("a/f", fp, 1);
+  index.add_fingerprint_stub("b/g", fp, 1);
+  vfs::FileTree diff;
+  GearFileViewer viewer(index, diff,
+                        [](const Fingerprint&, std::uint64_t) {
+                          return to_bytes("x");
+                        });
+  EXPECT_EQ(viewer.list_dir("").size(), 2u);
+  viewer.remove("b");
+  auto names = viewer.list_dir("/");
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], "a");
+}
+
+TEST(OverlayEdge, WhiteoutInMiddleLayerThenReAdd) {
+  vfs::FileTree l0, l1, l2;
+  l0.add_file("f", to_bytes("v0"));
+  l1.add_whiteout("f");
+  l2.add_file("f", to_bytes("v2"));
+  docker::OverlayMount m({&l0, &l1, &l2});
+  EXPECT_EQ(to_string(m.read_file("f").value()), "v2");
+
+  docker::OverlayMount m2({&l0, &l1});
+  EXPECT_FALSE(m2.exists("f"));
+}
+
+TEST(ConverterEdge, EmptyDirectoriesAndSymlinkOnlyTrees) {
+  vfs::FileTree t;
+  t.add_directory("empty/nested");
+  t.add_symlink("link", "empty");
+  t.add_file("one", to_bytes("1"));  // builder rejects empty images
+  docker::ImageBuilder b;
+  b.add_snapshot(t);
+  ConversionResult conv = GearConverter().convert(b.build("e", "v1", {}));
+  EXPECT_EQ(conv.stats.files_unique, 1u);
+  EXPECT_NE(conv.image.index.tree().lookup("empty/nested"), nullptr);
+  EXPECT_EQ(conv.image.index.tree().lookup("link")->link_target(), "empty");
+}
+
+TEST(CacheEdge, ZeroByteFilesCached) {
+  SharedFileCache cache(1000, EvictionPolicy::kLru);
+  Fingerprint fp = default_hasher().fingerprint({});
+  EXPECT_TRUE(cache.put(fp, {}));
+  EXPECT_TRUE(cache.get(fp).ok());
+  EXPECT_EQ(cache.size_bytes(), 0u);
+}
+
+TEST(StoreEdge, ReinstallIndexReleasesOldLinks) {
+  ThreeLevelStore store;
+  vfs::FileTree t;
+  Fingerprint fp = default_hasher().fingerprint(to_bytes("c"));
+  t.add_fingerprint_stub("f", fp, 1);
+  store.add_index("app:v1", GearIndex{vfs::FileTree(t)});
+  store.cache().put(fp, to_bytes("c"));
+  store.record_link("app:v1", fp);
+  ASSERT_EQ(store.cache().link_count(fp), 1u);
+
+  // Installing a replacement index (image update) unpins the old links.
+  store.add_index("app:v1", GearIndex{vfs::FileTree(t)});
+  EXPECT_EQ(store.cache().link_count(fp), 0u);
+}
+
+}  // namespace
+}  // namespace gear

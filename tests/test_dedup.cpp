@@ -1,0 +1,109 @@
+// Tests for the deduplication-granularity analyzer (Table II machinery).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "dedup/analyzer.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+#include "workload/generator.hpp"
+
+namespace gear::dedup {
+namespace {
+
+docker::Image image_from_tree(const vfs::FileTree& t, const std::string& name,
+                              const std::string& tag) {
+  docker::ImageBuilder b;
+  b.add_snapshot(t);
+  return b.build(name, tag, {});
+}
+
+TEST(DedupAnalyzer, SingleImageBaseline) {
+  DedupAnalyzer analyzer(512);
+  docker::Image img = image_from_tree(gear::testing::sample_tree(), "a", "1");
+  analyzer.add_image(img);
+
+  EXPECT_EQ(analyzer.none().object_count, 1u);
+  EXPECT_EQ(analyzer.none().storage_bytes, img.uncompressed_size());
+  EXPECT_EQ(analyzer.layer_level().object_count, 1u);
+  EXPECT_EQ(analyzer.file_level().object_count, 4u);  // 4 distinct files
+  EXPECT_GT(analyzer.chunk_level().object_count,
+            analyzer.layer_level().object_count);
+}
+
+TEST(DedupAnalyzer, IdenticalImagesFullyDeduplicated) {
+  DedupAnalyzer analyzer(512);
+  docker::Image img = image_from_tree(gear::testing::random_tree(1, 20), "a", "1");
+  analyzer.add_image(img);
+  DedupReport layer1 = analyzer.layer_level();
+  DedupReport file1 = analyzer.file_level();
+  DedupReport chunk1 = analyzer.chunk_level();
+
+  // Same content pushed again under a different tag.
+  analyzer.add_image(image_from_tree(gear::testing::random_tree(1, 20), "a", "2"));
+  EXPECT_EQ(analyzer.none().object_count, 2u);
+  EXPECT_EQ(analyzer.layer_level().storage_bytes, layer1.storage_bytes);
+  EXPECT_EQ(analyzer.file_level().storage_bytes, file1.storage_bytes);
+  EXPECT_EQ(analyzer.chunk_level().storage_bytes, chunk1.storage_bytes);
+}
+
+TEST(DedupAnalyzer, FileLevelCatchesWhatLayerLevelMisses) {
+  // Two images share 90% of files but pack them into different layers:
+  // layer digests differ, file fingerprints mostly match.
+  vfs::FileTree t1 = gear::testing::random_tree(5, 40);
+  vfs::FileTree t2 = gear::testing::mutate_tree(t1, 6, 4);
+  DedupAnalyzer analyzer(512);
+  analyzer.add_image(image_from_tree(t1, "a", "1"));
+  analyzer.add_image(image_from_tree(t2, "a", "2"));
+
+  // Layer level stored both layers in full.
+  EXPECT_EQ(analyzer.layer_level().object_count, 2u);
+  // File level stored the union of files once.
+  std::uint64_t distinct_files = analyzer.file_level().object_count;
+  vfs::TreeStats s1 = t1.stats();
+  vfs::TreeStats s2 = t2.stats();
+  EXPECT_LT(distinct_files, s1.regular_files + s2.regular_files);
+  // And file-level storage beats layer-level storage.
+  EXPECT_LT(analyzer.file_level().storage_bytes,
+            analyzer.layer_level().storage_bytes);
+}
+
+TEST(DedupAnalyzer, ChunkCountExceedsFileCount) {
+  DedupAnalyzer analyzer(512);
+  vfs::FileTree t = gear::testing::random_tree(7, 30, 8192);
+  analyzer.add_image(image_from_tree(t, "a", "1"));
+  EXPECT_GT(analyzer.chunk_level().object_count,
+            analyzer.file_level().object_count);
+}
+
+TEST(DedupAnalyzer, OrderingInvariantOnCorpus) {
+  // On a realistic multi-version corpus: none >= layer >= file storage.
+  workload::CorpusGenerator gen(7, 0.0005);
+  workload::SeriesSpec spec;
+  for (const auto& s : workload::table1_corpus()) {
+    if (s.name == "redis") spec = s;
+  }
+  spec.versions = 6;
+  DedupAnalyzer analyzer(512);
+  for (int v = 0; v < spec.versions; ++v) {
+    analyzer.add_image(gen.generate_image(spec, v));
+  }
+  EXPECT_GT(analyzer.none().storage_bytes,
+            analyzer.layer_level().storage_bytes);
+  EXPECT_GT(analyzer.layer_level().storage_bytes,
+            analyzer.file_level().storage_bytes);
+  // Object-count explosion as granularity shrinks (Table II's second row).
+  EXPECT_LT(analyzer.none().object_count,
+            analyzer.layer_level().object_count);
+  EXPECT_LT(analyzer.layer_level().object_count,
+            analyzer.file_level().object_count);
+  EXPECT_LT(analyzer.file_level().object_count,
+            analyzer.chunk_level().object_count);
+}
+
+TEST(DedupAnalyzer, ZeroChunkSizeRejected) {
+  EXPECT_THROW(DedupAnalyzer(0), Error);
+}
+
+}  // namespace
+}  // namespace gear::dedup

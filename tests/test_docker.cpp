@@ -1,0 +1,334 @@
+// Unit tests for the Docker substrate: layers, manifests, images, registry,
+// client.
+#include <gtest/gtest.h>
+
+#include "docker/client.hpp"
+#include "docker/image.hpp"
+#include "docker/layer.hpp"
+#include "docker/manifest.hpp"
+#include "docker/registry.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+#include "vfs/tree_diff.hpp"
+
+namespace gear::docker {
+namespace {
+
+ImageConfig test_config() {
+  ImageConfig cfg;
+  cfg.env = {"PATH=/bin", "LANG=C"};
+  cfg.entrypoint = {"/bin/app"};
+  cfg.cmd = {"--serve"};
+  cfg.working_dir = "/srv";
+  cfg.labels["maintainer"] = "tests";
+  return cfg;
+}
+
+Image build_test_image(const std::string& name, const std::string& tag,
+                       std::uint64_t seed) {
+  vfs::FileTree s0 = gear::testing::random_tree(seed, 20);
+  vfs::FileTree s1 = gear::testing::mutate_tree(s0, seed + 1, 8);
+  ImageBuilder b;
+  b.add_snapshot(s0).add_snapshot(s1);
+  return b.build(name, tag, test_config());
+}
+
+// ---------------------------------------------------------------- digest
+
+TEST(Digest, OfIsSha256) {
+  Bytes blob = to_bytes("layer");
+  EXPECT_EQ(Digest::of(blob).hex(), Sha256::hex(blob));
+}
+
+TEST(Digest, ToStringFromString) {
+  Digest d = Digest::of(to_bytes("x"));
+  EXPECT_EQ(Digest::from_string(d.to_string()), d);
+  EXPECT_EQ(Digest::from_string(d.hex()), d);
+  EXPECT_THROW(Digest::from_string("sha256:abcd"), Error);
+}
+
+// ----------------------------------------------------------------- layer
+
+TEST(Layer, TreeRoundTrip) {
+  vfs::FileTree t = gear::testing::sample_tree();
+  Layer layer = Layer::from_tree(t);
+  EXPECT_TRUE(layer.to_tree().equals(t));
+  EXPECT_GT(layer.uncompressed_size(), layer.compressed_size());
+}
+
+TEST(Layer, DigestIsOverCompressedBlob) {
+  Layer layer = Layer::from_tree(gear::testing::sample_tree());
+  EXPECT_EQ(layer.digest(), Digest::of(layer.blob()));
+}
+
+TEST(Layer, IdenticalTreesSameDigest) {
+  Layer a = Layer::from_tree(gear::testing::random_tree(5, 15));
+  Layer b = Layer::from_tree(gear::testing::random_tree(5, 15));
+  EXPECT_EQ(a.digest(), b.digest());
+}
+
+TEST(Layer, DifferentTreesDifferentDigest) {
+  Layer a = Layer::from_tree(gear::testing::random_tree(5, 15));
+  Layer b = Layer::from_tree(gear::testing::random_tree(6, 15));
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(Layer, FromBlobVerifiesDigest) {
+  Layer layer = Layer::from_tree(gear::testing::sample_tree());
+  Bytes blob = layer.blob();
+  EXPECT_NO_THROW(Layer::from_blob(blob, layer.digest()));
+  Digest wrong = Digest::of(to_bytes("not-it"));
+  EXPECT_THROW(Layer::from_blob(blob, wrong), Error);
+}
+
+// -------------------------------------------------------------- manifest
+
+TEST(Manifest, JsonRoundTrip) {
+  Image img = build_test_image("web", "1.0", 42);
+  std::string json = img.manifest.to_json_string();
+  Manifest back = Manifest::from_json_string(json);
+  EXPECT_EQ(back, img.manifest);
+}
+
+TEST(Manifest, ConfigSurvivesRoundTrip) {
+  Image img = build_test_image("web", "1.0", 42);
+  Manifest back = Manifest::from_json_string(img.manifest.to_json_string());
+  EXPECT_EQ(back.config.env, img.manifest.config.env);
+  EXPECT_EQ(back.config.entrypoint, img.manifest.config.entrypoint);
+  EXPECT_EQ(back.config.labels.at("maintainer"), "tests");
+}
+
+TEST(Manifest, ReferenceAndSizes) {
+  Image img = build_test_image("db", "2.3", 7);
+  EXPECT_EQ(img.manifest.reference(), "db:2.3");
+  EXPECT_EQ(img.manifest.total_layer_bytes(), img.compressed_size());
+  EXPECT_GT(img.manifest.wire_size(), 100u);
+}
+
+TEST(Manifest, RejectsUnknownSchema) {
+  Image img = build_test_image("x", "1", 1);
+  std::string json = img.manifest.to_json_string();
+  auto pos = json.find("\"schemaVersion\":2");
+  ASSERT_NE(pos, std::string::npos);
+  json.replace(pos, 17, "\"schemaVersion\":3");
+  EXPECT_THROW(Manifest::from_json_string(json), Error);
+}
+
+// ----------------------------------------------------------------- image
+
+TEST(ImageBuilder, FlattenReproducesLastSnapshot) {
+  vfs::FileTree s0 = gear::testing::random_tree(9, 25);
+  vfs::FileTree s1 = gear::testing::mutate_tree(s0, 10, 12);
+  vfs::FileTree s2 = gear::testing::mutate_tree(s1, 11, 12);
+  ImageBuilder b;
+  b.add_snapshot(s0).add_snapshot(s1).add_snapshot(s2);
+  Image img = b.build("app", "v3", {});
+  ASSERT_EQ(img.layers.size(), 3u);
+  EXPECT_TRUE(img.flatten().equals(s2));
+}
+
+TEST(ImageBuilder, RejectsEmptyCommit) {
+  vfs::FileTree s0 = gear::testing::random_tree(9, 10);
+  ImageBuilder b;
+  b.add_snapshot(s0);
+  EXPECT_THROW(b.add_snapshot(s0), Error);
+}
+
+TEST(ImageBuilder, RejectsZeroLayerBuild) {
+  ImageBuilder b;
+  EXPECT_THROW(b.build("x", "y", {}), Error);
+}
+
+TEST(ImageBuilder, ChildImageSharesBaseLayers) {
+  Image base = build_test_image("base", "1", 20);
+  ImageBuilder b(base);
+  vfs::FileTree next = gear::testing::mutate_tree(base.flatten(), 21, 6);
+  b.add_snapshot(next);
+  Image child = b.build("child", "1", {});
+  ASSERT_EQ(child.layers.size(), 3u);
+  EXPECT_EQ(child.layers[0].digest(), base.layers[0].digest());
+  EXPECT_EQ(child.layers[1].digest(), base.layers[1].digest());
+}
+
+// -------------------------------------------------------------- registry
+
+TEST(Registry, PushStoresLayersAndManifest) {
+  DockerRegistry reg;
+  Image img = build_test_image("svc", "1.0", 30);
+  PushResult r = reg.push_image(img);
+  EXPECT_EQ(r.layers_uploaded, 2u);
+  EXPECT_EQ(r.layers_deduplicated, 0u);
+  EXPECT_TRUE(reg.has_manifest("svc:1.0"));
+  EXPECT_EQ(reg.blob_count(), 2u);
+  EXPECT_EQ(reg.blob_bytes(), img.compressed_size());
+}
+
+TEST(Registry, LayerLevelDeduplication) {
+  DockerRegistry reg;
+  Image v1 = build_test_image("svc", "1.0", 30);
+  reg.push_image(v1);
+
+  // v2 shares the base layer (same first snapshot).
+  vfs::FileTree s0 = gear::testing::random_tree(30, 20);
+  vfs::FileTree s1b = gear::testing::mutate_tree(s0, 99, 8);
+  ImageBuilder b;
+  b.add_snapshot(s0).add_snapshot(s1b);
+  Image v2 = b.build("svc", "2.0", test_config());
+
+  PushResult r = reg.push_image(v2);
+  EXPECT_EQ(r.layers_deduplicated, 1u);
+  EXPECT_EQ(r.layers_uploaded, 1u);
+  EXPECT_EQ(reg.blob_count(), 3u);
+}
+
+TEST(Registry, GetManifestAndBlob) {
+  DockerRegistry reg;
+  Image img = build_test_image("svc", "1.0", 31);
+  reg.push_image(img);
+  Manifest m = reg.get_manifest("svc:1.0").value();
+  EXPECT_EQ(m, img.manifest);
+  Bytes blob = reg.get_blob(m.layers[0].digest).value();
+  EXPECT_EQ(Digest::of(blob), m.layers[0].digest);
+  EXPECT_FALSE(reg.get_manifest("missing:1").ok());
+  EXPECT_FALSE(reg.get_blob(Digest::of(to_bytes("nope"))).ok());
+}
+
+TEST(Registry, PutBlobValidatesDigest) {
+  DockerRegistry reg;
+  EXPECT_THROW(reg.put_blob(Digest::of(to_bytes("a")), to_bytes("b")), Error);
+}
+
+TEST(Registry, ListManifestsSorted) {
+  DockerRegistry reg;
+  reg.push_image(build_test_image("zeta", "1", 1));
+  reg.push_image(build_test_image("alpha", "1", 2));
+  auto refs = reg.list_manifests();
+  ASSERT_EQ(refs.size(), 2u);
+  EXPECT_EQ(refs[0], "alpha:1");
+  EXPECT_EQ(refs[1], "zeta:1");
+}
+
+// ---------------------------------------------------------------- client
+
+struct ClientFixture : ::testing::Test {
+  sim::SimClock clock;
+  sim::NetworkLink link{clock, 904.0, 0.0005, 0.0003};
+  sim::DiskModel disk{clock, 0.0001, 500.0, 480.0};
+  DockerRegistry registry;
+};
+
+TEST_F(ClientFixture, PullDownloadsAllLayersOnce) {
+  Image img = build_test_image("svc", "1.0", 40);
+  registry.push_image(img);
+  DockerClient client(registry, link, disk);
+
+  PullStats p1 = client.pull("svc:1.0");
+  EXPECT_EQ(p1.layers_fetched, 2u);
+  EXPECT_GE(p1.bytes_downloaded,
+            img.compressed_size() + img.manifest.wire_size());
+  EXPECT_GT(p1.seconds, 0.0);
+
+  // Second pull: layers are local; only the manifest moves.
+  PullStats p2 = client.pull("svc:1.0");
+  EXPECT_EQ(p2.layers_fetched, 0u);
+  EXPECT_EQ(p2.layers_local, 2u);
+  EXPECT_EQ(p2.bytes_downloaded, img.manifest.wire_size());
+}
+
+TEST_F(ClientFixture, SharedLayersNotRedownloadedAcrossImages) {
+  vfs::FileTree s0 = gear::testing::random_tree(50, 20);
+  vfs::FileTree s1a = gear::testing::mutate_tree(s0, 51, 5);
+  vfs::FileTree s1b = gear::testing::mutate_tree(s0, 52, 5);
+  ImageBuilder ba, bb;
+  ba.add_snapshot(s0).add_snapshot(s1a);
+  bb.add_snapshot(s0).add_snapshot(s1b);
+  Image a = ba.build("a", "1", {});
+  Image b = bb.build("b", "1", {});
+  registry.push_image(a);
+  registry.push_image(b);
+
+  DockerClient client(registry, link, disk);
+  client.pull("a:1");
+  PullStats p = client.pull("b:1");
+  EXPECT_EQ(p.layers_local, 1u);  // shared base layer reused
+  EXPECT_EQ(p.layers_fetched, 1u);
+}
+
+TEST_F(ClientFixture, MountReproducesImage) {
+  Image img = build_test_image("svc", "1.0", 60);
+  registry.push_image(img);
+  DockerClient client(registry, link, disk);
+  client.pull("svc:1.0");
+  OverlayMount mount = client.mount("svc:1.0");
+  EXPECT_TRUE(mount.merged().equals(img.flatten()));
+}
+
+TEST_F(ClientFixture, MountWithoutPullThrows) {
+  DockerClient client(registry, link, disk);
+  EXPECT_THROW(client.mount("nope:1"), Error);
+}
+
+TEST_F(ClientFixture, DeployReadsAccessSetAndCharges) {
+  Image img = build_test_image("svc", "1.0", 70);
+  registry.push_image(img);
+  DockerClient client(registry, link, disk);
+
+  workload::AccessProfile profile{0.3, 0.8, 1234, 1};
+  workload::AccessSet access =
+      workload::derive_access_set(img.flatten(), profile);
+  ASSERT_FALSE(access.files.empty());
+
+  DeployStats stats = client.deploy("svc:1.0", access);
+  EXPECT_GT(stats.pull.seconds, 0.0);
+  EXPECT_GT(stats.run_seconds, 0.0);
+  EXPECT_EQ(stats.run_bytes_downloaded, 0u);  // Docker never lazy-fetches
+  EXPECT_EQ(stats.total_bytes(), stats.pull.bytes_downloaded);
+}
+
+TEST_F(ClientFixture, DeployFasterOnHigherBandwidth) {
+  Image img = build_test_image("svc", "1.0", 80);
+  registry.push_image(img);
+
+  workload::AccessSet access = workload::derive_access_set(
+      img.flatten(), workload::AccessProfile{0.2, 0.8, 1, 1});
+
+  sim::SimClock slow_clock;
+  sim::NetworkLink slow_link(slow_clock, 5.0, 0.0005, 0.0003);
+  sim::DiskModel slow_disk(slow_clock, 0.0001, 500.0, 480.0);
+  DockerClient slow_client(registry, slow_link, slow_disk);
+  double slow_total = slow_client.deploy("svc:1.0", access).total_seconds();
+
+  DockerClient fast_client(registry, link, disk);
+  DeployStats fast = fast_client.deploy("svc:1.0", access);
+  // The run phase (container startup) is bandwidth-independent, so compare
+  // totals loosely but pull phases strictly.
+  EXPECT_GT(slow_total, fast.total_seconds());
+  DockerClient slow_again(registry, slow_link, slow_disk);
+  slow_again.clear_local_state();
+  DeployStats slow = slow_again.deploy("svc:1.0", access);
+  EXPECT_GT(slow.pull.seconds, fast.pull.seconds * 5);
+}
+
+TEST_F(ClientFixture, DestroyScalesWithImageInodes) {
+  Image small = build_test_image("small", "1", 90);
+  registry.push_image(small);
+  DockerClient client(registry, link, disk);
+  workload::AccessSet none;
+  client.deploy("small:1", none);
+  double t = client.destroy("small:1");
+  EXPECT_GT(t, 0.0);
+  EXPECT_THROW(client.destroy("missing:1"), Error);
+}
+
+TEST_F(ClientFixture, ClearLocalStateForcesRedownload) {
+  Image img = build_test_image("svc", "1.0", 95);
+  registry.push_image(img);
+  DockerClient client(registry, link, disk);
+  client.pull("svc:1.0");
+  client.clear_local_state();
+  PullStats p = client.pull("svc:1.0");
+  EXPECT_EQ(p.layers_fetched, 2u);
+}
+
+}  // namespace
+}  // namespace gear::docker

@@ -1,0 +1,238 @@
+// Tests for the on-disk three-level store: real files, real hard links.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "gear/converter.hpp"
+#include "gear/fs_store.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace gear {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct FsStoreFixture : ::testing::Test {
+  fs::path root;
+  std::unique_ptr<FsStore> store;
+
+  void SetUp() override {
+    root = fs::path(::testing::TempDir()) /
+           ("gear_fs_store_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(root);
+    store = std::make_unique<FsStore>(root);
+  }
+
+  void TearDown() override {
+    store.reset();
+    fs::remove_all(root);
+  }
+
+  Fingerprint put(const std::string& content) {
+    Bytes data = to_bytes(content);
+    Fingerprint fp = default_hasher().fingerprint(data);
+    store->cache_put(fp, data);
+    return fp;
+  }
+};
+
+TEST_F(FsStoreFixture, CreatesLayout) {
+  EXPECT_TRUE(fs::is_directory(root / "cache"));
+  EXPECT_TRUE(fs::is_directory(root / "images"));
+  EXPECT_TRUE(fs::is_directory(root / "containers"));
+}
+
+TEST_F(FsStoreFixture, CachePutGetRoundTrip) {
+  Fingerprint fp = put("cached-bytes");
+  EXPECT_TRUE(store->cache_contains(fp));
+  EXPECT_EQ(to_string(store->cache_get(fp).value()), "cached-bytes");
+  EXPECT_EQ(store->cache_entries(), 1u);
+  EXPECT_EQ(store->cache_bytes(), 12u);
+  EXPECT_EQ(store->link_count(fp), 1u);
+}
+
+TEST_F(FsStoreFixture, CachePutIdempotent) {
+  Fingerprint fp = put("same");
+  store->cache_put(fp, to_bytes("same"));
+  EXPECT_EQ(store->cache_entries(), 1u);
+}
+
+TEST_F(FsStoreFixture, CacheMiss) {
+  EXPECT_FALSE(store->cache_get(default_hasher().fingerprint(to_bytes("x")))
+                   .ok());
+}
+
+TEST_F(FsStoreFixture, IndexInstallLoadRoundTrip) {
+  vfs::FileTree rootfs = gear::testing::sample_tree();
+  GearIndex index = GearIndex::from_root_fs(
+      rootfs, [](const std::string&, const Bytes& c) {
+        return default_hasher().fingerprint(c);
+      });
+  store->install_index("web:1.17", index);
+  EXPECT_TRUE(store->has_index("web:1.17"));
+  GearIndex loaded = store->load_index("web:1.17");
+  EXPECT_TRUE(loaded.tree().equals(index.tree()));
+  EXPECT_EQ(store->images(), std::vector<std::string>{"web_1.17"});
+}
+
+TEST_F(FsStoreFixture, HardLinkMaterialization) {
+  vfs::FileTree rootfs = gear::testing::sample_tree();
+  GearIndex index = GearIndex::from_root_fs(
+      rootfs, [](const std::string&, const Bytes& c) {
+        return default_hasher().fingerprint(c);
+      });
+  store->install_index("app:v1", index);
+
+  const vfs::FileNode* file = rootfs.lookup("usr/bin/app");
+  Fingerprint fp = default_hasher().fingerprint(file->content());
+  store->cache_put(fp, file->content());
+
+  EXPECT_FALSE(store->is_materialized("app:v1", "usr/bin/app"));
+  store->link_file("app:v1", "usr/bin/app", fp);
+  EXPECT_TRUE(store->is_materialized("app:v1", "usr/bin/app"));
+  // The materialized file IS the cache file: st_nlink == 2, same bytes.
+  EXPECT_EQ(store->link_count(fp), 2u);
+  EXPECT_EQ(store->read_materialized("app:v1", "usr/bin/app").value(),
+            file->content());
+  // Idempotent.
+  store->link_file("app:v1", "usr/bin/app", fp);
+  EXPECT_EQ(store->link_count(fp), 2u);
+}
+
+TEST_F(FsStoreFixture, SharedFileLinkedIntoTwoImages) {
+  vfs::FileTree rootfs = gear::testing::sample_tree();
+  GearIndex index = GearIndex::from_root_fs(
+      rootfs, [](const std::string&, const Bytes& c) {
+        return default_hasher().fingerprint(c);
+      });
+  store->install_index("a:v1", index);
+  store->install_index("b:v1", index);
+  Fingerprint fp = put("shared-library-content");
+  store->link_file("a:v1", "lib/shared.so", fp);
+  store->link_file("b:v1", "lib/shared.so", fp);
+  EXPECT_EQ(store->link_count(fp), 3u);  // cache + two images
+
+  // Deleting one image drops one link; content stays shared.
+  store->remove_image("a:v1");
+  EXPECT_EQ(store->link_count(fp), 2u);
+  EXPECT_EQ(store->read_materialized("b:v1", "lib/shared.so").value(),
+            to_bytes("shared-library-content"));
+}
+
+TEST_F(FsStoreFixture, EvictUnlinkedKeepsLinkedFiles) {
+  vfs::FileTree rootfs = gear::testing::sample_tree();
+  GearIndex index = GearIndex::from_root_fs(
+      rootfs, [](const std::string&, const Bytes& c) {
+        return default_hasher().fingerprint(c);
+      });
+  store->install_index("app:v1", index);
+  Fingerprint linked = put("linked-content");
+  Fingerprint loose = put("loose-content");
+  store->link_file("app:v1", "opt/linked.bin", linked);
+
+  EXPECT_EQ(store->evict_unlinked(), 1u);
+  EXPECT_TRUE(store->cache_contains(linked));
+  EXPECT_FALSE(store->cache_contains(loose));
+}
+
+TEST_F(FsStoreFixture, ImageDeletionThenEvictionReclaimsEverything) {
+  vfs::FileTree rootfs = gear::testing::sample_tree();
+  GearIndex index = GearIndex::from_root_fs(
+      rootfs, [](const std::string&, const Bytes& c) {
+        return default_hasher().fingerprint(c);
+      });
+  store->install_index("app:v1", index);
+  Fingerprint fp = put("doomed");
+  store->link_file("app:v1", "bin/doomed", fp);
+  EXPECT_EQ(store->evict_unlinked(), 0u);  // pinned by the image
+  store->remove_image("app:v1");
+  EXPECT_EQ(store->evict_unlinked(), 1u);  // now reclaimable
+  EXPECT_EQ(store->cache_entries(), 0u);
+}
+
+TEST_F(FsStoreFixture, ContainerLifecycle) {
+  vfs::FileTree rootfs = gear::testing::sample_tree();
+  GearIndex index = GearIndex::from_root_fs(
+      rootfs, [](const std::string&, const Bytes& c) {
+        return default_hasher().fingerprint(c);
+      });
+  store->install_index("app:v1", index);
+
+  std::string c1 = store->create_container("app:v1");
+  std::string c2 = store->create_container("app:v1");
+  EXPECT_NE(c1, c2);
+  EXPECT_EQ(store->container_image(c1), "app:v1");
+
+  // Persist a modified diff and read it back.
+  vfs::FileTree diff;
+  diff.add_file("srv/state.db", to_bytes("dirty"));
+  diff.add_whiteout("etc/hostname");
+  store->save_diff(c1, diff);
+  EXPECT_TRUE(store->load_diff(c1).equals(diff));
+  // The other container's diff is untouched.
+  EXPECT_TRUE(store->load_diff(c2).root().children().empty());
+
+  store->remove_container(c1);
+  EXPECT_FALSE(store->has_container(c1));
+  EXPECT_THROW(store->load_diff(c1), Error);
+  EXPECT_TRUE(store->has_container(c2));
+}
+
+TEST_F(FsStoreFixture, CreateContainerRequiresIndex) {
+  EXPECT_THROW(store->create_container("ghost:v1"), Error);
+}
+
+TEST_F(FsStoreFixture, StateSurvivesReopen) {
+  vfs::FileTree rootfs = gear::testing::sample_tree();
+  GearIndex index = GearIndex::from_root_fs(
+      rootfs, [](const std::string&, const Bytes& c) {
+        return default_hasher().fingerprint(c);
+      });
+  store->install_index("app:v1", index);
+  Fingerprint fp = put("persistent");
+  store->link_file("app:v1", "data/p.bin", fp);
+
+  // Re-open the same root (daemon restart).
+  store = std::make_unique<FsStore>(root);
+  EXPECT_TRUE(store->has_index("app:v1"));
+  EXPECT_TRUE(store->load_index("app:v1").tree().equals(index.tree()));
+  EXPECT_TRUE(store->cache_contains(fp));
+  EXPECT_EQ(store->link_count(fp), 2u);
+  EXPECT_EQ(store->read_materialized("app:v1", "data/p.bin").value(),
+            to_bytes("persistent"));
+}
+
+TEST_F(FsStoreFixture, EndToEndWithConverter) {
+  // Convert an image, persist everything to disk, and reconstruct files
+  // purely from the on-disk store.
+  vfs::FileTree rootfs = gear::testing::random_tree(808, 25);
+  docker::ImageBuilder b;
+  b.add_snapshot(rootfs);
+  docker::Image image = b.build("e2e", "v1", {});
+  ConversionResult conv = GearConverter().convert(image);
+
+  store->install_index("e2e:v1", conv.image.index);
+  for (const auto& [fp, content] : conv.image.files) {
+    store->cache_put(fp, content);
+  }
+  GearIndex loaded = store->load_index("e2e:v1");
+  for (const auto& stub : loaded.stubs()) {
+    store->link_file("e2e:v1", stub.path, stub.fingerprint);
+    EXPECT_EQ(store->read_materialized("e2e:v1", stub.path).value(),
+              rootfs.lookup(stub.path)->content())
+        << stub.path;
+  }
+}
+
+TEST(SanitizeReference, MapsAndRejects) {
+  EXPECT_EQ(sanitize_reference("nginx:1.17"), "nginx_1.17");
+  EXPECT_EQ(sanitize_reference("library/redis:7"), "library_redis_7");
+  EXPECT_THROW(sanitize_reference(""), Error);
+  EXPECT_THROW(sanitize_reference("../escape"), Error);
+  EXPECT_THROW(sanitize_reference("a b"), Error);
+}
+
+}  // namespace
+}  // namespace gear

@@ -1,0 +1,269 @@
+// End-to-end tests for the Gear client: pull, lazy deploy, cache sharing,
+// bandwidth accounting, teardown.
+#include <gtest/gtest.h>
+
+#include "docker/client.hpp"
+#include "gear/client.hpp"
+#include "gear/converter.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace gear {
+namespace {
+
+struct GearClientFixture : ::testing::Test {
+  sim::SimClock clock;
+  sim::NetworkLink link{clock, 904.0, 0.0005, 0.0003};
+  sim::DiskModel disk{clock, 0.0001, 500.0, 480.0};
+  docker::DockerRegistry docker_registry;
+  GearRegistry gear_registry;
+
+  docker::Image original;
+  workload::AccessSet access;
+
+  void SetUp() override {
+    vfs::FileTree s0 = gear::testing::random_tree(900, 40, 8192);
+    vfs::FileTree s1 = gear::testing::mutate_tree(s0, 901, 15);
+    docker::ImageBuilder b;
+    b.add_snapshot(s0).add_snapshot(s1);
+    docker::ImageConfig cfg;
+    cfg.env = {"MODE=prod"};
+    original = b.build("app", "v1", cfg);
+
+    ConversionResult conv = GearConverter().convert(original);
+    push_gear_image(conv.image, docker_registry, gear_registry);
+
+    access = workload::derive_access_set(original.flatten(),
+                                         workload::AccessProfile{0.3, 0.8, 7, 1});
+    ASSERT_FALSE(access.files.empty());
+  }
+
+  GearClient make_client() {
+    return GearClient(docker_registry, gear_registry, link, disk);
+  }
+};
+
+TEST_F(GearClientFixture, PullFetchesOnlyTinyIndex) {
+  GearClient client = make_client();
+  docker::PullStats p = client.pull("app:v1");
+  EXPECT_EQ(p.layers_fetched, 1u);
+  // Orders of magnitude less than the full image.
+  EXPECT_LT(p.bytes_downloaded * 5, original.compressed_size());
+  EXPECT_TRUE(client.store().has_index("app:v1"));
+
+  // Re-pull: index cached, only manifest moves.
+  docker::PullStats p2 = client.pull("app:v1");
+  EXPECT_EQ(p2.layers_fetched, 0u);
+  EXPECT_EQ(p2.layers_local, 1u);
+}
+
+TEST_F(GearClientFixture, PullRejectsNonGearImage) {
+  docker_registry.push_image(original);  // classic image, no gear label
+  GearClient client = make_client();
+  EXPECT_THROW(client.pull("app:v1"), Error);  // overwritten manifest
+}
+
+TEST_F(GearClientFixture, DeployFetchesOnlyAccessedBytes) {
+  GearClient client = make_client();
+  std::string container;
+  docker::DeployStats stats = client.deploy("app:v1", access, &container);
+
+  // Lazy fetch: bytes on demand < full image; roughly the accessed data
+  // (compressed), plus nothing else.
+  EXPECT_GT(stats.run_bytes_downloaded, 0u);
+  EXPECT_LT(stats.total_bytes(), original.compressed_size());
+  EXPECT_FALSE(container.empty());
+
+  // Every accessed file readable with correct content.
+  GearFileViewer v = client.open_viewer(container);
+  vfs::FileTree flat = original.flatten();
+  for (const auto& fa : access.files) {
+    EXPECT_EQ(v.read_file(fa.path).value(), flat.lookup(fa.path)->content());
+  }
+}
+
+TEST_F(GearClientFixture, SecondDeploySameImageFetchesNothing) {
+  GearClient client = make_client();
+  client.deploy("app:v1", access);
+  sim::NetworkStats before = link.stats();
+  docker::DeployStats stats2 = client.deploy("app:v1", access);
+  sim::NetworkStats delta = link.stats() - before;
+  EXPECT_EQ(stats2.run_bytes_downloaded, 0u);
+  // Only the manifest check moved.
+  EXPECT_LE(delta.bytes_transferred, 2048u);
+}
+
+TEST_F(GearClientFixture, CacheSharesFilesAcrossImages) {
+  // Convert a sibling version sharing most files with v1.
+  vfs::FileTree s0 = gear::testing::random_tree(900, 40, 8192);
+  vfs::FileTree s1 = gear::testing::mutate_tree(s0, 901, 15);
+  vfs::FileTree s2 = gear::testing::mutate_tree(s1, 902, 6);
+  docker::ImageBuilder b;
+  b.add_snapshot(s0).add_snapshot(s1).add_snapshot(s2);
+  docker::Image v2 = b.build("app", "v2", {});
+  ConversionResult conv = GearConverter().convert(v2);
+  push_gear_image(conv.image, docker_registry, gear_registry);
+
+  workload::AccessSet access2 = workload::derive_access_set(
+      v2.flatten(), workload::AccessProfile{0.3, 0.8, 7, 2});
+
+  // Warm client: deploys v1 first, so shared files are already cached.
+  GearClient warm = make_client();
+  warm.deploy("app:v1", access);
+  docker::DeployStats warm_v2 = warm.deploy("app:v2", access2);
+
+  // Cold client: deploys v2 with an empty cache.
+  GearClient cold = make_client();
+  docker::DeployStats cold_v2 = cold.deploy("app:v2", access2);
+
+  std::uint64_t shared = workload::shared_bytes(access, access2);
+  ASSERT_GT(shared, 0u);
+  EXPECT_LT(warm_v2.run_bytes_downloaded, cold_v2.run_bytes_downloaded);
+  EXPECT_GT(warm.store().cache().stats().hits, 0u);
+}
+
+TEST_F(GearClientFixture, ColdCacheDownloadsEverythingAgain) {
+  GearClient client = make_client();
+  docker::DeployStats warm_first = client.deploy("app:v1", access);
+  client.clear_all_local_state();
+  docker::DeployStats cold = client.deploy("app:v1", access);
+  EXPECT_EQ(cold.run_bytes_downloaded, warm_first.run_bytes_downloaded);
+}
+
+TEST_F(GearClientFixture, GearDeployBeatsDockerOnSlowLink) {
+  sim::SimClock slow_clock;
+  sim::NetworkLink slow_link(slow_clock, 5.0, 0.0005, 0.0003);
+  sim::DiskModel slow_disk(slow_clock, 0.0001, 500.0, 480.0);
+
+  docker::DockerRegistry classic_registry;
+  classic_registry.push_image(original);
+  docker::DockerClient docker_client(classic_registry, slow_link, slow_disk);
+  double docker_time =
+      docker_client.deploy("app:v1", access).total_seconds();
+
+  sim::SimClock gear_clock;
+  sim::NetworkLink gear_link(gear_clock, 5.0, 0.0005, 0.0003);
+  sim::DiskModel gear_disk(gear_clock, 0.0001, 500.0, 480.0);
+  GearClient gear_client(docker_registry, gear_registry, gear_link, gear_disk);
+  double gear_time = gear_client.deploy("app:v1", access).total_seconds();
+
+  EXPECT_LT(gear_time, docker_time);
+}
+
+TEST_F(GearClientFixture, GearPullPhaseTinyRunPhaseLonger) {
+  // Paper Fig. 9: Gear's pull is shorter than Docker's, its run longer.
+  docker::DockerRegistry classic_registry;
+  classic_registry.push_image(original);
+
+  sim::SimClock dc;
+  sim::NetworkLink dl(dc, 100.0, 0.0005, 0.0003);
+  sim::DiskModel dd(dc, 0.0001, 500.0, 480.0);
+  docker::DockerClient docker_client(classic_registry, dl, dd);
+  docker::DeployStats docker_stats = docker_client.deploy("app:v1", access);
+
+  sim::SimClock gc;
+  sim::NetworkLink gl(gc, 100.0, 0.0005, 0.0003);
+  sim::DiskModel gd(gc, 0.0001, 500.0, 480.0);
+  GearClient gear_client(docker_registry, gear_registry, gl, gd);
+  docker::DeployStats gear_stats = gear_client.deploy("app:v1", access);
+
+  EXPECT_LT(gear_stats.pull.seconds, docker_stats.pull.seconds);
+  EXPECT_GT(gear_stats.run_seconds, docker_stats.run_seconds);
+}
+
+TEST_F(GearClientFixture, DestroyRemovesContainerOnly) {
+  GearClient client = make_client();
+  std::string container;
+  client.deploy("app:v1", access, &container);
+  double t = client.destroy(container);
+  EXPECT_GT(t, 0.0);
+  EXPECT_FALSE(client.store().has_container(container));
+  EXPECT_TRUE(client.store().has_index("app:v1"));
+  // Can deploy again without re-downloading gear files.
+  docker::DeployStats again = client.deploy("app:v1", access);
+  EXPECT_EQ(again.run_bytes_downloaded, 0u);
+}
+
+TEST_F(GearClientFixture, RemoveImageKeepsCachedFilesShareable) {
+  GearClient client = make_client();
+  client.deploy("app:v1", access);
+  std::uint64_t cached = client.store().cache().size_bytes();
+  client.remove_image("app:v1");
+  EXPECT_FALSE(client.store().has_index("app:v1"));
+  EXPECT_EQ(client.store().cache().size_bytes(), cached);
+}
+
+TEST_F(GearClientFixture, TinyCacheStillDeploysCorrectly) {
+  // Regression: when the bounded cache rejects inserts (all entries pinned),
+  // deployment must still serve correct content — the file just is not
+  // shared. Found via the cache-capacity ablation.
+  GearClient client(docker_registry, gear_registry, link, disk, {},
+                    /*cache_capacity_bytes=*/512, EvictionPolicy::kLru);
+  std::string container;
+  docker::DeployStats stats = client.deploy("app:v1", access, &container);
+  EXPECT_GT(stats.run_bytes_downloaded, 0u);
+
+  GearFileViewer v = client.open_viewer(container);
+  vfs::FileTree flat = original.flatten();
+  for (const auto& fa : access.files) {
+    EXPECT_EQ(v.read_file(fa.path).value(), flat.lookup(fa.path)->content());
+  }
+  EXPECT_GT(client.store().cache().stats().rejected, 0u);
+}
+
+TEST_F(GearClientFixture, PrefetchRemainingMakesImageFullyLocal) {
+  GearClient client = make_client();
+  client.deploy("app:v1", access);  // partial: only the access set is local
+
+  auto [fetched, bytes] = client.prefetch_remaining("app:v1");
+  EXPECT_GT(fetched, 0u);
+  EXPECT_GT(bytes, 0u);
+
+  // Every file is now served without touching the link.
+  sim::NetworkStats before = link.stats();
+  std::string container = client.store().create_container("app:v1");
+  GearFileViewer viewer = client.open_viewer(container);
+  vfs::FileTree flat = original.flatten();
+  flat.walk([&](const std::string& path, const vfs::FileNode& node) {
+    if (node.is_regular()) {
+      EXPECT_EQ(viewer.read_file(path).value(), node.content()) << path;
+    }
+  });
+  EXPECT_EQ((link.stats() - before).bytes_transferred, 0u);
+
+  // Idempotent: nothing left to fetch.
+  auto [fetched2, bytes2] = client.prefetch_remaining("app:v1");
+  EXPECT_EQ(fetched2, 0u);
+  EXPECT_EQ(bytes2, 0u);
+}
+
+TEST(PushGearImage, DeduplicatesAcrossImages) {
+  docker::DockerRegistry dreg;
+  GearRegistry greg;
+
+  vfs::FileTree s0 = gear::testing::random_tree(950, 30);
+  docker::ImageBuilder b1;
+  b1.add_snapshot(s0);
+  docker::Image v1 = b1.build("x", "1", {});
+
+  vfs::FileTree s1 = gear::testing::mutate_tree(s0, 951, 5);
+  docker::ImageBuilder b2;
+  b2.add_snapshot(s1);
+  docker::Image v2 = b2.build("x", "2", {});
+
+  GearConverter converter;
+  std::size_t up1 =
+      push_gear_image(converter.convert(v1).image, dreg, greg);
+  std::uint64_t bytes_after_v1 = greg.storage_bytes();
+  std::size_t up2 =
+      push_gear_image(converter.convert(v2).image, dreg, greg);
+
+  EXPECT_GT(up1, 0u);
+  EXPECT_LT(up2, up1);  // most files already present
+  EXPECT_LT(greg.storage_bytes() - bytes_after_v1, bytes_after_v1 / 2);
+  // The push protocol queries fingerprints first and skips present ones.
+  EXPECT_GT(greg.stats().queries, greg.stats().uploads_accepted);
+}
+
+}  // namespace
+}  // namespace gear

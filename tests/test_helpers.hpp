@@ -1,0 +1,91 @@
+// Shared helpers for the test suite: quick tree builders and a seeded
+// random-tree generator for property tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+#include "vfs/file_tree.hpp"
+
+namespace gear::testing {
+
+/// Builds a small, fixed tree used by many structural tests.
+inline vfs::FileTree sample_tree() {
+  vfs::FileTree t;
+  t.add_directory("etc");
+  t.add_file("etc/hostname", to_bytes("gear-test\n"));
+  t.add_file("etc/os-release", to_bytes("NAME=gearos\nVERSION=1\n"));
+  t.add_directory("usr/bin");
+  t.add_file("usr/bin/app", to_bytes(std::string(2000, 'x')));
+  t.add_symlink("usr/bin/app-link", "app");
+  t.add_file("var/log/boot.log", to_bytes("booted\n"));
+  return t;
+}
+
+/// Generates a random merged tree (no whiteouts/opaque) with `n_files`
+/// regular files, some directories, symlinks, and contents of mixed
+/// compressibility. Deterministic per seed.
+inline vfs::FileTree random_tree(std::uint64_t seed, int n_files,
+                                 std::uint64_t max_file_size = 4096) {
+  Rng rng(seed);
+  vfs::FileTree t;
+  std::vector<std::string> dirs = {"bin", "etc", "lib", "opt/app",
+                                   "usr/share", "var/data"};
+  for (const auto& d : dirs) t.add_directory(d);
+  for (int i = 0; i < n_files; ++i) {
+    const std::string& dir = dirs[rng.next_below(dirs.size())];
+    std::string path = dir + "/file" + std::to_string(i);
+    auto size = rng.next_range(0, max_file_size);
+    t.add_file(path, rng.next_bytes(size, rng.next_double()));
+  }
+  // A few symlinks.
+  int n_links = n_files / 8;
+  for (int i = 0; i < n_links; ++i) {
+    const std::string& dir = dirs[rng.next_below(dirs.size())];
+    t.add_symlink(dir + "/link" + std::to_string(i),
+                  "file" + std::to_string(rng.next_below(
+                      static_cast<std::uint64_t>(n_files))));
+  }
+  return t;
+}
+
+/// Applies `n_edits` random mutations (add/modify/delete) to a copy of
+/// `base`, returning the mutated tree. Deterministic per seed.
+inline vfs::FileTree mutate_tree(const vfs::FileTree& base, std::uint64_t seed,
+                                 int n_edits) {
+  Rng rng(seed);
+  vfs::FileTree t = base;
+
+  std::vector<std::string> files;
+  t.walk([&files](const std::string& path, const vfs::FileNode& node) {
+    if (node.is_regular()) files.push_back(path);
+  });
+
+  for (int i = 0; i < n_edits; ++i) {
+    double roll = rng.next_double();
+    if (roll < 0.4 || files.empty()) {
+      // Add a new file.
+      std::string path = "opt/app/new" + std::to_string(seed) + "_" +
+                         std::to_string(i);
+      t.add_file(path, rng.next_bytes(rng.next_range(1, 512), 0.5));
+      files.push_back(path);
+    } else if (roll < 0.75) {
+      // Modify an existing file.
+      const std::string& path = files[rng.next_below(files.size())];
+      if (t.lookup(path) != nullptr) {
+        t.lookup(path)->set_content(
+            rng.next_bytes(rng.next_range(1, 512), 0.3));
+      }
+    } else {
+      // Delete one.
+      std::size_t idx = rng.next_below(files.size());
+      t.remove(files[idx]);
+      files.erase(files.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+  }
+  return t;
+}
+
+}  // namespace gear::testing

@@ -1,0 +1,266 @@
+// Integration tests: the full pipeline on a reduced corpus — generate,
+// convert, push, deploy with Docker vs Gear vs Slacker, verify correctness
+// and the paper's directional results.
+#include <gtest/gtest.h>
+
+#include "dedup/analyzer.hpp"
+#include "docker/client.hpp"
+#include "gear/client.hpp"
+#include "gear/committer.hpp"
+#include "gear/converter.hpp"
+#include "slacker/slacker.hpp"
+#include "workload/generator.hpp"
+
+namespace gear {
+namespace {
+
+struct IntegrationFixture : ::testing::Test {
+  static constexpr double kScale = 0.0005;
+  workload::CorpusGenerator gen{42, kScale};
+  std::vector<workload::SeriesSpec> specs;
+
+  docker::DockerRegistry classic_registry;  // stores classic layered images
+  docker::DockerRegistry index_registry;    // stores Gear index images
+  GearRegistry gear_registry;
+
+  void SetUp() override {
+    specs = workload::small_corpus(1, 4);  // 6 series x 4 versions
+    GearConverter converter;
+    for (const auto& spec : specs) {
+      for (int v = 0; v < spec.versions; ++v) {
+        docker::Image image = gen.generate_image(spec, v);
+        classic_registry.push_image(image);
+        ConversionResult conv = converter.convert(image);
+        push_gear_image(conv.image, index_registry, gear_registry);
+      }
+    }
+  }
+};
+
+TEST_F(IntegrationFixture, GearRegistrySmallerThanDocker) {
+  // Fig. 7b directionality: file-level sharing + per-file compression beats
+  // layer-level sharing + per-layer compression.
+  std::uint64_t docker_bytes = classic_registry.storage_bytes();
+  std::uint64_t gear_bytes =
+      gear_registry.storage_bytes() + index_registry.storage_bytes();
+  EXPECT_LT(gear_bytes, docker_bytes);
+}
+
+TEST_F(IntegrationFixture, IndexesAreTinyFractionOfImages) {
+  // Paper: indexes are tiny (~0.53 MB avg, ~1% of image bytes) — that is
+  // what makes the pull phase nearly free. Check the per-image ratio: each
+  // index blob vs the image data it references. (The registry-wide ratio is
+  // scale-distorted here: scaled-down files shrink, per-entry index cost
+  // does not; EXPERIMENTS.md quantifies this.)
+  for (const auto& spec : specs) {
+    std::string ref = spec.name + ":v0";
+    docker::Manifest m = index_registry.get_manifest(ref).value();
+    ASSERT_EQ(m.layers.size(), 1u);
+    docker::Layer layer = docker::Layer::from_blob(
+        index_registry.get_blob(m.layers[0].digest).value());
+    GearIndex index = GearIndex::from_wire_tree(layer.to_tree());
+    // Tiny scaled images (alpine at 1/2000 scale is ~3 KB) have nothing to
+    // amortize the per-entry cost against; the ratio only means something
+    // once the image has some data.
+    if (index.referenced_bytes() < 40960) continue;
+    EXPECT_LT(layer.compressed_size() * 10, index.referenced_bytes())
+        << spec.name;
+  }
+  // Direction at the registry level: indexes are the (small) minority.
+  EXPECT_LT(index_registry.blob_bytes(), gear_registry.storage_bytes());
+}
+
+TEST_F(IntegrationFixture, GearContainerSeesExactDockerFilesystem) {
+  // For every image: a Gear container's materialized view must byte-match
+  // the Docker root filesystem.
+  for (const auto& spec : specs) {
+    sim::SimClock clock;
+    sim::NetworkLink link = sim::scaled_link(clock, 904.0, kScale);
+    sim::DiskModel disk = sim::DiskModel::scaled_ssd(clock, kScale);
+    GearClient client(index_registry, gear_registry, link, disk);
+
+    docker::Image image = gen.generate_image(spec, 0);
+    vfs::FileTree flat = image.flatten();
+    std::string ref = spec.name + ":v0";
+    client.pull(ref);
+    std::string container = client.store().create_container(ref);
+    GearFileViewer viewer = client.open_viewer(container);
+
+    int checked = 0;
+    flat.walk([&](const std::string& path, const vfs::FileNode& node) {
+      if (node.is_regular() && checked < 25) {
+        EXPECT_EQ(viewer.read_file(path).value(), node.content())
+            << spec.name << " " << path;
+        ++checked;
+      } else if (node.is_symlink()) {
+        EXPECT_EQ(viewer.read_symlink(path).value(), node.link_target());
+      }
+    });
+    EXPECT_GT(checked, 0);
+  }
+}
+
+TEST_F(IntegrationFixture, GearBeatsDockerAcrossBandwidths) {
+  // Fig. 9 directionality: Gear total deploy time <= Docker's at every
+  // bandwidth, and the advantage grows as bandwidth shrinks.
+  std::vector<double> bandwidths = {904.0, 100.0, 20.0, 5.0};
+  double prev_speedup = 0.0;
+  for (double mbps : bandwidths) {
+    double docker_total = 0, gear_total = 0;
+    for (const auto& spec : specs) {
+      workload::AccessSet access = gen.access_set(spec, 0);
+      std::string ref = spec.name + ":v0";
+      {
+        sim::SimClock c;
+        sim::NetworkLink l = sim::scaled_link(c, mbps, kScale);
+        sim::DiskModel d = sim::DiskModel::scaled_ssd(c, kScale);
+        docker::DockerClient dc(classic_registry, l, d);
+        docker_total += dc.deploy(ref, access).total_seconds();
+      }
+      {
+        sim::SimClock c;
+        sim::NetworkLink l = sim::scaled_link(c, mbps, kScale);
+        sim::DiskModel d = sim::DiskModel::scaled_ssd(c, kScale);
+        GearClient gc(index_registry, gear_registry, l, d);
+        gear_total += gc.deploy(ref, access).total_seconds();
+      }
+    }
+    double speedup = docker_total / gear_total;
+    EXPECT_GT(speedup, 1.0) << mbps << " Mbps";
+    EXPECT_GE(speedup, prev_speedup * 0.9) << mbps << " Mbps";
+    prev_speedup = speedup;
+  }
+}
+
+TEST_F(IntegrationFixture, GearTransfersFractionOfDockerBytes) {
+  // Fig. 8 directionality: Gear moves a small fraction of Docker's bytes.
+  std::uint64_t docker_bytes = 0, gear_bytes = 0;
+  for (const auto& spec : specs) {
+    workload::AccessSet access = gen.access_set(spec, 1);
+    std::string ref = spec.name + ":v1";
+    {
+      sim::SimClock c;
+      sim::NetworkLink l = sim::scaled_link(c, 904.0, kScale);
+      sim::DiskModel d = sim::DiskModel::scaled_ssd(c, kScale);
+      docker::DockerClient dc(classic_registry, l, d);
+      docker_bytes += dc.deploy(ref, access).total_bytes();
+    }
+    {
+      sim::SimClock c;
+      sim::NetworkLink l = sim::scaled_link(c, 904.0, kScale);
+      sim::DiskModel d = sim::DiskModel::scaled_ssd(c, kScale);
+      GearClient gc(index_registry, gear_registry, l, d);
+      gear_bytes += gc.deploy(ref, access).total_bytes();
+    }
+  }
+  EXPECT_LT(static_cast<double>(gear_bytes),
+            0.6 * static_cast<double>(docker_bytes));
+}
+
+TEST_F(IntegrationFixture, VersionRolloutFavorsGearFileSharing) {
+  // Fig. 10 directionality: deploying versions of one series one by one,
+  // Gear's file-level cache makes later versions cheaper, while Slacker
+  // re-fetches everything for every version. Uses tomcat (the paper's
+  // Fig. 10 subject) with enough files for sharing statistics.
+  workload::SeriesSpec series;
+  for (const auto& s : workload::table1_corpus()) {
+    if (s.name == "tomcat") series = s;
+  }
+  series.versions = 6;
+
+  GearConverter converter;
+  slacker::SlackerRegistry slacker_registry;
+  for (int v = 0; v < series.versions; ++v) {
+    docker::Image image = gen.generate_image(series, v);
+    push_gear_image(converter.convert(image).image, index_registry,
+                    gear_registry);
+    slacker_registry.put_image(
+        image.manifest.reference(),
+        slacker::VirtualBlockDevice::from_tree(image.flatten(), 512,
+                                               1 << 22));
+  }
+
+  sim::SimClock gc;
+  sim::NetworkLink gl = sim::scaled_link(gc, 100.0, kScale);
+  sim::DiskModel gd = sim::DiskModel::scaled_ssd(gc, kScale);
+  GearClient gear_client(index_registry, gear_registry, gl, gd);
+
+  sim::SimClock sc;
+  sim::NetworkLink sl = sim::scaled_link(sc, 100.0, kScale);
+  sim::DiskModel sd = sim::DiskModel::scaled_ssd(sc, kScale);
+  slacker::SlackerClient slacker_client(slacker_registry, sl, sd);
+
+  std::uint64_t gear_first = 0, slacker_first = 0;
+  std::uint64_t gear_tail = 0, slacker_tail = 0;  // bytes over versions 1..N
+  for (int v = 0; v < series.versions; ++v) {
+    workload::AccessSet access = gen.access_set(series, v);
+    std::string ref = "tomcat:v" + std::to_string(v);
+    docker::DeployStats g = gear_client.deploy(ref, access);
+    docker::DeployStats s = slacker_client.deploy(ref, access);
+    if (v == 0) {
+      gear_first = g.total_bytes();
+      slacker_first = s.total_bytes();
+    } else {
+      gear_tail += g.total_bytes();
+      slacker_tail += s.total_bytes();
+    }
+  }
+  int tail = series.versions - 1;
+  // Gear's follow-up versions average well below its cold first deploy...
+  EXPECT_LT(gear_tail, gear_first * static_cast<std::uint64_t>(tail) * 3 / 4);
+  // ...while Slacker's do not improve at all.
+  EXPECT_GT(slacker_tail * 5,
+            slacker_first * static_cast<std::uint64_t>(tail) * 4);
+  // And overall Gear moves far fewer bytes than Slacker over the rollout.
+  EXPECT_LT(gear_first + gear_tail, slacker_first + slacker_tail);
+}
+
+TEST_F(IntegrationFixture, DedupOrderingOnFullPipelineCorpus) {
+  dedup::DedupAnalyzer analyzer(512);
+  for (const auto& spec : specs) {
+    for (int v = 0; v < spec.versions; ++v) {
+      analyzer.add_image(gen.generate_image(spec, v));
+    }
+  }
+  EXPECT_GT(analyzer.none().storage_bytes, analyzer.layer_level().storage_bytes);
+  EXPECT_GT(analyzer.layer_level().storage_bytes,
+            analyzer.file_level().storage_bytes);
+  EXPECT_GT(analyzer.chunk_level().object_count,
+            analyzer.file_level().object_count * 2);
+}
+
+TEST_F(IntegrationFixture, CommitRoundTripThroughRegistries) {
+  // Launch a container, modify it, commit, push, re-deploy elsewhere.
+  sim::SimClock c;
+  sim::NetworkLink l = sim::scaled_link(c, 904.0, kScale);
+  sim::DiskModel d = sim::DiskModel::scaled_ssd(c, kScale);
+  GearClient client(index_registry, gear_registry, l, d);
+
+  std::string ref = specs[0].name + ":v0";
+  client.pull(ref);
+  std::string container = client.store().create_container(ref);
+  GearFileViewer viewer = client.open_viewer(container);
+  viewer.write_file("app/patch.bin", to_bytes("hotfix-payload"));
+
+  GearCommitter committer;
+  CommitResult commit = committer.commit(
+      client.store().index_tree(ref), viewer.diff(),
+      index_registry.get_manifest(ref).value().config, specs[0].name,
+      "v0-patched");
+  push_gear_image(commit.image, index_registry, gear_registry);
+
+  // A different client deploys the committed image and sees the patch.
+  sim::SimClock c2;
+  sim::NetworkLink l2 = sim::scaled_link(c2, 904.0, kScale);
+  sim::DiskModel d2 = sim::DiskModel::scaled_ssd(c2, kScale);
+  GearClient other(index_registry, gear_registry, l2, d2);
+  other.pull(specs[0].name + ":v0-patched");
+  std::string c2id =
+      other.store().create_container(specs[0].name + ":v0-patched");
+  GearFileViewer v2 = other.open_viewer(c2id);
+  EXPECT_EQ(to_string(v2.read_file("app/patch.bin").value()),
+            "hotfix-payload");
+}
+
+}  // namespace
+}  // namespace gear

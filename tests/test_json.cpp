@@ -1,0 +1,117 @@
+// Unit tests for the JSON module.
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace gear {
+namespace {
+
+TEST(Json, ScalarsRoundTrip) {
+  EXPECT_EQ(Json(nullptr).dump(), "null");
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(-7).dump(), "-7");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_EQ(Json::parse("true").as_bool(), true);
+  EXPECT_EQ(Json::parse("-13").as_int(), -13);
+  EXPECT_DOUBLE_EQ(Json::parse("2.5").as_double(), 2.5);
+  EXPECT_DOUBLE_EQ(Json::parse("1e3").as_double(), 1000.0);
+  EXPECT_EQ(Json::parse("\"abc\"").as_string(), "abc");
+}
+
+TEST(Json, StringEscapes) {
+  Json j(std::string("a\"b\\c\nd\te"));
+  std::string dumped = j.dump();
+  EXPECT_EQ(Json::parse(dumped).as_string(), "a\"b\\c\nd\te");
+}
+
+TEST(Json, ControlCharacterEscaping) {
+  std::string s = "x";
+  s.push_back('\x01');
+  Json j(s);
+  EXPECT_EQ(Json::parse(j.dump()).as_string(), s);
+}
+
+TEST(Json, UnicodeEscapeParsing) {
+  EXPECT_EQ(Json::parse("\"\\u0041\"").as_string(), "A");
+  EXPECT_EQ(Json::parse("\"\\u00e9\"").as_string(), "\xc3\xa9");  // é
+  EXPECT_EQ(Json::parse("\"\\u4e2d\"").as_string(), "\xe4\xb8\xad");  // 中
+}
+
+TEST(Json, ArraysRoundTrip) {
+  JsonArray arr;
+  arr.emplace_back(1);
+  arr.emplace_back("two");
+  arr.emplace_back(true);
+  Json j(std::move(arr));
+  Json parsed = Json::parse(j.dump());
+  ASSERT_TRUE(parsed.is_array());
+  EXPECT_EQ(parsed.as_array().size(), 3u);
+  EXPECT_EQ(parsed.as_array()[1].as_string(), "two");
+}
+
+TEST(Json, ObjectsRoundTripAndStableOrder) {
+  Json j;
+  j["zeta"] = Json(1);
+  j["alpha"] = Json(2);
+  // std::map ordering: alpha before zeta, deterministically.
+  EXPECT_EQ(j.dump(), "{\"alpha\":2,\"zeta\":1}");
+  EXPECT_EQ(Json::parse(j.dump()), j);
+}
+
+TEST(Json, NestedStructures) {
+  Json j = Json::parse(R"({"a":{"b":[1,{"c":null}]},"d":[[]]})");
+  EXPECT_EQ(j.at("a").at("b").as_array().size(), 2u);
+  EXPECT_TRUE(j.at("a").at("b").as_array()[1].at("c").is_null());
+  EXPECT_TRUE(j.at("d").as_array()[0].as_array().empty());
+}
+
+TEST(Json, WhitespaceTolerant) {
+  Json j = Json::parse("  { \"a\" :\n[ 1 ,\t2 ] }  ");
+  EXPECT_EQ(j.at("a").as_array().size(), 2u);
+}
+
+TEST(Json, AccessorsThrowOnTypeMismatch) {
+  Json j(42);
+  EXPECT_THROW(j.as_string(), Error);
+  EXPECT_THROW(j.as_array(), Error);
+  EXPECT_THROW(j.as_bool(), Error);
+  EXPECT_EQ(j.as_double(), 42.0);  // int widens to double
+}
+
+TEST(Json, AtThrowsGetReturnsNull) {
+  Json j = Json::parse(R"({"k":1})");
+  EXPECT_EQ(j.at("k").as_int(), 1);
+  EXPECT_THROW(j.at("missing"), Error);
+  EXPECT_EQ(j.get("missing"), nullptr);
+}
+
+TEST(Json, ParseErrors) {
+  EXPECT_THROW(Json::parse(""), Error);
+  EXPECT_THROW(Json::parse("{"), Error);
+  EXPECT_THROW(Json::parse("[1,]"), Error);
+  EXPECT_THROW(Json::parse("{\"a\":}"), Error);
+  EXPECT_THROW(Json::parse("tru"), Error);
+  EXPECT_THROW(Json::parse("1 2"), Error);
+  EXPECT_THROW(Json::parse("\"unterminated"), Error);
+  EXPECT_THROW(Json::parse("nan"), Error);
+}
+
+TEST(Json, LargeIntegersExact) {
+  std::int64_t v = 9007199254740993;  // not representable in double
+  EXPECT_EQ(Json::parse(Json(v).dump()).as_int(), v);
+}
+
+TEST(Json, IntegralDoubleAsInt) {
+  EXPECT_EQ(Json::parse("3.0").as_int(), 3);
+  EXPECT_THROW(Json::parse("3.5").as_int(), Error);
+}
+
+}  // namespace
+}  // namespace gear

@@ -1,0 +1,206 @@
+// Tests for the disk-backed LocalRuntime: real-filesystem deployment
+// semantics, persistence across reopen, and differential equivalence with
+// the in-memory client path.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "gear/client.hpp"
+#include "gear/converter.hpp"
+#include "gear/local_runtime.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace gear {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct LocalRuntimeFixture : ::testing::Test {
+  fs::path root;
+  docker::DockerRegistry index_registry;
+  GearRegistry file_registry;
+  docker::Image image;
+  vfs::FileTree flat;
+
+  void SetUp() override {
+    root = fs::path(::testing::TempDir()) /
+           ("gear_runtime_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(root);
+
+    vfs::FileTree t = gear::testing::random_tree(6000, 20, 4096);
+    docker::ImageBuilder b;
+    b.add_snapshot(t);
+    image = b.build("app", "v1", {});
+    flat = image.flatten();
+    push_gear_image(GearConverter().convert(image).image, index_registry,
+                    file_registry);
+  }
+
+  void TearDown() override { fs::remove_all(root); }
+};
+
+TEST_F(LocalRuntimeFixture, PullLaunchReadRoundTrip) {
+  LocalRuntime runtime(index_registry, file_registry, root);
+  runtime.pull("app:v1");
+  EXPECT_TRUE(runtime.has_image("app:v1"));
+  std::string container = runtime.launch("app:v1");
+
+  int checked = 0;
+  flat.walk([&](const std::string& path, const vfs::FileNode& node) {
+    if (node.is_regular()) {
+      EXPECT_EQ(runtime.read(container, path).value(), node.content()) << path;
+      ++checked;
+    } else if (node.is_symlink()) {
+      EXPECT_EQ(runtime.read_symlink(container, path).value(),
+                node.link_target());
+    }
+  });
+  EXPECT_GT(checked, 0);
+  // Files were hard-linked into the image directory: nlink 2.
+  const vfs::FileNode* some = nullptr;
+  std::string some_path;
+  flat.walk([&](const std::string& path, const vfs::FileNode& node) {
+    if (node.is_regular() && some == nullptr) {
+      some = &node;
+      some_path = path;
+    }
+  });
+  Fingerprint fp = default_hasher().fingerprint(some->content());
+  EXPECT_EQ(runtime.store().link_count(fp), 2u);
+  EXPECT_TRUE(runtime.store().is_materialized("app:v1", some_path));
+}
+
+TEST_F(LocalRuntimeFixture, WritesPersistAcrossReopen) {
+  std::string container;
+  {
+    LocalRuntime runtime(index_registry, file_registry, root);
+    runtime.pull("app:v1");
+    container = runtime.launch("app:v1");
+    runtime.write(container, "srv/state.db", to_bytes("dirty-state"));
+  }
+  {
+    // A new process reopening the same root resumes the same container:
+    // the ref file and diff tree are recovered from disk.
+    LocalRuntime runtime(index_registry, file_registry, root);
+    EXPECT_TRUE(runtime.has_image("app:v1"));
+    EXPECT_EQ(to_string(runtime.read(container, "srv/state.db").value()),
+              "dirty-state");
+    // New launches never reuse on-disk ids.
+    std::string c2 = runtime.launch("app:v1");
+    EXPECT_NE(c2, container);
+  }
+}
+
+TEST_F(LocalRuntimeFixture, WriteMasksAndRemoveWhiteouts) {
+  LocalRuntime runtime(index_registry, file_registry, root);
+  runtime.pull("app:v1");
+  std::string container = runtime.launch("app:v1");
+
+  // Overwrite an image file: diff copy wins; a sibling container is clean.
+  std::string victim;
+  flat.walk([&](const std::string& path, const vfs::FileNode& node) {
+    if (node.is_regular() && victim.empty()) victim = path;
+  });
+  runtime.write(container, victim, to_bytes("patched"));
+  EXPECT_EQ(to_string(runtime.read(container, victim).value()), "patched");
+
+  std::string sibling = runtime.launch("app:v1");
+  EXPECT_EQ(runtime.read(sibling, victim).value(),
+            flat.lookup(victim)->content());
+
+  // Remove: masked for this container only.
+  EXPECT_TRUE(runtime.remove_path(container, victim));
+  EXPECT_FALSE(runtime.read(container, victim).ok());
+  EXPECT_TRUE(runtime.read(sibling, victim).ok());
+}
+
+TEST_F(LocalRuntimeFixture, CommitProducesDeployableImage) {
+  LocalRuntime runtime(index_registry, file_registry, root);
+  runtime.pull("app:v1");
+  std::string container = runtime.launch("app:v1");
+  runtime.write(container, "app/patch.txt", to_bytes("hotfix"));
+  std::string ref = runtime.commit(container, "app", "v1-patched");
+  EXPECT_EQ(ref, "app:v1-patched");
+
+  runtime.pull(ref);
+  std::string c2 = runtime.launch(ref);
+  EXPECT_EQ(to_string(runtime.read(c2, "app/patch.txt").value()), "hotfix");
+  // Original content still resolves through the new index.
+  int checked = 0;
+  flat.walk([&](const std::string& path, const vfs::FileNode& node) {
+    if (node.is_regular() && checked < 5) {
+      EXPECT_EQ(runtime.read(c2, path).value(), node.content()) << path;
+      ++checked;
+    }
+  });
+}
+
+TEST_F(LocalRuntimeFixture, DestroyKeepsImageLaunchable) {
+  LocalRuntime runtime(index_registry, file_registry, root);
+  runtime.pull("app:v1");
+  std::string container = runtime.launch("app:v1");
+  runtime.destroy(container);
+  EXPECT_FALSE(runtime.read(container, "anything").ok());
+  EXPECT_NO_THROW(runtime.launch("app:v1"));
+}
+
+TEST_F(LocalRuntimeFixture, PullRejectsClassicImage) {
+  index_registry.push_image(image);  // overwrite with classic manifest
+  LocalRuntime runtime(index_registry, file_registry, root);
+  EXPECT_THROW(runtime.pull("app:v1"), Error);
+}
+
+TEST_F(LocalRuntimeFixture, DifferentialWithSimClient) {
+  // The same operation sequence through the disk runtime and the in-memory
+  // client yields identical file views.
+  LocalRuntime runtime(index_registry, file_registry, root);
+  runtime.pull("app:v1");
+  std::string disk_container = runtime.launch("app:v1");
+
+  sim::SimClock clock;
+  sim::NetworkLink link(clock, 904.0, 0.0005, 0.0003);
+  sim::DiskModel disk = sim::DiskModel::ssd(clock);
+  GearClient client(index_registry, file_registry, link, disk);
+  client.pull("app:v1");
+  std::string mem_container = client.store().create_container("app:v1");
+  GearFileViewer viewer = client.open_viewer(mem_container);
+
+  Rng rng(6100);
+  std::vector<std::string> paths;
+  flat.walk([&paths](const std::string& p, const vfs::FileNode& n) {
+    if (n.is_regular()) paths.push_back(p);
+  });
+  for (int op = 0; op < 40; ++op) {
+    const std::string& target = paths[rng.next_below(paths.size())];
+    double roll = rng.next_double();
+    if (roll < 0.5) {
+      StatusOr<Bytes> a = runtime.read(disk_container, target);
+      StatusOr<Bytes> b = viewer.read_file(target);
+      ASSERT_EQ(a.ok(), b.ok()) << target;
+      if (a.ok()) {
+        EXPECT_EQ(*a, *b) << target;
+      }
+    } else if (roll < 0.8) {
+      Bytes content = rng.next_bytes(rng.next_range(1, 128), 0.4);
+      runtime.write(disk_container, target, content);
+      viewer.write_file(target, content);
+    } else {
+      EXPECT_EQ(runtime.remove_path(disk_container, target),
+                viewer.remove(target))
+          << target;
+    }
+  }
+  for (const std::string& p : paths) {
+    StatusOr<Bytes> a = runtime.read(disk_container, p);
+    StatusOr<Bytes> b = viewer.read_file(p);
+    ASSERT_EQ(a.ok(), b.ok()) << p;
+    if (a.ok()) {
+      EXPECT_EQ(*a, *b) << p;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gear

@@ -1,0 +1,128 @@
+// Tests for cooperative (P2P) Gear-file distribution.
+#include <gtest/gtest.h>
+
+#include "gear/converter.hpp"
+#include "p2p/cluster.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace gear::p2p {
+namespace {
+
+struct ClusterFixture : ::testing::Test {
+  docker::DockerRegistry index_registry;
+  GearRegistry file_registry;
+  docker::Image image;
+  workload::AccessSet access;
+
+  void SetUp() override {
+    vfs::FileTree root = gear::testing::random_tree(7000, 30, 8192);
+    docker::ImageBuilder b;
+    b.add_snapshot(root);
+    image = b.build("svc", "v1", {});
+    push_gear_image(GearConverter().convert(image).image, index_registry,
+                    file_registry);
+    access = workload::derive_access_set(
+        image.flatten(), workload::AccessProfile{0.4, 0.8, 9, 1});
+    ASSERT_FALSE(access.files.empty());
+  }
+
+  Cluster make_cluster(std::size_t nodes) {
+    Cluster::Params params;
+    params.nodes = nodes;
+    return Cluster(index_registry, file_registry, params);
+  }
+};
+
+TEST(PeerTracker, AnnounceLocateRetract) {
+  PeerTracker tracker;
+  Fingerprint fp = default_hasher().fingerprint(to_bytes("x"));
+  EXPECT_FALSE(tracker.locate(fp, "a").ok());
+
+  tracker.announce("a", fp);
+  EXPECT_FALSE(tracker.locate(fp, "a").ok());  // only the requester holds it
+  EXPECT_EQ(tracker.locate(fp, "b").value(), "a");
+
+  tracker.announce("b", fp);
+  EXPECT_EQ(tracker.locate(fp, "a").value(), "b");
+
+  tracker.retract_node("a");
+  tracker.retract_node("b");
+  EXPECT_FALSE(tracker.locate(fp, "c").ok());
+  EXPECT_EQ(tracker.announced_objects(), 0u);
+}
+
+TEST_F(ClusterFixture, SecondNodeFetchesFromPeer) {
+  Cluster cluster = make_cluster(3);
+  docker::DeployStats first = cluster.deploy(0, "svc:v1", access);
+  EXPECT_GT(first.run_bytes_downloaded, 0u);  // cold: WAN
+  std::uint64_t wan_after_first = cluster.wan_bytes();
+
+  docker::DeployStats second = cluster.deploy(1, "svc:v1", access);
+  EXPECT_EQ(second.run_bytes_downloaded, 0u);  // all files came from node0
+  EXPECT_GT(cluster.peer_hits(), 0u);
+  EXPECT_GT(cluster.lan_bytes(), 0u);
+  // WAN grew only by the manifest + index image for node1.
+  EXPECT_LT(cluster.wan_bytes() - wan_after_first, wan_after_first / 2);
+}
+
+TEST_F(ClusterFixture, PeerContentByteExact) {
+  Cluster cluster = make_cluster(2);
+  cluster.deploy(0, "svc:v1", access);
+  cluster.deploy(1, "svc:v1", access);
+  vfs::FileTree flat = image.flatten();
+  std::string c = cluster.node(1).store().create_container("svc:v1");
+  GearFileViewer viewer = cluster.node(1).open_viewer(c);
+  for (const auto& fa : access.files) {
+    EXPECT_EQ(viewer.read_file(fa.path).value(),
+              flat.lookup(fa.path)->content())
+        << fa.path;
+  }
+}
+
+TEST_F(ClusterFixture, RetiredNodeFallsBackToRegistry) {
+  Cluster cluster = make_cluster(2);
+  cluster.deploy(0, "svc:v1", access);
+  cluster.retire_node(0);
+
+  std::uint64_t lan_before = cluster.lan_bytes();
+  docker::DeployStats second = cluster.deploy(1, "svc:v1", access);
+  EXPECT_EQ(cluster.lan_bytes(), lan_before);   // no peer traffic
+  EXPECT_GT(second.run_bytes_downloaded, 0u);   // WAN fallback
+}
+
+TEST_F(ClusterFixture, ColdStartScalesRegistryEgressSublinearly) {
+  const std::size_t kNodes = 6;
+  // Without cooperation: every node pulls everything over the WAN.
+  std::uint64_t solo_wan = 0;
+  {
+    for (std::size_t i = 0; i < kNodes; ++i) {
+      sim::SimClock c;
+      sim::NetworkLink l(c, 100.0, 0.0005, 0.0003);
+      sim::DiskModel d = sim::DiskModel::ssd(c);
+      GearClient client(index_registry, file_registry, l, d);
+      client.deploy("svc:v1", access);
+      solo_wan += l.stats().bytes_transferred;
+    }
+  }
+  // With cooperation: one WAN copy + N-1 LAN copies.
+  Cluster cluster = make_cluster(kNodes);
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    cluster.deploy(i, "svc:v1", access);
+  }
+  EXPECT_LT(cluster.wan_bytes() * (kNodes / 2), solo_wan);
+  EXPECT_GT(cluster.peer_hits(), 0u);
+}
+
+TEST_F(ClusterFixture, ClusterValidation) {
+  Cluster::Params bad;
+  bad.nodes = 0;
+  EXPECT_THROW(Cluster(index_registry, file_registry, bad), Error);
+  Cluster cluster = make_cluster(1);
+  EXPECT_THROW(cluster.deploy(5, "svc:v1", access), Error);
+  EXPECT_THROW(cluster.retire_node(5), Error);
+  EXPECT_THROW(cluster.node(5), Error);
+}
+
+}  // namespace
+}  // namespace gear::p2p

@@ -1,0 +1,144 @@
+// Unit tests for the simulation models: clock, network link, disk.
+#include <gtest/gtest.h>
+
+#include "sim/clock.hpp"
+#include "sim/disk.hpp"
+#include "sim/network.hpp"
+#include "util/error.hpp"
+
+namespace gear::sim {
+namespace {
+
+TEST(SimClock, StartsAtZeroAndAdvances) {
+  SimClock clock;
+  EXPECT_DOUBLE_EQ(clock.now(), 0.0);
+  clock.advance(1.5);
+  clock.advance(0.25);
+  EXPECT_DOUBLE_EQ(clock.now(), 1.75);
+}
+
+TEST(SimClock, RejectsNegative) {
+  SimClock clock;
+  EXPECT_THROW(clock.advance(-0.1), Error);
+}
+
+TEST(SimClock, Reset) {
+  SimClock clock;
+  clock.advance(5);
+  clock.reset();
+  EXPECT_DOUBLE_EQ(clock.now(), 0.0);
+}
+
+TEST(SimTimer, MeasuresInterval) {
+  SimClock clock;
+  clock.advance(2.0);
+  SimTimer timer(clock);
+  clock.advance(3.5);
+  EXPECT_DOUBLE_EQ(timer.elapsed(), 3.5);
+}
+
+TEST(NetworkLink, TransferTimeMatchesBandwidth) {
+  SimClock clock;
+  NetworkLink link(clock, 100.0, 0.0, 0.0);  // 100 Mbps, no latency
+  // 12.5 MB at 100 Mbps = 1 second.
+  double t = link.request(12'500'000);
+  EXPECT_NEAR(t, 1.0, 1e-9);
+  EXPECT_NEAR(clock.now(), 1.0, 1e-9);
+}
+
+TEST(NetworkLink, LatencyAndOverheadCharged) {
+  SimClock clock;
+  NetworkLink link(clock, 1000.0, 0.010, 0.002);
+  double t = link.request(0);
+  EXPECT_NEAR(t, 0.012, 1e-12);
+}
+
+TEST(NetworkLink, StatsAccumulate) {
+  SimClock clock;
+  NetworkLink link(clock, 100.0, 0.001, 0.0);
+  link.request(1000);
+  link.request(2000);
+  EXPECT_EQ(link.stats().bytes_transferred, 3000u);
+  EXPECT_EQ(link.stats().requests, 2u);
+}
+
+TEST(NetworkLink, PipelinedPaysLatencyOnce) {
+  SimClock c1, c2;
+  NetworkLink serial(c1, 100.0, 0.05, 0.001);
+  NetworkLink batched(c2, 100.0, 0.05, 0.001);
+  for (int i = 0; i < 10; ++i) serial.request(1000);
+  batched.pipelined(10000, 10);
+  EXPECT_LT(c2.now(), c1.now());
+  // Exactly 9 RTTs cheaper.
+  EXPECT_NEAR(c1.now() - c2.now(), 9 * 0.05, 1e-9);
+  EXPECT_EQ(serial.stats().bytes_transferred,
+            batched.stats().bytes_transferred);
+}
+
+TEST(NetworkLink, StatsDiffOperator) {
+  SimClock clock;
+  NetworkLink link(clock, 10.0, 0.0, 0.0);
+  link.request(500);
+  NetworkStats before = link.stats();
+  link.request(700);
+  NetworkStats delta = link.stats() - before;
+  EXPECT_EQ(delta.bytes_transferred, 700u);
+  EXPECT_EQ(delta.requests, 1u);
+}
+
+TEST(NetworkLink, BadParametersThrow) {
+  SimClock clock;
+  EXPECT_THROW(NetworkLink(clock, 0.0, 0.0, 0.0), Error);
+  EXPECT_THROW(NetworkLink(clock, 100.0, -1.0, 0.0), Error);
+  NetworkLink link(clock, 100.0, 0.0, 0.0);
+  EXPECT_THROW(link.pipelined(100, 0), Error);
+}
+
+TEST(NetworkLink, SlowerLinkTakesProportionallyLonger) {
+  SimClock c1, c2;
+  NetworkLink fast(c1, 904.0, 0.0, 0.0);
+  NetworkLink slow(c2, 5.0, 0.0, 0.0);
+  fast.request(1'000'000);
+  slow.request(1'000'000);
+  EXPECT_NEAR(c2.now() / c1.now(), 904.0 / 5.0, 1e-6);
+}
+
+TEST(DiskModel, ReadChargesSeekPlusTransfer) {
+  SimClock clock;
+  DiskModel disk(clock, 0.008, 150.0, 140.0);
+  double t = disk.read(150'000'000);  // 1 second of transfer
+  EXPECT_NEAR(t, 1.008, 1e-9);
+  EXPECT_EQ(disk.stats().bytes_read, 150'000'000u);
+  EXPECT_EQ(disk.stats().read_ops, 1u);
+}
+
+TEST(DiskModel, WriteAndTouch) {
+  SimClock clock;
+  DiskModel disk(clock, 0.001, 100.0, 100.0);
+  disk.write(1'000'000);
+  disk.touch();
+  EXPECT_EQ(disk.stats().bytes_written, 1'000'000u);
+  EXPECT_EQ(disk.stats().write_ops, 1u);
+  EXPECT_NEAR(clock.now(), 0.001 + 0.01 + 0.001, 1e-9);
+}
+
+TEST(DiskModel, SsdMuchFasterThanHddForSmallFiles) {
+  SimClock c1, c2;
+  DiskModel hdd = DiskModel::hdd(c1);
+  DiskModel ssd = DiskModel::ssd(c2);
+  for (int i = 0; i < 1000; ++i) {
+    hdd.read(4096);
+    ssd.read(4096);
+  }
+  // Seek-dominated workload: HDD should be >10x slower (Fig. 6's SSD gap).
+  EXPECT_GT(c1.now() / c2.now(), 10.0);
+}
+
+TEST(DiskModel, BadParametersThrow) {
+  SimClock clock;
+  EXPECT_THROW(DiskModel(clock, -1.0, 100.0, 100.0), Error);
+  EXPECT_THROW(DiskModel(clock, 0.001, 0.0, 100.0), Error);
+}
+
+}  // namespace
+}  // namespace gear::sim

@@ -1,0 +1,157 @@
+// Unit tests for the Slacker block-level baseline.
+#include <gtest/gtest.h>
+
+#include "slacker/slacker.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace gear::slacker {
+namespace {
+
+constexpr std::uint64_t kBlock = 512;
+
+VirtualBlockDevice device_of(const vfs::FileTree& t,
+                             std::uint64_t capacity = 1 << 16) {
+  return VirtualBlockDevice::from_tree(t, kBlock, capacity);
+}
+
+TEST(BlockDevice, PacksFilesContiguously) {
+  vfs::FileTree t;
+  t.add_file("a", Bytes(1000, 'a'));  // 2 blocks
+  t.add_file("b", Bytes(100, 'b'));   // 1 block
+  VirtualBlockDevice dev = device_of(t);
+  Extent ea = dev.extent_of("a").value();
+  Extent eb = dev.extent_of("b").value();
+  EXPECT_EQ(ea.first_block, 0u);
+  EXPECT_EQ(ea.block_count, 2u);
+  EXPECT_EQ(eb.first_block, 2u);
+  EXPECT_EQ(eb.block_count, 1u);
+  EXPECT_EQ(dev.used_blocks(), 3u);
+  EXPECT_EQ(dev.file_count(), 2u);
+}
+
+TEST(BlockDevice, SmallFilesRoundUpToWholeBlocks) {
+  vfs::FileTree t;
+  t.add_file("tiny", Bytes(1, 'x'));
+  t.add_file("empty", {});
+  VirtualBlockDevice dev = device_of(t);
+  EXPECT_EQ(dev.extent_of("tiny").value().block_count, 1u);
+  EXPECT_EQ(dev.extent_of("empty").value().block_count, 1u);
+}
+
+TEST(BlockDevice, ReadBlockReturnsContent) {
+  vfs::FileTree t;
+  t.add_file("f", Bytes(600, 'z'));
+  VirtualBlockDevice dev = device_of(t);
+  Bytes b0 = dev.read_block(0);
+  EXPECT_EQ(b0.size(), kBlock);
+  EXPECT_EQ(b0[0], 'z');
+  Bytes b1 = dev.read_block(1);
+  EXPECT_EQ(b1[87], 'z');   // 600-512=88 bytes of payload
+  EXPECT_EQ(b1[88], 0);     // zero padding after the file tail
+  EXPECT_THROW(dev.read_block(1 << 20), Error);
+}
+
+TEST(BlockDevice, FixedCapacityEnforced) {
+  vfs::FileTree t;
+  t.add_file("big", Bytes(10 * kBlock, 'b'));
+  EXPECT_THROW(VirtualBlockDevice::from_tree(t, kBlock, 5), Error);
+  EXPECT_THROW(VirtualBlockDevice::from_tree(t, 0, 5), Error);
+}
+
+TEST(BlockDevice, MissingExtent) {
+  vfs::FileTree t;
+  t.add_file("present", Bytes(10, 'p'));
+  VirtualBlockDevice dev = device_of(t);
+  EXPECT_FALSE(dev.extent_of("absent").ok());
+}
+
+// ---------------------------------------------------------------- client
+
+struct SlackerFixture : ::testing::Test {
+  sim::SimClock clock;
+  sim::NetworkLink link{clock, 904.0, 0.0005, 0.0003};
+  sim::DiskModel disk{clock, 0.0001, 500.0, 480.0};
+  SlackerRegistry registry;
+  vfs::FileTree root;
+  workload::AccessSet access;
+
+  void SetUp() override {
+    root = gear::testing::random_tree(1000, 30, 4096);
+    registry.put_image("app:v1",
+                       VirtualBlockDevice::from_tree(root, kBlock, 1 << 16));
+    access = workload::derive_access_set(
+        root, workload::AccessProfile{0.4, 0.8, 3, 1});
+    ASSERT_FALSE(access.files.empty());
+  }
+};
+
+TEST_F(SlackerFixture, DeployFetchesAccessedBlocksOnly) {
+  SlackerClient client(registry, link, disk);
+  docker::DeployStats stats = client.deploy("app:v1", access);
+  const VirtualBlockDevice& dev = registry.device("app:v1");
+
+  // Only accessed extents were fetched...
+  std::uint64_t accessed_blocks = 0;
+  for (const auto& fa : access.files) {
+    accessed_blocks += dev.extent_of(fa.path).value().block_count;
+  }
+  EXPECT_EQ(client.blocks_fetched(), accessed_blocks);
+  EXPECT_EQ(stats.run_bytes_downloaded, accessed_blocks * kBlock);
+  // ...which is less than the whole device.
+  EXPECT_LT(accessed_blocks, dev.used_blocks());
+  // Block rounding means bytes moved >= file bytes accessed.
+  EXPECT_GE(stats.run_bytes_downloaded, access.total_bytes());
+}
+
+TEST_F(SlackerFixture, BlocksCachedWithinSameVersion) {
+  SlackerClient client(registry, link, disk);
+  client.deploy("app:v1", access);
+  std::uint64_t first = client.blocks_fetched();
+  docker::DeployStats second = client.deploy("app:v1", access);
+  EXPECT_EQ(client.blocks_fetched(), first);  // nothing re-fetched
+  EXPECT_EQ(second.run_bytes_downloaded, 0u);
+}
+
+TEST_F(SlackerFixture, NoSharingAcrossVersions) {
+  // v2 has identical content under a different reference: Slacker must
+  // re-download everything (no content addressing).
+  registry.put_image("app:v2",
+                     VirtualBlockDevice::from_tree(root, kBlock, 1 << 16));
+  SlackerClient client(registry, link, disk);
+  docker::DeployStats s1 = client.deploy("app:v1", access);
+  docker::DeployStats s2 = client.deploy("app:v2", access);
+  EXPECT_EQ(s1.run_bytes_downloaded, s2.run_bytes_downloaded);
+  EXPECT_GT(s2.run_bytes_downloaded, 0u);
+}
+
+TEST_F(SlackerFixture, RegistryStoresDevicesWithoutDedup) {
+  std::uint64_t one = registry.storage_bytes();
+  registry.put_image("app:v2",
+                     VirtualBlockDevice::from_tree(root, kBlock, 1 << 16));
+  EXPECT_EQ(registry.storage_bytes(), 2 * one);
+}
+
+TEST_F(SlackerFixture, PullPhaseIsConstantAndSmall) {
+  SlackerClient client(registry, link, disk);
+  docker::DeployStats stats = client.deploy("app:v1", access);
+  EXPECT_LT(stats.pull.bytes_downloaded, 8192u);
+  EXPECT_LT(stats.pull.seconds, 0.1);
+}
+
+TEST_F(SlackerFixture, UnknownImageThrows) {
+  SlackerClient client(registry, link, disk);
+  EXPECT_THROW(client.deploy("ghost:v1", access), Error);
+}
+
+TEST_F(SlackerFixture, ClearCacheForcesRefetch) {
+  SlackerClient client(registry, link, disk);
+  client.deploy("app:v1", access);
+  std::uint64_t first = client.blocks_fetched();
+  client.clear_cache();
+  client.deploy("app:v1", access);
+  EXPECT_EQ(client.blocks_fetched(), 2 * first);
+}
+
+}  // namespace
+}  // namespace gear::slacker

@@ -1,0 +1,172 @@
+// Unit tests for the ustar archiver and Docker whiteout conventions.
+#include <gtest/gtest.h>
+
+#include "tar/tar.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+#include "vfs/tree_diff.hpp"
+
+namespace gear::tar {
+namespace {
+
+TEST(Tar, EmptyTreeIsJustTrailer) {
+  vfs::FileTree t;
+  Bytes archive = archive_tree(t);
+  EXPECT_EQ(archive.size(), 1024u);  // two zero blocks
+  EXPECT_TRUE(extract_tree(archive).root().children().empty());
+}
+
+TEST(Tar, RoundTripSampleTree) {
+  vfs::FileTree t = gear::testing::sample_tree();
+  EXPECT_TRUE(extract_tree(archive_tree(t)).equals(t));
+}
+
+TEST(Tar, PreservesMetadata) {
+  vfs::FileTree t;
+  vfs::Metadata m{0751, 1000, 1001, 1600000000};
+  t.add_file("bin/tool", to_bytes("#!x"), m);
+  vfs::FileTree back = extract_tree(archive_tree(t));
+  const vfs::FileNode* node = back.lookup("bin/tool");
+  ASSERT_NE(node, nullptr);
+  EXPECT_EQ(node->metadata().mode, 0751u);
+  EXPECT_EQ(node->metadata().uid, 1000u);
+  EXPECT_EQ(node->metadata().gid, 1001u);
+  EXPECT_EQ(node->metadata().mtime, 1600000000u);
+}
+
+TEST(Tar, WhiteoutUsesDockerNaming) {
+  vfs::FileTree layer;
+  layer.add_whiteout("etc/removed.conf");
+  Bytes archive = archive_tree(layer);
+  // The raw archive must contain the ".wh." marker name.
+  std::string raw = to_string(archive);
+  EXPECT_NE(raw.find(".wh.removed.conf"), std::string::npos);
+  vfs::FileTree back = extract_tree(archive);
+  ASSERT_NE(back.lookup("etc/removed.conf"), nullptr);
+  EXPECT_TRUE(back.lookup("etc/removed.conf")->is_whiteout());
+}
+
+TEST(Tar, RootLevelWhiteout) {
+  vfs::FileTree layer;
+  layer.add_whiteout("topfile");
+  vfs::FileTree back = extract_tree(archive_tree(layer));
+  ASSERT_NE(back.lookup("topfile"), nullptr);
+  EXPECT_TRUE(back.lookup("topfile")->is_whiteout());
+}
+
+TEST(Tar, OpaqueDirectoryMarker) {
+  vfs::FileTree layer;
+  vfs::FileNode& d = layer.add_directory("etc");
+  d.set_opaque(true);
+  layer.add_file("etc/new", to_bytes("n"));
+  Bytes archive = archive_tree(layer);
+  std::string raw = to_string(archive);
+  EXPECT_NE(raw.find(".wh..wh..opq"), std::string::npos);
+  vfs::FileTree back = extract_tree(archive);
+  ASSERT_NE(back.lookup("etc"), nullptr);
+  EXPECT_TRUE(back.lookup("etc")->opaque());
+  EXPECT_TRUE(back.equals(layer));
+}
+
+TEST(Tar, EmptyFile) {
+  vfs::FileTree t;
+  t.add_file("empty", {});
+  vfs::FileTree back = extract_tree(archive_tree(t));
+  ASSERT_NE(back.lookup("empty"), nullptr);
+  EXPECT_TRUE(back.lookup("empty")->content().empty());
+}
+
+TEST(Tar, LongPathViaPrefixField) {
+  vfs::FileTree t;
+  std::string dir = "a";
+  for (int i = 0; i < 15; ++i) dir += "/dir-" + std::to_string(i) + "-padding";
+  std::string path = dir + "/leaf-file";
+  ASSERT_GT(path.size(), 100u);
+  ASSERT_LT(path.size(), 255u);
+  t.add_file(path, to_bytes("deep"));
+  vfs::FileTree back = extract_tree(archive_tree(t));
+  ASSERT_NE(back.lookup(path), nullptr);
+  EXPECT_EQ(to_string(back.lookup(path)->content()), "deep");
+}
+
+TEST(Tar, OversizedPathThrows) {
+  vfs::FileTree t;
+  std::string path(300, 'p');
+  t.add_file(path, to_bytes("x"));
+  EXPECT_THROW(archive_tree(t), Error);
+}
+
+TEST(Tar, SymlinkRoundTrip) {
+  vfs::FileTree t;
+  t.add_symlink("etc/alt", "/etc/alternatives/real");
+  vfs::FileTree back = extract_tree(archive_tree(t));
+  EXPECT_EQ(back.lookup("etc/alt")->link_target(), "/etc/alternatives/real");
+}
+
+TEST(Tar, FingerprintStubRefused) {
+  vfs::FileTree t;
+  t.add_fingerprint_stub("s", default_hasher().fingerprint(to_bytes("x")), 1);
+  EXPECT_THROW(archive_tree(t), Error);
+}
+
+TEST(Tar, DeterministicBytes) {
+  vfs::FileTree a = gear::testing::random_tree(31, 40);
+  vfs::FileTree b = gear::testing::random_tree(31, 40);
+  EXPECT_EQ(archive_tree(a), archive_tree(b));
+}
+
+TEST(Tar, CorruptChecksumThrows) {
+  Bytes archive = archive_tree(gear::testing::sample_tree());
+  archive[0] ^= 0xff;  // clobber first header's name byte
+  EXPECT_THROW(extract_tree(archive), Error);
+}
+
+TEST(Tar, MisalignedArchiveThrows) {
+  Bytes archive = archive_tree(gear::testing::sample_tree());
+  archive.push_back(0);
+  EXPECT_THROW(extract_tree(archive), Error);
+}
+
+TEST(Tar, TruncatedPayloadThrows) {
+  vfs::FileTree t;
+  t.add_file("big", Bytes(5000, 'b'));
+  Bytes archive = archive_tree(t);
+  archive.resize(1024);  // header survives, payload gone
+  EXPECT_THROW(extract_tree(archive), Error);
+}
+
+TEST(Tar, BlockCountMatchesSize) {
+  vfs::FileTree t = gear::testing::sample_tree();
+  EXPECT_EQ(archive_block_count(t) * 512, archive_tree(t).size());
+}
+
+class TarRoundTripProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TarRoundTripProperty, RandomTrees) {
+  vfs::FileTree t = gear::testing::random_tree(GetParam(), 30);
+  EXPECT_TRUE(extract_tree(archive_tree(t)).equals(t));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TarRoundTripProperty,
+                         ::testing::Range<std::uint64_t>(200, 212));
+
+// Layer diffs (with whiteouts) round-trip too — the exact payload Docker
+// ships.
+class TarLayerProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TarLayerProperty, DiffTreesRoundTrip) {
+  std::uint64_t seed = GetParam();
+  vfs::FileTree base = gear::testing::random_tree(seed, 30);
+  vfs::FileTree target = gear::testing::mutate_tree(base, seed + 7, 20);
+  vfs::FileTree layer = vfs::diff_trees(base, target);
+  vfs::FileTree back = extract_tree(archive_tree(layer));
+  EXPECT_TRUE(back.equals(layer));
+  // And applying the round-tripped layer still reproduces the target.
+  EXPECT_TRUE(vfs::apply_layer(base, back).equals(target));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TarLayerProperty,
+                         ::testing::Range<std::uint64_t>(300, 312));
+
+}  // namespace
+}  // namespace gear::tar

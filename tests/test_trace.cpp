@@ -1,0 +1,190 @@
+// Tests for the histogram utility and the trace generator/replayer.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "docker/client.hpp"
+#include "gear/client.hpp"
+#include "gear/converter.hpp"
+#include "util/error.hpp"
+#include "workload/generator.hpp"
+#include "workload/trace.hpp"
+
+namespace gear {
+namespace {
+
+// ---------------------------------------------------------------- histogram
+
+TEST(Histogram, BasicStatistics) {
+  Histogram h;
+  for (double v : {5.0, 1.0, 3.0, 2.0, 4.0}) h.record(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 5.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 15.0);
+}
+
+TEST(Histogram, NearestRankPercentiles) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.record(i);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(h.percentile(90), 90.0);
+  EXPECT_DOUBLE_EQ(h.percentile(99), 99.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 100.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1), 1.0);
+}
+
+TEST(Histogram, SingleSample) {
+  Histogram h;
+  h.record(7.5);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 7.5);
+  EXPECT_DOUBLE_EQ(h.percentile(99), 7.5);
+}
+
+TEST(Histogram, ErrorsOnEmptyOrBadP) {
+  Histogram h;
+  EXPECT_THROW(h.mean(), Error);
+  EXPECT_THROW(h.percentile(50), Error);
+  h.record(1);
+  EXPECT_THROW(h.percentile(-1), Error);
+  EXPECT_THROW(h.percentile(101), Error);
+}
+
+TEST(Histogram, SummaryMentionsPercentiles) {
+  Histogram h;
+  h.record(0.5);
+  std::string s = h.summary_seconds();
+  EXPECT_NE(s.find("p99"), std::string::npos);
+  EXPECT_NE(s.find("n=1"), std::string::npos);
+}
+
+// -------------------------------------------------------------------- trace
+
+struct TraceFixture : ::testing::Test {
+  std::vector<workload::SeriesSpec> specs = workload::small_corpus(1, 10);
+  workload::TraceSpec tspec;
+
+  void SetUp() override {
+    tspec.duration_seconds = 2000;
+    tspec.mean_interarrival_seconds = 10;
+    tspec.release_cadence_seconds = 300;
+    tspec.max_live_containers = 8;
+    tspec.seed = 99;
+  }
+};
+
+TEST_F(TraceFixture, GenerationDeterministicAndOrdered) {
+  auto a = workload::generate_trace(specs, tspec);
+  auto b = workload::generate_trace(specs, tspec);
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_GT(a.size(), 50u);  // ~200 expected
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].arrival_seconds, b[i].arrival_seconds);
+    EXPECT_EQ(a[i].series_index, b[i].series_index);
+    EXPECT_EQ(a[i].version, b[i].version);
+    if (i > 0) {
+      EXPECT_GE(a[i].arrival_seconds, a[i - 1].arrival_seconds);
+    }
+    EXPECT_LT(a[i].arrival_seconds, tspec.duration_seconds);
+    EXPECT_LT(a[i].series_index, specs.size());
+    EXPECT_LT(a[i].version, specs[a[i].series_index].versions);
+  }
+}
+
+TEST_F(TraceFixture, PopularitySkewed) {
+  auto events = workload::generate_trace(specs, tspec);
+  std::vector<int> counts(specs.size(), 0);
+  for (const auto& e : events) counts[e.series_index]++;
+  // Rank 0 must dominate the tail rank.
+  EXPECT_GT(counts[0], counts[specs.size() - 1] * 2);
+}
+
+TEST_F(TraceFixture, VersionsAdvanceOverTime) {
+  auto events = workload::generate_trace(specs, tspec);
+  // Find the most popular series and confirm later deployments target
+  // higher versions.
+  int early = -1, late = -1;
+  for (const auto& e : events) {
+    if (e.series_index != 0) continue;
+    if (early < 0) early = e.version;
+    late = e.version;
+  }
+  ASSERT_GE(early, 0);
+  EXPECT_GT(late, early);
+}
+
+TEST_F(TraceFixture, BadParametersThrow) {
+  workload::TraceSpec bad = tspec;
+  bad.mean_interarrival_seconds = 0;
+  EXPECT_THROW(workload::generate_trace(specs, bad), Error);
+  EXPECT_THROW(workload::generate_trace({}, tspec), Error);
+}
+
+TEST_F(TraceFixture, ReplayEnforcesLiveCapAndDrains) {
+  auto events = workload::generate_trace(specs, tspec);
+  sim::SimClock clock;
+  int live = 0, max_live = 0, next_id = 0;
+  workload::TraceResult result = workload::replay_trace(
+      clock, events, tspec,
+      [&](std::size_t, int) {
+        clock.advance(0.5);  // fixed deploy cost
+        ++live;
+        max_live = std::max(max_live, live);
+        return "c" + std::to_string(next_id++);
+      },
+      [&](const std::string&) { --live; });
+
+  EXPECT_EQ(result.deployments, events.size());
+  EXPECT_EQ(result.destroys, result.deployments);  // fully drained
+  EXPECT_EQ(live, 0);
+  EXPECT_LE(max_live, tspec.max_live_containers);
+  EXPECT_GE(result.makespan_seconds,
+            events.back().arrival_seconds);
+  EXPECT_DOUBLE_EQ(result.deploy_latency.mean(), 0.5);
+}
+
+TEST_F(TraceFixture, ReplayAgainstRealGearClient) {
+  // End-to-end: a short trace against actual registries and a Gear client.
+  workload::CorpusGenerator gen(5, 0.0005);
+  docker::DockerRegistry index_registry;
+  GearRegistry file_registry;
+  GearConverter converter;
+  std::set<std::pair<std::size_t, int>> pushed;
+  workload::TraceSpec small = tspec;
+  small.duration_seconds = 400;
+  auto events = workload::generate_trace(specs, small);
+  ASSERT_FALSE(events.empty());
+  for (const auto& e : events) {
+    if (!pushed.insert({e.series_index, e.version}).second) continue;
+    push_gear_image(
+        converter.convert(gen.generate_image(specs[e.series_index], e.version))
+            .image,
+        index_registry, file_registry);
+  }
+
+  sim::SimClock clock;
+  sim::NetworkLink link = sim::scaled_link(clock, 100.0, 0.0005);
+  sim::DiskModel disk = sim::DiskModel::scaled_ssd(clock, 0.0005);
+  GearClient client(index_registry, file_registry, link, disk);
+
+  workload::TraceResult result = workload::replay_trace(
+      clock, events, small,
+      [&](std::size_t series, int version) {
+        std::string ref =
+            specs[series].name + ":v" + std::to_string(version);
+        std::string container;
+        client.deploy(ref, gen.access_set(specs[series], version),
+                      &container);
+        return container;
+      },
+      [&](const std::string& container) { client.destroy(container); });
+
+  EXPECT_EQ(result.deployments, events.size());
+  EXPECT_GT(result.deploy_latency.percentile(99), 0.0);
+  EXPECT_GT(client.store().cache().stats().hits, 0u);  // repeats hit cache
+}
+
+}  // namespace
+}  // namespace gear

@@ -1,0 +1,366 @@
+// Unit tests for util/: hex, MD5, SHA-256, RNG, fingerprints, formatting.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/error.hpp"
+#include "util/fingerprint.hpp"
+#include "util/format.hpp"
+#include "util/hex.hpp"
+#include "util/md5.hpp"
+#include "util/rng.hpp"
+#include "util/sha256.hpp"
+
+namespace gear {
+namespace {
+
+// ---------------------------------------------------------------- hex
+
+TEST(Hex, EncodesLowercase) {
+  Bytes data = {0x00, 0x01, 0xab, 0xff};
+  EXPECT_EQ(hex_encode(data), "0001abff");
+}
+
+TEST(Hex, EmptyRoundTrip) {
+  EXPECT_EQ(hex_encode({}), "");
+  EXPECT_TRUE(hex_decode("").empty());
+}
+
+TEST(Hex, DecodesMixedCase) {
+  Bytes d = hex_decode("AbFf09");
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_EQ(d[0], 0xab);
+  EXPECT_EQ(d[1], 0xff);
+  EXPECT_EQ(d[2], 0x09);
+}
+
+TEST(Hex, RoundTripRandom) {
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    Bytes data = rng.next_bytes(rng.next_range(0, 300));
+    EXPECT_EQ(hex_decode(hex_encode(data)), data);
+  }
+}
+
+TEST(Hex, RejectsOddLength) {
+  EXPECT_THROW(hex_decode("abc"), Error);
+}
+
+TEST(Hex, RejectsNonHex) {
+  EXPECT_THROW(hex_decode("zz"), Error);
+  EXPECT_THROW(hex_decode("0g"), Error);
+}
+
+// ---------------------------------------------------------------- md5
+
+// RFC 1321 appendix A.5 test suite.
+TEST(Md5, Rfc1321Vectors) {
+  EXPECT_EQ(Md5::hex(to_bytes("")), "d41d8cd98f00b204e9800998ecf8427e");
+  EXPECT_EQ(Md5::hex(to_bytes("a")), "0cc175b9c0f1b6a831c399e269772661");
+  EXPECT_EQ(Md5::hex(to_bytes("abc")), "900150983cd24fb0d6963f7d28e17f72");
+  EXPECT_EQ(Md5::hex(to_bytes("message digest")),
+            "f96b697d7cb7938d525a2f31aaf161d0");
+  EXPECT_EQ(Md5::hex(to_bytes("abcdefghijklmnopqrstuvwxyz")),
+            "c3fcd3d76192e4007dfb496cca67e13b");
+  EXPECT_EQ(Md5::hex(to_bytes("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrst"
+                              "uvwxyz0123456789")),
+            "d174ab98d277d9f5a5611c2c9f419d9f");
+  EXPECT_EQ(Md5::hex(to_bytes("1234567890123456789012345678901234567890123456"
+                              "7890123456789012345678901234567890")),
+            "57edf4a22be3c955ac49da2e2107b67a");
+}
+
+TEST(Md5, IncrementalMatchesOneShot) {
+  Rng rng(11);
+  Bytes data = rng.next_bytes(10000, 0.3);
+  for (std::size_t split : {0ul, 1ul, 63ul, 64ul, 65ul, 5000ul, 9999ul}) {
+    Md5 h;
+    h.update(BytesView(data.data(), split));
+    h.update(BytesView(data.data() + split, data.size() - split));
+    EXPECT_EQ(h.finish(), Md5::hash(data)) << "split=" << split;
+  }
+}
+
+TEST(Md5, BlockBoundaryLengths) {
+  // Lengths straddling the 64-byte block and the 56-byte padding cutoff.
+  for (std::size_t len : {55ul, 56ul, 57ul, 63ul, 64ul, 65ul, 119ul, 120ul,
+                          121ul, 128ul}) {
+    Bytes data(len, 'q');
+    Md5 h;
+    for (std::size_t i = 0; i < len; ++i) {
+      h.update(BytesView(data.data() + i, 1));
+    }
+    EXPECT_EQ(h.finish(), Md5::hash(data)) << "len=" << len;
+  }
+}
+
+TEST(Md5, FinishTwiceThrows) {
+  Md5 h;
+  h.update(to_bytes("x"));
+  h.finish();
+  EXPECT_THROW(h.finish(), Error);
+  EXPECT_THROW(h.update(to_bytes("y")), Error);
+}
+
+TEST(Md5, ResetAllowsReuse) {
+  Md5 h;
+  h.update(to_bytes("abc"));
+  h.finish();
+  h.reset();
+  h.update(to_bytes("abc"));
+  EXPECT_EQ(hex_encode(h.finish()), "900150983cd24fb0d6963f7d28e17f72");
+}
+
+// ------------------------------------------------------------- sha256
+
+// FIPS 180-4 / NIST CAVS known-answer vectors.
+TEST(Sha256, NistVectors) {
+  EXPECT_EQ(Sha256::hex(to_bytes("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(Sha256::hex(to_bytes("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(
+      Sha256::hex(to_bytes("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomn"
+                           "opnopq")),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionA) {
+  Bytes data(1000000, 'a');
+  EXPECT_EQ(Sha256::hex(data),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  Rng rng(13);
+  Bytes data = rng.next_bytes(4096, 0.5);
+  Sha256 h;
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    std::size_t chunk = std::min<std::size_t>(97, data.size() - pos);
+    h.update(BytesView(data.data() + pos, chunk));
+    pos += chunk;
+  }
+  EXPECT_EQ(h.finish(), Sha256::hash(data));
+}
+
+TEST(Sha256, DistinctInputsDistinctDigests) {
+  EXPECT_NE(Sha256::hash(to_bytes("a")), Sha256::hash(to_bytes("b")));
+}
+
+// ---------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    std::uint64_t va = a.next_u64();
+    EXPECT_EQ(va, b.next_u64());
+    (void)c.next_u64();
+  }
+  Rng a2(123), c2(124);
+  EXPECT_NE(a2.next_u64(), c2.next_u64());
+}
+
+TEST(Rng, NextBelowInRangeAndCoversValues) {
+  Rng rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    std::uint64_t v = rng.next_below(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all residues appear over 1000 draws
+}
+
+TEST(Rng, NextBelowZeroThrows) {
+  Rng rng(1);
+  EXPECT_THROW(rng.next_below(0), Error);
+}
+
+TEST(Rng, NextRangeInclusive) {
+  Rng rng(6);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    std::uint64_t v = rng.next_range(3, 6);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 6u);
+    saw_lo |= v == 3;
+    saw_hi |= v == 6;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliRoughlyCalibrated) {
+  Rng rng(9);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.next_bool(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, LogUniformWithinBounds) {
+  Rng rng(10);
+  for (int i = 0; i < 500; ++i) {
+    std::uint64_t v = rng.next_log_uniform(16, 65536);
+    EXPECT_GE(v, 16u);
+    EXPECT_LE(v, 65536u);
+  }
+}
+
+TEST(Rng, BytesCompressibilityMonotonic) {
+  // Higher requested compressibility must produce more repetitive data;
+  // proxy: count byte-pairs that repeat.
+  auto repetition = [](const Bytes& b) {
+    int rep = 0;
+    for (std::size_t i = 1; i < b.size(); ++i) rep += b[i] == b[i - 1];
+    return rep;
+  };
+  Rng rng(12);
+  Bytes incompressible = rng.next_bytes(20000, 0.0);
+  Bytes compressible = rng.next_bytes(20000, 0.8);
+  EXPECT_GT(repetition(compressible), repetition(incompressible) * 5);
+}
+
+TEST(Rng, ZipfSkewsTowardLowRanks) {
+  Rng rng(14);
+  int low = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.next_zipf(1000, 1.1) < 10) ++low;
+  }
+  // Top-10 ranks of 1000 should attract far more than 1% of draws.
+  EXPECT_GT(low, n / 20);
+}
+
+TEST(Rng, FromLabelIndependentStreams) {
+  Rng a = Rng::from_label(1, "alpha");
+  Rng b = Rng::from_label(1, "beta");
+  EXPECT_NE(a.next_u64(), b.next_u64());
+  Rng a2 = Rng::from_label(1, "alpha");
+  Rng a3 = Rng::from_label(1, "alpha");
+  EXPECT_EQ(a2.next_u64(), a3.next_u64());
+}
+
+// -------------------------------------------------------- fingerprint
+
+TEST(Fingerprint, Md5HasherMatchesMd5) {
+  Bytes data = to_bytes("gear file content");
+  Fingerprint fp = default_hasher().fingerprint(data);
+  EXPECT_EQ(fp.hex(), Md5::hex(data));
+}
+
+TEST(Fingerprint, HexRoundTrip) {
+  Fingerprint fp = default_hasher().fingerprint(to_bytes("x"));
+  EXPECT_EQ(Fingerprint::from_hex(fp.hex()), fp);
+}
+
+TEST(Fingerprint, FromHexRejectsBadLength) {
+  EXPECT_THROW(Fingerprint::from_hex("abcd"), Error);
+  EXPECT_THROW(Fingerprint::from_hex(std::string(33, 'a')), Error);
+}
+
+TEST(Fingerprint, TruncatedHasherCollides) {
+  TruncatedFingerprintHasher weak(8);  // 8-bit space: collisions certain
+  std::set<Fingerprint> fps;
+  int collisions = 0;
+  Rng rng(15);
+  for (int i = 0; i < 600; ++i) {
+    Fingerprint fp = weak.fingerprint(rng.next_bytes(32));
+    if (!fps.insert(fp).second) ++collisions;
+  }
+  EXPECT_GT(collisions, 300);  // far beyond 256 distinct values
+}
+
+TEST(Fingerprint, TruncatedHasherRespectsBitMask) {
+  TruncatedFingerprintHasher weak(12);
+  Fingerprint fp = weak.fingerprint(to_bytes("abc"));
+  // Bits below the 12th must be zero: byte 1 low nibble and bytes 2..15.
+  EXPECT_EQ(fp.raw()[1] & 0x0f, 0);
+  for (std::size_t i = 2; i < Fingerprint::kSize; ++i) {
+    EXPECT_EQ(fp.raw()[i], 0) << i;
+  }
+}
+
+TEST(Fingerprint, TruncatedHasherBadBitsThrow) {
+  EXPECT_THROW(TruncatedFingerprintHasher(0), Error);
+  EXPECT_THROW(TruncatedFingerprintHasher(129), Error);
+}
+
+TEST(Fingerprint, CollisionBoundMatchesPaperEq1) {
+  // Paper §III-B: ~5e10 deduplicated files under 128-bit MD5 gives a
+  // collision probability around 5e-18 — far below disk error rates.
+  double p = collision_probability_bound(5e10, 128);
+  EXPECT_LT(p, 1e-17);
+  EXPECT_GT(p, 1e-19);
+  // And it is far below the 1e-12..1e-15 disk error probability band.
+  EXPECT_LT(p, 1e-15);
+}
+
+// ------------------------------------------------------------- format
+
+TEST(Format, Sizes) {
+  EXPECT_EQ(format_size(0), "0 B");
+  EXPECT_EQ(format_size(823), "823 B");
+  EXPECT_EQ(format_size(1500), "1.5 KB");
+  EXPECT_EQ(format_size(370000000000ull), "370.0 GB");
+}
+
+TEST(Format, Durations) {
+  EXPECT_EQ(format_duration(0.0000005), "0.5 us");
+  EXPECT_EQ(format_duration(0.25), "250.0 ms");
+  EXPECT_EQ(format_duration(46.0), "46.00 s");
+  EXPECT_EQ(format_duration(300.0), "5.0 min");
+}
+
+TEST(Format, PercentAndSpeedup) {
+  EXPECT_EQ(format_percent(0.537), "53.7 %");
+  EXPECT_EQ(format_speedup(5.01), "5.01x");
+}
+
+TEST(Format, Padding) {
+  EXPECT_EQ(pad_left("ab", 5), "   ab");
+  EXPECT_EQ(pad_right("ab", 5), "ab   ");
+  EXPECT_EQ(pad_left("abcdef", 3), "abcdef");
+}
+
+// --------------------------------------------------------------- error
+
+TEST(Error, CarriesCodeAndMessage) {
+  try {
+    throw_error(ErrorCode::kNotFound, "thing");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kNotFound);
+    EXPECT_NE(std::string(e.what()).find("not_found"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("thing"), std::string::npos);
+  }
+}
+
+TEST(StatusOr, ValueAndError) {
+  StatusOr<int> ok(42);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+
+  StatusOr<int> err(ErrorCode::kNotFound, "missing");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.code(), ErrorCode::kNotFound);
+  EXPECT_THROW(err.value(), Error);
+}
+
+TEST(StatusOr, MoveOut) {
+  StatusOr<std::string> s(std::string("hello"));
+  std::string v = std::move(s).value();
+  EXPECT_EQ(v, "hello");
+}
+
+}  // namespace
+}  // namespace gear

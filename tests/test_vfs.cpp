@@ -1,0 +1,325 @@
+// Unit tests for the virtual filesystem: tree ops, diff/apply, serialization.
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+#include "vfs/file_tree.hpp"
+#include "vfs/tree_diff.hpp"
+#include "vfs/tree_serialize.hpp"
+
+namespace gear::vfs {
+namespace {
+
+TEST(FileTree, AddAndLookupFile) {
+  FileTree t;
+  t.add_file("a/b/c.txt", to_bytes("hello"));
+  const FileNode* node = t.lookup("a/b/c.txt");
+  ASSERT_NE(node, nullptr);
+  EXPECT_TRUE(node->is_regular());
+  EXPECT_EQ(to_string(node->content()), "hello");
+  // Parents were auto-created as directories.
+  EXPECT_TRUE(t.lookup("a")->is_directory());
+  EXPECT_TRUE(t.lookup("a/b")->is_directory());
+}
+
+TEST(FileTree, PathNormalization) {
+  FileTree t;
+  t.add_file("/x//y/./z", to_bytes("v"));
+  EXPECT_NE(t.lookup("x/y/z"), nullptr);
+  EXPECT_NE(t.lookup("/x/y/z/"), nullptr);
+}
+
+TEST(FileTree, RejectsDotDotAndEmpty) {
+  FileTree t;
+  EXPECT_THROW(t.add_file("a/../b", to_bytes("v")), Error);
+  EXPECT_THROW(t.add_file("", to_bytes("v")), Error);
+  EXPECT_THROW(t.add_file("///", to_bytes("v")), Error);
+}
+
+TEST(FileTree, FileBlocksSubPath) {
+  FileTree t;
+  t.add_file("a/file", to_bytes("v"));
+  EXPECT_THROW(t.add_file("a/file/sub", to_bytes("w")), Error);
+}
+
+TEST(FileTree, AddDirectoryIdempotent) {
+  FileTree t;
+  t.add_directory("d/e");
+  t.add_directory("d/e");
+  EXPECT_TRUE(t.lookup("d/e")->is_directory());
+  t.add_file("d/e/f", to_bytes("v"));
+  EXPECT_THROW(t.add_directory("d/e/f"), Error);
+}
+
+TEST(FileTree, SymlinkAndWhiteoutAndStub) {
+  FileTree t;
+  t.add_symlink("l", "target/path");
+  t.add_whiteout("gone");
+  Fingerprint fp = default_hasher().fingerprint(to_bytes("data"));
+  t.add_fingerprint_stub("stub", fp, 4);
+  EXPECT_EQ(t.lookup("l")->link_target(), "target/path");
+  EXPECT_TRUE(t.lookup("gone")->is_whiteout());
+  EXPECT_EQ(t.lookup("stub")->fingerprint(), fp);
+  EXPECT_EQ(t.lookup("stub")->stub_size(), 4u);
+}
+
+TEST(FileTree, RemoveSubtree) {
+  FileTree t;
+  t.add_file("a/b/c", to_bytes("1"));
+  t.add_file("a/b/d", to_bytes("2"));
+  EXPECT_TRUE(t.remove("a/b"));
+  EXPECT_EQ(t.lookup("a/b"), nullptr);
+  EXPECT_EQ(t.lookup("a/b/c"), nullptr);
+  EXPECT_FALSE(t.remove("a/b"));
+}
+
+TEST(FileTree, WalkVisitsEverythingInOrder) {
+  FileTree t = gear::testing::sample_tree();
+  std::vector<std::string> paths;
+  t.walk([&paths](const std::string& p, const FileNode&) { paths.push_back(p); });
+  // Pre-order, name-sorted within a directory.
+  ASSERT_FALSE(paths.empty());
+  EXPECT_EQ(paths.front(), "etc");
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    EXPECT_NE(paths[i], paths[i - 1]);
+  }
+  EXPECT_TRUE(t.lookup(paths.back()) != nullptr);
+}
+
+TEST(FileTree, StatsCounts) {
+  FileTree t = gear::testing::sample_tree();
+  TreeStats s = t.stats();
+  EXPECT_EQ(s.regular_files, 4u);
+  EXPECT_EQ(s.symlinks, 1u);
+  EXPECT_GE(s.directories, 4u);
+  EXPECT_EQ(s.total_file_bytes, 10u + 22u + 2000u + 7u);
+}
+
+TEST(FileTree, CopyIsDeep) {
+  FileTree a = gear::testing::sample_tree();
+  FileTree b = a;
+  b.lookup("etc/hostname")->set_content(to_bytes("changed"));
+  EXPECT_EQ(to_string(a.lookup("etc/hostname")->content()), "gear-test\n");
+  EXPECT_FALSE(a.equals(b));
+}
+
+TEST(FileTree, EqualsDetectsMetadataDifference) {
+  FileTree a, b;
+  Metadata m1{0644, 0, 0, 100};
+  Metadata m2{0755, 0, 0, 100};
+  a.add_file("f", to_bytes("x"), m1);
+  b.add_file("f", to_bytes("x"), m2);
+  EXPECT_FALSE(a.equals(b));
+}
+
+TEST(FileNode, TypeGuards) {
+  FileNode dir(NodeType::kDirectory);
+  EXPECT_THROW(dir.set_content(to_bytes("x")), Error);
+  EXPECT_THROW(dir.set_link_target("t"), Error);
+  FileNode file(NodeType::kRegular);
+  EXPECT_THROW(file.add_child("c", std::make_unique<FileNode>(NodeType::kRegular)),
+               Error);
+}
+
+// ------------------------------------------------------------ diff/apply
+
+TEST(TreeDiff, EmptyDiffForIdenticalTrees) {
+  FileTree a = gear::testing::sample_tree();
+  FileTree layer = diff_trees(a, a);
+  EXPECT_TRUE(layer.root().children().empty());
+}
+
+TEST(TreeDiff, AddedFileAppearsInLayer) {
+  FileTree a = gear::testing::sample_tree();
+  FileTree b = a;
+  b.add_file("etc/new.conf", to_bytes("n"));
+  FileTree layer = diff_trees(a, b);
+  ASSERT_NE(layer.lookup("etc/new.conf"), nullptr);
+  EXPECT_EQ(layer.lookup("etc/hostname"), nullptr);  // unchanged not in layer
+}
+
+TEST(TreeDiff, DeletedFileBecomesWhiteout) {
+  FileTree a = gear::testing::sample_tree();
+  FileTree b = a;
+  b.remove("etc/hostname");
+  FileTree layer = diff_trees(a, b);
+  ASSERT_NE(layer.lookup("etc/hostname"), nullptr);
+  EXPECT_TRUE(layer.lookup("etc/hostname")->is_whiteout());
+}
+
+TEST(TreeDiff, ModifiedContentInLayer) {
+  FileTree a = gear::testing::sample_tree();
+  FileTree b = a;
+  b.lookup("etc/hostname")->set_content(to_bytes("other"));
+  FileTree layer = diff_trees(a, b);
+  ASSERT_NE(layer.lookup("etc/hostname"), nullptr);
+  EXPECT_EQ(to_string(layer.lookup("etc/hostname")->content()), "other");
+}
+
+TEST(TreeDiff, DirReplacedByFile) {
+  FileTree a, b;
+  a.add_file("d/inner", to_bytes("1"));
+  b.add_file("d", to_bytes("2"));
+  FileTree layer = diff_trees(a, b);
+  ASSERT_NE(layer.lookup("d"), nullptr);
+  EXPECT_TRUE(layer.lookup("d")->is_regular());
+  FileTree merged = apply_layer(a, layer);
+  EXPECT_TRUE(merged.equals(b));
+}
+
+TEST(TreeDiff, FileReplacedByDirIsOpaque) {
+  FileTree a, b;
+  a.add_file("d", to_bytes("1"));
+  b.add_file("d/inner", to_bytes("2"));
+  FileTree layer = diff_trees(a, b);
+  ASSERT_NE(layer.lookup("d"), nullptr);
+  EXPECT_TRUE(layer.lookup("d")->is_directory());
+  EXPECT_TRUE(layer.lookup("d")->opaque());
+  EXPECT_TRUE(apply_layer(a, layer).equals(b));
+}
+
+TEST(TreeDiff, SymlinkTargetChange) {
+  FileTree a, b;
+  a.add_symlink("l", "old");
+  b.add_symlink("l", "new");
+  FileTree layer = diff_trees(a, b);
+  EXPECT_EQ(layer.lookup("l")->link_target(), "new");
+  EXPECT_TRUE(apply_layer(a, layer).equals(b));
+}
+
+TEST(TreeDiff, RejectsWhiteoutInputs) {
+  FileTree bad;
+  bad.add_whiteout("w");
+  FileTree good;
+  EXPECT_THROW(diff_trees(bad, good), Error);
+  EXPECT_THROW(diff_trees(good, bad), Error);
+}
+
+TEST(TreeDiff, ApplyWhiteoutRemovesSubtree) {
+  FileTree base;
+  base.add_file("d/x", to_bytes("1"));
+  base.add_file("d/y", to_bytes("2"));
+  FileTree layer;
+  layer.add_whiteout("d");
+  FileTree merged = apply_layer(base, layer);
+  EXPECT_EQ(merged.lookup("d"), nullptr);
+}
+
+TEST(TreeDiff, OpaqueDirHidesLowerContents) {
+  FileTree base;
+  base.add_file("d/old", to_bytes("1"));
+  FileTree layer;
+  FileNode& d = layer.add_directory("d");
+  d.set_opaque(true);
+  layer.add_file("d/new", to_bytes("2"));
+  FileTree merged = apply_layer(base, layer);
+  EXPECT_EQ(merged.lookup("d/old"), nullptr);
+  ASSERT_NE(merged.lookup("d/new"), nullptr);
+  EXPECT_FALSE(merged.lookup("d")->opaque());  // merged trees carry no markers
+}
+
+TEST(TreeDiff, FlattenLayersComposes) {
+  FileTree s0 = gear::testing::random_tree(100, 30);
+  FileTree s1 = gear::testing::mutate_tree(s0, 101, 10);
+  FileTree s2 = gear::testing::mutate_tree(s1, 102, 10);
+  std::vector<FileTree> layers;
+  layers.push_back(diff_trees(FileTree{}, s0));
+  layers.push_back(diff_trees(s0, s1));
+  layers.push_back(diff_trees(s1, s2));
+  EXPECT_TRUE(flatten_layers(layers).equals(s2));
+}
+
+// Property: apply(base, diff(base, target)) == target, across random trees.
+class DiffApplyProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DiffApplyProperty, RoundTrip) {
+  std::uint64_t seed = GetParam();
+  FileTree base = gear::testing::random_tree(seed, 40);
+  FileTree target = gear::testing::mutate_tree(base, seed + 1, 25);
+  FileTree layer = diff_trees(base, target);
+  FileTree merged = apply_layer(base, layer);
+  EXPECT_TRUE(merged.equals(target));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DiffApplyProperty,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+// -------------------------------------------------------- serialization
+
+TEST(TreeSerialize, RoundTripSample) {
+  FileTree t = gear::testing::sample_tree();
+  Bytes data = serialize_tree(t);
+  EXPECT_TRUE(deserialize_tree(data).equals(t));
+}
+
+TEST(TreeSerialize, RoundTripWithAllNodeTypes) {
+  FileTree t;
+  t.add_file("f", to_bytes("content"), Metadata{0755, 3, 4, 999});
+  t.add_symlink("s", "f");
+  t.add_whiteout("w");
+  FileNode& d = t.add_directory("od");
+  d.set_opaque(true);
+  t.add_fingerprint_stub("fp", default_hasher().fingerprint(to_bytes("z")), 1);
+  Bytes data = serialize_tree(t);
+  EXPECT_TRUE(deserialize_tree(data).equals(t));
+}
+
+TEST(TreeSerialize, DeterministicEncoding) {
+  FileTree a = gear::testing::random_tree(7, 25);
+  FileTree b = gear::testing::random_tree(7, 25);
+  EXPECT_EQ(serialize_tree(a), serialize_tree(b));
+}
+
+TEST(TreeSerialize, BadMagicThrows) {
+  Bytes data = serialize_tree(gear::testing::sample_tree());
+  data[0] = 'X';
+  EXPECT_THROW(deserialize_tree(data), Error);
+}
+
+TEST(TreeSerialize, TruncationThrows) {
+  Bytes data = serialize_tree(gear::testing::sample_tree());
+  for (std::size_t cut : {4ul, 10ul, data.size() / 2, data.size() - 1}) {
+    Bytes t(data.begin(), data.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_THROW(deserialize_tree(t), Error) << "cut=" << cut;
+  }
+}
+
+TEST(TreeSerialize, TrailingBytesThrow) {
+  Bytes data = serialize_tree(gear::testing::sample_tree());
+  data.push_back(0);
+  EXPECT_THROW(deserialize_tree(data), Error);
+}
+
+TEST(TreeSerialize, BadNodeTypeThrows) {
+  FileTree t;
+  t.add_file("f", to_bytes("x"));
+  Bytes data = serialize_tree(t);
+  // Find the child node type byte (after magic+root header+count+name).
+  // Corrupt every byte position and require either equality-failure or throw;
+  // never a crash or silent wrong node kinds.
+  int threw = 0;
+  for (std::size_t i = 4; i < data.size(); ++i) {
+    Bytes corrupted = data;
+    corrupted[i] = 0xee;
+    try {
+      FileTree parsed = deserialize_tree(corrupted);
+      (void)parsed;
+    } catch (const Error&) {
+      ++threw;
+    }
+  }
+  EXPECT_GT(threw, 0);
+}
+
+class SerializeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SerializeProperty, RoundTripRandomTrees) {
+  FileTree t = gear::testing::random_tree(GetParam(), 50);
+  EXPECT_TRUE(deserialize_tree(serialize_tree(t)).equals(t));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerializeProperty,
+                         ::testing::Range<std::uint64_t>(50, 60));
+
+}  // namespace
+}  // namespace gear::vfs

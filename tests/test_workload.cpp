@@ -1,0 +1,323 @@
+// Tests for the corpus spec, generator, access sets, and service model.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <unordered_set>
+
+#include "util/error.hpp"
+#include "workload/access.hpp"
+#include "workload/generator.hpp"
+#include "workload/service.hpp"
+#include "workload/spec.hpp"
+
+namespace gear::workload {
+namespace {
+
+// ------------------------------------------------------------------ spec
+
+TEST(Spec, Table1Has50SeriesAnd971Images) {
+  std::vector<SeriesSpec> specs = table1_corpus();
+  EXPECT_EQ(specs.size(), 50u);
+  EXPECT_EQ(total_images(specs), 971);
+}
+
+TEST(Spec, AllCategoriesPopulated) {
+  std::vector<SeriesSpec> specs = table1_corpus();
+  std::map<Category, int> counts;
+  for (const auto& s : specs) counts[s.category]++;
+  EXPECT_EQ(counts[Category::kLinuxDistro], 6);
+  EXPECT_EQ(counts[Category::kLanguage], 6);
+  EXPECT_EQ(counts[Category::kDatabase], 11);
+  EXPECT_EQ(counts[Category::kWebComponent], 11);
+  EXPECT_EQ(counts[Category::kApplicationPlatform], 8);
+  EXPECT_EQ(counts[Category::kOthers], 8);
+}
+
+TEST(Spec, ReducedVersionSeriesMatchPaper) {
+  std::vector<SeriesSpec> specs = table1_corpus();
+  std::map<std::string, int> versions;
+  for (const auto& s : specs) versions[s.name] = s.versions;
+  EXPECT_LT(versions["hello-world"], 20);
+  EXPECT_LT(versions["centos"], 20);
+  EXPECT_LT(versions["eclipse-mosquitto"], 20);
+  EXPECT_EQ(versions["nginx"], 20);
+}
+
+TEST(Spec, UniqueNames) {
+  std::set<std::string> names;
+  for (const auto& s : table1_corpus()) {
+    EXPECT_TRUE(names.insert(s.name).second) << s.name;
+  }
+}
+
+TEST(Spec, AccessFractionsWithinPaperRange) {
+  // §II-D: remote formats download about 6.4%–33.3% on demand.
+  for (const auto& s : table1_corpus()) {
+    EXPECT_GE(s.access_fraction, 0.05) << s.name;
+    EXPECT_LE(s.access_fraction, 0.34) << s.name;
+  }
+}
+
+TEST(Spec, SmallCorpusTruncates) {
+  std::vector<SeriesSpec> specs = small_corpus(2, 3);
+  EXPECT_EQ(specs.size(), 12u);
+  for (const auto& s : specs) EXPECT_LE(s.versions, 3);
+}
+
+// ------------------------------------------------------------- generator
+
+struct GeneratorFixture : ::testing::Test {
+  CorpusGenerator gen{42, 0.0005};
+  SeriesSpec nginx_spec;
+  SeriesSpec debian_spec;
+
+  void SetUp() override {
+    for (const auto& s : table1_corpus()) {
+      if (s.name == "nginx") nginx_spec = s;
+      if (s.name == "debian") debian_spec = s;
+    }
+    ASSERT_EQ(nginx_spec.name, "nginx");
+  }
+};
+
+TEST_F(GeneratorFixture, DeterministicGeneration) {
+  docker::Image a = gen.generate_image(nginx_spec, 3);
+  docker::Image b = CorpusGenerator(42, 0.0005).generate_image(nginx_spec, 3);
+  ASSERT_EQ(a.layers.size(), b.layers.size());
+  for (std::size_t i = 0; i < a.layers.size(); ++i) {
+    EXPECT_EQ(a.layers[i].digest(), b.layers[i].digest());
+  }
+}
+
+TEST_F(GeneratorFixture, DifferentSeedDifferentContent) {
+  docker::Image a = gen.generate_image(nginx_spec, 3);
+  docker::Image b = CorpusGenerator(43, 0.0005).generate_image(nginx_spec, 3);
+  EXPECT_NE(a.layers.back().digest(), b.layers.back().digest());
+}
+
+TEST_F(GeneratorFixture, ImageSizeTracksSpec) {
+  docker::Image img = gen.generate_image(nginx_spec, 0);
+  auto expected = static_cast<double>(nginx_spec.image_bytes) * 0.0005;
+  auto actual = static_cast<double>(img.flatten().stats().total_file_bytes);
+  EXPECT_GT(actual, expected * 0.6);
+  EXPECT_LT(actual, expected * 1.4);
+}
+
+TEST_F(GeneratorFixture, ThreeLayerStructure) {
+  docker::Image img = gen.generate_image(nginx_spec, 0);
+  EXPECT_EQ(img.layers.size(), 3u);  // base, env, app
+}
+
+TEST_F(GeneratorFixture, ConsecutiveVersionsShareBaseLayers) {
+  docker::Image v3 = gen.generate_image(nginx_spec, 3);
+  docker::Image v4 = gen.generate_image(nginx_spec, 4);
+  // Same base epoch and env epoch -> identical first two layer digests.
+  EXPECT_EQ(v3.layers[0].digest(), v4.layers[0].digest());
+  EXPECT_EQ(v3.layers[1].digest(), v4.layers[1].digest());
+  // App layer churns.
+  EXPECT_NE(v3.layers[2].digest(), v4.layers[2].digest());
+}
+
+TEST_F(GeneratorFixture, AppImagesShareFilesAcrossVersions) {
+  docker::Image v3 = gen.generate_image(nginx_spec, 3);
+  docker::Image v4 = gen.generate_image(nginx_spec, 4);
+  std::unordered_set<Fingerprint, FingerprintHash> v3_files;
+  v3.flatten().walk([&](const std::string&, const vfs::FileNode& n) {
+    if (n.is_regular()) {
+      v3_files.insert(default_hasher().fingerprint(n.content()));
+    }
+  });
+  int shared = 0, total = 0;
+  v4.flatten().walk([&](const std::string&, const vfs::FileNode& n) {
+    if (!n.is_regular()) return;
+    ++total;
+    shared += v3_files.count(default_hasher().fingerprint(n.content())) != 0;
+  });
+  // Application images keep the majority of files across adjacent versions.
+  EXPECT_GT(static_cast<double>(shared) / total, 0.6);
+}
+
+TEST_F(GeneratorFixture, DistroVersionsChurnHeavily) {
+  docker::Image v3 = gen.generate_image(debian_spec, 3);
+  docker::Image v4 = gen.generate_image(debian_spec, 4);
+  std::unordered_set<Fingerprint, FingerprintHash> v3_files;
+  v3.flatten().walk([&](const std::string&, const vfs::FileNode& n) {
+    if (n.is_regular()) {
+      v3_files.insert(default_hasher().fingerprint(n.content()));
+    }
+  });
+  int shared = 0, total = 0;
+  v4.flatten().walk([&](const std::string&, const vfs::FileNode& n) {
+    if (!n.is_regular()) return;
+    ++total;
+    shared += v3_files.count(default_hasher().fingerprint(n.content())) != 0;
+  });
+  // Base images change most content between versions (paper Fig. 7a).
+  EXPECT_LT(static_cast<double>(shared) / total, 0.75);
+}
+
+TEST_F(GeneratorFixture, CrossSeriesSharingOnSameDistro) {
+  // nginx and httpd are both debian-based: their base files must overlap.
+  SeriesSpec httpd_spec;
+  for (const auto& s : table1_corpus()) {
+    if (s.name == "httpd") httpd_spec = s;
+  }
+  docker::Image nginx = gen.generate_image(nginx_spec, 0);
+  docker::Image httpd = gen.generate_image(httpd_spec, 0);
+
+  std::unordered_set<Fingerprint, FingerprintHash> nginx_files;
+  nginx.flatten().walk([&](const std::string&, const vfs::FileNode& n) {
+    if (n.is_regular()) {
+      nginx_files.insert(default_hasher().fingerprint(n.content()));
+    }
+  });
+  int shared = 0;
+  httpd.flatten().walk([&](const std::string&, const vfs::FileNode& n) {
+    if (n.is_regular() &&
+        nginx_files.count(default_hasher().fingerprint(n.content())) != 0) {
+      ++shared;
+    }
+  });
+  // Both take their base from the shared debian pool; at test scale each
+  // takes a handful of pool files, all of which must match byte-for-byte.
+  EXPECT_GT(shared, 3);
+}
+
+TEST_F(GeneratorFixture, VersionOutOfRangeThrows) {
+  EXPECT_THROW(gen.generate_image(nginx_spec, -1), Error);
+  EXPECT_THROW(gen.generate_image(nginx_spec, nginx_spec.versions), Error);
+}
+
+TEST_F(GeneratorFixture, BadScaleRejected) {
+  EXPECT_THROW(CorpusGenerator(1, 0.0), Error);
+  EXPECT_THROW(CorpusGenerator(1, 1.5), Error);
+}
+
+TEST_F(GeneratorFixture, ConfigCarriesSeriesIdentity) {
+  docker::Image img = gen.generate_image(nginx_spec, 2);
+  EXPECT_EQ(img.manifest.reference(), "nginx:v2");
+  EXPECT_EQ(img.manifest.config.labels.at("series"), "nginx");
+  EXPECT_FALSE(img.manifest.config.entrypoint.empty());
+}
+
+// ----------------------------------------------------------- access sets
+
+TEST_F(GeneratorFixture, AccessSetRespectsBudget) {
+  docker::Image img = gen.generate_image(nginx_spec, 0);
+  AccessSet set = derive_access_set(img.flatten(),
+                                    gen.access_profile(nginx_spec, 0));
+  auto total = img.flatten().stats().total_file_bytes;
+  EXPECT_GT(set.total_bytes(), 0u);
+  // Within a loose band of the requested fraction.
+  EXPECT_LT(static_cast<double>(set.total_bytes()),
+            static_cast<double>(total) * (nginx_spec.access_fraction + 0.15));
+}
+
+TEST_F(GeneratorFixture, AccessSetDeterministic) {
+  docker::Image img = gen.generate_image(nginx_spec, 0);
+  AccessSet a = derive_access_set(img.flatten(),
+                                  gen.access_profile(nginx_spec, 0));
+  AccessSet b = derive_access_set(img.flatten(),
+                                  gen.access_profile(nginx_spec, 0));
+  ASSERT_EQ(a.files.size(), b.files.size());
+  for (std::size_t i = 0; i < a.files.size(); ++i) {
+    EXPECT_EQ(a.files[i].path, b.files[i].path);
+  }
+}
+
+TEST_F(GeneratorFixture, AccessSetsOverlapAcrossVersions) {
+  AccessSet a = gen.access_set(nginx_spec, 3);
+  AccessSet b = gen.access_set(nginx_spec, 4);
+  std::uint64_t shared = shared_bytes(a, b);
+  // The same task on adjacent versions touches largely common files.
+  EXPECT_GT(static_cast<double>(shared),
+            0.25 * static_cast<double>(b.total_bytes()));
+}
+
+TEST(AccessRedundancy, EmptyAndSingle) {
+  EXPECT_DOUBLE_EQ(access_redundancy({}), 0.0);
+  AccessSet one;
+  one.files.push_back({"p", 10, default_hasher().fingerprint(to_bytes("x"))});
+  EXPECT_DOUBLE_EQ(access_redundancy({one}), 0.0);
+}
+
+TEST(AccessRedundancy, FullOverlapIsOne) {
+  AccessSet a, b;
+  FileAccess f{"p", 10, default_hasher().fingerprint(to_bytes("x"))};
+  a.files.push_back(f);
+  b.files.push_back(f);
+  EXPECT_DOUBLE_EQ(access_redundancy({a, b}), 1.0);
+}
+
+TEST(AccessRedundancy, PartialOverlap) {
+  AccessSet a, b;
+  FileAccess shared{"s", 60, default_hasher().fingerprint(to_bytes("s"))};
+  FileAccess only_a{"a", 20, default_hasher().fingerprint(to_bytes("a"))};
+  FileAccess only_b{"b", 20, default_hasher().fingerprint(to_bytes("b"))};
+  a.files = {shared, only_a};
+  b.files = {shared, only_b};
+  EXPECT_DOUBLE_EQ(access_redundancy({a, b}), 0.6);
+}
+
+TEST(SharedBytes, CountsIntersectionOnce) {
+  AccessSet prev, next;
+  FileAccess f{"p", 10, default_hasher().fingerprint(to_bytes("x"))};
+  prev.files = {f};
+  next.files = {f, f};  // duplicate entries counted once
+  EXPECT_EQ(shared_bytes(prev, next), 10u);
+}
+
+// -------------------------------------------------------------- service
+
+TEST(Service, Fig11ServicesDefined) {
+  auto services = fig11_services();
+  ASSERT_EQ(services.size(), 4u);
+  EXPECT_EQ(services[0].name, "redis");
+  // memtier 1:10 SET:GET ratio encoded as write_ratio 1/11.
+  EXPECT_NEAR(services[0].write_ratio, 1.0 / 11.0, 1e-9);
+  EXPECT_DOUBLE_EQ(services[2].write_ratio, 0.0);  // ab is read-only
+}
+
+TEST(Service, RunChargesClockAndCountsRequests) {
+  sim::SimClock clock;
+  ServiceSpec spec{"test", 1000, 4, 1e-5, 0.1, 0.0};
+  std::vector<std::string> hot = {"a", "b", "c", "d"};
+  int reads = 0;
+  ServiceRun run = run_service(
+      clock, spec, hot,
+      [&reads](const std::string&) {
+        ++reads;
+        return to_bytes("data");
+      },
+      nullptr, 1e-6);
+  EXPECT_EQ(run.requests, 1000u);
+  EXPECT_GT(run.seconds, 1000 * 1e-5);
+  EXPECT_GE(reads, 4);  // warm-up touches all hot files
+  EXPECT_GT(run.requests_per_second(), 0.0);
+}
+
+TEST(Service, WriteRatioInvokesWrites) {
+  sim::SimClock clock;
+  ServiceSpec spec{"kv", 2000, 2, 1e-6, 0.0, 0.5};
+  int writes = 0;
+  run_service(
+      clock, spec, {"x", "y"},
+      [](const std::string&) { return to_bytes("d"); },
+      [&writes](const std::string&, Bytes) { ++writes; }, 1e-6);
+  EXPECT_GT(writes, 800);
+  EXPECT_LT(writes, 1200);
+}
+
+TEST(Service, InvalidArgumentsThrow) {
+  sim::SimClock clock;
+  ServiceSpec spec;
+  EXPECT_THROW(run_service(clock, spec, {},
+                           [](const std::string&) { return Bytes{}; },
+                           nullptr, 0),
+               Error);
+  EXPECT_THROW(run_service(clock, spec, {"p"}, nullptr, nullptr, 0), Error);
+}
+
+}  // namespace
+}  // namespace gear::workload

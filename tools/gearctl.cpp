@@ -1,0 +1,405 @@
+// gearctl — command-line front end for the Gear pipeline on real
+// directories and on-disk registries.
+//
+//   gearctl <store-dir> init
+//   gearctl <store-dir> import <directory> <name:tag> [chunk-threshold-bytes]
+//   gearctl <store-dir> images
+//   gearctl <store-dir> inspect <name:tag>
+//   gearctl <store-dir> cat <name:tag> <path>
+//   gearctl <store-dir> export <name:tag> <directory>
+//   gearctl <store-dir> rm <name:tag>
+//   gearctl <store-dir> gc
+//   gearctl <store-dir> stats
+//
+// The store directory persists both registries (gear/persistence.hpp
+// layout). `import` turns a real directory into a Gear image; `export`
+// reconstructs an image's root filesystem back onto disk.
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "docker/layer.hpp"
+#include "gear/converter.hpp"
+#include "gear/client.hpp"
+#include "gear/gc.hpp"
+#include "gear/local_runtime.hpp"
+#include "gear/fs_store.hpp"
+#include "gear/persistence.hpp"
+#include "util/format.hpp"
+#include "vfs/fs_io.hpp"
+
+namespace fs = std::filesystem;
+using namespace gear;
+
+namespace {
+
+struct Store {
+  fs::path root;
+  docker::DockerRegistry docker;
+  GearRegistry files;
+
+  explicit Store(fs::path r, bool must_exist) : root(std::move(r)) {
+    if (fs::is_directory(root / "docker")) {
+      load_registries(root, &docker, &files);
+    } else if (must_exist) {
+      throw Error(ErrorCode::kNotFound,
+                  "no gear store at " + root.string() + " (run init first)");
+    }
+  }
+
+  void save() { save_registries(docker, files, root); }
+};
+
+GearIndex load_index_of(Store& store, const std::string& ref) {
+  docker::Manifest manifest = store.docker.get_manifest(ref).value();
+  if (manifest.config.labels.count(kGearIndexLabel) == 0 ||
+      manifest.layers.size() != 1) {
+    throw Error(ErrorCode::kInvalidArgument, ref + " is not a Gear image");
+  }
+  docker::Layer layer = docker::Layer::from_blob(
+      store.docker.get_blob(manifest.layers[0].digest).value(),
+      manifest.layers[0].digest);
+  return GearIndex::from_wire_tree(layer.to_tree());
+}
+
+Bytes fetch_file(Store& store, const Fingerprint& fp) {
+  return store.files.download(fp).value();
+}
+
+int cmd_init(Store& store) {
+  store.save();
+  std::printf("initialized gear store at %s\n", store.root.string().c_str());
+  return 0;
+}
+
+int cmd_import(Store& store, const std::string& dir, const std::string& ref,
+               std::uint64_t chunk_threshold) {
+  std::size_t colon = ref.find(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == ref.size()) {
+    std::fprintf(stderr, "reference must be name:tag\n");
+    return 2;
+  }
+
+  vfs::FileTree root = vfs::load_tree(dir);
+  vfs::TreeStats stats = root.stats();
+  std::printf("imported %s: %llu files, %llu dirs, %llu symlinks, %s\n",
+              dir.c_str(),
+              static_cast<unsigned long long>(stats.regular_files),
+              static_cast<unsigned long long>(stats.directories),
+              static_cast<unsigned long long>(stats.symlinks),
+              format_size(stats.total_file_bytes).c_str());
+
+  docker::ImageBuilder builder;
+  builder.add_snapshot(root);
+  docker::ImageConfig config;
+  config.labels["gearctl.import.source"] = dir;
+  docker::Image image = builder.build(ref.substr(0, colon),
+                                      ref.substr(colon + 1), config);
+
+  // Convert with collision detection against what the store already holds.
+  GearConverter converter(default_hasher(),
+                          [&store](const Fingerprint& fp) {
+                            StatusOr<Bytes> got = store.files.download(fp);
+                            return got.ok()
+                                       ? std::optional<Bytes>(std::move(got).value())
+                                       : std::nullopt;
+                          });
+  ConversionResult conv = converter.convert(image);
+  ChunkPolicy policy;
+  if (chunk_threshold > 0) {
+    policy.threshold_bytes = chunk_threshold;
+  }
+  std::size_t uploaded =
+      push_gear_image(conv.image, store.docker, store.files, policy);
+  store.save();
+
+  std::printf("converted: %zu unique gear files (%zu uploaded, rest "
+              "deduplicated), index layer %s\n",
+              conv.stats.files_unique, uploaded,
+              format_size(conv.stats.index_wire_bytes).c_str());
+  if (conv.stats.collisions > 0) {
+    std::printf("note: %zu fingerprint collisions detected and uniquified\n",
+                conv.stats.collisions);
+  }
+  std::printf("pushed %s\n", ref.c_str());
+  return 0;
+}
+
+int cmd_images(Store& store) {
+  for (const std::string& ref : store.docker.list_manifests()) {
+    docker::Manifest m = store.docker.get_manifest(ref).value();
+    bool is_gear = m.config.labels.count(kGearIndexLabel) != 0;
+    std::printf("%-32s %8s  %s\n", ref.c_str(),
+                format_size(m.total_layer_bytes()).c_str(),
+                is_gear ? "gear" : "classic");
+  }
+  return 0;
+}
+
+int cmd_inspect(Store& store, const std::string& ref) {
+  GearIndex index = load_index_of(store, ref);
+  vfs::TreeStats stats = index.tree().stats();
+  std::printf("%s\n", ref.c_str());
+  std::printf("  files:       %llu (%zu distinct fingerprints)\n",
+              static_cast<unsigned long long>(stats.fingerprint_stubs),
+              index.distinct_fingerprints().size());
+  std::printf("  directories: %llu, symlinks: %llu\n",
+              static_cast<unsigned long long>(stats.directories),
+              static_cast<unsigned long long>(stats.symlinks));
+  std::printf("  logical size: %s\n",
+              format_size(index.referenced_bytes()).c_str());
+  std::size_t chunked = 0;
+  for (const Fingerprint& fp : index.distinct_fingerprints()) {
+    chunked += store.files.is_chunked(fp) ? 1 : 0;
+  }
+  std::printf("  chunked files: %zu\n", chunked);
+  return 0;
+}
+
+int cmd_cat(Store& store, const std::string& ref, const std::string& path) {
+  GearIndex index = load_index_of(store, ref);
+  const vfs::FileNode* node = index.tree().lookup(path);
+  if (node == nullptr) {
+    std::fprintf(stderr, "no such file: %s\n", path.c_str());
+    return 1;
+  }
+  if (node->is_symlink()) {
+    std::printf("%s -> %s\n", path.c_str(), node->link_target().c_str());
+    return 0;
+  }
+  if (!node->is_fingerprint()) {
+    std::fprintf(stderr, "not a regular file: %s\n", path.c_str());
+    return 1;
+  }
+  Bytes content = fetch_file(store, node->fingerprint());
+  std::fwrite(content.data(), 1, content.size(), stdout);
+  return 0;
+}
+
+int cmd_export(Store& store, const std::string& ref, const std::string& dir) {
+  GearIndex index = load_index_of(store, ref);
+  // Materialize: stubs -> contents.
+  vfs::FileTree out;
+  out.root().metadata() = index.tree().root().metadata();
+  index.tree().walk([&](const std::string& path, const vfs::FileNode& node) {
+    switch (node.type()) {
+      case vfs::NodeType::kDirectory:
+        out.add_directory(path, node.metadata());
+        break;
+      case vfs::NodeType::kSymlink:
+        out.add_symlink(path, node.link_target(), node.metadata());
+        break;
+      case vfs::NodeType::kFingerprint:
+        out.add_file(path, fetch_file(store, node.fingerprint()),
+                     node.metadata());
+        break;
+      default:
+        break;
+    }
+  });
+  vfs::write_tree(out, dir);
+  std::printf("exported %s to %s (%s)\n", ref.c_str(), dir.c_str(),
+              format_size(out.stats().total_file_bytes).c_str());
+  return 0;
+}
+
+int cmd_run(Store& store, const std::string& ref,
+            const std::vector<std::string>& paths) {
+  // Launch = the client-side deployment path on the real filesystem:
+  // install the index (level 2), create a container (level 3), then
+  // materialize each requested file — shared cache first, registry on a
+  // miss — and hard-link it into the image's files/ directory.
+  FsStore local(store.root / "local");
+  GearIndex index = load_index_of(store, ref);
+  if (!local.has_index(ref)) {
+    local.install_index(ref, index);
+  }
+  std::string container = local.create_container(ref);
+  std::printf("launched %s from %s\n", container.c_str(), ref.c_str());
+
+  for (const std::string& path : paths) {
+    const vfs::FileNode* node = index.tree().lookup(path);
+    if (node == nullptr) {
+      std::fprintf(stderr, "  %s: not in image\n", path.c_str());
+      continue;
+    }
+    if (node->is_symlink()) {
+      std::printf("  %s -> %s\n", path.c_str(), node->link_target().c_str());
+      continue;
+    }
+    if (!node->is_fingerprint()) {
+      std::printf("  %s: directory\n", path.c_str());
+      continue;
+    }
+    Fingerprint fp = node->fingerprint();
+    const char* source = "cache";
+    if (!local.cache_contains(fp)) {
+      local.cache_put(fp, store.files.download(fp).value());
+      source = "registry";
+    }
+    local.link_file(ref, path, fp);
+    Bytes content = local.read_materialized(ref, path).value();
+    std::printf("  %s: %s (%s, nlink=%llu, %s)\n", path.c_str(),
+                format_size(content.size()).c_str(), source,
+                static_cast<unsigned long long>(local.link_count(fp)),
+                fp.hex().substr(0, 12).c_str());
+  }
+  std::printf("local cache: %zu files, %s\n", local.cache_entries(),
+              format_size(local.cache_bytes()).c_str());
+  return 0;
+}
+
+int cmd_launch(Store& store, const std::string& ref) {
+  LocalRuntime runtime(store.docker, store.files, store.root / "local");
+  runtime.pull(ref);
+  std::string container = runtime.launch(ref);
+  store.save();  // the pull may have cached nothing, but keep state coherent
+  std::printf("%s\n", container.c_str());
+  return 0;
+}
+
+int cmd_exec_read(Store& store, const std::string& container,
+                  const std::string& path) {
+  LocalRuntime runtime(store.docker, store.files, store.root / "local");
+  StatusOr<Bytes> content = runtime.read(container, path);
+  if (!content.ok()) {
+    std::fprintf(stderr, "read failed: %s\n", path.c_str());
+    return 1;
+  }
+  std::fwrite(content->data(), 1, content->size(), stdout);
+  return 0;
+}
+
+int cmd_exec_write(Store& store, const std::string& container,
+                   const std::string& path, const std::string& text) {
+  LocalRuntime runtime(store.docker, store.files, store.root / "local");
+  runtime.write(container, path, to_bytes(text));
+  std::printf("wrote %zu bytes to %s:%s\n", text.size(), container.c_str(),
+              path.c_str());
+  return 0;
+}
+
+int cmd_commit(Store& store, const std::string& container,
+               const std::string& ref) {
+  std::size_t colon = ref.find(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "reference must be name:tag\n");
+    return 2;
+  }
+  LocalRuntime runtime(store.docker, store.files, store.root / "local");
+  std::string result = runtime.commit(container, ref.substr(0, colon),
+                                      ref.substr(colon + 1));
+  store.save();
+  std::printf("committed %s as %s\n", container.c_str(), result.c_str());
+  return 0;
+}
+
+int cmd_rm(Store& store, const std::string& ref) {
+  if (!store.docker.delete_manifest(ref)) {
+    std::fprintf(stderr, "no such image: %s\n", ref.c_str());
+    return 1;
+  }
+  store.save();
+  std::printf("removed %s (run gc to reclaim unreferenced files)\n",
+              ref.c_str());
+  return 0;
+}
+
+int cmd_gc(Store& store) {
+  GearRegistryGc gc(store.docker, store.files);
+  GcReport report = gc.collect();
+  store.save();
+  std::printf("gc: scanned %zu indexes, %zu live objects, swept %zu "
+              "(%s reclaimed)\n",
+              report.indexes_scanned, report.live_objects,
+              report.swept_objects,
+              format_size(report.bytes_reclaimed).c_str());
+  return 0;
+}
+
+int cmd_scrub(Store& store) {
+  ScrubReport report = scrub_registry(store.files);
+  std::printf("scrub: %zu objects checked, %zu verified, %zu unverifiable "
+              "(salted ids), %zu corrupt\n",
+              report.objects_checked, report.verified, report.unverifiable,
+              report.corrupt);
+  for (const Fingerprint& fp : report.corrupt_fingerprints) {
+    std::printf("  CORRUPT: %s\n", fp.hex().c_str());
+  }
+  return report.corrupt == 0 ? 0 : 1;
+}
+
+int cmd_stats(Store& store) {
+  std::printf("docker registry: %zu manifests, %zu blobs, %s\n",
+              store.docker.manifest_count(), store.docker.blob_count(),
+              format_size(store.docker.storage_bytes()).c_str());
+  std::printf("gear registry:   %zu objects, %s\n",
+              store.files.object_count(),
+              format_size(store.files.storage_bytes()).c_str());
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: gearctl <store-dir> <command> [args]\n"
+               "commands: init | import <dir> <name:tag> [chunk-threshold] | "
+               "images | inspect <ref> | cat <ref> <path> | "
+               "export <ref> <dir> | run <ref> <path...> | launch <ref> | "
+               "read <container> <path> | write <container> <path> <text> | "
+               "commit <container> <name:tag> | rm <ref> | gc | scrub | "
+               "stats\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  std::string store_dir = argv[1];
+  std::string cmd = argv[2];
+  std::vector<std::string> args(argv + 3, argv + argc);
+
+  try {
+    Store store(store_dir, /*must_exist=*/cmd != "init");
+    if (cmd == "init" && args.empty()) return cmd_init(store);
+    if (cmd == "import" && (args.size() == 2 || args.size() == 3)) {
+      std::uint64_t threshold =
+          args.size() == 3 ? std::strtoull(args[2].c_str(), nullptr, 10) : 0;
+      return cmd_import(store, args[0], args[1], threshold);
+    }
+    if (cmd == "images" && args.empty()) return cmd_images(store);
+    if (cmd == "inspect" && args.size() == 1) return cmd_inspect(store, args[0]);
+    if (cmd == "cat" && args.size() == 2) {
+      return cmd_cat(store, args[0], args[1]);
+    }
+    if (cmd == "export" && args.size() == 2) {
+      return cmd_export(store, args[0], args[1]);
+    }
+    if (cmd == "launch" && args.size() == 1) {
+      return cmd_launch(store, args[0]);
+    }
+    if (cmd == "read" && args.size() == 2) {
+      return cmd_exec_read(store, args[0], args[1]);
+    }
+    if (cmd == "write" && args.size() == 3) {
+      return cmd_exec_write(store, args[0], args[1], args[2]);
+    }
+    if (cmd == "commit" && args.size() == 2) {
+      return cmd_commit(store, args[0], args[1]);
+    }
+    if (cmd == "run" && args.size() >= 2) {
+      return cmd_run(store, args[0],
+                     std::vector<std::string>(args.begin() + 1, args.end()));
+    }
+    if (cmd == "rm" && args.size() == 1) return cmd_rm(store, args[0]);
+    if (cmd == "gc" && args.empty()) return cmd_gc(store);
+    if (cmd == "scrub" && args.empty()) return cmd_scrub(store);
+    if (cmd == "stats" && args.empty()) return cmd_stats(store);
+    return usage();
+  } catch (const Error& e) {
+    std::fprintf(stderr, "gearctl: %s\n", e.what());
+    return 1;
+  }
+}
