@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_shortrun.dir/bench_fig11_shortrun.cpp.o"
+  "CMakeFiles/bench_fig11_shortrun.dir/bench_fig11_shortrun.cpp.o.d"
+  "bench_fig11_shortrun"
+  "bench_fig11_shortrun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_shortrun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_deploytime.dir/bench_fig9_deploytime.cpp.o"
+  "CMakeFiles/bench_fig9_deploytime.dir/bench_fig9_deploytime.cpp.o.d"
+  "bench_fig9_deploytime"
+  "bench_fig9_deploytime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_deploytime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ai_model_serving.dir/ai_model_serving.cpp.o"
+  "CMakeFiles/ai_model_serving.dir/ai_model_serving.cpp.o.d"
+  "ai_model_serving"
+  "ai_model_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ai_model_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

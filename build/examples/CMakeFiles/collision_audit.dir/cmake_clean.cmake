@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collision_audit.dir/collision_audit.cpp.o"
+  "CMakeFiles/collision_audit.dir/collision_audit.cpp.o.d"
+  "collision_audit"
+  "collision_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collision_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/registry_dedupe.dir/registry_dedupe.cpp.o"
+  "CMakeFiles/registry_dedupe.dir/registry_dedupe.cpp.o.d"
+  "registry_dedupe"
+  "registry_dedupe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/registry_dedupe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

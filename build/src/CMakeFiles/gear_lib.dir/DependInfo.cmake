@@ -1,0 +1,70 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/codec.cpp" "src/CMakeFiles/gear_lib.dir/compress/codec.cpp.o" "gcc" "src/CMakeFiles/gear_lib.dir/compress/codec.cpp.o.d"
+  "/root/repo/src/compress/lzss.cpp" "src/CMakeFiles/gear_lib.dir/compress/lzss.cpp.o" "gcc" "src/CMakeFiles/gear_lib.dir/compress/lzss.cpp.o.d"
+  "/root/repo/src/dedup/analyzer.cpp" "src/CMakeFiles/gear_lib.dir/dedup/analyzer.cpp.o" "gcc" "src/CMakeFiles/gear_lib.dir/dedup/analyzer.cpp.o.d"
+  "/root/repo/src/docker/client.cpp" "src/CMakeFiles/gear_lib.dir/docker/client.cpp.o" "gcc" "src/CMakeFiles/gear_lib.dir/docker/client.cpp.o.d"
+  "/root/repo/src/docker/image.cpp" "src/CMakeFiles/gear_lib.dir/docker/image.cpp.o" "gcc" "src/CMakeFiles/gear_lib.dir/docker/image.cpp.o.d"
+  "/root/repo/src/docker/layer.cpp" "src/CMakeFiles/gear_lib.dir/docker/layer.cpp.o" "gcc" "src/CMakeFiles/gear_lib.dir/docker/layer.cpp.o.d"
+  "/root/repo/src/docker/manifest.cpp" "src/CMakeFiles/gear_lib.dir/docker/manifest.cpp.o" "gcc" "src/CMakeFiles/gear_lib.dir/docker/manifest.cpp.o.d"
+  "/root/repo/src/docker/overlay.cpp" "src/CMakeFiles/gear_lib.dir/docker/overlay.cpp.o" "gcc" "src/CMakeFiles/gear_lib.dir/docker/overlay.cpp.o.d"
+  "/root/repo/src/docker/registry.cpp" "src/CMakeFiles/gear_lib.dir/docker/registry.cpp.o" "gcc" "src/CMakeFiles/gear_lib.dir/docker/registry.cpp.o.d"
+  "/root/repo/src/gear/cache.cpp" "src/CMakeFiles/gear_lib.dir/gear/cache.cpp.o" "gcc" "src/CMakeFiles/gear_lib.dir/gear/cache.cpp.o.d"
+  "/root/repo/src/gear/chunking.cpp" "src/CMakeFiles/gear_lib.dir/gear/chunking.cpp.o" "gcc" "src/CMakeFiles/gear_lib.dir/gear/chunking.cpp.o.d"
+  "/root/repo/src/gear/client.cpp" "src/CMakeFiles/gear_lib.dir/gear/client.cpp.o" "gcc" "src/CMakeFiles/gear_lib.dir/gear/client.cpp.o.d"
+  "/root/repo/src/gear/committer.cpp" "src/CMakeFiles/gear_lib.dir/gear/committer.cpp.o" "gcc" "src/CMakeFiles/gear_lib.dir/gear/committer.cpp.o.d"
+  "/root/repo/src/gear/conversion_service.cpp" "src/CMakeFiles/gear_lib.dir/gear/conversion_service.cpp.o" "gcc" "src/CMakeFiles/gear_lib.dir/gear/conversion_service.cpp.o.d"
+  "/root/repo/src/gear/converter.cpp" "src/CMakeFiles/gear_lib.dir/gear/converter.cpp.o" "gcc" "src/CMakeFiles/gear_lib.dir/gear/converter.cpp.o.d"
+  "/root/repo/src/gear/fs_store.cpp" "src/CMakeFiles/gear_lib.dir/gear/fs_store.cpp.o" "gcc" "src/CMakeFiles/gear_lib.dir/gear/fs_store.cpp.o.d"
+  "/root/repo/src/gear/gc.cpp" "src/CMakeFiles/gear_lib.dir/gear/gc.cpp.o" "gcc" "src/CMakeFiles/gear_lib.dir/gear/gc.cpp.o.d"
+  "/root/repo/src/gear/index.cpp" "src/CMakeFiles/gear_lib.dir/gear/index.cpp.o" "gcc" "src/CMakeFiles/gear_lib.dir/gear/index.cpp.o.d"
+  "/root/repo/src/gear/local_runtime.cpp" "src/CMakeFiles/gear_lib.dir/gear/local_runtime.cpp.o" "gcc" "src/CMakeFiles/gear_lib.dir/gear/local_runtime.cpp.o.d"
+  "/root/repo/src/gear/persistence.cpp" "src/CMakeFiles/gear_lib.dir/gear/persistence.cpp.o" "gcc" "src/CMakeFiles/gear_lib.dir/gear/persistence.cpp.o.d"
+  "/root/repo/src/gear/registry.cpp" "src/CMakeFiles/gear_lib.dir/gear/registry.cpp.o" "gcc" "src/CMakeFiles/gear_lib.dir/gear/registry.cpp.o.d"
+  "/root/repo/src/gear/store.cpp" "src/CMakeFiles/gear_lib.dir/gear/store.cpp.o" "gcc" "src/CMakeFiles/gear_lib.dir/gear/store.cpp.o.d"
+  "/root/repo/src/gear/viewer.cpp" "src/CMakeFiles/gear_lib.dir/gear/viewer.cpp.o" "gcc" "src/CMakeFiles/gear_lib.dir/gear/viewer.cpp.o.d"
+  "/root/repo/src/net/remote_registry.cpp" "src/CMakeFiles/gear_lib.dir/net/remote_registry.cpp.o" "gcc" "src/CMakeFiles/gear_lib.dir/net/remote_registry.cpp.o.d"
+  "/root/repo/src/net/transport.cpp" "src/CMakeFiles/gear_lib.dir/net/transport.cpp.o" "gcc" "src/CMakeFiles/gear_lib.dir/net/transport.cpp.o.d"
+  "/root/repo/src/net/wire.cpp" "src/CMakeFiles/gear_lib.dir/net/wire.cpp.o" "gcc" "src/CMakeFiles/gear_lib.dir/net/wire.cpp.o.d"
+  "/root/repo/src/p2p/cluster.cpp" "src/CMakeFiles/gear_lib.dir/p2p/cluster.cpp.o" "gcc" "src/CMakeFiles/gear_lib.dir/p2p/cluster.cpp.o.d"
+  "/root/repo/src/sim/clock.cpp" "src/CMakeFiles/gear_lib.dir/sim/clock.cpp.o" "gcc" "src/CMakeFiles/gear_lib.dir/sim/clock.cpp.o.d"
+  "/root/repo/src/sim/disk.cpp" "src/CMakeFiles/gear_lib.dir/sim/disk.cpp.o" "gcc" "src/CMakeFiles/gear_lib.dir/sim/disk.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/CMakeFiles/gear_lib.dir/sim/network.cpp.o" "gcc" "src/CMakeFiles/gear_lib.dir/sim/network.cpp.o.d"
+  "/root/repo/src/slacker/block_device.cpp" "src/CMakeFiles/gear_lib.dir/slacker/block_device.cpp.o" "gcc" "src/CMakeFiles/gear_lib.dir/slacker/block_device.cpp.o.d"
+  "/root/repo/src/slacker/slacker.cpp" "src/CMakeFiles/gear_lib.dir/slacker/slacker.cpp.o" "gcc" "src/CMakeFiles/gear_lib.dir/slacker/slacker.cpp.o.d"
+  "/root/repo/src/tar/tar.cpp" "src/CMakeFiles/gear_lib.dir/tar/tar.cpp.o" "gcc" "src/CMakeFiles/gear_lib.dir/tar/tar.cpp.o.d"
+  "/root/repo/src/util/crc32.cpp" "src/CMakeFiles/gear_lib.dir/util/crc32.cpp.o" "gcc" "src/CMakeFiles/gear_lib.dir/util/crc32.cpp.o.d"
+  "/root/repo/src/util/file_io.cpp" "src/CMakeFiles/gear_lib.dir/util/file_io.cpp.o" "gcc" "src/CMakeFiles/gear_lib.dir/util/file_io.cpp.o.d"
+  "/root/repo/src/util/fingerprint.cpp" "src/CMakeFiles/gear_lib.dir/util/fingerprint.cpp.o" "gcc" "src/CMakeFiles/gear_lib.dir/util/fingerprint.cpp.o.d"
+  "/root/repo/src/util/format.cpp" "src/CMakeFiles/gear_lib.dir/util/format.cpp.o" "gcc" "src/CMakeFiles/gear_lib.dir/util/format.cpp.o.d"
+  "/root/repo/src/util/hex.cpp" "src/CMakeFiles/gear_lib.dir/util/hex.cpp.o" "gcc" "src/CMakeFiles/gear_lib.dir/util/hex.cpp.o.d"
+  "/root/repo/src/util/histogram.cpp" "src/CMakeFiles/gear_lib.dir/util/histogram.cpp.o" "gcc" "src/CMakeFiles/gear_lib.dir/util/histogram.cpp.o.d"
+  "/root/repo/src/util/json.cpp" "src/CMakeFiles/gear_lib.dir/util/json.cpp.o" "gcc" "src/CMakeFiles/gear_lib.dir/util/json.cpp.o.d"
+  "/root/repo/src/util/md5.cpp" "src/CMakeFiles/gear_lib.dir/util/md5.cpp.o" "gcc" "src/CMakeFiles/gear_lib.dir/util/md5.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/gear_lib.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/gear_lib.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/sha256.cpp" "src/CMakeFiles/gear_lib.dir/util/sha256.cpp.o" "gcc" "src/CMakeFiles/gear_lib.dir/util/sha256.cpp.o.d"
+  "/root/repo/src/vfs/file_tree.cpp" "src/CMakeFiles/gear_lib.dir/vfs/file_tree.cpp.o" "gcc" "src/CMakeFiles/gear_lib.dir/vfs/file_tree.cpp.o.d"
+  "/root/repo/src/vfs/fs_io.cpp" "src/CMakeFiles/gear_lib.dir/vfs/fs_io.cpp.o" "gcc" "src/CMakeFiles/gear_lib.dir/vfs/fs_io.cpp.o.d"
+  "/root/repo/src/vfs/tree_diff.cpp" "src/CMakeFiles/gear_lib.dir/vfs/tree_diff.cpp.o" "gcc" "src/CMakeFiles/gear_lib.dir/vfs/tree_diff.cpp.o.d"
+  "/root/repo/src/vfs/tree_serialize.cpp" "src/CMakeFiles/gear_lib.dir/vfs/tree_serialize.cpp.o" "gcc" "src/CMakeFiles/gear_lib.dir/vfs/tree_serialize.cpp.o.d"
+  "/root/repo/src/workload/access.cpp" "src/CMakeFiles/gear_lib.dir/workload/access.cpp.o" "gcc" "src/CMakeFiles/gear_lib.dir/workload/access.cpp.o.d"
+  "/root/repo/src/workload/generator.cpp" "src/CMakeFiles/gear_lib.dir/workload/generator.cpp.o" "gcc" "src/CMakeFiles/gear_lib.dir/workload/generator.cpp.o.d"
+  "/root/repo/src/workload/service.cpp" "src/CMakeFiles/gear_lib.dir/workload/service.cpp.o" "gcc" "src/CMakeFiles/gear_lib.dir/workload/service.cpp.o.d"
+  "/root/repo/src/workload/spec.cpp" "src/CMakeFiles/gear_lib.dir/workload/spec.cpp.o" "gcc" "src/CMakeFiles/gear_lib.dir/workload/spec.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/CMakeFiles/gear_lib.dir/workload/trace.cpp.o" "gcc" "src/CMakeFiles/gear_lib.dir/workload/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cache.cpp" "tests/CMakeFiles/gear_tests.dir/test_cache.cpp.o" "gcc" "tests/CMakeFiles/gear_tests.dir/test_cache.cpp.o.d"
+  "/root/repo/tests/test_chunking.cpp" "tests/CMakeFiles/gear_tests.dir/test_chunking.cpp.o" "gcc" "tests/CMakeFiles/gear_tests.dir/test_chunking.cpp.o.d"
+  "/root/repo/tests/test_compress.cpp" "tests/CMakeFiles/gear_tests.dir/test_compress.cpp.o" "gcc" "tests/CMakeFiles/gear_tests.dir/test_compress.cpp.o.d"
+  "/root/repo/tests/test_conversion_service.cpp" "tests/CMakeFiles/gear_tests.dir/test_conversion_service.cpp.o" "gcc" "tests/CMakeFiles/gear_tests.dir/test_conversion_service.cpp.o.d"
+  "/root/repo/tests/test_converter.cpp" "tests/CMakeFiles/gear_tests.dir/test_converter.cpp.o" "gcc" "tests/CMakeFiles/gear_tests.dir/test_converter.cpp.o.d"
+  "/root/repo/tests/test_coverage_extra.cpp" "tests/CMakeFiles/gear_tests.dir/test_coverage_extra.cpp.o" "gcc" "tests/CMakeFiles/gear_tests.dir/test_coverage_extra.cpp.o.d"
+  "/root/repo/tests/test_dedup.cpp" "tests/CMakeFiles/gear_tests.dir/test_dedup.cpp.o" "gcc" "tests/CMakeFiles/gear_tests.dir/test_dedup.cpp.o.d"
+  "/root/repo/tests/test_docker.cpp" "tests/CMakeFiles/gear_tests.dir/test_docker.cpp.o" "gcc" "tests/CMakeFiles/gear_tests.dir/test_docker.cpp.o.d"
+  "/root/repo/tests/test_fs_store.cpp" "tests/CMakeFiles/gear_tests.dir/test_fs_store.cpp.o" "gcc" "tests/CMakeFiles/gear_tests.dir/test_fs_store.cpp.o.d"
+  "/root/repo/tests/test_fuzz_robustness.cpp" "tests/CMakeFiles/gear_tests.dir/test_fuzz_robustness.cpp.o" "gcc" "tests/CMakeFiles/gear_tests.dir/test_fuzz_robustness.cpp.o.d"
+  "/root/repo/tests/test_gc.cpp" "tests/CMakeFiles/gear_tests.dir/test_gc.cpp.o" "gcc" "tests/CMakeFiles/gear_tests.dir/test_gc.cpp.o.d"
+  "/root/repo/tests/test_gear_client.cpp" "tests/CMakeFiles/gear_tests.dir/test_gear_client.cpp.o" "gcc" "tests/CMakeFiles/gear_tests.dir/test_gear_client.cpp.o.d"
+  "/root/repo/tests/test_gear_index.cpp" "tests/CMakeFiles/gear_tests.dir/test_gear_index.cpp.o" "gcc" "tests/CMakeFiles/gear_tests.dir/test_gear_index.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/gear_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/gear_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_json.cpp" "tests/CMakeFiles/gear_tests.dir/test_json.cpp.o" "gcc" "tests/CMakeFiles/gear_tests.dir/test_json.cpp.o.d"
+  "/root/repo/tests/test_local_runtime.cpp" "tests/CMakeFiles/gear_tests.dir/test_local_runtime.cpp.o" "gcc" "tests/CMakeFiles/gear_tests.dir/test_local_runtime.cpp.o.d"
+  "/root/repo/tests/test_net.cpp" "tests/CMakeFiles/gear_tests.dir/test_net.cpp.o" "gcc" "tests/CMakeFiles/gear_tests.dir/test_net.cpp.o.d"
+  "/root/repo/tests/test_overlay.cpp" "tests/CMakeFiles/gear_tests.dir/test_overlay.cpp.o" "gcc" "tests/CMakeFiles/gear_tests.dir/test_overlay.cpp.o.d"
+  "/root/repo/tests/test_p2p.cpp" "tests/CMakeFiles/gear_tests.dir/test_p2p.cpp.o" "gcc" "tests/CMakeFiles/gear_tests.dir/test_p2p.cpp.o.d"
+  "/root/repo/tests/test_persistence.cpp" "tests/CMakeFiles/gear_tests.dir/test_persistence.cpp.o" "gcc" "tests/CMakeFiles/gear_tests.dir/test_persistence.cpp.o.d"
+  "/root/repo/tests/test_property_e2e.cpp" "tests/CMakeFiles/gear_tests.dir/test_property_e2e.cpp.o" "gcc" "tests/CMakeFiles/gear_tests.dir/test_property_e2e.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/gear_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/gear_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_slacker.cpp" "tests/CMakeFiles/gear_tests.dir/test_slacker.cpp.o" "gcc" "tests/CMakeFiles/gear_tests.dir/test_slacker.cpp.o.d"
+  "/root/repo/tests/test_store_viewer.cpp" "tests/CMakeFiles/gear_tests.dir/test_store_viewer.cpp.o" "gcc" "tests/CMakeFiles/gear_tests.dir/test_store_viewer.cpp.o.d"
+  "/root/repo/tests/test_tar.cpp" "tests/CMakeFiles/gear_tests.dir/test_tar.cpp.o" "gcc" "tests/CMakeFiles/gear_tests.dir/test_tar.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/gear_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/gear_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/gear_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/gear_tests.dir/test_util.cpp.o.d"
+  "/root/repo/tests/test_vfs.cpp" "tests/CMakeFiles/gear_tests.dir/test_vfs.cpp.o" "gcc" "tests/CMakeFiles/gear_tests.dir/test_vfs.cpp.o.d"
+  "/root/repo/tests/test_workload.cpp" "tests/CMakeFiles/gear_tests.dir/test_workload.cpp.o" "gcc" "tests/CMakeFiles/gear_tests.dir/test_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gear_lib.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gearctl.dir/gearctl.cpp.o"
+  "CMakeFiles/gearctl.dir/gearctl.cpp.o.d"
+  "gearctl"
+  "gearctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gearctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
