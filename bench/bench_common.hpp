@@ -10,6 +10,7 @@
 //  * aligned table printing.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -18,7 +19,10 @@
 #include "docker/registry.hpp"
 #include "gear/client.hpp"
 #include "gear/converter.hpp"
+#include "util/file_io.hpp"
 #include "util/format.hpp"
+#include "util/json.hpp"
+#include "util/thread_pool.hpp"
 #include "workload/generator.hpp"
 #include "workload/spec.hpp"
 
@@ -71,6 +75,35 @@ inline void print_rule(const std::vector<int>& widths) {
   std::size_t total = 0;
   for (int w : widths) total += static_cast<std::size_t>(w) + 2;
   std::printf("%s\n", std::string(total, '-').c_str());
+}
+
+/// Worker budget for the parallel leg of a bench (GEAR_WORKERS, default 4).
+/// Benches always run both a serial and a parallel leg so the wall-clock
+/// delta — and the identical simulated results — are visible in one run.
+inline std::size_t parallel_workers() {
+  if (const char* s = std::getenv("GEAR_WORKERS")) {
+    long v = std::atol(s);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return 4;
+}
+
+/// Real (wall-clock) seconds spent in `fn()` — distinct from the simulated
+/// clocks, which are deterministic and worker-count independent.
+template <typename Fn>
+inline double wall_seconds(Fn&& fn) {
+  auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Dumps a bench-result document to `path` (cwd) for downstream tooling.
+inline void write_json(const std::string& path, const Json& doc) {
+  std::string text = doc.dump();
+  text += '\n';
+  write_file_bytes(path, to_bytes(text));
+  std::printf("wrote %s\n", path.c_str());
 }
 
 /// Un-scales a scaled byte count back to "paper-equivalent" units for

@@ -88,5 +88,73 @@ int main() {
                 std::sqrt((n * sxx - sx * sx) * (n * syy - sy * sy));
   std::printf("size-time correlation: %.3f (expected: close to 1 — "
               "conversion time proportional to image size)\n", corr);
-  return 0;
+
+  // Wall-clock leg: the same conversions serial vs. parallel (real time,
+  // not the disk model). The ConversionStats must match exactly — the
+  // parallel path only fans out pure per-file hashing.
+  std::size_t workers = bench::parallel_workers();
+  std::vector<docker::Image> images;
+  for (const auto& spec : bench::corpus(e)) {
+    int versions = std::min(spec.versions, 3);
+    for (int v = 0; v < versions; ++v) {
+      images.push_back(gen.generate_image(spec, v));
+    }
+  }
+
+  auto run_leg = [&images](const util::Concurrency& c, ConversionStats* sum) {
+    GearConverter conv;
+    conv.set_concurrency(c);
+    for (const docker::Image& image : images) {
+      ConversionStats s = conv.convert(image).stats;
+      sum->files_seen += s.files_seen;
+      sum->files_unique += s.files_unique;
+      sum->collisions += s.collisions;
+      sum->bytes_seen += s.bytes_seen;
+      sum->index_wire_bytes += s.index_wire_bytes;
+    }
+  };
+
+  ConversionStats serial_stats, parallel_stats;
+  double t_serial = bench::wall_seconds(
+      [&] { run_leg(util::Concurrency::serial(), &serial_stats); });
+  util::Concurrency par;
+  par.workers = workers;
+  double t_parallel =
+      bench::wall_seconds([&] { run_leg(par, &parallel_stats); });
+
+  bool identical = serial_stats.files_seen == parallel_stats.files_seen &&
+                   serial_stats.files_unique == parallel_stats.files_unique &&
+                   serial_stats.collisions == parallel_stats.collisions &&
+                   serial_stats.bytes_seen == parallel_stats.bytes_seen &&
+                   serial_stats.index_wire_bytes ==
+                       parallel_stats.index_wire_bytes;
+  std::printf("\nwall-clock conversion of %zu images: serial %.3f s, "
+              "%zu workers %.3f s (%.2fx), stats identical: %s\n",
+              images.size(), t_serial, workers, t_parallel,
+              t_serial / t_parallel, identical ? "yes" : "NO");
+
+  Json doc;
+  doc["bench"] = "fig6_conversion";
+  doc["scale"] = e.scale;
+  doc["seed"] = e.seed;
+  doc["workers"] = static_cast<std::int64_t>(workers);
+  doc["images_converted"] = static_cast<std::int64_t>(images.size());
+  doc["serial_wall_seconds"] = t_serial;
+  doc["parallel_wall_seconds"] = t_parallel;
+  doc["wall_speedup"] = t_serial / t_parallel;
+  doc["stats_identical"] = identical;
+  doc["avg_hdd_sim_seconds"] = total_hdd / static_cast<double>(rows.size());
+  doc["size_time_correlation"] = corr;
+  JsonArray series;
+  for (const Row& r : rows) {
+    Json row;
+    row["series"] = r.name;
+    row["avg_size_bytes"] = r.avg_size;
+    row["hdd_sim_seconds"] = r.hdd_seconds;
+    row["ssd_sim_seconds"] = r.ssd_seconds;
+    series.push_back(std::move(row));
+  }
+  doc["series"] = std::move(series);
+  bench::write_json("BENCH_fig6.json", doc);
+  return identical ? 0 : 1;
 }

@@ -7,6 +7,7 @@ SharedFileCache::SharedFileCache(std::uint64_t capacity_bytes,
     : capacity_(capacity_bytes), policy_(policy) {}
 
 bool SharedFileCache::contains(const Fingerprint& fp) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return entries_.count(fp) != 0;
 }
 
@@ -18,6 +19,7 @@ void SharedFileCache::touch(Entry& entry, const Fingerprint& fp) {
 }
 
 StatusOr<Bytes> SharedFileCache::get(const Fingerprint& fp) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(fp);
   if (it == entries_.end()) {
     ++stats_.misses;
@@ -50,6 +52,7 @@ bool SharedFileCache::make_room(std::uint64_t needed) {
 }
 
 bool SharedFileCache::put(const Fingerprint& fp, Bytes content) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (auto it = entries_.find(fp); it != entries_.end()) {
     touch(it->second, fp);
     return true;  // already cached (deduplicated)
@@ -68,6 +71,7 @@ bool SharedFileCache::put(const Fingerprint& fp, Bytes content) {
 }
 
 void SharedFileCache::link(const Fingerprint& fp) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(fp);
   if (it == entries_.end()) {
     throw_error(ErrorCode::kNotFound, "link: not cached: " + fp.hex());
@@ -76,6 +80,7 @@ void SharedFileCache::link(const Fingerprint& fp) {
 }
 
 void SharedFileCache::unlink(const Fingerprint& fp) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(fp);
   if (it == entries_.end()) {
     throw_error(ErrorCode::kNotFound, "unlink: not cached: " + fp.hex());
@@ -88,12 +93,14 @@ void SharedFileCache::unlink(const Fingerprint& fp) {
 }
 
 std::uint32_t SharedFileCache::link_count(const Fingerprint& fp) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(fp);
   if (it == entries_.end()) return 0;
   return it->second.links;
 }
 
 std::vector<Fingerprint> SharedFileCache::fingerprints() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<Fingerprint> out;
   out.reserve(entries_.size());
   for (const auto& [fp, entry] : entries_) {
@@ -104,6 +111,7 @@ std::vector<Fingerprint> SharedFileCache::fingerprints() const {
 }
 
 void SharedFileCache::clear_unpinned() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto it = order_.begin(); it != order_.end();) {
     auto entry_it = entries_.find(*it);
     if (entry_it != entries_.end() && entry_it->second.links == 0) {

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <list>
+#include <mutex>
 #include <unordered_map>
 
 #include "util/bytes.hpp"
@@ -27,6 +28,11 @@ struct CacheStats {
   std::uint64_t rejected = 0;  // insertions that found no evictable space
 };
 
+/// Thread-safety: the lookup/mutation interface (contains/get/put/link/
+/// unlink/link_count/fingerprints/clear_unpinned) is internally locked so
+/// pipelined materialization workers may consult the cache concurrently.
+/// The inline counters (size_bytes/entry_count/stats) are unsynchronized
+/// telemetry reads — call them from the owning thread.
 class SharedFileCache {
  public:
   /// `capacity_bytes` = 0 means unbounded (the paper's default deployment).
@@ -79,6 +85,7 @@ class SharedFileCache {
 
   void touch(Entry& entry, const Fingerprint& fp);
 
+  mutable std::mutex mu_;
   std::uint64_t capacity_;
   EvictionPolicy policy_;
   std::unordered_map<Fingerprint, Entry, FingerprintHash> entries_;

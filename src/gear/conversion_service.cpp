@@ -16,7 +16,18 @@ ConversionService::ConversionService(docker::DockerRegistry& classic_registry,
         StatusOr<Bytes> got = file_registry_.download(fp);
         return got.ok() ? std::optional<Bytes>(std::move(got).value())
                         : std::nullopt;
-      }) {}
+      }) {
+  converter_.set_concurrency(options_.concurrency);
+}
+
+util::ThreadPool* ConversionService::pool() {
+  std::size_t width = options_.concurrency.resolved_workers();
+  if (width <= 1) return nullptr;
+  if (!pool_ || pool_->worker_count() != width) {
+    pool_ = std::make_unique<util::ThreadPool>(width);
+  }
+  return pool_.get();
+}
 
 std::string ConversionService::layer_key(const docker::Manifest& manifest) {
   std::string key;
@@ -49,9 +60,9 @@ std::string ConversionService::receive_image(const docker::Image& image) {
   }
 
   ConversionResult result = converter_.convert(image);
-  stats_.files_uploaded += push_gear_image(result.image, index_registry_,
-                                           file_registry_,
-                                           options_.chunk_policy);
+  stats_.files_uploaded += push_gear_image(
+      result.image, index_registry_, file_registry_, options_.chunk_policy,
+      pool(), options_.concurrency.max_inflight_bytes);
   stats_.bytes_seen += result.stats.bytes_seen;
   ++stats_.conversions_performed;
   converted_[key] = image.manifest.reference();
@@ -89,9 +100,9 @@ std::size_t ConversionService::convert_backlog() {
           classic_registry_.get_blob(desc.digest).value(), desc.digest));
     }
     ConversionResult result = converter_.convert(image);
-    stats_.files_uploaded += push_gear_image(result.image, index_registry_,
-                                             file_registry_,
-                                             options_.chunk_policy);
+    stats_.files_uploaded += push_gear_image(
+        result.image, index_registry_, file_registry_, options_.chunk_policy,
+        pool(), options_.concurrency.max_inflight_bytes);
     stats_.bytes_seen += result.stats.bytes_seen;
     ++stats_.conversions_performed;
     converted_[layer_key(manifest)] = ref;

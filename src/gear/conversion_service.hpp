@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -40,6 +41,9 @@ class ConversionService {
     bool drop_original = false;
     /// Chunking policy applied to converted files (disabled by default).
     ChunkPolicy chunk_policy = {};
+    /// Worker budget for per-file fingerprinting and compression. Results
+    /// are byte-identical at any width; defaults to the machine.
+    util::Concurrency concurrency = {};
   };
 
   ConversionService(docker::DockerRegistry& classic_registry,
@@ -68,11 +72,15 @@ class ConversionService {
   /// Conversion identity: the ordered layer digests of an image.
   static std::string layer_key(const docker::Manifest& manifest);
 
+  /// Pool shared by the service's uploads (the converter manages its own).
+  util::ThreadPool* pool();
+
   docker::DockerRegistry& classic_registry_;
   docker::DockerRegistry& index_registry_;
   GearRegistry& file_registry_;
   Options options_;
   GearConverter converter_;
+  std::unique_ptr<util::ThreadPool> pool_;  // lazily built
   /// layer-set key -> index reference already produced.
   std::map<std::string, std::string> converted_;
   ConversionServiceStats stats_;

@@ -11,15 +11,24 @@ GearConverter::GearConverter(
     std::function<std::optional<Bytes>(const Fingerprint&)> existing_lookup)
     : hasher_(hasher), existing_lookup_(std::move(existing_lookup)) {}
 
+util::ThreadPool& GearConverter::pool() const {
+  std::size_t width = concurrency_.resolved_workers();
+  if (!pool_ || pool_->worker_count() != width) {
+    pool_ = std::make_unique<util::ThreadPool>(width);
+  }
+  return *pool_;
+}
+
 Fingerprint GearConverter::resolve_fingerprint(
     const Bytes& content,
     const std::unordered_map<Fingerprint, const Bytes*, FingerprintHash>&
         local,
-    bool* collided) const {
+    bool* collided, const Fingerprint* precomputed) const {
   *collided = false;
   Bytes salted;  // lazily built: content || 0x01 || salt varint
   std::uint64_t salt = 0;
-  Fingerprint fp = hasher_.fingerprint(content);
+  Fingerprint fp =
+      precomputed != nullptr ? *precomputed : hasher_.fingerprint(content);
   for (;;) {
     // Compare against content already assigned this fingerprint.
     const Bytes* owner = nullptr;
@@ -53,9 +62,34 @@ ConversionResult GearConverter::convert(const docker::Image& image) const {
   // Replay layers bottom-to-top into the full root filesystem.
   vfs::FileTree root = image.flatten();
 
-  // Walk the tree: fingerprint every regular file, collect unique contents.
+  // Parallel pre-pass: hash every regular file across the pool. Contents are
+  // collected in walk order, so `raw[i]` lines up with the i-th regular file
+  // the index-building walk below will visit.
+  std::vector<const Bytes*> contents;
+  root.walk([&contents](const std::string& path, const vfs::FileNode& node) {
+    (void)path;
+    if (node.type() == vfs::NodeType::kRegular) {
+      contents.push_back(&node.content());
+    }
+  });
+  std::vector<Fingerprint> raw;
+  if (contents.size() < 4 || concurrency_.resolved_workers() <= 1) {
+    raw.reserve(contents.size());  // too small to pay pool hand-off costs
+    for (const Bytes* c : contents) raw.push_back(hasher_.fingerprint(*c));
+  } else {
+    raw = pool().parallel_map<Fingerprint>(
+        contents.size(),
+        [&](std::size_t i) { return hasher_.fingerprint(*contents[i]); },
+        concurrency_.max_inflight_bytes,
+        [&](std::size_t i) { return contents[i]->size(); });
+  }
+
+  // Ordered serial reduce: collision resolution and salted-ID assignment
+  // walk the files in the same order as the serial implementation, so stats
+  // and the unique-file set are identical at any worker count.
   std::unordered_map<Fingerprint, const Bytes*, FingerprintHash> assigned;
   std::vector<std::pair<Fingerprint, Bytes>> files;
+  std::size_t next_file = 0;
 
   GearIndex index = GearIndex::from_root_fs(
       root, [&](const std::string& path, const Bytes& content) {
@@ -63,7 +97,8 @@ ConversionResult GearConverter::convert(const docker::Image& image) const {
         ++stats.files_seen;
         stats.bytes_seen += content.size();
         bool collided = false;
-        Fingerprint fp = resolve_fingerprint(content, assigned, &collided);
+        Fingerprint fp = resolve_fingerprint(content, assigned, &collided,
+                                             &raw[next_file++]);
         if (collided) ++stats.collisions;
         if (assigned.emplace(fp, &content).second) {
           files.emplace_back(fp, content);

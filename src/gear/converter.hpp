@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 
@@ -23,6 +24,7 @@
 #include "gear/index.hpp"
 #include "sim/disk.hpp"
 #include "util/fingerprint.hpp"
+#include "util/thread_pool.hpp"
 
 namespace gear {
 
@@ -63,18 +65,35 @@ class GearConverter {
                                  sim::DiskModel& disk,
                                  double* seconds_out) const;
 
+  /// Sets the worker budget for convert(): per-file fingerprinting fans out
+  /// across a pool of `resolved_workers()` threads; collision resolution and
+  /// stats stay an ordered single-threaded reduce, so the result (index,
+  /// stats, file set, salted IDs) is byte-identical at any width.
+  /// A converter is not itself thread-safe: call convert() from one thread.
+  void set_concurrency(const util::Concurrency& concurrency) {
+    concurrency_ = concurrency;
+    pool_.reset();
+  }
+  const util::Concurrency& concurrency() const noexcept { return concurrency_; }
+
   /// Resolves the fingerprint for `content`: normally hasher(content), but
   /// salted to a unique value when a different content already owns that
   /// fingerprint. `local` is the in-conversion map of assigned fingerprints.
+  /// `precomputed` (optional) supplies hasher(content) when the caller has
+  /// already fingerprinted the content (the parallel pre-pass).
   Fingerprint resolve_fingerprint(
       const Bytes& content,
       const std::unordered_map<Fingerprint, const Bytes*, FingerprintHash>&
           local,
-      bool* collided) const;
+      bool* collided, const Fingerprint* precomputed = nullptr) const;
 
  private:
+  util::ThreadPool& pool() const;
+
   const FingerprintHasher& hasher_;
   std::function<std::optional<Bytes>(const Fingerprint&)> existing_lookup_;
+  util::Concurrency concurrency_;
+  mutable std::unique_ptr<util::ThreadPool> pool_;  // lazily built
 };
 
 /// Marker label the converter writes into index-image manifests.

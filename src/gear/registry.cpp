@@ -21,6 +21,18 @@ bool GearRegistry::upload(const Fingerprint& fp, BytesView content) {
   return true;
 }
 
+bool GearRegistry::upload_precompressed(const Fingerprint& fp,
+                                        Bytes compressed) {
+  if (objects_.count(fp) != 0 || chunked_.count(fp) != 0) {
+    ++stats_.uploads_deduplicated;
+    return false;
+  }
+  stored_bytes_ += compressed.size();
+  objects_.emplace(fp, std::move(compressed));
+  ++stats_.uploads_accepted;
+  return true;
+}
+
 bool GearRegistry::upload_chunked(const Fingerprint& fp, BytesView content,
                                   const ChunkPolicy& policy,
                                   const FingerprintHasher& hasher) {
@@ -88,6 +100,47 @@ StatusOr<Bytes> GearRegistry::download(const Fingerprint& fp) const {
   }
   ++stats_.downloads;
   return decompress(it->second);
+}
+
+StatusOr<std::vector<Bytes>> GearRegistry::download_batch(
+    const std::vector<Fingerprint>& fps, util::ThreadPool* pool,
+    std::uint64_t* wire_bytes_out) const {
+  std::vector<Bytes> out(fps.size());
+  std::uint64_t wire = 0;
+
+  // Serial phase: resolve every fingerprint, account stats and wire size,
+  // and serve the (rare, reassembly-heavy) chunked objects. Plain objects
+  // are only located here; their decompression is deferred.
+  std::vector<const Bytes*> plain(fps.size(), nullptr);
+  for (std::size_t i = 0; i < fps.size(); ++i) {
+    if (chunked_.count(fps[i]) != 0) {
+      StatusOr<Bytes> whole = download(fps[i]);
+      if (!whole.ok()) return {whole.code(), whole.message()};
+      wire += stored_size(fps[i]).value();
+      out[i] = std::move(whole).value();
+      continue;
+    }
+    auto it = objects_.find(fps[i]);
+    if (it == objects_.end()) {
+      return {ErrorCode::kNotFound, "gear file not found: " + fps[i].hex()};
+    }
+    ++stats_.downloads;
+    wire += it->second.size();
+    plain[i] = &it->second;
+  }
+
+  // Parallel phase: pure decompression, results placed by index.
+  auto decompress_one = [&](std::size_t i) {
+    if (plain[i] != nullptr) out[i] = decompress(*plain[i]);
+  };
+  if (pool != nullptr) {
+    pool->parallel_for_each(fps.size(), decompress_one);
+  } else {
+    for (std::size_t i = 0; i < fps.size(); ++i) decompress_one(i);
+  }
+
+  if (wire_bytes_out != nullptr) *wire_bytes_out = wire;
+  return out;
 }
 
 StatusOr<Bytes> GearRegistry::download_range(

@@ -14,6 +14,7 @@
 #include "util/bytes.hpp"
 #include "util/error.hpp"
 #include "util/fingerprint.hpp"
+#include "util/thread_pool.hpp"
 
 namespace gear {
 
@@ -33,6 +34,13 @@ class GearRegistry {
   /// Returns true if stored, false if deduplicated (already present).
   bool upload(const Fingerprint& fp, BytesView content);
 
+  /// Stores an already-compressed frame under `fp`. Lets uploaders (the
+  /// parallel push path) run compress() in worker threads and keep the
+  /// registry mutation itself single-threaded. Equivalent to upload() of the
+  /// original content: compress() is deterministic, so stored bytes and
+  /// stats match the serial path exactly.
+  bool upload_precompressed(const Fingerprint& fp, Bytes compressed);
+
   /// Chunked upload (future-work extension, paper §VII): stores the file as
   /// policy-sized chunk objects plus a chunk manifest under `fp`. Chunks
   /// shared with other files are deduplicated individually. Falls back to a
@@ -50,6 +58,17 @@ class GearRegistry {
   /// "download" interface: returns the decompressed file content.
   /// Chunked files are reassembled transparently.
   StatusOr<Bytes> download(const Fingerprint& fp) const;
+
+  /// Batched download: one call serves many fingerprints so a client can
+  /// pay a single pipelined round-trip for a bulk fetch. Results line up
+  /// with `fps` by index. `wire_bytes_out` (optional) receives the summed
+  /// compressed transfer size. When `pool` is non-null, per-object
+  /// decompression fans out across it; lookups, stats, and result placement
+  /// stay deterministic regardless of the pool width. Fails with kNotFound
+  /// if any fingerprint is absent (nothing about the batch is partial).
+  StatusOr<std::vector<Bytes>> download_batch(
+      const std::vector<Fingerprint>& fps, util::ThreadPool* pool = nullptr,
+      std::uint64_t* wire_bytes_out = nullptr) const;
 
   /// Partial download of a chunked file: only the chunks covering
   /// [offset, offset+length) move. `wire_bytes_out` (optional) receives the

@@ -41,13 +41,17 @@ class Fingerprint {
 };
 
 /// std::hash support so fingerprints key unordered containers directly.
+/// FNV-1a over the full 16 bytes: weak/truncated test hashers put their
+/// entropy in different byte positions, so every byte must feed the hash or
+/// unordered-map buckets degenerate.
 struct FingerprintHash {
   std::size_t operator()(const Fingerprint& f) const noexcept {
-    std::size_t h = 0;
-    for (std::size_t i = 0; i < sizeof(std::size_t); ++i) {
-      h = (h << 8) | f.raw()[i];
+    std::uint64_t h = 14695981039346656037ull;
+    for (std::uint8_t b : f.raw()) {
+      h ^= b;
+      h *= 1099511628211ull;
     }
-    return h;
+    return static_cast<std::size_t>(h);
   }
 };
 

@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -34,6 +35,10 @@ namespace fs = std::filesystem;
 using namespace gear;
 
 namespace {
+
+/// Worker budget for import's fingerprinting/compression (--workers N;
+/// 0 = one thread per hardware core).
+util::Concurrency g_concurrency;
 
 struct Store {
   fs::path root;
@@ -106,13 +111,19 @@ int cmd_import(Store& store, const std::string& dir, const std::string& ref,
                                        ? std::optional<Bytes>(std::move(got).value())
                                        : std::nullopt;
                           });
+  converter.set_concurrency(g_concurrency);
   ConversionResult conv = converter.convert(image);
   ChunkPolicy policy;
   if (chunk_threshold > 0) {
     policy.threshold_bytes = chunk_threshold;
   }
+  std::unique_ptr<util::ThreadPool> pool;
+  if (g_concurrency.resolved_workers() > 1) {
+    pool = std::make_unique<util::ThreadPool>(g_concurrency.resolved_workers());
+  }
   std::size_t uploaded =
-      push_gear_image(conv.image, store.docker, store.files, policy);
+      push_gear_image(conv.image, store.docker, store.files, policy,
+                      pool.get(), g_concurrency.max_inflight_bytes);
   store.save();
 
   std::printf("converted: %zu unique gear files (%zu uploaded, rest "
@@ -343,7 +354,9 @@ int cmd_stats(Store& store) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: gearctl <store-dir> <command> [args]\n"
+               "usage: gearctl [--workers N] <store-dir> <command> [args]\n"
+               "  --workers N   worker threads for import's fingerprinting/"
+               "compression (default: one per core)\n"
                "commands: init | import <dir> <name:tag> [chunk-threshold] | "
                "images | inspect <ref> | cat <ref> <path> | "
                "export <ref> <dir> | run <ref> <path...> | launch <ref> | "
@@ -356,10 +369,31 @@ int usage() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) return usage();
-  std::string store_dir = argv[1];
-  std::string cmd = argv[2];
-  std::vector<std::string> args(argv + 3, argv + argc);
+  std::vector<std::string> all(argv + 1, argv + argc);
+  for (auto it = all.begin(); it != all.end();) {
+    if (*it == "--workers") {
+      if (std::next(it) == all.end()) {
+        std::fprintf(stderr, "gearctl: --workers requires a count\n");
+        return 2;
+      }
+      const std::string& value = *std::next(it);
+      char* end = nullptr;
+      unsigned long parsed = std::strtoul(value.c_str(), &end, 10);
+      if (value.empty() || end == nullptr || *end != '\0') {
+        std::fprintf(stderr, "gearctl: --workers expects a number, got '%s'\n",
+                     value.c_str());
+        return 2;
+      }
+      g_concurrency.workers = static_cast<std::size_t>(parsed);
+      it = all.erase(it, it + 2);
+    } else {
+      ++it;
+    }
+  }
+  if (all.size() < 2) return usage();
+  std::string store_dir = all[0];
+  std::string cmd = all[1];
+  std::vector<std::string> args(all.begin() + 2, all.end());
 
   try {
     Store store(store_dir, /*must_exist=*/cmd != "init");
