@@ -7,6 +7,8 @@
 // files are common within a series.
 #include "bench_common.hpp"
 #include "docker/client.hpp"
+#include "net/remote_registry.hpp"
+#include "net/transport.hpp"
 
 using namespace gear;
 
@@ -105,5 +107,111 @@ int main() {
               format_percent(sum_cache / sum_docker).c_str());
   std::printf("expected shape: both Gear modes move a small fraction of "
               "Docker's bytes; the cache roughly halves the remainder\n");
-  return 0;
+
+  // Transport leg: the same registry behind the wire protocol. Each series'
+  // v0 image is deployed to fully local (pull + prefetch) through a
+  // LoopbackTransport charging the simulated link per frame, once with
+  // batch = 1 (the serial per-file protocol over the same batch messages)
+  // and once with batch = 64. The transfer results must be identical; only
+  // round trips, frame overhead, and therefore deploy time may differ.
+  struct TransportLeg {
+    std::uint64_t round_trips = 0;
+    std::uint64_t download_round_trips = 0;
+    std::uint64_t wire_bytes = 0;   // request + response frame bytes
+    std::size_t fetched = 0;
+    std::uint64_t payload_bytes = 0;  // compressed object bytes moved
+    std::uint64_t server_downloads = 0;
+    double deploy_ms = 0;
+  };
+  auto run_transport_leg = [&](std::size_t batch_files) {
+    TransportLeg r;
+    std::uint64_t downloads_before = file_registry.stats().downloads;
+    for (const auto& spec : all) {
+      sim::SimClock c;
+      sim::NetworkLink l = sim::scaled_link(c, 904.0, e.scale);
+      sim::DiskModel d = sim::DiskModel::scaled_hdd(c, e.scale);
+      net::LoopbackTransport transport(file_registry, &l);
+      // Converter fingerprints may be collision-salted (§III-B): skip the
+      // content-hash check, the frame CRC still guards every transfer.
+      net::RemoteGearRegistry remote(transport, 3, /*verify_content=*/false);
+      GearClient client(index_registry, remote, l, d);
+      client.set_download_batch_files(batch_files);
+      std::string ref = spec.name + ":v0";
+      client.pull(ref);
+      auto got = client.prefetch_remaining(ref);
+      r.fetched += got.first;
+      r.payload_bytes += got.second;
+      const net::LoopbackServerStats& s = transport.server_stats();
+      r.round_trips += s.round_trips;
+      r.download_round_trips += s.download_round_trips;
+      r.wire_bytes += s.bytes_in + s.bytes_out;
+      r.deploy_ms += c.now() * 1000.0;
+    }
+    r.server_downloads = file_registry.stats().downloads - downloads_before;
+    return r;
+  };
+
+  TransportLeg per_file = run_transport_leg(1);
+  TransportLeg batched = run_transport_leg(64);
+
+  bool identical = per_file.fetched == batched.fetched &&
+                   per_file.payload_bytes == batched.payload_bytes &&
+                   per_file.server_downloads == batched.server_downloads;
+  bool reduced = batched.download_round_trips < per_file.download_round_trips;
+  bool no_wire_regression = batched.wire_bytes <= per_file.wire_bytes;
+
+  std::printf("\ntransport deployment (pull + full prefetch over the wire "
+              "protocol, %zu images):\n", all.size());
+  std::vector<int> wt = {12, 14, 14, 14, 12};
+  bench::print_row({"mode", "round trips", "wire bytes", "deploy time",
+                    "files"}, wt);
+  bench::print_rule(wt);
+  bench::print_row({"per-file", std::to_string(per_file.round_trips),
+                    format_size(per_file.wire_bytes),
+                    format_duration(per_file.deploy_ms / 1000.0),
+                    std::to_string(per_file.fetched)}, wt);
+  bench::print_row({"batched", std::to_string(batched.round_trips),
+                    format_size(batched.wire_bytes),
+                    format_duration(batched.deploy_ms / 1000.0),
+                    std::to_string(batched.fetched)}, wt);
+  std::printf("download round trips: %llu -> %llu (%.1fx fewer), transfer "
+              "results identical: %s, wire-byte regression: %s\n",
+              static_cast<unsigned long long>(per_file.download_round_trips),
+              static_cast<unsigned long long>(batched.download_round_trips),
+              batched.download_round_trips == 0
+                  ? 0.0
+                  : static_cast<double>(per_file.download_round_trips) /
+                        static_cast<double>(batched.download_round_trips),
+              identical ? "yes" : "NO",
+              no_wire_regression ? "none" : "REGRESSED");
+
+  Json doc;
+  doc["bench"] = "fig8_bandwidth";
+  doc["scale"] = e.scale;
+  doc["seed"] = e.seed;
+  doc["docker_bytes"] = sum_docker;
+  doc["gear_nocache_bytes"] = sum_nocache;
+  doc["gear_cache_bytes"] = sum_cache;
+  auto leg_json = [](const TransportLeg& leg) {
+    Json j;
+    j["round_trips"] = static_cast<std::int64_t>(leg.round_trips);
+    j["download_round_trips"] =
+        static_cast<std::int64_t>(leg.download_round_trips);
+    j["wire_bytes"] = static_cast<std::int64_t>(leg.wire_bytes);
+    j["deploy_ms"] = leg.deploy_ms;
+    j["files_fetched"] = static_cast<std::int64_t>(leg.fetched);
+    j["payload_bytes"] = static_cast<std::int64_t>(leg.payload_bytes);
+    return j;
+  };
+  doc["transport_per_file"] = leg_json(per_file);
+  doc["transport_batched"] = leg_json(batched);
+  doc["round_trip_reduction"] =
+      batched.download_round_trips == 0
+          ? 0.0
+          : static_cast<double>(per_file.download_round_trips) /
+                static_cast<double>(batched.download_round_trips);
+  doc["identical"] = identical;
+  doc["no_wire_regression"] = no_wire_regression;
+  bench::write_json("BENCH_fig8.json", doc);
+  return (identical && reduced && no_wire_regression) ? 0 : 1;
 }

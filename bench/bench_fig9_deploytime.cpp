@@ -10,6 +10,8 @@
 // the advantage grows as bandwidth shrinks.
 #include "bench_common.hpp"
 #include "docker/client.hpp"
+#include "net/remote_registry.hpp"
+#include "net/transport.hpp"
 
 using namespace gear;
 
@@ -183,6 +185,50 @@ int main() {
               serial.wall, workers, parallel.wall,
               serial.wall / parallel.wall, identical ? "yes" : "NO");
 
+  // Transport leg: full materialization with the registry behind the wire
+  // protocol at 100 Mbps, per-file (batch = 1) versus batched (batch = 64)
+  // download round trips. Same files, same compressed bytes — the deploy
+  // time difference is pure round-trip latency.
+  struct TransportTime {
+    std::size_t fetched = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t download_round_trips = 0;
+    double sim_seconds = 0;
+  };
+  auto run_transport = [&](std::size_t batch_files) {
+    TransportTime r;
+    for (const auto& spec : all) {
+      sim::SimClock clk;
+      sim::NetworkLink l = sim::scaled_link(clk, 100.0, e.scale);
+      sim::DiskModel d = sim::DiskModel::scaled_hdd(clk, e.scale);
+      net::LoopbackTransport transport(file_registry, &l);
+      net::RemoteGearRegistry remote(transport, 3, /*verify_content=*/false);
+      GearClient client(index_registry, remote, l, d);
+      client.set_download_batch_files(batch_files);
+      std::string ref = spec.name + ":v0";
+      client.pull(ref);
+      auto got = client.prefetch_remaining(ref);
+      r.fetched += got.first;
+      r.bytes += got.second;
+      r.download_round_trips += transport.server_stats().download_round_trips;
+      r.sim_seconds += clk.now();
+    }
+    return r;
+  };
+  TransportTime t_per_file = run_transport(1);
+  TransportTime t_batched = run_transport(64);
+  bool transport_identical = t_per_file.fetched == t_batched.fetched &&
+                             t_per_file.bytes == t_batched.bytes;
+  std::printf("\ntransport materialization at 100 Mbps: per-file %s "
+              "(%llu round trips), batched %s (%llu round trips), "
+              "%.2fx faster, transfers identical: %s\n",
+              format_duration(t_per_file.sim_seconds).c_str(),
+              static_cast<unsigned long long>(t_per_file.download_round_trips),
+              format_duration(t_batched.sim_seconds).c_str(),
+              static_cast<unsigned long long>(t_batched.download_round_trips),
+              t_per_file.sim_seconds / t_batched.sim_seconds,
+              transport_identical ? "yes" : "NO");
+
   Json doc;
   doc["bench"] = "fig9_deploytime";
   doc["scale"] = e.scale;
@@ -198,6 +244,16 @@ int main() {
   wall["sim_seconds"] = serial.sim_seconds;
   wall["sim_identical"] = identical;
   doc["materialization_wall"] = std::move(wall);
+  Json transport_json;
+  transport_json["per_file_seconds"] = t_per_file.sim_seconds;
+  transport_json["per_file_round_trips"] =
+      static_cast<std::int64_t>(t_per_file.download_round_trips);
+  transport_json["batched_seconds"] = t_batched.sim_seconds;
+  transport_json["batched_round_trips"] =
+      static_cast<std::int64_t>(t_batched.download_round_trips);
+  transport_json["speedup"] = t_per_file.sim_seconds / t_batched.sim_seconds;
+  transport_json["identical"] = transport_identical;
+  doc["transport_materialization"] = std::move(transport_json);
   bench::write_json("BENCH_fig9.json", doc);
-  return identical ? 0 : 1;
+  return (identical && transport_identical) ? 0 : 1;
 }

@@ -1,33 +1,52 @@
 #include "gear/client.hpp"
 
+#include <condition_variable>
+
 #include "compress/codec.hpp"
 #include "gear/converter.hpp"
 
 namespace gear {
 
 namespace {
-/// Cap on files per pipelined bulk-fetch round-trip (besides the
-/// max_inflight_bytes bound): keeps a single burst's memory and the
-/// registry's per-request fan-in bounded.
-constexpr std::size_t kMaxBatchFiles = 64;
+/// Cap on plain files per upload_precompressed_batch round-trip during a
+/// push: keeps a single burst's memory and the registry's per-request
+/// fan-in bounded.
+constexpr std::size_t kMaxUploadBatchFiles = 64;
 }  // namespace
+
+/// One in-flight registry download, shared by every concurrent
+/// materialization of the same fingerprint.
+struct GearClient::Inflight {
+  std::mutex m;
+  std::condition_variable cv;
+  bool done = false;
+  Bytes content;
+  std::exception_ptr error;
+};
 
 std::size_t push_gear_image(const GearImage& image,
                             docker::DockerRegistry& index_registry,
-                            GearRegistry& file_registry,
+                            FileRegistryApi& file_registry,
                             const ChunkPolicy& chunk_policy,
                             util::ThreadPool* pool,
                             std::uint64_t max_inflight_bytes) {
   // Upload only the Gear files whose fingerprints the registry lacks
   // (paper §III-C: compare fingerprints, upload the absent ones).
-  // Query round: serial and in file order, exactly the per-file protocol.
+  // Presence check: one query_many in file order — a single wire round-trip
+  // against a remote registry, the exact per-file query loop in-process.
+  std::vector<Fingerprint> all_fps;
+  all_fps.reserve(image.files.size());
+  for (const auto& [fp, content] : image.files) all_fps.push_back(fp);
+  std::vector<std::uint8_t> present = file_registry.query_many(all_fps);
+
   std::vector<std::uint8_t> missing(image.files.size(), 0);
   std::vector<std::size_t> to_compress;  // plain (non-chunked) absentees
   for (std::size_t i = 0; i < image.files.size(); ++i) {
-    const auto& [fp, content] = image.files[i];
-    if (file_registry.query(fp)) continue;
+    if (present[i]) continue;
     missing[i] = 1;
-    if (!chunk_policy.applies_to(content.size())) to_compress.push_back(i);
+    if (!chunk_policy.applies_to(image.files[i].second.size())) {
+      to_compress.push_back(i);
+    }
   }
 
   // Compression of absent plain files: pure CPU, fanned out when a pool is
@@ -46,25 +65,37 @@ std::size_t push_gear_image(const GearImage& image,
     for (std::size_t j = 0; j < to_compress.size(); ++j) compress_one(j);
   }
 
-  // Insertion round: serial and ordered — the registry is mutated from one
-  // thread only, and stats/storage accounting match the serial run.
+  // Insertion round: serial and ordered — plain files group into
+  // upload_precompressed_batch bursts (one round-trip each when remote),
+  // flushed before any chunked upload so the registry sees every insert in
+  // file order and stats/storage accounting match the serial run exactly.
   std::size_t uploaded = 0;
+  std::vector<std::pair<Fingerprint, Bytes>> plain_batch;
+  auto flush_plain = [&]() {
+    if (plain_batch.empty()) return;
+    uploaded += plain_batch.size();
+    file_registry.upload_precompressed_batch(std::move(plain_batch));
+    plain_batch.clear();
+  };
   for (std::size_t i = 0; i < image.files.size(); ++i) {
     if (!missing[i]) continue;
     const auto& [fp, content] = image.files[i];
     if (chunk_policy.applies_to(content.size())) {
+      flush_plain();
       file_registry.upload_chunked(fp, content, chunk_policy);
+      ++uploaded;
     } else {
-      file_registry.upload_precompressed(fp, std::move(compressed[i]));
+      plain_batch.emplace_back(fp, std::move(compressed[i]));
+      if (plain_batch.size() >= kMaxUploadBatchFiles) flush_plain();
     }
-    ++uploaded;
   }
+  flush_plain();
   index_registry.push_image(image.index_image);
   return uploaded;
 }
 
 GearClient::GearClient(docker::DockerRegistry& index_registry,
-                       GearRegistry& file_registry, sim::NetworkLink& link,
+                       FileRegistryApi& file_registry, sim::NetworkLink& link,
                        sim::DiskModel& disk, docker::RuntimeParams params,
                        std::uint64_t cache_capacity_bytes,
                        EvictionPolicy policy)
@@ -115,22 +146,71 @@ docker::PullStats GearClient::pull(const std::string& reference) {
   return stats;
 }
 
+Bytes GearClient::fetch_from_registry(const std::string& reference,
+                                      const Fingerprint& fp,
+                                      std::uint64_t size,
+                                      std::uint64_t* downloaded) {
+  // Concurrent callers for the same fingerprint never get here twice — the
+  // singleflight layer above admits one leader per flight. The registry is
+  // not thread-safe, so leaders of *different* flights serialize their
+  // downloads on download_mutex_; it is separate from state_mutex_ so a
+  // joiner's cache probe never queues behind a download in progress.
+  std::uint64_t wire = 0;
+  std::unique_lock<std::mutex> download_lock(download_mutex_);
+  StatusOr<std::vector<Bytes>> got =
+      file_registry_.download_batch({fp}, nullptr, &wire);
+  download_lock.unlock();
+  if (!got.ok()) {
+    throw_error(got.code(), "materialize " + fp.hex() + ": " + got.message());
+  }
+  Bytes content = std::move((*got)[0]);
+  if (content.size() != size) {
+    throw_error(ErrorCode::kCorruptData,
+                "gear file size mismatch: " + fp.hex());
+  }
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  if (!file_registry_.transport_accounted()) {
+    // Chunked files move as one pipelined burst of manifest + chunks.
+    if (file_registry_.is_chunked(fp)) {
+      std::uint64_t n_chunks =
+          file_registry_.chunk_manifest(fp).value().chunks.size();
+      link_.pipelined(wire, n_chunks + 1);
+    } else {
+      link_.request(wire);
+    }
+  }
+  *downloaded += wire;
+  disk_.write(content.size());
+  // A bounded cache may refuse the insert (everything else pinned). The
+  // container still gets the file — it lives only in this image's index
+  // directory then, unavailable for cross-image sharing.
+  if (store_.cache().put(fp, content)) {
+    store_.record_link(reference, fp);
+  }
+  return content;
+}
+
 Bytes GearClient::materialize(const std::string& reference,
                               const Fingerprint& fp, std::uint64_t size,
                               std::uint64_t* downloaded) {
   // Level 1 first: the shared cache.
-  if (StatusOr<Bytes> cached = store_.cache().get(fp); cached.ok()) {
-    disk_.touch();  // hard-link the cached file into the index
-    store_.record_link(reference, fp);
-    return std::move(cached).value();
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (StatusOr<Bytes> cached = store_.cache().get(fp); cached.ok()) {
+      disk_.touch();  // hard-link the cached file into the index
+      store_.record_link(reference, fp);
+      return std::move(cached).value();
+    }
   }
   // Cooperative source next (cluster peers, §VI-B) — cheaper than the WAN.
+  // Invoked outside the locks: the callback may reach into other clients.
   if (peer_source_) {
     if (std::optional<Bytes> peer = peer_source_(fp, size)) {
       if (peer->size() != size) {
         throw_error(ErrorCode::kCorruptData,
                     "peer served wrong size for " + fp.hex());
       }
+      std::lock_guard<std::mutex> lock(state_mutex_);
       ++peer_hits_;
       disk_.write(peer->size());
       if (store_.cache().put(fp, *peer)) {
@@ -140,30 +220,58 @@ Bytes GearClient::materialize(const std::string& reference,
     }
   }
 
-  // Miss: fetch from the Gear Registry on demand, store at level 1, link.
-  // Chunked files move as one pipelined burst of manifest + chunks.
-  std::uint64_t wire = file_registry_.stored_size(fp).value();
-  if (file_registry_.is_chunked(fp)) {
-    std::uint64_t n_chunks =
-        file_registry_.chunk_manifest(fp).value().chunks.size();
-    link_.pipelined(wire, n_chunks + 1);
-  } else {
-    link_.request(wire);
+  // Miss: fetch from the Gear Registry on demand — but only once per
+  // fingerprint at a time. The first caller becomes the flight's leader and
+  // downloads; concurrent callers join the flight and share its content.
+  std::shared_ptr<Inflight> flight;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(flights_mutex_);
+    auto it = inflight_.find(fp);
+    if (it == inflight_.end()) {
+      flight = std::make_shared<Inflight>();
+      inflight_.emplace(fp, flight);
+      leader = true;
+    } else {
+      flight = it->second;
+    }
   }
-  *downloaded += wire;
-  Bytes content = file_registry_.download(fp).value();
-  if (content.size() != size) {
-    throw_error(ErrorCode::kCorruptData,
-                "gear file size mismatch: " + fp.hex());
-  }
-  disk_.write(content.size());
-  // A bounded cache may refuse the insert (everything else pinned). The
-  // container still gets the file — it lives only in this image's index
-  // directory then, unavailable for cross-image sharing.
-  if (store_.cache().put(fp, content)) {
+
+  if (!leader) {
+    std::unique_lock<std::mutex> flight_lock(flight->m);
+    flight->cv.wait(flight_lock, [&] { return flight->done; });
+    if (flight->error) std::rethrow_exception(flight->error);
+    coalesced_hits_.fetch_add(1, std::memory_order_relaxed);
+    // The leader paid the download, disk write, and cache insert; a joiner
+    // only hard-links the now-cached file into its own image.
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    disk_.touch();
     store_.record_link(reference, fp);
+    return flight->content;
   }
-  return content;
+
+  try {
+    Bytes content = fetch_from_registry(reference, fp, size, downloaded);
+    {
+      std::lock_guard<std::mutex> flight_lock(flight->m);
+      flight->content = content;
+      flight->done = true;
+    }
+    flight->cv.notify_all();
+    std::lock_guard<std::mutex> lock(flights_mutex_);
+    inflight_.erase(fp);
+    return content;
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> flight_lock(flight->m);
+      flight->error = std::current_exception();
+      flight->done = true;
+    }
+    flight->cv.notify_all();
+    std::lock_guard<std::mutex> lock(flights_mutex_);
+    inflight_.erase(fp);
+    throw;
+  }
 }
 
 docker::DeployStats GearClient::deploy(const std::string& reference,
@@ -239,6 +347,11 @@ std::pair<std::size_t, std::uint64_t> GearClient::warm_batch(
     const std::vector<std::pair<Fingerprint, std::uint64_t>>& wanted) {
   std::size_t fetched = 0;
   std::uint64_t bytes = 0;
+  // Transport-backed registries charge the link per frame themselves, and
+  // asking them for per-file stored sizes or chunk shapes would cost the
+  // very round-trips batching is here to remove — budget batches by the
+  // stub sizes the index already knows instead.
+  const bool remote = file_registry_.transport_accounted();
 
   std::vector<Fingerprint> batch;
   std::vector<std::uint64_t> sizes;
@@ -248,11 +361,17 @@ std::pair<std::size_t, std::uint64_t> GearClient::warm_batch(
   auto flush = [&]() {
     if (batch.empty()) return;
     std::uint64_t wire = 0;
-    std::vector<Bytes> contents =
-        file_registry_.download_batch(batch, pool(), &wire).value();
+    StatusOr<std::vector<Bytes>> got =
+        file_registry_.download_batch(batch, pool(), &wire);
+    if (!got.ok()) {
+      throw_error(got.code(),
+                  "bulk fetch of " + std::to_string(batch.size()) +
+                      " gear files failed: " + got.message());
+    }
+    std::vector<Bytes> contents = std::move(got).value();
     // The serialized accounting point: one pipelined burst on the link,
     // then per-file disk writes and cache inserts, in batch order.
-    link_.pipelined(wire, batch_requests);
+    if (!remote) link_.pipelined(wire, batch_requests);
     bytes += wire;
     fetched += batch.size();
     for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -284,18 +403,25 @@ std::pair<std::size_t, std::uint64_t> GearClient::warm_batch(
         continue;
       }
     }
-    std::uint64_t wire = file_registry_.stored_size(fp).value();
-    // A chunked file still moves as manifest + chunk requests inside the
-    // shared pipeline (same request count the on-demand path charges).
-    std::uint64_t requests =
-        file_registry_.is_chunked(fp)
-            ? file_registry_.chunk_manifest(fp).value().chunks.size() + 1
-            : 1;
+    std::uint64_t wire;
+    std::uint64_t requests;
+    if (remote) {
+      wire = size;  // budget by stub size; compressed payload is smaller
+      requests = 1;
+    } else {
+      wire = file_registry_.stored_size(fp).value();
+      // A chunked file still moves as manifest + chunk requests inside the
+      // shared pipeline (same request count the on-demand path charges).
+      requests =
+          file_registry_.is_chunked(fp)
+              ? file_registry_.chunk_manifest(fp).value().chunks.size() + 1
+              : 1;
+    }
     batch.push_back(fp);
     sizes.push_back(size);
     batch_wire += wire;
     batch_requests += requests;
-    if (batch.size() >= kMaxBatchFiles ||
+    if (batch.size() >= batch_files_ ||
         (concurrency_.max_inflight_bytes != 0 &&
          batch_wire >= concurrency_.max_inflight_bytes)) {
       flush();
@@ -337,7 +463,11 @@ std::pair<std::size_t, std::uint64_t> GearClient::prefetch_remaining(
                         });
   for (const std::string& path : pending) {
     std::uint64_t before = extra;
-    viewer.read_file(path).value();
+    StatusOr<Bytes> content = viewer.read_file(path);
+    if (!content.ok()) {
+      throw_error(content.code(),
+                  "prefetch of " + path + " failed: " + content.message());
+    }
     if (extra != before) ++fetched;
   }
   return {fetched, bytes + extra};

@@ -9,12 +9,20 @@
 //          from the index, regular files materialized from the shared cache
 //          (hard link) or the Gear Registry (on-demand download).
 //
+// The client programs against FileRegistryApi, so the registry can be the
+// in-process GearRegistry or a RemoteGearRegistry stub speaking the wire
+// protocol over a Transport — deployment code is identical either way. When
+// the registry is transport-backed, the transport charges the simulated link
+// per frame and the client skips its own link model (no double billing).
+//
 // Every byte and request is charged to the simulated link/disk, making this
 // client directly comparable with DockerClient under identical conditions.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_set>
 
@@ -22,6 +30,7 @@
 #include "docker/registry.hpp"
 #include "gear/index.hpp"
 #include "gear/registry.hpp"
+#include "gear/registry_api.hpp"
 #include "gear/store.hpp"
 #include "gear/viewer.hpp"
 #include "sim/disk.hpp"
@@ -36,13 +45,19 @@ namespace gear {
 /// uploaded. With a chunking policy, files above the threshold are stored
 /// as chunk objects + a manifest (paper §VII future work).
 ///
+/// The presence check is one query_many and plain absent files move in
+/// upload_precompressed_batch groups, so pushing to a remote registry costs
+/// 1 + ⌈missing/batch⌉ round-trips instead of one per file. In-process the
+/// batched entry points are ordered loops: registry contents and stats are
+/// byte-identical to the serial per-file protocol.
+///
 /// When `pool` is non-null, per-file compression of the absent files fans
 /// out across it (bounded by `max_inflight_bytes` of raw content, 0 =
 /// unbounded); the query round and the registry insertions stay serial and
 /// ordered, so registry contents and stats are identical at any width.
 std::size_t push_gear_image(const GearImage& image,
                             docker::DockerRegistry& index_registry,
-                            GearRegistry& file_registry,
+                            FileRegistryApi& file_registry,
                             const ChunkPolicy& chunk_policy = {},
                             util::ThreadPool* pool = nullptr,
                             std::uint64_t max_inflight_bytes = 0);
@@ -50,7 +65,7 @@ std::size_t push_gear_image(const GearImage& image,
 class GearClient {
  public:
   GearClient(docker::DockerRegistry& index_registry,
-             GearRegistry& file_registry, sim::NetworkLink& link,
+             FileRegistryApi& file_registry, sim::NetworkLink& link,
              sim::DiskModel& disk, docker::RuntimeParams params = {},
              std::uint64_t cache_capacity_bytes = 0,
              EvictionPolicy policy = EvictionPolicy::kLru);
@@ -106,11 +121,12 @@ class GearClient {
   /// of the bandwidth Gear initially saved. Returns (files fetched, bytes
   /// moved); both zero when the image is already fully local.
   ///
-  /// Downloads move in batches — one pipelined round-trip per batch, batch
-  /// size bounded by `Concurrency.max_inflight_bytes` of wire data — with
-  /// decompression fanned out across the worker pool. All link/disk/cache
-  /// accounting happens at a single serialized point, so the simulated
-  /// timings are identical at any worker count.
+  /// Downloads move in batches — one download_batch (one wire round-trip
+  /// against a remote registry) per batch, batch size bounded by
+  /// download_batch_files() and `Concurrency.max_inflight_bytes` of wire
+  /// data — with decompression fanned out across the worker pool. All
+  /// link/disk/cache accounting happens at a single serialized point, so
+  /// the simulated timings are identical at any worker count.
   std::pair<std::size_t, std::uint64_t> prefetch_remaining(
       const std::string& reference);
 
@@ -124,11 +140,26 @@ class GearClient {
     return concurrency_;
   }
 
+  /// Cap on files per download_batch round-trip in the bulk-fetch paths.
+  /// 1 reproduces the serial per-file protocol over the same wire messages
+  /// (the per-file baseline of the batching experiments).
+  void set_download_batch_files(std::size_t n) {
+    batch_files_ = n < 1 ? 1 : n;
+  }
+  std::size_t download_batch_files() const noexcept { return batch_files_; }
+
   /// When enabled, deploy() bulk-warms the access set's still-stubbed files
   /// into the shared cache with batched pipelined downloads before replaying
   /// the accesses, instead of paying one round-trip per file miss. Off by
   /// default (the paper's on-demand deployment model).
   void set_bulk_warm_deploy(bool enabled) { bulk_warm_deploy_ = enabled; }
+
+  /// Times a concurrent materialization of the same fingerprint joined an
+  /// already in-flight download instead of issuing its own (telemetry for
+  /// the singleflight path).
+  std::uint64_t coalesced_hits() const noexcept {
+    return coalesced_hits_.load(std::memory_order_relaxed);
+  }
 
   /// Tears down a container. Gear only drops the inode cache entries of the
   /// files the container actually touched (paper §V-F), then deletes its
@@ -149,8 +180,22 @@ class GearClient {
   const docker::RuntimeParams& params() const noexcept { return params_; }
 
  private:
+  struct Inflight;
+
+  /// Serves one regular-file fault: shared cache, then peer source, then
+  /// the registry. Concurrent calls for the same fingerprint coalesce into
+  /// one registry download (singleflight): the first caller fetches, the
+  /// rest wait on the flight and share its content, paying only the
+  /// hard-link cost. Safe to call from several viewer threads; all model
+  /// and store accounting is serialized under state_mutex_.
   Bytes materialize(const std::string& reference, const Fingerprint& fp,
                     std::uint64_t size, std::uint64_t* downloaded);
+
+  /// The registry leg of materialize (singleflight leaders only): one
+  /// download_batch of one file, accounted under state_mutex_.
+  Bytes fetch_from_registry(const std::string& reference,
+                            const Fingerprint& fp, std::uint64_t size,
+                            std::uint64_t* downloaded);
 
   /// Fetches `wanted` (unique fingerprints + expected sizes) into the shared
   /// cache in pipelined batches, skipping entries already cached and
@@ -163,7 +208,7 @@ class GearClient {
   util::ThreadPool* pool();
 
   docker::DockerRegistry& index_registry_;
-  GearRegistry& file_registry_;
+  FileRegistryApi& file_registry_;
   sim::NetworkLink& link_;
   sim::DiskModel& disk_;
   docker::RuntimeParams params_;
@@ -179,6 +224,19 @@ class GearClient {
   util::Concurrency concurrency_;            // batched-fetch worker budget
   std::unique_ptr<util::ThreadPool> pool_;   // lazily built
   bool bulk_warm_deploy_ = false;
+  std::size_t batch_files_ = 64;             // files per bulk round-trip
+
+  /// Serializes the sim models (link/disk) and the three-level store —
+  /// none of them are thread-safe.
+  std::mutex state_mutex_;
+  /// Serializes registry downloads across flight leaders (the registry is
+  /// not thread-safe either). Separate from state_mutex_ so cache probes
+  /// and flight joins never queue behind a download in progress.
+  std::mutex download_mutex_;
+  std::mutex flights_mutex_;  // guards inflight_ (none held together)
+  std::unordered_map<Fingerprint, std::shared_ptr<Inflight>, FingerprintHash>
+      inflight_;
+  std::atomic<std::uint64_t> coalesced_hits_{0};
 };
 
 }  // namespace gear

@@ -102,6 +102,22 @@ StatusOr<Bytes> GearRegistry::download(const Fingerprint& fp) const {
   return decompress(it->second);
 }
 
+StatusOr<Bytes> GearRegistry::download_compressed(const Fingerprint& fp) const {
+  if (chunked_.count(fp) != 0) {
+    // Chunked files have no single stored frame; reassemble (counts one
+    // download, like any whole-file fetch) and re-frame for the wire.
+    StatusOr<Bytes> whole = download(fp);
+    if (!whole.ok()) return whole;
+    return compress(*whole);
+  }
+  auto it = objects_.find(fp);
+  if (it == objects_.end()) {
+    return {ErrorCode::kNotFound, "gear file not found: " + fp.hex()};
+  }
+  ++stats_.downloads;
+  return it->second;
+}
+
 StatusOr<std::vector<Bytes>> GearRegistry::download_batch(
     const std::vector<Fingerprint>& fps, util::ThreadPool* pool,
     std::uint64_t* wire_bytes_out) const {
@@ -113,16 +129,23 @@ StatusOr<std::vector<Bytes>> GearRegistry::download_batch(
   // are only located here; their decompression is deferred.
   std::vector<const Bytes*> plain(fps.size(), nullptr);
   for (std::size_t i = 0; i < fps.size(); ++i) {
+    const std::string item_pos = " (item " + std::to_string(i + 1) + " of " +
+                                 std::to_string(fps.size()) + ")";
     if (chunked_.count(fps[i]) != 0) {
       StatusOr<Bytes> whole = download(fps[i]);
-      if (!whole.ok()) return {whole.code(), whole.message()};
+      if (!whole.ok()) {
+        return {whole.code(),
+                "download_batch: " + whole.message() + item_pos};
+      }
       wire += stored_size(fps[i]).value();
       out[i] = std::move(whole).value();
       continue;
     }
     auto it = objects_.find(fps[i]);
     if (it == objects_.end()) {
-      return {ErrorCode::kNotFound, "gear file not found: " + fps[i].hex()};
+      return {ErrorCode::kNotFound,
+              "download_batch: gear file not found: " + fps[i].hex() +
+                  item_pos};
     }
     ++stats_.downloads;
     wire += it->second.size();

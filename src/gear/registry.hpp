@@ -11,6 +11,7 @@
 #include <unordered_map>
 
 #include "gear/chunking.hpp"
+#include "gear/registry_api.hpp"
 #include "util/bytes.hpp"
 #include "util/error.hpp"
 #include "util/fingerprint.hpp"
@@ -25,39 +26,45 @@ struct GearRegistryStats {
   std::uint64_t queries = 0;
 };
 
-class GearRegistry {
+class GearRegistry : public FileRegistryApi {
  public:
   /// "query" interface: does a Gear file with this fingerprint exist?
-  bool query(const Fingerprint& fp) const;
+  bool query(const Fingerprint& fp) const override;
 
   /// "upload" interface: stores `content` under `fp` (compressing it).
   /// Returns true if stored, false if deduplicated (already present).
-  bool upload(const Fingerprint& fp, BytesView content);
+  bool upload(const Fingerprint& fp, BytesView content) override;
 
   /// Stores an already-compressed frame under `fp`. Lets uploaders (the
   /// parallel push path) run compress() in worker threads and keep the
   /// registry mutation itself single-threaded. Equivalent to upload() of the
   /// original content: compress() is deterministic, so stored bytes and
   /// stats match the serial path exactly.
-  bool upload_precompressed(const Fingerprint& fp, Bytes compressed);
+  bool upload_precompressed(const Fingerprint& fp, Bytes compressed) override;
 
   /// Chunked upload (future-work extension, paper §VII): stores the file as
   /// policy-sized chunk objects plus a chunk manifest under `fp`. Chunks
   /// shared with other files are deduplicated individually. Falls back to a
   /// plain upload when the policy does not apply to this file size.
-  bool upload_chunked(const Fingerprint& fp, BytesView content,
-                      const ChunkPolicy& policy,
-                      const FingerprintHasher& hasher = default_hasher());
+  bool upload_chunked(
+      const Fingerprint& fp, BytesView content, const ChunkPolicy& policy,
+      const FingerprintHasher& hasher = default_hasher()) override;
 
   /// True when `fp` is stored in chunked form.
-  bool is_chunked(const Fingerprint& fp) const;
+  bool is_chunked(const Fingerprint& fp) const override;
 
   /// The chunk manifest of a chunked file. kNotFound otherwise.
-  StatusOr<ChunkManifest> chunk_manifest(const Fingerprint& fp) const;
+  StatusOr<ChunkManifest> chunk_manifest(const Fingerprint& fp) const override;
 
   /// "download" interface: returns the decompressed file content.
   /// Chunked files are reassembled transparently.
-  StatusOr<Bytes> download(const Fingerprint& fp) const;
+  StatusOr<Bytes> download(const Fingerprint& fp) const override;
+
+  /// The wire-transfer form of one object: the stored compressed (GZC1)
+  /// frame for plain objects, a reassembled-and-recompressed frame for
+  /// chunked files. What a batch download response carries per item — the
+  /// server ships stored bytes verbatim instead of decompressing them.
+  StatusOr<Bytes> download_compressed(const Fingerprint& fp) const;
 
   /// Batched download: one call serves many fingerprints so a client can
   /// pay a single pipelined round-trip for a bulk fetch. Results line up
@@ -65,23 +72,24 @@ class GearRegistry {
   /// compressed transfer size. When `pool` is non-null, per-object
   /// decompression fans out across it; lookups, stats, and result placement
   /// stay deterministic regardless of the pool width. Fails with kNotFound
-  /// if any fingerprint is absent (nothing about the batch is partial).
+  /// naming the offending fingerprint if any is absent (nothing about the
+  /// batch is partial).
   StatusOr<std::vector<Bytes>> download_batch(
       const std::vector<Fingerprint>& fps, util::ThreadPool* pool = nullptr,
-      std::uint64_t* wire_bytes_out = nullptr) const;
+      std::uint64_t* wire_bytes_out = nullptr) const override;
 
   /// Partial download of a chunked file: only the chunks covering
   /// [offset, offset+length) move. `wire_bytes_out` (optional) receives the
   /// compressed bytes a client would transfer. Works on plain files too
   /// (whole object moves; the range is sliced client-side).
-  StatusOr<Bytes> download_range(const Fingerprint& fp, std::uint64_t offset,
-                                 std::uint64_t length,
-                                 std::uint64_t* wire_bytes_out = nullptr) const;
+  StatusOr<Bytes> download_range(
+      const Fingerprint& fp, std::uint64_t offset, std::uint64_t length,
+      std::uint64_t* wire_bytes_out = nullptr) const override;
 
   /// Compressed (on-the-wire / on-disk) size of one object; what a client
   /// transfers when fetching this file whole (manifest + chunks when
   /// chunked). kNotFound when absent.
-  StatusOr<std::uint64_t> stored_size(const Fingerprint& fp) const;
+  StatusOr<std::uint64_t> stored_size(const Fingerprint& fp) const override;
 
   /// Wire size of one stored chunk object. kNotFound when absent.
   StatusOr<std::uint64_t> chunk_stored_size(const Fingerprint& chunk_fp) const;

@@ -1,0 +1,59 @@
+#include "gear/registry_api.hpp"
+
+namespace gear {
+
+std::vector<std::uint8_t> FileRegistryApi::query_many(
+    const std::vector<Fingerprint>& fps) const {
+  std::vector<std::uint8_t> out(fps.size(), 0);
+  for (std::size_t i = 0; i < fps.size(); ++i) {
+    out[i] = query(fps[i]) ? 1 : 0;
+  }
+  return out;
+}
+
+std::size_t FileRegistryApi::upload_precompressed_batch(
+    std::vector<std::pair<Fingerprint, Bytes>> items) {
+  std::size_t stored = 0;
+  for (auto& [fp, compressed] : items) {
+    if (upload_precompressed(fp, std::move(compressed))) ++stored;
+  }
+  return stored;
+}
+
+bool FileRegistryApi::upload_chunked(const Fingerprint& fp, BytesView content,
+                                     const ChunkPolicy& policy,
+                                     const FingerprintHasher& hasher) {
+  (void)policy;
+  (void)hasher;
+  return upload(fp, content);
+}
+
+StatusOr<Bytes> FileRegistryApi::download_range(
+    const Fingerprint& fp, std::uint64_t offset, std::uint64_t length,
+    std::uint64_t* wire_bytes_out) const {
+  StatusOr<Bytes> whole = download(fp);
+  if (!whole.ok()) return whole;
+  if (length == 0 || offset + length > whole->size()) {
+    return {ErrorCode::kInvalidArgument, "range out of bounds"};
+  }
+  if (wire_bytes_out != nullptr) {
+    StatusOr<std::uint64_t> wire = stored_size(fp);
+    *wire_bytes_out = wire.ok() ? *wire : whole->size();
+  }
+  return Bytes(whole->begin() + static_cast<std::ptrdiff_t>(offset),
+               whole->begin() + static_cast<std::ptrdiff_t>(offset + length));
+}
+
+bool FileRegistryApi::is_chunked(const Fingerprint& fp) const {
+  (void)fp;
+  return false;
+}
+
+StatusOr<ChunkManifest> FileRegistryApi::chunk_manifest(
+    const Fingerprint& fp) const {
+  return {ErrorCode::kNotFound, "no chunk manifest for " + fp.hex()};
+}
+
+bool FileRegistryApi::transport_accounted() const { return false; }
+
+}  // namespace gear

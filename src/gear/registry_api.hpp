@@ -1,0 +1,97 @@
+// File-registry abstraction: the query/upload/download surface the Gear
+// deployment path programs against (the paper's three HTTP interfaces,
+// §III-C, plus the batched and chunked extensions).
+//
+// Two implementations exist:
+//   * GearRegistry           — the in-process content-addressed store;
+//   * net::RemoteGearRegistry — a client stub speaking the wire protocol
+//     over a Transport (loopback, fault-injecting, or a simulated link).
+//
+// GearClient and push_gear_image operate exclusively on this interface, so
+// the exact same deployment code runs against a local store or across the
+// network boundary. The batched entry points (query_many, download_batch,
+// upload_precompressed_batch) are what turn O(files) round-trips into
+// O(files / batch) when the registry is remote; in-process they default to
+// plain ordered loops, keeping contents and stats byte-identical to the
+// serial protocol.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "gear/chunking.hpp"
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+#include "util/fingerprint.hpp"
+#include "util/thread_pool.hpp"
+
+namespace gear {
+
+class FileRegistryApi {
+ public:
+  virtual ~FileRegistryApi() = default;
+
+  /// "query" interface: does a Gear file with this fingerprint exist?
+  virtual bool query(const Fingerprint& fp) const = 0;
+
+  /// Batched query: out[i] != 0 iff fps[i] is stored. Default loops query()
+  /// in order; remote implementations answer every fingerprint in a single
+  /// round-trip.
+  virtual std::vector<std::uint8_t> query_many(
+      const std::vector<Fingerprint>& fps) const;
+
+  /// "upload" interface: stores `content` under `fp` (compressing it).
+  /// Returns true if stored, false if deduplicated (already present).
+  virtual bool upload(const Fingerprint& fp, BytesView content) = 0;
+
+  /// Stores an already-compressed (GZC1) frame under `fp`.
+  virtual bool upload_precompressed(const Fingerprint& fp, Bytes compressed) = 0;
+
+  /// Batched precompressed upload; returns the number actually stored (the
+  /// rest were deduplicated). Default loops upload_precompressed() in item
+  /// order; remote implementations move the whole batch in one round-trip.
+  virtual std::size_t upload_precompressed_batch(
+      std::vector<std::pair<Fingerprint, Bytes>> items);
+
+  /// Chunked upload (paper §VII). Backends without chunk support store the
+  /// file plain — readers are unaffected, they only lose range granularity.
+  virtual bool upload_chunked(const Fingerprint& fp, BytesView content,
+                              const ChunkPolicy& policy,
+                              const FingerprintHasher& hasher = default_hasher());
+
+  /// "download" interface: returns the decompressed file content.
+  virtual StatusOr<Bytes> download(const Fingerprint& fp) const = 0;
+
+  /// Batched download: results line up with `fps` by index; fails with
+  /// kNotFound naming the offending fingerprint if any is absent (nothing
+  /// about the batch is partial). `wire_bytes_out` (optional) receives the
+  /// summed compressed transfer size. `pool`, when non-null, may be used for
+  /// per-object decompression; placement stays deterministic at any width.
+  virtual StatusOr<std::vector<Bytes>> download_batch(
+      const std::vector<Fingerprint>& fps, util::ThreadPool* pool = nullptr,
+      std::uint64_t* wire_bytes_out = nullptr) const = 0;
+
+  /// Partial download of [offset, offset+length). Default fetches the whole
+  /// object and slices client-side; chunk-aware backends move only the
+  /// covering chunks.
+  virtual StatusOr<Bytes> download_range(
+      const Fingerprint& fp, std::uint64_t offset, std::uint64_t length,
+      std::uint64_t* wire_bytes_out = nullptr) const;
+
+  /// Compressed (on-the-wire / on-disk) size of one object.
+  virtual StatusOr<std::uint64_t> stored_size(const Fingerprint& fp) const = 0;
+
+  /// True when `fp` is stored in chunked form. Default: never.
+  virtual bool is_chunked(const Fingerprint& fp) const;
+
+  /// The chunk manifest of a chunked file; kNotFound otherwise.
+  virtual StatusOr<ChunkManifest> chunk_manifest(const Fingerprint& fp) const;
+
+  /// True when transfers through this registry are already charged to a
+  /// simulated link by the transport layer (per frame). The client must not
+  /// then also charge its own link model — that would bill every byte twice.
+  virtual bool transport_accounted() const;
+};
+
+}  // namespace gear

@@ -1,9 +1,13 @@
 #include "net/remote_registry.hpp"
 
+#include <numeric>
+
+#include "compress/codec.hpp"
+
 namespace gear::net {
 
 WireMessage RemoteGearRegistry::call(const WireMessage& request,
-                                     MessageType expected_type) {
+                                     MessageType expected_type) const {
   Bytes frame = encode_message(request);
   for (int attempt = 0; attempt < max_attempts_; ++attempt) {
     if (attempt > 0) ++stats_.retries;
@@ -12,7 +16,7 @@ WireMessage RemoteGearRegistry::call(const WireMessage& request,
     StatusOr<WireMessage> response = decode_message(response_frame);
     if (!response.ok()) {
       ++stats_.integrity_failures;
-      continue;  // damaged or dropped: retry
+      continue;  // damaged or dropped: retry the frame whole
     }
     if (response->type != expected_type || response->fp != request.fp) {
       ++stats_.integrity_failures;
@@ -28,12 +32,43 @@ WireMessage RemoteGearRegistry::call(const WireMessage& request,
                   std::to_string(max_attempts_) + " attempts");
 }
 
-bool RemoteGearRegistry::query(const Fingerprint& fp) {
+bool RemoteGearRegistry::query(const Fingerprint& fp) const {
   WireMessage request;
   request.type = MessageType::kQueryRequest;
   request.fp = fp;
   WireMessage response = call(request, MessageType::kQueryResponse);
   return response.status == Status::kExists;
+}
+
+std::vector<std::uint8_t> RemoteGearRegistry::query_many(
+    const std::vector<Fingerprint>& fps) const {
+  if (fps.empty()) return {};
+  WireMessage request;
+  request.type = MessageType::kQueryManyRequest;
+  request.items.resize(fps.size());
+  for (std::size_t i = 0; i < fps.size(); ++i) request.items[i].fp = fps[i];
+
+  // call() guards the frame; this loop guards the item list (count and
+  // fingerprint echo must mirror the request).
+  for (int attempt = 0; attempt < max_attempts_; ++attempt) {
+    WireMessage response = call(request, MessageType::kQueryManyResponse);
+    bool echo_ok = response.items.size() == fps.size();
+    for (std::size_t i = 0; echo_ok && i < fps.size(); ++i) {
+      echo_ok = response.items[i].fp == fps[i];
+    }
+    if (!echo_ok) {
+      ++stats_.integrity_failures;
+      continue;
+    }
+    std::vector<std::uint8_t> out(fps.size());
+    for (std::size_t i = 0; i < fps.size(); ++i) {
+      out[i] = response.items[i].status == Status::kExists ? 1 : 0;
+    }
+    return out;
+  }
+  throw_error(ErrorCode::kInternal,
+              "remote: query batch repeatedly malformed after " +
+                  std::to_string(max_attempts_) + " attempts");
 }
 
 bool RemoteGearRegistry::upload(const Fingerprint& fp, BytesView content) {
@@ -45,7 +80,46 @@ bool RemoteGearRegistry::upload(const Fingerprint& fp, BytesView content) {
   return response.status == Status::kOk;
 }
 
-StatusOr<Bytes> RemoteGearRegistry::download(const Fingerprint& fp) {
+bool RemoteGearRegistry::upload_precompressed(const Fingerprint& fp,
+                                              Bytes compressed) {
+  std::vector<std::pair<Fingerprint, Bytes>> one;
+  one.emplace_back(fp, std::move(compressed));
+  return upload_precompressed_batch(std::move(one)) == 1;
+}
+
+std::size_t RemoteGearRegistry::upload_precompressed_batch(
+    std::vector<std::pair<Fingerprint, Bytes>> items) {
+  if (items.empty()) return 0;
+  WireMessage request;
+  request.type = MessageType::kUploadManyRequest;
+  request.items.resize(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    request.items[i].fp = items[i].first;
+    request.items[i].payload = std::move(items[i].second);
+  }
+
+  for (int attempt = 0; attempt < max_attempts_; ++attempt) {
+    WireMessage response = call(request, MessageType::kUploadManyResponse);
+    bool echo_ok = response.items.size() == request.items.size();
+    for (std::size_t i = 0; echo_ok && i < request.items.size(); ++i) {
+      echo_ok = response.items[i].fp == request.items[i].fp;
+    }
+    if (!echo_ok) {
+      ++stats_.integrity_failures;
+      continue;
+    }
+    std::size_t stored = 0;
+    for (const WireItem& item : response.items) {
+      if (item.status == Status::kOk) ++stored;
+    }
+    return stored;
+  }
+  throw_error(ErrorCode::kInternal,
+              "remote: upload batch repeatedly malformed after " +
+                  std::to_string(max_attempts_) + " attempts");
+}
+
+StatusOr<Bytes> RemoteGearRegistry::download(const Fingerprint& fp) const {
   WireMessage request;
   request.type = MessageType::kDownloadRequest;
   request.fp = fp;
@@ -64,6 +138,125 @@ StatusOr<Bytes> RemoteGearRegistry::download(const Fingerprint& fp) {
   }
   return {ErrorCode::kCorruptData,
           "remote: content repeatedly failed fingerprint check: " + fp.hex()};
+}
+
+StatusOr<std::vector<Bytes>> RemoteGearRegistry::download_batch(
+    const std::vector<Fingerprint>& fps, util::ThreadPool* pool,
+    std::uint64_t* wire_bytes_out) const {
+  std::vector<Bytes> out(fps.size());
+  std::uint64_t wire = 0;
+  if (fps.empty()) {
+    if (wire_bytes_out != nullptr) *wire_bytes_out = 0;
+    return out;
+  }
+
+  // Indices of fps still outstanding. The first round asks for everything;
+  // later rounds refetch only the items that failed verification inside an
+  // otherwise intact frame (partial retry — the CRC protects the frame,
+  // fingerprints protect each item).
+  std::vector<std::size_t> pending(fps.size());
+  std::iota(pending.begin(), pending.end(), std::size_t{0});
+
+  for (int round = 0; round < max_attempts_ && !pending.empty(); ++round) {
+    WireMessage request;
+    request.type = MessageType::kDownloadManyRequest;
+    request.items.resize(pending.size());
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      request.items[i].fp = fps[pending[i]];
+    }
+    WireMessage response = call(request, MessageType::kDownloadManyResponse);
+    if (response.items.size() != pending.size()) {
+      ++stats_.integrity_failures;
+      continue;  // malformed item list: ask for the whole remainder again
+    }
+
+    // Serial pass: per-item status and fingerprint echo. kNotFound is an
+    // answer, not a transmission fault — fail the batch naming the file.
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      if (response.items[i].status == Status::kNotFound &&
+          response.items[i].fp == fps[pending[i]]) {
+        return {ErrorCode::kNotFound,
+                "remote: no such file: " + fps[pending[i]].hex()};
+      }
+    }
+
+    // Decompress + verify each item; independent per item, so this is the
+    // one phase allowed on the pool. Results land by slot — deterministic
+    // at any pool width.
+    std::vector<Bytes> contents(pending.size());
+    std::vector<std::uint8_t> good(pending.size(), 0);
+    auto check_one = [&](std::size_t i) {
+      const WireItem& item = response.items[i];
+      if (item.fp != fps[pending[i]] || item.status != Status::kOk) return;
+      try {
+        Bytes content = decompress(item.payload);
+        if (verify_content_ && hasher_.fingerprint(content) != item.fp) return;
+        contents[i] = std::move(content);
+        good[i] = 1;
+      } catch (const Error&) {
+        // corrupt compressed frame: leave the slot bad for refetch
+      }
+    };
+    if (pool != nullptr) {
+      pool->parallel_for_each(pending.size(), check_one);
+    } else {
+      for (std::size_t i = 0; i < pending.size(); ++i) check_one(i);
+    }
+
+    // Serial accounting pass: accepted items place and bill; failed ones
+    // queue for an item-granular refetch.
+    std::vector<std::size_t> still;
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      if (good[i] != 0) {
+        wire += response.items[i].payload.size();
+        out[pending[i]] = std::move(contents[i]);
+      } else {
+        ++stats_.integrity_failures;
+        still.push_back(pending[i]);
+      }
+    }
+    pending = std::move(still);
+    if (!pending.empty() && round + 1 < max_attempts_) {
+      stats_.item_refetches += pending.size();
+    }
+  }
+
+  if (!pending.empty()) {
+    return {ErrorCode::kCorruptData,
+            "remote: " + std::to_string(pending.size()) +
+                " item(s) repeatedly failed fingerprint check, first: " +
+                fps[pending.front()].hex()};
+  }
+  if (wire_bytes_out != nullptr) *wire_bytes_out = wire;
+  return out;
+}
+
+StatusOr<std::uint64_t> RemoteGearRegistry::stored_size(
+    const Fingerprint& fp) const {
+  WireMessage request;
+  request.type = MessageType::kQueryManyRequest;
+  request.items.resize(1);
+  request.items[0].fp = fp;
+
+  for (int attempt = 0; attempt < max_attempts_; ++attempt) {
+    WireMessage response = call(request, MessageType::kQueryManyResponse);
+    if (response.items.size() != 1 || response.items[0].fp != fp) {
+      ++stats_.integrity_failures;
+      continue;
+    }
+    const WireItem& item = response.items[0];
+    if (item.status != Status::kExists) {
+      return {ErrorCode::kNotFound, "remote: no such file: " + fp.hex()};
+    }
+    if (item.payload.empty()) {
+      return {ErrorCode::kUnsupported,
+              "remote: server did not advertise a stored size"};
+    }
+    std::size_t pos = 0;
+    return get_varint(item.payload, pos);
+  }
+  return {ErrorCode::kInternal,
+          "remote: size query repeatedly malformed for " + fp.hex()};
 }
 
 }  // namespace gear::net

@@ -1,28 +1,38 @@
 // Client stub for a Gear Registry reached over a Transport.
 //
-// Presents the registry's query/upload/download API while framing every
-// call through the wire protocol. Responses that fail integrity checking
-// (bad CRC, truncation, drops) are retried up to a bounded number of
-// attempts — transient transmission faults must not surface to the
-// deployment path; persistent ones become kUnavailable-style errors.
-// Downloaded content is additionally verified against the requested
-// fingerprint (end-to-end check, independent of the CRC).
+// Presents the FileRegistryApi surface while framing every call through the
+// wire protocol, so GearClient and push_gear_image deploy over a network
+// boundary with the exact code they use in-process. Responses that fail
+// integrity checking (bad CRC, truncation, drops) are retried up to a
+// bounded number of attempts — transient transmission faults must not
+// surface to the deployment path; persistent ones become errors.
+//
+// Batch calls (query_many / download_batch / upload_precompressed_batch)
+// move one frame per batch instead of one per file. Retry granularity is
+// two-level: a frame that fails decode is retransmitted whole (stats_
+// .retries), while a per-item fingerprint mismatch inside an intact frame
+// refetches only the damaged items in a follow-up batch (stats_
+// .item_refetches — counted separately, per the wire format contract).
+// Downloaded content is verified against the requested fingerprint
+// (end-to-end check, independent of the frame CRC).
 #pragma once
 
 #include <cstdint>
 
+#include "gear/registry_api.hpp"
 #include "net/transport.hpp"
 #include "util/fingerprint.hpp"
 
 namespace gear::net {
 
 struct RemoteRegistryStats {
-  std::uint64_t requests = 0;
-  std::uint64_t retries = 0;
+  std::uint64_t requests = 0;            // transport round trips issued
+  std::uint64_t retries = 0;             // whole-frame retransmissions
   std::uint64_t integrity_failures = 0;  // bad frames + fingerprint mismatch
+  std::uint64_t item_refetches = 0;      // single items refetched from a batch
 };
 
-class RemoteGearRegistry {
+class RemoteGearRegistry final : public FileRegistryApi {
  public:
   /// `verify_content`: re-hash downloaded payloads and require a match
   /// with the requested fingerprint (end-to-end server check). Disable when
@@ -37,27 +47,56 @@ class RemoteGearRegistry {
         hasher_(hasher) {}
 
   /// query interface. Throws kInternal after exhausting retries.
-  bool query(const Fingerprint& fp);
+  bool query(const Fingerprint& fp) const override;
+
+  /// Batched query: one round trip for the whole fingerprint list.
+  std::vector<std::uint8_t> query_many(
+      const std::vector<Fingerprint>& fps) const override;
 
   /// upload interface. Returns true if stored, false if deduplicated.
-  bool upload(const Fingerprint& fp, BytesView content);
+  bool upload(const Fingerprint& fp, BytesView content) override;
+
+  /// Stores a precompressed frame; one single-item batch round trip.
+  bool upload_precompressed(const Fingerprint& fp, Bytes compressed) override;
+
+  /// Batched precompressed upload: one round trip per batch. Returns the
+  /// number of items the server newly stored.
+  std::size_t upload_precompressed_batch(
+      std::vector<std::pair<Fingerprint, Bytes>> items) override;
 
   /// download interface. kNotFound is NOT retried (it is an answer);
   /// damaged frames and fingerprint mismatches are.
-  StatusOr<Bytes> download(const Fingerprint& fp);
+  StatusOr<Bytes> download(const Fingerprint& fp) const override;
+
+  /// Batched download: one round trip per batch; per-item payloads are the
+  /// server's stored compressed frames, decompressed (optionally on `pool`)
+  /// and fingerprint-verified here. Items that fail verification are
+  /// refetched individually (partial retry); a frame damaged in transit is
+  /// retried whole. `wire_bytes_out` receives the summed accepted payload
+  /// sizes — the compressed transfer volume, matching in-process accounting.
+  StatusOr<std::vector<Bytes>> download_batch(
+      const std::vector<Fingerprint>& fps, util::ThreadPool* pool = nullptr,
+      std::uint64_t* wire_bytes_out = nullptr) const override;
+
+  /// Served from the size the server advertises in query responses.
+  StatusOr<std::uint64_t> stored_size(const Fingerprint& fp) const override;
+
+  /// Frames through this stub are charged to the simulated link by the
+  /// transport itself; clients must not charge their own link model.
+  bool transport_accounted() const override { return true; }
 
   const RemoteRegistryStats& stats() const noexcept { return stats_; }
 
  private:
   /// Sends and decodes with retries; validates the response type and that
-  /// the echoed fingerprint matches.
-  WireMessage call(const WireMessage& request, MessageType expected_type);
+  /// the echoed top-level fingerprint matches.
+  WireMessage call(const WireMessage& request, MessageType expected_type) const;
 
   Transport& transport_;
   int max_attempts_;
   bool verify_content_;
   const FingerprintHasher& hasher_;
-  RemoteRegistryStats stats_;
+  mutable RemoteRegistryStats stats_;
 };
 
 }  // namespace gear::net

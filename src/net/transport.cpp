@@ -1,52 +1,139 @@
 #include "net/transport.hpp"
 
+#include "compress/codec.hpp"  // varint helpers
+
 namespace gear::net {
 
 Bytes LoopbackTransport::round_trip(BytesView request_frame) {
-  if (link_ != nullptr) link_->request(request_frame.size());
+  ++stats_.round_trips;
+  stats_.bytes_in += request_frame.size();
 
   WireMessage response;
   StatusOr<WireMessage> request = decode_message(request_frame);
   if (!request.ok()) {
     // A server cannot even parse the request: answer with a server error
     // carrying an empty fingerprint.
+    ++stats_.bad_requests;
+    if (link_ != nullptr) link_->request(request_frame.size());
     response.type = MessageType::kQueryResponse;
     response.status = Status::kServerError;
-  } else {
-    const WireMessage& req = *request;
-    response.fp = req.fp;
-    switch (req.type) {
-      case MessageType::kQueryRequest:
-        response.type = MessageType::kQueryResponse;
-        response.status =
-            registry_.query(req.fp) ? Status::kExists : Status::kNotFound;
-        break;
-      case MessageType::kUploadRequest:
-        response.type = MessageType::kUploadResponse;
-        response.status = registry_.upload(req.fp, req.payload)
-                              ? Status::kOk
-                              : Status::kExists;
-        break;
-      case MessageType::kDownloadRequest: {
-        response.type = MessageType::kDownloadResponse;
-        StatusOr<Bytes> content = registry_.download(req.fp);
-        if (content.ok()) {
-          response.status = Status::kOk;
-          response.payload = std::move(content).value();
-        } else {
-          response.status = Status::kNotFound;
-        }
-        break;
+    Bytes frame = encode_message(response);
+    stats_.bytes_out += frame.size();
+    if (link_ != nullptr) link_->request(frame.size());
+    return frame;
+  }
+
+  WireMessage& req = *request;
+  const std::uint64_t n_items =
+      is_batch_type(req.type) ? req.items.size() : 1;
+  if (link_ != nullptr) {
+    // The request frame is one wire request; batch responses below are
+    // charged as a pipelined burst (latency once, per-item overhead).
+    link_->request(request_frame.size());
+  }
+
+  response.fp = req.fp;
+  switch (req.type) {
+    case MessageType::kQueryRequest:
+      ++stats_.query_round_trips;
+      ++stats_.query_items;
+      response.type = MessageType::kQueryResponse;
+      response.status =
+          registry_.query(req.fp) ? Status::kExists : Status::kNotFound;
+      break;
+    case MessageType::kUploadRequest:
+      ++stats_.upload_round_trips;
+      ++stats_.upload_items;
+      response.type = MessageType::kUploadResponse;
+      response.status = registry_.upload(req.fp, req.payload)
+                            ? Status::kOk
+                            : Status::kExists;
+      break;
+    case MessageType::kDownloadRequest: {
+      ++stats_.download_round_trips;
+      ++stats_.download_items;
+      response.type = MessageType::kDownloadResponse;
+      StatusOr<Bytes> content = registry_.download(req.fp);
+      if (content.ok()) {
+        response.status = Status::kOk;
+        response.payload = std::move(content).value();
+      } else {
+        response.status = Status::kNotFound;
       }
-      default:
-        response.type = MessageType::kQueryResponse;
-        response.status = Status::kServerError;
-        break;
+      break;
     }
+    case MessageType::kQueryManyRequest: {
+      ++stats_.query_round_trips;
+      stats_.query_items += req.items.size();
+      response.type = MessageType::kQueryManyResponse;
+      response.items.reserve(req.items.size());
+      for (const WireItem& item : req.items) {
+        WireItem out;
+        out.fp = item.fp;
+        if (registry_.query(item.fp)) {
+          out.status = Status::kExists;
+          // Advertise the transfer size so clients can plan batch budgets
+          // without an extra round trip.
+          put_varint(out.payload, registry_.stored_size(item.fp).value());
+        } else {
+          out.status = Status::kNotFound;
+        }
+        response.items.push_back(std::move(out));
+      }
+      break;
+    }
+    case MessageType::kUploadManyRequest: {
+      ++stats_.upload_round_trips;
+      stats_.upload_items += req.items.size();
+      response.type = MessageType::kUploadManyResponse;
+      response.items.reserve(req.items.size());
+      for (WireItem& item : req.items) {
+        WireItem out;
+        out.fp = item.fp;
+        // Item payloads are precompressed frames: stored verbatim, exactly
+        // the in-process upload_precompressed protocol.
+        out.status =
+            registry_.upload_precompressed(item.fp, std::move(item.payload))
+                ? Status::kOk
+                : Status::kExists;
+        response.items.push_back(std::move(out));
+      }
+      break;
+    }
+    case MessageType::kDownloadManyRequest: {
+      ++stats_.download_round_trips;
+      stats_.download_items += req.items.size();
+      response.type = MessageType::kDownloadManyResponse;
+      response.items.reserve(req.items.size());
+      for (const WireItem& item : req.items) {
+        WireItem out;
+        out.fp = item.fp;
+        StatusOr<Bytes> stored = registry_.download_compressed(item.fp);
+        if (stored.ok()) {
+          out.status = Status::kOk;
+          out.payload = std::move(stored).value();
+        } else {
+          out.status = Status::kNotFound;
+        }
+        response.items.push_back(std::move(out));
+      }
+      break;
+    }
+    default:
+      response.type = MessageType::kQueryResponse;
+      response.status = Status::kServerError;
+      break;
   }
 
   Bytes frame = encode_message(response);
-  if (link_ != nullptr) link_->request(frame.size());
+  stats_.bytes_out += frame.size();
+  if (link_ != nullptr) {
+    if (n_items > 1) {
+      link_->pipelined(frame.size(), n_items);
+    } else {
+      link_->request(frame.size());
+    }
+  }
   return frame;
 }
 

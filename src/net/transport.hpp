@@ -2,7 +2,9 @@
 //
 //  * LoopbackTransport — serves a GearRegistry in-process: decodes the
 //    request, performs the operation, encodes the response; optionally
-//    charges the frames to a simulated link.
+//    charges the frames to a simulated link. Batch requests are answered in
+//    one frame (one round-trip) and charged to the link as a pipelined
+//    burst: latency once, per-object service overhead per item.
 //  * FaultyTransport — decorator injecting transmission faults (bit flips,
 //    truncation, drops) on a deterministic schedule, for exercising the
 //    client stub's integrity checking and retry logic.
@@ -28,19 +30,39 @@ class Transport {
   virtual Bytes round_trip(BytesView request_frame) = 0;
 };
 
+/// Server-side accounting of a LoopbackTransport. One round_trip() call is
+/// one round trip, whatever it carries; the *_items counters expose how many
+/// objects each interface served, so tests can prove an N-file deploy cost
+/// ⌈N/batch⌉ download round-trips instead of N.
+struct LoopbackServerStats {
+  std::uint64_t round_trips = 0;
+  std::uint64_t bad_requests = 0;        // undecodable request frames
+  std::uint64_t query_round_trips = 0;
+  std::uint64_t query_items = 0;
+  std::uint64_t upload_round_trips = 0;
+  std::uint64_t upload_items = 0;
+  std::uint64_t download_round_trips = 0;
+  std::uint64_t download_items = 0;
+  std::uint64_t bytes_in = 0;            // request frame bytes
+  std::uint64_t bytes_out = 0;           // response frame bytes
+};
+
 class LoopbackTransport final : public Transport {
  public:
   /// `link`: optional; when given, every request/response frame's bytes are
-  /// charged to it.
+  /// charged to it (batch frames as pipelined bursts).
   explicit LoopbackTransport(GearRegistry& registry,
                              sim::NetworkLink* link = nullptr)
       : registry_(registry), link_(link) {}
 
   Bytes round_trip(BytesView request_frame) override;
 
+  const LoopbackServerStats& server_stats() const noexcept { return stats_; }
+
  private:
   GearRegistry& registry_;
   sim::NetworkLink* link_;
+  LoopbackServerStats stats_;
 };
 
 /// Fault schedule: every `period`-th round trip is damaged.

@@ -10,9 +10,13 @@ namespace {
 
 constexpr char kMagic[4] = {'G', 'W', 'P', '1'};
 
+/// Smallest encoded item: fingerprint 16 + status 1 + varint 1 (empty
+/// payload). Used to bound a decoded item count before allocating.
+constexpr std::size_t kMinItemBytes = Fingerprint::kSize + 2;
+
 bool valid_type(std::uint8_t t) {
   return t >= static_cast<std::uint8_t>(MessageType::kQueryRequest) &&
-         t <= static_cast<std::uint8_t>(MessageType::kDownloadResponse);
+         t <= static_cast<std::uint8_t>(MessageType::kDownloadManyResponse);
 }
 
 bool valid_status(std::uint8_t s) {
@@ -35,15 +39,42 @@ std::uint32_t get_u32(BytesView data, std::size_t pos) {
 
 }  // namespace
 
+bool is_batch_type(MessageType type) {
+  switch (type) {
+    case MessageType::kQueryManyRequest:
+    case MessageType::kQueryManyResponse:
+    case MessageType::kUploadManyRequest:
+    case MessageType::kUploadManyResponse:
+    case MessageType::kDownloadManyRequest:
+    case MessageType::kDownloadManyResponse:
+      return true;
+    default:
+      return false;
+  }
+}
+
 Bytes encode_message(const WireMessage& message) {
+  std::size_t item_bytes = 0;
+  for (const WireItem& item : message.items) {
+    item_bytes += kMinItemBytes + 9 + item.payload.size();
+  }
   Bytes out;
-  out.reserve(message.payload.size() + 32);
+  out.reserve(message.payload.size() + item_bytes + 32);
   out.insert(out.end(), kMagic, kMagic + 4);
   out.push_back(static_cast<std::uint8_t>(message.type));
   out.push_back(static_cast<std::uint8_t>(message.status));
   out.insert(out.end(), message.fp.raw().begin(), message.fp.raw().end());
   put_varint(out, message.payload.size());
   append(out, message.payload);
+  if (is_batch_type(message.type)) {
+    put_varint(out, message.items.size());
+    for (const WireItem& item : message.items) {
+      out.insert(out.end(), item.fp.raw().begin(), item.fp.raw().end());
+      out.push_back(static_cast<std::uint8_t>(item.status));
+      put_varint(out, item.payload.size());
+      append(out, item.payload);
+    }
+  }
   put_u32(out, crc32(out));
   return out;
 }
@@ -80,11 +111,63 @@ StatusOr<WireMessage> decode_message(BytesView frame) {
   } catch (const Error&) {
     return {ErrorCode::kCorruptData, "wire: bad payload length"};
   }
-  if (pos + payload_len != body.size()) {
+  if (payload_len > body.size() - pos) {
     return {ErrorCode::kCorruptData, "wire: payload length mismatch"};
   }
-  message.payload.assign(body.begin() + static_cast<std::ptrdiff_t>(pos),
-                         body.end());
+  if (!is_batch_type(message.type)) {
+    if (pos + payload_len != body.size()) {
+      return {ErrorCode::kCorruptData, "wire: payload length mismatch"};
+    }
+    message.payload.assign(body.begin() + static_cast<std::ptrdiff_t>(pos),
+                           body.end());
+    return message;
+  }
+  message.payload.assign(
+      body.begin() + static_cast<std::ptrdiff_t>(pos),
+      body.begin() + static_cast<std::ptrdiff_t>(pos + payload_len));
+  pos += payload_len;
+
+  std::uint64_t count;
+  try {
+    count = get_varint(body, pos);
+  } catch (const Error&) {
+    return {ErrorCode::kCorruptData, "wire: bad item count"};
+  }
+  if (count > (body.size() - pos) / kMinItemBytes) {
+    return {ErrorCode::kCorruptData, "wire: item count exceeds frame"};
+  }
+  message.items.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    if (body.size() - pos < Fingerprint::kSize + 1) {
+      return {ErrorCode::kCorruptData, "wire: truncated item"};
+    }
+    WireItem item;
+    std::memcpy(raw.data(), body.data() + pos, raw.size());
+    pos += raw.size();
+    item.fp = Fingerprint(raw);
+    std::uint8_t item_status = body[pos++];
+    if (!valid_status(item_status)) {
+      return {ErrorCode::kCorruptData, "wire: unknown item status"};
+    }
+    item.status = static_cast<Status>(item_status);
+    std::uint64_t item_len;
+    try {
+      item_len = get_varint(body, pos);
+    } catch (const Error&) {
+      return {ErrorCode::kCorruptData, "wire: bad item payload length"};
+    }
+    if (item_len > body.size() - pos) {
+      return {ErrorCode::kCorruptData, "wire: item payload length mismatch"};
+    }
+    item.payload.assign(
+        body.begin() + static_cast<std::ptrdiff_t>(pos),
+        body.begin() + static_cast<std::ptrdiff_t>(pos + item_len));
+    pos += item_len;
+    message.items.push_back(std::move(item));
+  }
+  if (pos != body.size()) {
+    return {ErrorCode::kCorruptData, "wire: trailing garbage after items"};
+  }
   return message;
 }
 

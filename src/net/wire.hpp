@@ -7,12 +7,25 @@
 //   magic "GWP1" | type u8 | status u8 | fingerprint 16B |
 //   payload varint-length + bytes | crc32 of everything before it
 //
-// The trailing CRC detects frames damaged in transit; content *identity*
-// is still verified end-to-end by fingerprints. decode rejects anything
-// malformed with kCorruptData, which the client stub turns into retries.
+// Batch messages (kQueryMany / kUploadMany / kDownloadMany) extend the same
+// frame with a varint-counted item list between the payload and the CRC:
+//
+//   ... payload | item-count varint |
+//   item := fingerprint 16B | status u8 | payload varint-length + bytes |
+//   ... | crc32
+//
+// One batch frame answers many fingerprints, so a bulk fetch pays one
+// round-trip per batch instead of one per file (the deploy-time lever of
+// §III-C / Fig. 9). The trailing CRC still covers the whole frame: a frame
+// damaged in transit is retransmitted whole, while per-item *content*
+// integrity is verified end-to-end by fingerprints, letting the client
+// refetch only the damaged items of an otherwise intact batch. decode
+// rejects anything malformed with kCorruptData, which the client stub turns
+// into retries.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "util/bytes.hpp"
 #include "util/error.hpp"
@@ -27,6 +40,12 @@ enum class MessageType : std::uint8_t {
   kUploadResponse = 4,
   kDownloadRequest = 5,
   kDownloadResponse = 6,
+  kQueryManyRequest = 7,
+  kQueryManyResponse = 8,
+  kUploadManyRequest = 9,
+  kUploadManyResponse = 10,
+  kDownloadManyRequest = 11,
+  kDownloadManyResponse = 12,
 };
 
 enum class Status : std::uint8_t {
@@ -36,11 +55,28 @@ enum class Status : std::uint8_t {
   kServerError = 3,
 };
 
+/// True for the *Many message types, whose frames carry an item list.
+bool is_batch_type(MessageType type);
+
+/// One entry of a batch message. In requests the status is ignored; in
+/// responses it is the per-item outcome. Download-response payloads are the
+/// stored compressed (GZC1) object; upload-request payloads likewise carry
+/// precompressed frames, so the bytes on the wire equal the bytes stored.
+struct WireItem {
+  Fingerprint fp;
+  Status status = Status::kOk;
+  Bytes payload;
+
+  friend bool operator==(const WireItem&, const WireItem&) = default;
+};
+
 struct WireMessage {
   MessageType type = MessageType::kQueryRequest;
   Status status = Status::kOk;
   Fingerprint fp;
   Bytes payload;  // upload request content / download response content
+  /// Batch entries; encoded only for is_batch_type(type) messages.
+  std::vector<WireItem> items;
 
   friend bool operator==(const WireMessage&, const WireMessage&) = default;
 };
@@ -49,7 +85,7 @@ struct WireMessage {
 Bytes encode_message(const WireMessage& message);
 
 /// Decodes a frame; returns kCorruptData for bad magic, bad CRC, truncation,
-/// unknown type/status, or trailing garbage.
+/// unknown type/status, bad item list, or trailing garbage.
 StatusOr<WireMessage> decode_message(BytesView frame);
 
 }  // namespace gear::net

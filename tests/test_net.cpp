@@ -2,6 +2,7 @@
 // registry stub.
 #include <gtest/gtest.h>
 
+#include "compress/codec.hpp"
 #include "net/remote_registry.hpp"
 #include "net/transport.hpp"
 #include "net/wire.hpp"
@@ -199,6 +200,277 @@ TEST_F(NetFixture, EndToEndThroughRemoteStub) {
     }
     EXPECT_EQ(remote.download(fp).value(), content);
   }
+}
+
+// ---------------------------------------------------------- batch wire
+
+TEST(WireBatch, RoundTripAllBatchTypes) {
+  for (MessageType type :
+       {MessageType::kQueryManyRequest, MessageType::kQueryManyResponse,
+        MessageType::kUploadManyRequest, MessageType::kUploadManyResponse,
+        MessageType::kDownloadManyRequest,
+        MessageType::kDownloadManyResponse}) {
+    WireMessage m;
+    m.type = type;
+    m.fp = fp_of("batch");
+    m.items.resize(3);
+    m.items[0] = {fp_of("a"), Status::kOk, to_bytes("payload-a")};
+    m.items[1] = {fp_of("b"), Status::kNotFound, {}};
+    m.items[2] = {fp_of("c"), Status::kExists, Bytes(300, 9)};
+    StatusOr<WireMessage> back = decode_message(encode_message(m));
+    ASSERT_TRUE(back.ok()) << static_cast<int>(type);
+    EXPECT_EQ(*back, m);
+  }
+}
+
+TEST(WireBatch, EmptyItemListRoundTrips) {
+  WireMessage m;
+  m.type = MessageType::kDownloadManyRequest;
+  StatusOr<WireMessage> back = decode_message(encode_message(m));
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->items.empty());
+}
+
+TEST(WireBatch, ItemsOnNonBatchTypeNotEncoded) {
+  // The legacy frame layout must stay byte-identical: a non-batch message
+  // ignores (and does not transmit) any stray items.
+  WireMessage with_items;
+  with_items.type = MessageType::kQueryRequest;
+  with_items.fp = fp_of("legacy");
+  with_items.items.resize(2);
+  WireMessage plain = with_items;
+  plain.items.clear();
+  EXPECT_EQ(encode_message(with_items), encode_message(plain));
+}
+
+TEST(WireBatch, EveryByteFlipDetected) {
+  WireMessage m;
+  m.type = MessageType::kDownloadManyResponse;
+  m.items.resize(2);
+  m.items[0] = {fp_of("p"), Status::kOk, to_bytes("first item bytes")};
+  m.items[1] = {fp_of("q"), Status::kOk, to_bytes("second item bytes")};
+  Bytes frame = encode_message(m);
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    Bytes bad = frame;
+    bad[i] ^= 0xFF;
+    EXPECT_FALSE(decode_message(bad).ok()) << "flip at " << i;
+  }
+}
+
+TEST(WireBatch, TruncationAndTrailingGarbageRejected) {
+  WireMessage m;
+  m.type = MessageType::kUploadManyRequest;
+  m.items.resize(2);
+  m.items[0] = {fp_of("t"), Status::kOk, Bytes(50, 3)};
+  m.items[1] = {fp_of("u"), Status::kOk, Bytes(70, 4)};
+  Bytes frame = encode_message(m);
+  for (std::size_t len = 0; len < frame.size(); ++len) {
+    EXPECT_FALSE(decode_message(BytesView(frame.data(), len)).ok()) << len;
+  }
+  Bytes padded = frame;
+  padded.push_back(0);
+  EXPECT_FALSE(decode_message(padded).ok());
+}
+
+// ------------------------------------------------------- batch transport
+
+TEST_F(NetFixture, QueryManyAnswersInOneRoundTrip) {
+  RemoteGearRegistry remote(loopback);
+  registry.upload(fp_of("in-a"), to_bytes("in-a"));
+  registry.upload(fp_of("in-b"), to_bytes("in-b"));
+  std::vector<Fingerprint> fps = {fp_of("in-a"), fp_of("gone"), fp_of("in-b")};
+
+  std::vector<std::uint8_t> present = remote.query_many(fps);
+  ASSERT_EQ(present.size(), 3u);
+  EXPECT_EQ(present[0], 1);
+  EXPECT_EQ(present[1], 0);
+  EXPECT_EQ(present[2], 1);
+  EXPECT_EQ(loopback.server_stats().query_round_trips, 1u);
+  EXPECT_EQ(loopback.server_stats().query_items, 3u);
+  EXPECT_EQ(remote.stats().requests, 1u);
+}
+
+TEST_F(NetFixture, UploadBatchStoresExactlyWhatSerialUploadsWould) {
+  GearRegistry serial_registry;
+  std::vector<std::pair<Fingerprint, Bytes>> items;
+  Rng rng(21);
+  for (int i = 0; i < 10; ++i) {
+    Bytes content = rng.next_bytes(rng.next_range(1, 3000), 0.4);
+    Fingerprint fp = default_hasher().fingerprint(content);
+    serial_registry.upload(fp, content);
+    items.emplace_back(fp, compress(content));
+  }
+  items.emplace_back(items.front());  // duplicate: server must dedup it
+
+  RemoteGearRegistry remote(loopback);
+  EXPECT_EQ(remote.upload_precompressed_batch(std::move(items)), 10u);
+  EXPECT_EQ(loopback.server_stats().upload_round_trips, 1u);
+  EXPECT_EQ(loopback.server_stats().upload_items, 11u);
+  EXPECT_EQ(registry.storage_bytes(), serial_registry.storage_bytes());
+  EXPECT_EQ(registry.object_count(), serial_registry.object_count());
+  EXPECT_EQ(registry.stats().uploads_accepted, 10u);
+  EXPECT_EQ(registry.stats().uploads_deduplicated, 1u);
+}
+
+TEST_F(NetFixture, DownloadBatchMovesStoredBytesInOneRoundTrip) {
+  Rng rng(22);
+  std::vector<Fingerprint> fps;
+  std::vector<Bytes> originals;
+  std::uint64_t stored_total = 0;
+  for (int i = 0; i < 8; ++i) {
+    Bytes content = rng.next_bytes(rng.next_range(1, 4000), 0.5);
+    Fingerprint fp = default_hasher().fingerprint(content);
+    registry.upload(fp, content);
+    stored_total += registry.stored_size(fp).value();
+    fps.push_back(fp);
+    originals.push_back(std::move(content));
+  }
+
+  RemoteGearRegistry remote(loopback);
+  std::uint64_t wire = 0;
+  StatusOr<std::vector<Bytes>> got = remote.download_batch(fps, nullptr, &wire);
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(got->size(), fps.size());
+  for (std::size_t i = 0; i < fps.size(); ++i) EXPECT_EQ((*got)[i], originals[i]);
+  // Wire accounting equals the in-process registry's: stored bytes move.
+  EXPECT_EQ(wire, stored_total);
+  EXPECT_EQ(loopback.server_stats().download_round_trips, 1u);
+  EXPECT_EQ(loopback.server_stats().download_items, fps.size());
+  EXPECT_EQ(remote.stats().requests, 1u);
+  EXPECT_EQ(remote.stats().item_refetches, 0u);
+}
+
+TEST_F(NetFixture, DownloadBatchNotFoundNamesTheFingerprint) {
+  registry.upload(fp_of("have"), to_bytes("have"));
+  RemoteGearRegistry remote(loopback);
+  Fingerprint absent = fp_of("absent-file");
+  StatusOr<std::vector<Bytes>> got =
+      remote.download_batch({fp_of("have"), absent});
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.code(), ErrorCode::kNotFound);
+  EXPECT_NE(got.message().find(absent.hex()), std::string::npos)
+      << got.message();
+}
+
+TEST_F(NetFixture, StoredSizeServedOverTheWire) {
+  Bytes content(5000, 'q');
+  Fingerprint fp = default_hasher().fingerprint(content);
+  registry.upload(fp, content);
+  RemoteGearRegistry remote(loopback);
+  EXPECT_EQ(remote.stored_size(fp).value(), registry.stored_size(fp).value());
+  EXPECT_EQ(remote.stored_size(fp_of("nope")).code(), ErrorCode::kNotFound);
+}
+
+TEST_F(NetFixture, DamagedBatchFrameRetriedWhole) {
+  Rng rng(23);
+  std::vector<Fingerprint> fps;
+  std::vector<Bytes> originals;
+  for (int i = 0; i < 6; ++i) {
+    Bytes content = rng.next_bytes(2000, 0.4);
+    Fingerprint fp = default_hasher().fingerprint(content);
+    registry.upload(fp, content);
+    fps.push_back(fp);
+    originals.push_back(std::move(content));
+  }
+  for (FaultPlan::Kind kind :
+       {FaultPlan::Kind::kFlipByte, FaultPlan::Kind::kTruncate,
+        FaultPlan::Kind::kDrop}) {
+    FaultyTransport flaky(loopback, {kind, 2}, 24);
+    RemoteGearRegistry remote(flaky, /*max_attempts=*/4);
+    // Two batch calls: the 2nd and 4th transport frames are damaged, so at
+    // least one call pays a whole-frame retry.
+    for (int call = 0; call < 2; ++call) {
+      StatusOr<std::vector<Bytes>> got = remote.download_batch(fps);
+      ASSERT_TRUE(got.ok()) << static_cast<int>(kind);
+      for (std::size_t i = 0; i < fps.size(); ++i) {
+        EXPECT_EQ((*got)[i], originals[i]);
+      }
+    }
+    EXPECT_GT(remote.stats().retries, 0u) << static_cast<int>(kind);
+    // Frame damage is whole-frame retry territory, never item refetch.
+    EXPECT_EQ(remote.stats().item_refetches, 0u) << static_cast<int>(kind);
+  }
+}
+
+/// A lying middlebox: corrupts one item's payload inside the response and
+/// re-frames it, so the CRC is valid but the item fails its fingerprint
+/// check — exactly the case per-item refetch exists for.
+class TamperingTransport final : public Transport {
+ public:
+  TamperingTransport(Transport& inner, std::size_t tamper_item)
+      : inner_(inner), tamper_item_(tamper_item) {}
+
+  Bytes round_trip(BytesView request_frame) override {
+    if (StatusOr<WireMessage> req = decode_message(request_frame); req.ok()) {
+      request_item_counts_.push_back(req->items.size());
+    }
+    Bytes response = inner_.round_trip(request_frame);
+    if (++calls_ == 1) {
+      WireMessage m = decode_message(response).value();
+      Bytes& payload = m.items.at(tamper_item_).payload;
+      payload.at(payload.size() / 2) ^= 0x5A;
+      response = encode_message(m);  // CRC recomputed: the frame is intact
+    }
+    return response;
+  }
+
+  const std::vector<std::size_t>& request_item_counts() const {
+    return request_item_counts_;
+  }
+
+ private:
+  Transport& inner_;
+  std::size_t tamper_item_;
+  std::uint64_t calls_ = 0;
+  std::vector<std::size_t> request_item_counts_;
+};
+
+TEST_F(NetFixture, IntactFrameWithDamagedItemRefetchesOnlyThatItem) {
+  Rng rng(25);
+  std::vector<Fingerprint> fps;
+  std::vector<Bytes> originals;
+  for (int i = 0; i < 5; ++i) {
+    Bytes content = rng.next_bytes(1500, 0.4);
+    Fingerprint fp = default_hasher().fingerprint(content);
+    registry.upload(fp, content);
+    fps.push_back(fp);
+    originals.push_back(std::move(content));
+  }
+
+  TamperingTransport tampered(loopback, /*tamper_item=*/2);
+  RemoteGearRegistry remote(tampered, /*max_attempts=*/3);
+  StatusOr<std::vector<Bytes>> got = remote.download_batch(fps);
+  ASSERT_TRUE(got.ok());
+  for (std::size_t i = 0; i < fps.size(); ++i) EXPECT_EQ((*got)[i], originals[i]);
+
+  // The frame decoded fine, so no whole-frame retry happened; exactly one
+  // item was refetched, and the follow-up request carried only that item.
+  EXPECT_EQ(remote.stats().retries, 0u);
+  EXPECT_EQ(remote.stats().item_refetches, 1u);
+  EXPECT_EQ(remote.stats().integrity_failures, 1u);
+  ASSERT_EQ(tampered.request_item_counts().size(), 2u);
+  EXPECT_EQ(tampered.request_item_counts()[0], fps.size());
+  EXPECT_EQ(tampered.request_item_counts()[1], 1u);
+}
+
+TEST_F(NetFixture, BatchRoundTripsThroughFlakyLinkEndToEnd) {
+  FaultyTransport flaky(loopback, {FaultPlan::Kind::kFlipByte, 3}, 26);
+  RemoteGearRegistry remote(flaky, 5);
+  Rng rng(27);
+  std::vector<std::pair<Fingerprint, Bytes>> items;
+  std::vector<Fingerprint> fps;
+  std::vector<Bytes> originals;
+  for (int i = 0; i < 12; ++i) {
+    Bytes content = rng.next_bytes(rng.next_range(1, 2500), 0.4);
+    Fingerprint fp = default_hasher().fingerprint(content);
+    items.emplace_back(fp, compress(content));
+    fps.push_back(fp);
+    originals.push_back(std::move(content));
+  }
+  remote.upload_precompressed_batch(std::move(items));
+  StatusOr<std::vector<Bytes>> got = remote.download_batch(fps);
+  ASSERT_TRUE(got.ok());
+  for (std::size_t i = 0; i < fps.size(); ++i) EXPECT_EQ((*got)[i], originals[i]);
 }
 
 }  // namespace
