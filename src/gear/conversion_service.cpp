@@ -6,7 +6,7 @@ namespace gear {
 
 ConversionService::ConversionService(docker::DockerRegistry& classic_registry,
                                      docker::DockerRegistry& index_registry,
-                                     GearRegistry& file_registry,
+                                     FileRegistryApi& file_registry,
                                      Options options)
     : classic_registry_(classic_registry),
       index_registry_(index_registry),

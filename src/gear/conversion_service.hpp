@@ -46,15 +46,18 @@ class ConversionService {
     util::Concurrency concurrency = {};
   };
 
+  /// `file_registry` may be any FileRegistryApi: an in-process GearRegistry
+  /// over any storage backend, or a RemoteGearRegistry stub when the
+  /// converter publishes to a wire-served registry.
   ConversionService(docker::DockerRegistry& classic_registry,
                     docker::DockerRegistry& index_registry,
-                    GearRegistry& file_registry, Options options);
+                    FileRegistryApi& file_registry, Options options);
 
   // Default-options overload (a defaulted Options argument cannot appear
   // inside the enclosing class while Options is still incomplete).
   ConversionService(docker::DockerRegistry& classic_registry,
                     docker::DockerRegistry& index_registry,
-                    GearRegistry& file_registry)
+                    FileRegistryApi& file_registry)
       : ConversionService(classic_registry, index_registry, file_registry,
                           Options()) {}
 
@@ -77,7 +80,7 @@ class ConversionService {
 
   docker::DockerRegistry& classic_registry_;
   docker::DockerRegistry& index_registry_;
-  GearRegistry& file_registry_;
+  FileRegistryApi& file_registry_;
   Options options_;
   GearConverter converter_;
   std::unique_ptr<util::ThreadPool> pool_;  // lazily built

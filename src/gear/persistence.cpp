@@ -1,46 +1,113 @@
 #include "gear/persistence.hpp"
 
+#include "compress/codec.hpp"
 #include "gear/fs_store.hpp"  // sanitize_reference
 #include "util/file_io.hpp"
 
 namespace gear {
 namespace fs = std::filesystem;
 
-PersistReport save_registries(const docker::DockerRegistry& docker_registry,
-                              const GearRegistry& gear_registry,
-                              const fs::path& root) {
+PersistReport save_docker_registry(const docker::DockerRegistry& registry,
+                                   const fs::path& root) {
   PersistReport report;
-  // Full snapshot semantics: anything removed from the in-memory registries
-  // (deleted manifests, GC-swept objects) must disappear on disk too.
+  // Full snapshot semantics: anything removed from the in-memory registry
+  // (deleted manifests, GC-swept blobs) must disappear on disk too.
   fs::remove_all(root / "docker");
-  fs::remove_all(root / "gear");
   fs::create_directories(root / "docker" / "blobs");
   fs::create_directories(root / "docker" / "manifests");
+
+  for (const docker::Digest& digest : registry.list_blobs()) {
+    write_file_bytes(root / "docker" / "blobs" / digest.hex(),
+                     registry.get_blob(digest).value());
+    ++report.blobs;
+  }
+  for (const std::string& ref : registry.list_manifests()) {
+    std::string json = registry.get_manifest_json(ref).value();
+    write_file_bytes(
+        root / "docker" / "manifests" / (sanitize_reference(ref) + ".json"),
+        to_bytes(json));
+    ++report.manifests;
+  }
+  return report;
+}
+
+PersistReport save_gear_registry(const GearRegistry& registry,
+                                 const fs::path& root) {
+  PersistReport report;
+  fs::remove_all(root / "gear");
   fs::create_directories(root / "gear" / "objects");
   fs::create_directories(root / "gear" / "chunked");
 
-  for (const docker::Digest& digest : docker_registry.list_blobs()) {
-    write_file_bytes(root / "docker" / "blobs" / digest.hex(),
-              docker_registry.get_blob(digest).value());
-    ++report.blobs;
-  }
-  for (const std::string& ref : docker_registry.list_manifests()) {
-    std::string json = docker_registry.get_manifest_json(ref).value();
-    write_file_bytes(root / "docker" / "manifests" /
-                  (sanitize_reference(ref) + ".json"),
-              to_bytes(json));
-    ++report.manifests;
-  }
-  for (const Fingerprint& fp : gear_registry.list_objects()) {
+  const ObjectStore& store = registry.store();
+  for (const Fingerprint& fp : store.list_objects()) {
     // list_objects() covers plain files AND individual chunks; both are
     // written decompressed and re-compressed deterministically on load.
     write_file_bytes(root / "gear" / "objects" / fp.hex(),
-              gear_registry.download(fp).value());
+                     decompress(store.get(fp).value()));
     ++report.objects;
   }
-  for (const Fingerprint& fp : gear_registry.list_chunked()) {
+  for (const Fingerprint& fp : store.list_manifests()) {
     write_file_bytes(root / "gear" / "chunked" / (fp.hex() + ".gcm"),
-              gear_registry.chunk_manifest(fp).value().serialize());
+                     store.get_manifest(fp).value().serialize());
+    ++report.chunk_manifests;
+  }
+  return report;
+}
+
+PersistReport save_registries(const docker::DockerRegistry& docker_registry,
+                              const GearRegistry& gear_registry,
+                              const fs::path& root) {
+  PersistReport report = save_docker_registry(docker_registry, root);
+  PersistReport gear = save_gear_registry(gear_registry, root);
+  report.objects = gear.objects;
+  report.chunk_manifests = gear.chunk_manifests;
+  return report;
+}
+
+PersistReport load_docker_registry(const fs::path& root,
+                                   docker::DockerRegistry* registry) {
+  if (!fs::is_directory(root / "docker")) {
+    throw_error(ErrorCode::kNotFound,
+                "no persisted docker registry at " + root.string());
+  }
+  PersistReport report;
+  for (const auto& entry : fs::directory_iterator(root / "docker" / "blobs")) {
+    Bytes blob = read_file_bytes(entry.path());
+    docker::Digest digest =
+        docker::Digest::from_string(entry.path().filename().string());
+    registry->put_blob(digest, std::move(blob));  // verifies digest
+    ++report.blobs;
+  }
+  for (const auto& entry :
+       fs::directory_iterator(root / "docker" / "manifests")) {
+    std::string json = to_string(read_file_bytes(entry.path()));
+    docker::Manifest manifest = docker::Manifest::from_json_string(json);
+    registry->put_manifest_json(manifest.reference(), std::move(json));
+    ++report.manifests;
+  }
+  return report;
+}
+
+PersistReport load_gear_registry(const fs::path& root,
+                                 GearRegistry* registry) {
+  if (!fs::is_directory(root / "gear")) {
+    throw_error(ErrorCode::kNotFound,
+                "no persisted gear registry at " + root.string());
+  }
+  PersistReport report;
+  for (const auto& entry : fs::directory_iterator(root / "gear" / "objects")) {
+    Fingerprint fp = Fingerprint::from_hex(entry.path().filename().string());
+    registry->upload(fp, read_file_bytes(entry.path()));
+    ++report.objects;
+  }
+  for (const auto& entry : fs::directory_iterator(root / "gear" / "chunked")) {
+    std::string name = entry.path().filename().string();
+    if (name.size() < 5) {
+      throw_error(ErrorCode::kCorruptData, "bad chunk manifest name: " + name);
+    }
+    Fingerprint fp = Fingerprint::from_hex(name.substr(0, name.size() - 4));
+    registry->restore_chunked(
+        fp, ChunkManifest::parse(read_file_bytes(entry.path())));
     ++report.chunk_manifests;
   }
   return report;
@@ -53,40 +120,10 @@ PersistReport load_registries(const fs::path& root,
     throw_error(ErrorCode::kNotFound,
                 "no persisted registries at " + root.string());
   }
-  PersistReport report;
-
-  for (const auto& entry : fs::directory_iterator(root / "docker" / "blobs")) {
-    Bytes blob = read_file_bytes(entry.path());
-    docker::Digest digest =
-        docker::Digest::from_string(entry.path().filename().string());
-    docker_registry->put_blob(digest, std::move(blob));  // verifies digest
-    ++report.blobs;
-  }
-  for (const auto& entry :
-       fs::directory_iterator(root / "docker" / "manifests")) {
-    std::string json = to_string(read_file_bytes(entry.path()));
-    docker::Manifest manifest = docker::Manifest::from_json_string(json);
-    docker_registry->put_manifest_json(manifest.reference(), std::move(json));
-    ++report.manifests;
-  }
-  for (const auto& entry :
-       fs::directory_iterator(root / "gear" / "objects")) {
-    Fingerprint fp =
-        Fingerprint::from_hex(entry.path().filename().string());
-    gear_registry->upload(fp, read_file_bytes(entry.path()));
-    ++report.objects;
-  }
-  for (const auto& entry :
-       fs::directory_iterator(root / "gear" / "chunked")) {
-    std::string name = entry.path().filename().string();
-    if (name.size() < 5) {
-      throw_error(ErrorCode::kCorruptData, "bad chunk manifest name: " + name);
-    }
-    Fingerprint fp = Fingerprint::from_hex(name.substr(0, name.size() - 4));
-    gear_registry->restore_chunked(fp,
-                                   ChunkManifest::parse(read_file_bytes(entry.path())));
-    ++report.chunk_manifests;
-  }
+  PersistReport report = load_docker_registry(root, docker_registry);
+  PersistReport gear = load_gear_registry(root, gear_registry);
+  report.objects = gear.objects;
+  report.chunk_manifests = gear.chunk_manifests;
   return report;
 }
 

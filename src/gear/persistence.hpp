@@ -9,6 +9,13 @@
 //
 // Object files are stored decompressed; load re-compresses with the
 // deterministic in-tree codec, reproducing identical registry state.
+// (A DiskObjectStore shares the objects/ + chunked/ naming but keeps the
+// compressed frames — it is the live storage engine, not a snapshot.)
+//
+// Each registry has its own save/load pair so deployments that keep one
+// side durable (e.g. gearctl --store-dir puts the Gear files on a
+// DiskObjectStore) can snapshot just the other; save_registries /
+// load_registries compose the two.
 #pragma once
 
 #include <filesystem>
@@ -25,11 +32,31 @@ struct PersistReport {
   std::size_t chunk_manifests = 0;
 };
 
+/// Writes the Docker registry under `<root>/docker` (full snapshot: stale
+/// files from earlier saves are removed).
+PersistReport save_docker_registry(const docker::DockerRegistry& registry,
+                                   const std::filesystem::path& root);
+
+/// Writes the Gear registry under `<root>/gear` (full snapshot). Reads
+/// through the registry's ObjectStore, so saving has no effect on interface
+/// stats (a snapshot is not a download).
+PersistReport save_gear_registry(const GearRegistry& registry,
+                                 const std::filesystem::path& root);
+
 /// Writes both registries under `root` (created if needed) as a full
 /// snapshot: stale files from earlier saves are removed.
 PersistReport save_registries(const docker::DockerRegistry& docker_registry,
                               const GearRegistry& gear_registry,
                               const std::filesystem::path& root);
+
+/// Loads the Docker registry from `<root>/docker`. Throws Error(kNotFound)
+/// when the layout is missing, kCorruptData on damaged content.
+PersistReport load_docker_registry(const std::filesystem::path& root,
+                                   docker::DockerRegistry* registry);
+
+/// Loads the Gear registry from `<root>/gear` (same error contract).
+PersistReport load_gear_registry(const std::filesystem::path& root,
+                                 GearRegistry* registry);
 
 /// Loads both registries from `root`. Throws Error(kNotFound) when the
 /// layout is missing, kCorruptData on damaged content.

@@ -1,36 +1,49 @@
 #include "gear/registry.hpp"
 
+#include <mutex>
+
 #include "compress/codec.hpp"
 
 namespace gear {
 
+namespace {
+constexpr auto kRelaxed = std::memory_order_relaxed;
+}  // namespace
+
+GearRegistry::GearRegistry(std::unique_ptr<ObjectStore> store)
+    : store_(store != nullptr ? std::move(store)
+                              : std::make_unique<MemoryObjectStore>()) {}
+
 bool GearRegistry::query(const Fingerprint& fp) const {
-  ++stats_.queries;
-  return objects_.count(fp) != 0 || chunked_.count(fp) != 0;
+  stats_.queries.fetch_add(1, kRelaxed);
+  std::shared_lock lock(shard_lock(fp));
+  return store_->contains(fp) || store_->contains_manifest(fp);
+}
+
+bool GearRegistry::upload_compressed_locked(const Fingerprint& fp,
+                                            Bytes compressed) {
+  store_->put_if_absent(fp, std::move(compressed));
+  stats_.uploads_accepted.fetch_add(1, kRelaxed);
+  return true;
 }
 
 bool GearRegistry::upload(const Fingerprint& fp, BytesView content) {
-  if (objects_.count(fp) != 0 || chunked_.count(fp) != 0) {
-    ++stats_.uploads_deduplicated;
+  std::unique_lock lock(shard_lock(fp));
+  if (store_->contains(fp) || store_->contains_manifest(fp)) {
+    stats_.uploads_deduplicated.fetch_add(1, kRelaxed);
     return false;
   }
-  Bytes compressed = compress(content);
-  stored_bytes_ += compressed.size();
-  objects_.emplace(fp, std::move(compressed));
-  ++stats_.uploads_accepted;
-  return true;
+  return upload_compressed_locked(fp, compress(content));
 }
 
 bool GearRegistry::upload_precompressed(const Fingerprint& fp,
                                         Bytes compressed) {
-  if (objects_.count(fp) != 0 || chunked_.count(fp) != 0) {
-    ++stats_.uploads_deduplicated;
+  std::unique_lock lock(shard_lock(fp));
+  if (store_->contains(fp) || store_->contains_manifest(fp)) {
+    stats_.uploads_deduplicated.fetch_add(1, kRelaxed);
     return false;
   }
-  stored_bytes_ += compressed.size();
-  objects_.emplace(fp, std::move(compressed));
-  ++stats_.uploads_accepted;
-  return true;
+  return upload_compressed_locked(fp, std::move(compressed));
 }
 
 bool GearRegistry::upload_chunked(const Fingerprint& fp, BytesView content,
@@ -39,83 +52,92 @@ bool GearRegistry::upload_chunked(const Fingerprint& fp, BytesView content,
   if (!policy.applies_to(content.size())) {
     return upload(fp, content);
   }
-  if (objects_.count(fp) != 0 || chunked_.count(fp) != 0) {
-    ++stats_.uploads_deduplicated;
+  std::unique_lock lock(shard_lock(fp));
+  if (store_->contains(fp) || store_->contains_manifest(fp)) {
+    stats_.uploads_deduplicated.fetch_add(1, kRelaxed);
     return false;
   }
   ChunkManifest manifest = build_chunk_manifest(content, policy, hasher);
   if (manifest.chunks.size() <= 1) {
     // A single-chunk manifest buys nothing and would alias the file's
     // fingerprint with its only chunk's (identical content): store plain.
-    return upload(fp, content);
+    return upload_compressed_locked(fp, compress(content));
   }
   for (std::size_t i = 0; i < manifest.chunks.size(); ++i) {
     const Fingerprint& chunk_fp = manifest.chunks[i];
-    if (objects_.count(chunk_fp) != 0) continue;  // shared chunk: dedup
-    Bytes compressed = compress(chunk_view(content, manifest, i));
-    stored_bytes_ += compressed.size();
-    objects_.emplace(chunk_fp, std::move(compressed));
+    if (store_->contains(chunk_fp)) continue;  // shared chunk: dedup
+    // Chunk inserts go straight to the (internally synchronized) store: a
+    // racing upload of another file sharing this chunk stores identical
+    // bytes, and put_if_absent accounts the winner exactly once.
+    store_->put_if_absent(chunk_fp, compress(chunk_view(content, manifest, i)));
   }
-  stored_bytes_ += manifest.serialize().size();
-  chunked_.emplace(fp, std::move(manifest));
-  ++stats_.uploads_accepted;
+  store_->put_manifest_if_absent(fp, manifest);
+  stats_.uploads_accepted.fetch_add(1, kRelaxed);
   return true;
 }
 
 bool GearRegistry::is_chunked(const Fingerprint& fp) const {
-  return chunked_.count(fp) != 0;
+  return store_->contains_manifest(fp);
 }
 
 StatusOr<ChunkManifest> GearRegistry::chunk_manifest(
     const Fingerprint& fp) const {
-  auto it = chunked_.find(fp);
-  if (it == chunked_.end()) {
+  std::shared_lock lock(shard_lock(fp));
+  StatusOr<ChunkManifest> manifest = store_->get_manifest(fp);
+  if (!manifest.ok()) {
     return {ErrorCode::kNotFound, "no chunk manifest for " + fp.hex()};
   }
-  return it->second;
+  return manifest;
 }
 
-StatusOr<Bytes> GearRegistry::download(const Fingerprint& fp) const {
-  if (auto it = chunked_.find(fp); it != chunked_.end()) {
-    ++stats_.downloads;
-    const ChunkManifest& m = it->second;
+StatusOr<Bytes> GearRegistry::download_locked(const Fingerprint& fp) const {
+  if (StatusOr<ChunkManifest> manifest = store_->get_manifest(fp);
+      manifest.ok()) {
+    stats_.downloads.fetch_add(1, kRelaxed);
+    const ChunkManifest& m = *manifest;
     Bytes out;
     out.reserve(m.file_size);
     for (const Fingerprint& chunk_fp : m.chunks) {
-      auto chunk_it = objects_.find(chunk_fp);
-      if (chunk_it == objects_.end()) {
+      StatusOr<Bytes> chunk = store_->get(chunk_fp);
+      if (!chunk.ok()) {
         return {ErrorCode::kCorruptData,
                 "chunk missing for " + fp.hex() + ": " + chunk_fp.hex()};
       }
-      append(out, decompress(chunk_it->second));
+      append(out, decompress(*chunk));
     }
     if (out.size() != m.file_size) {
       return {ErrorCode::kCorruptData, "chunked reassembly size mismatch"};
     }
     return out;
   }
-  auto it = objects_.find(fp);
-  if (it == objects_.end()) {
+  StatusOr<Bytes> frame = store_->get(fp);
+  if (!frame.ok()) {
     return {ErrorCode::kNotFound, "gear file not found: " + fp.hex()};
   }
-  ++stats_.downloads;
-  return decompress(it->second);
+  stats_.downloads.fetch_add(1, kRelaxed);
+  return decompress(*frame);
+}
+
+StatusOr<Bytes> GearRegistry::download(const Fingerprint& fp) const {
+  std::shared_lock lock(shard_lock(fp));
+  return download_locked(fp);
 }
 
 StatusOr<Bytes> GearRegistry::download_compressed(const Fingerprint& fp) const {
-  if (chunked_.count(fp) != 0) {
+  std::shared_lock lock(shard_lock(fp));
+  if (store_->contains_manifest(fp)) {
     // Chunked files have no single stored frame; reassemble (counts one
     // download, like any whole-file fetch) and re-frame for the wire.
-    StatusOr<Bytes> whole = download(fp);
+    StatusOr<Bytes> whole = download_locked(fp);
     if (!whole.ok()) return whole;
     return compress(*whole);
   }
-  auto it = objects_.find(fp);
-  if (it == objects_.end()) {
+  StatusOr<Bytes> frame = store_->get(fp);
+  if (!frame.ok()) {
     return {ErrorCode::kNotFound, "gear file not found: " + fp.hex()};
   }
-  ++stats_.downloads;
-  return it->second;
+  stats_.downloads.fetch_add(1, kRelaxed);
+  return frame;
 }
 
 StatusOr<std::vector<Bytes>> GearRegistry::download_batch(
@@ -124,37 +146,40 @@ StatusOr<std::vector<Bytes>> GearRegistry::download_batch(
   std::vector<Bytes> out(fps.size());
   std::uint64_t wire = 0;
 
-  // Serial phase: resolve every fingerprint, account stats and wire size,
+  // Resolve phase: per-item shared shard lock; account stats and wire size,
   // and serve the (rare, reassembly-heavy) chunked objects. Plain objects
-  // are only located here; their decompression is deferred.
-  std::vector<const Bytes*> plain(fps.size(), nullptr);
+  // are only copied out compressed here; their decompression is deferred.
+  std::vector<Bytes> plain(fps.size());
+  std::vector<std::uint8_t> deferred(fps.size(), 0);
   for (std::size_t i = 0; i < fps.size(); ++i) {
     const std::string item_pos = " (item " + std::to_string(i + 1) + " of " +
                                  std::to_string(fps.size()) + ")";
-    if (chunked_.count(fps[i]) != 0) {
-      StatusOr<Bytes> whole = download(fps[i]);
+    std::shared_lock lock(shard_lock(fps[i]));
+    if (store_->contains_manifest(fps[i])) {
+      StatusOr<Bytes> whole = download_locked(fps[i]);
       if (!whole.ok()) {
         return {whole.code(),
                 "download_batch: " + whole.message() + item_pos};
       }
-      wire += stored_size(fps[i]).value();
+      wire += stored_size_locked(fps[i]).value();
       out[i] = std::move(whole).value();
       continue;
     }
-    auto it = objects_.find(fps[i]);
-    if (it == objects_.end()) {
+    StatusOr<Bytes> frame = store_->get(fps[i]);
+    if (!frame.ok()) {
       return {ErrorCode::kNotFound,
               "download_batch: gear file not found: " + fps[i].hex() +
                   item_pos};
     }
-    ++stats_.downloads;
-    wire += it->second.size();
-    plain[i] = &it->second;
+    stats_.downloads.fetch_add(1, kRelaxed);
+    wire += frame->size();
+    plain[i] = std::move(*frame);
+    deferred[i] = 1;
   }
 
   // Parallel phase: pure decompression, results placed by index.
   auto decompress_one = [&](std::size_t i) {
-    if (plain[i] != nullptr) out[i] = decompress(*plain[i]);
+    if (deferred[i] != 0) out[i] = decompress(plain[i]);
   };
   if (pool != nullptr) {
     pool->parallel_for_each(fps.size(), decompress_one);
@@ -169,19 +194,21 @@ StatusOr<std::vector<Bytes>> GearRegistry::download_batch(
 StatusOr<Bytes> GearRegistry::download_range(
     const Fingerprint& fp, std::uint64_t offset, std::uint64_t length,
     std::uint64_t* wire_bytes_out) const {
-  if (auto it = chunked_.find(fp); it != chunked_.end()) {
-    const ChunkManifest& m = it->second;
+  std::shared_lock lock(shard_lock(fp));
+  if (StatusOr<ChunkManifest> manifest = store_->get_manifest(fp);
+      manifest.ok()) {
+    const ChunkManifest& m = *manifest;
     auto [first, last] = m.chunk_range(offset, length);
-    ++stats_.downloads;
+    stats_.downloads.fetch_add(1, kRelaxed);
     Bytes assembled;
     std::uint64_t wire = 0;
     for (std::size_t c = first; c <= last; ++c) {
-      auto chunk_it = objects_.find(m.chunks[c]);
-      if (chunk_it == objects_.end()) {
+      StatusOr<Bytes> chunk = store_->get(m.chunks[c]);
+      if (!chunk.ok()) {
         return {ErrorCode::kCorruptData, "chunk missing: " + m.chunks[c].hex()};
       }
-      wire += chunk_it->second.size();
-      append(assembled, decompress(chunk_it->second));
+      wire += chunk->size();
+      append(assembled, decompress(*chunk));
     }
     if (wire_bytes_out != nullptr) *wire_bytes_out = wire;
     std::uint64_t skip = offset - first * m.chunk_bytes;
@@ -193,13 +220,13 @@ StatusOr<Bytes> GearRegistry::download_range(
   }
 
   // Plain object: the whole blob moves; slice client-side.
-  auto it = objects_.find(fp);
-  if (it == objects_.end()) {
+  StatusOr<Bytes> frame = store_->get(fp);
+  if (!frame.ok()) {
     return {ErrorCode::kNotFound, "gear file not found: " + fp.hex()};
   }
-  ++stats_.downloads;
-  if (wire_bytes_out != nullptr) *wire_bytes_out = it->second.size();
-  Bytes whole = decompress(it->second);
+  stats_.downloads.fetch_add(1, kRelaxed);
+  if (wire_bytes_out != nullptr) *wire_bytes_out = frame->size();
+  Bytes whole = decompress(*frame);
   if (offset + length > whole.size() || length == 0) {
     return {ErrorCode::kInvalidArgument, "range out of bounds"};
   }
@@ -207,78 +234,65 @@ StatusOr<Bytes> GearRegistry::download_range(
                whole.begin() + static_cast<std::ptrdiff_t>(offset + length));
 }
 
-StatusOr<std::uint64_t> GearRegistry::stored_size(const Fingerprint& fp) const {
-  if (auto it = chunked_.find(fp); it != chunked_.end()) {
-    std::uint64_t total = it->second.serialize().size();
-    for (const Fingerprint& chunk_fp : it->second.chunks) {
-      auto chunk_it = objects_.find(chunk_fp);
-      if (chunk_it != objects_.end()) total += chunk_it->second.size();
+StatusOr<std::uint64_t> GearRegistry::stored_size_locked(
+    const Fingerprint& fp) const {
+  if (StatusOr<ChunkManifest> manifest = store_->get_manifest(fp);
+      manifest.ok()) {
+    std::uint64_t total = manifest->serialize().size();
+    for (const Fingerprint& chunk_fp : manifest->chunks) {
+      StatusOr<std::uint64_t> size = store_->object_size(chunk_fp);
+      if (size.ok()) total += *size;
     }
     return total;
   }
-  auto it = objects_.find(fp);
-  if (it == objects_.end()) {
+  StatusOr<std::uint64_t> size = store_->object_size(fp);
+  if (!size.ok()) {
     return {ErrorCode::kNotFound, "gear file not found: " + fp.hex()};
   }
-  return it->second.size();
+  return size;
+}
+
+StatusOr<std::uint64_t> GearRegistry::stored_size(const Fingerprint& fp) const {
+  std::shared_lock lock(shard_lock(fp));
+  return stored_size_locked(fp);
 }
 
 StatusOr<std::uint64_t> GearRegistry::chunk_stored_size(
     const Fingerprint& chunk_fp) const {
-  auto it = objects_.find(chunk_fp);
-  if (it == objects_.end()) {
+  std::shared_lock lock(shard_lock(chunk_fp));
+  StatusOr<std::uint64_t> size = store_->object_size(chunk_fp);
+  if (!size.ok()) {
     return {ErrorCode::kNotFound, "chunk not found: " + chunk_fp.hex()};
   }
-  return it->second.size();
+  return size;
 }
 
 void GearRegistry::restore_chunked(const Fingerprint& fp,
                                    ChunkManifest manifest) {
-  if (chunked_.count(fp) != 0) return;  // already registered
+  std::unique_lock lock(shard_lock(fp));
+  if (store_->contains_manifest(fp)) return;  // already registered
   for (const Fingerprint& chunk_fp : manifest.chunks) {
-    if (objects_.count(chunk_fp) == 0) {
+    if (!store_->contains(chunk_fp)) {
       throw_error(ErrorCode::kCorruptData,
                   "restore_chunked: missing chunk " + chunk_fp.hex());
     }
   }
-  stored_bytes_ += manifest.serialize().size();
-  chunked_.emplace(fp, std::move(manifest));
+  store_->put_manifest_if_absent(fp, manifest);
 }
 
 std::vector<Fingerprint> GearRegistry::list_objects() const {
-  std::vector<Fingerprint> out;
-  out.reserve(objects_.size());
-  for (const auto& [fp, blob] : objects_) {
-    (void)blob;
-    out.push_back(fp);
-  }
-  return out;
+  return store_->list_objects();
 }
 
 std::vector<Fingerprint> GearRegistry::list_chunked() const {
-  std::vector<Fingerprint> out;
-  out.reserve(chunked_.size());
-  for (const auto& [fp, manifest] : chunked_) {
-    (void)manifest;
-    out.push_back(fp);
-  }
-  return out;
+  return store_->list_manifests();
 }
 
 std::uint64_t GearRegistry::remove(const Fingerprint& fp) {
   // An fp can name both a plain/chunk object and a chunk manifest when
   // contents coincide; an unreferenced fp releases every role it plays.
-  std::uint64_t freed = 0;
-  if (auto it = objects_.find(fp); it != objects_.end()) {
-    freed += it->second.size();
-    objects_.erase(it);
-  }
-  if (auto it = chunked_.find(fp); it != chunked_.end()) {
-    freed += it->second.serialize().size();
-    chunked_.erase(it);
-  }
-  stored_bytes_ -= freed;
-  return freed;
+  std::unique_lock lock(shard_lock(fp));
+  return store_->erase(fp) + store_->erase_manifest(fp);
 }
 
 }  // namespace gear

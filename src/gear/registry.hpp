@@ -5,12 +5,29 @@
 // fingerprint; re-uploading an existing fingerprint is deduplicated, which
 // is how file-level sharing removes duplicate data across all images in the
 // registry. Objects are stored compressed.
+//
+// Storage engine: the registry is policy over a pluggable ObjectStore
+// backend (gear/object_store.hpp) — MemoryObjectStore by default
+// (byte- and stats-identical to the historical in-memory maps), or
+// DiskObjectStore for a durable registry that reopens after a process
+// restart with no re-push.
+//
+// Concurrency: the registry is safe for concurrent callers. A sharded
+// reader-writer lock (kObjectStoreShards shards by fingerprint hash) lets
+// one server process overlap independent batch downloads while uploads take
+// only their own fingerprint's shard exclusively; dedup upserts are
+// linearizable per fingerprint and stats are atomic counters. Results and
+// stats totals are identical whether callers run serially or concurrently.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
-#include <unordered_map>
+#include <memory>
+#include <shared_mutex>
 
 #include "gear/chunking.hpp"
+#include "gear/object_store.hpp"
 #include "gear/registry_api.hpp"
 #include "util/bytes.hpp"
 #include "util/error.hpp"
@@ -19,15 +36,21 @@
 
 namespace gear {
 
+/// Interface counters. Fields are atomics so concurrent registry callers
+/// update them race-free; read them as plain numbers.
 struct GearRegistryStats {
-  std::uint64_t uploads_accepted = 0;
-  std::uint64_t uploads_deduplicated = 0;
-  std::uint64_t downloads = 0;
-  std::uint64_t queries = 0;
+  std::atomic<std::uint64_t> uploads_accepted{0};
+  std::atomic<std::uint64_t> uploads_deduplicated{0};
+  std::atomic<std::uint64_t> downloads{0};
+  std::atomic<std::uint64_t> queries{0};
 };
 
 class GearRegistry : public FileRegistryApi {
  public:
+  /// Backed by `store`; a null/omitted store means a fresh MemoryObjectStore
+  /// (the historical in-memory registry).
+  explicit GearRegistry(std::unique_ptr<ObjectStore> store = nullptr);
+
   /// "query" interface: does a Gear file with this fingerprint exist?
   bool query(const Fingerprint& fp) const override;
 
@@ -37,7 +60,7 @@ class GearRegistry : public FileRegistryApi {
 
   /// Stores an already-compressed frame under `fp`. Lets uploaders (the
   /// parallel push path) run compress() in worker threads and keep the
-  /// registry mutation itself single-threaded. Equivalent to upload() of the
+  /// registry mutation itself per-fingerprint. Equivalent to upload() of the
   /// original content: compress() is deterministic, so stored bytes and
   /// stats match the serial path exactly.
   bool upload_precompressed(const Fingerprint& fp, Bytes compressed) override;
@@ -53,11 +76,13 @@ class GearRegistry : public FileRegistryApi {
   /// True when `fp` is stored in chunked form.
   bool is_chunked(const Fingerprint& fp) const override;
 
-  /// The chunk manifest of a chunked file. kNotFound otherwise.
+  /// The chunk manifest of a chunked file. kNotFound (naming the
+  /// fingerprint hex) otherwise.
   StatusOr<ChunkManifest> chunk_manifest(const Fingerprint& fp) const override;
 
   /// "download" interface: returns the decompressed file content.
-  /// Chunked files are reassembled transparently.
+  /// Chunked files are reassembled transparently. kNotFound names the
+  /// fingerprint hex, matching the remote stub's errors.
   StatusOr<Bytes> download(const Fingerprint& fp) const override;
 
   /// The wire-transfer form of one object: the stored compressed (GZC1)
@@ -73,7 +98,8 @@ class GearRegistry : public FileRegistryApi {
   /// decompression fans out across it; lookups, stats, and result placement
   /// stay deterministic regardless of the pool width. Fails with kNotFound
   /// naming the offending fingerprint if any is absent (nothing about the
-  /// batch is partial).
+  /// batch is partial). Independent concurrent batch downloads overlap:
+  /// readers take only shared shard locks.
   StatusOr<std::vector<Bytes>> download_batch(
       const std::vector<Fingerprint>& fps, util::ThreadPool* pool = nullptr,
       std::uint64_t* wire_bytes_out = nullptr) const override;
@@ -109,20 +135,40 @@ class GearRegistry : public FileRegistryApi {
   /// already be present as an object; throws kCorruptData otherwise.
   void restore_chunked(const Fingerprint& fp, ChunkManifest manifest);
 
+  /// The storage engine beneath this registry. Snapshot/persistence code
+  /// reads through this instead of the interface above so snapshots carry
+  /// no stats side effects.
+  ObjectStore& store() noexcept { return *store_; }
+  const ObjectStore& store() const noexcept { return *store_; }
+
   /// Storage accounting. Chunked files count one manifest object plus their
   /// (deduplicated) chunk objects.
-  std::uint64_t storage_bytes() const noexcept { return stored_bytes_; }
-  std::size_t object_count() const noexcept {
-    return objects_.size() + chunked_.size();
+  std::uint64_t storage_bytes() const noexcept { return store_->stored_bytes(); }
+  std::size_t object_count() const {
+    return store_->object_count() + store_->manifest_count();
   }
   const GearRegistryStats& stats() const noexcept { return stats_; }
 
  private:
-  std::unordered_map<Fingerprint, Bytes, FingerprintHash> objects_;
-  /// Chunk manifests of chunked files, keyed by the file fingerprint; the
-  /// chunks themselves are ordinary objects in objects_ under chunk fps.
-  std::unordered_map<Fingerprint, ChunkManifest, FingerprintHash> chunked_;
-  std::uint64_t stored_bytes_ = 0;
+  std::shared_mutex& shard_lock(const Fingerprint& fp) const {
+    return shard_locks_[object_store_shard(fp)];
+  }
+
+  /// Core of download(); caller holds the shard lock of `fp` (shared).
+  /// Chunk objects of a chunked file are read through the store's own
+  /// (atomic) lookups, never through other registry shard locks.
+  StatusOr<Bytes> download_locked(const Fingerprint& fp) const;
+
+  /// Dedup upsert core; caller holds the shard lock of `fp` exclusively.
+  bool upload_compressed_locked(const Fingerprint& fp, Bytes compressed);
+
+  /// Core of stored_size(); caller holds the shard lock of `fp` (shared).
+  StatusOr<std::uint64_t> stored_size_locked(const Fingerprint& fp) const;
+
+  std::unique_ptr<ObjectStore> store_;
+  /// Per-fingerprint linearization of compound check-then-insert sequences;
+  /// shard choice matches the store's (object_store_shard).
+  mutable std::array<std::shared_mutex, kObjectStoreShards> shard_locks_;
   mutable GearRegistryStats stats_;
 };
 

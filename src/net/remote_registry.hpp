@@ -17,6 +17,7 @@
 // (end-to-end check, independent of the frame CRC).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 #include "gear/registry_api.hpp"
@@ -25,11 +26,13 @@
 
 namespace gear::net {
 
+/// Atomics: one stub instance may be shared by concurrent client threads
+/// (e.g. parallel batch downloaders); read the fields as plain numbers.
 struct RemoteRegistryStats {
-  std::uint64_t requests = 0;            // transport round trips issued
-  std::uint64_t retries = 0;             // whole-frame retransmissions
-  std::uint64_t integrity_failures = 0;  // bad frames + fingerprint mismatch
-  std::uint64_t item_refetches = 0;      // single items refetched from a batch
+  std::atomic<std::uint64_t> requests{0};  // transport round trips issued
+  std::atomic<std::uint64_t> retries{0};   // whole-frame retransmissions
+  std::atomic<std::uint64_t> integrity_failures{0};  // bad frames + fp mismatch
+  std::atomic<std::uint64_t> item_refetches{0};  // single items refetched
 };
 
 class RemoteGearRegistry final : public FileRegistryApi {

@@ -4,33 +4,48 @@
 
 namespace gear::net {
 
+void LoopbackTransport::charge_link_request(std::uint64_t bytes) {
+  if (link_ == nullptr) return;
+  std::lock_guard guard(link_mutex_);
+  link_->request(bytes);
+}
+
+void LoopbackTransport::charge_link_response(std::uint64_t bytes,
+                                             std::uint64_t n_items) {
+  if (link_ == nullptr) return;
+  std::lock_guard guard(link_mutex_);
+  if (n_items > 1) {
+    link_->pipelined(bytes, n_items);
+  } else {
+    link_->request(bytes);
+  }
+}
+
 Bytes LoopbackTransport::round_trip(BytesView request_frame) {
-  ++stats_.round_trips;
-  stats_.bytes_in += request_frame.size();
+  stats_.round_trips.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_in.fetch_add(request_frame.size(), std::memory_order_relaxed);
 
   WireMessage response;
   StatusOr<WireMessage> request = decode_message(request_frame);
   if (!request.ok()) {
     // A server cannot even parse the request: answer with a server error
     // carrying an empty fingerprint.
-    ++stats_.bad_requests;
-    if (link_ != nullptr) link_->request(request_frame.size());
+    stats_.bad_requests.fetch_add(1, std::memory_order_relaxed);
+    charge_link_request(request_frame.size());
     response.type = MessageType::kQueryResponse;
     response.status = Status::kServerError;
     Bytes frame = encode_message(response);
-    stats_.bytes_out += frame.size();
-    if (link_ != nullptr) link_->request(frame.size());
+    stats_.bytes_out.fetch_add(frame.size(), std::memory_order_relaxed);
+    charge_link_request(frame.size());
     return frame;
   }
 
   WireMessage& req = *request;
   const std::uint64_t n_items =
       is_batch_type(req.type) ? req.items.size() : 1;
-  if (link_ != nullptr) {
-    // The request frame is one wire request; batch responses below are
-    // charged as a pipelined burst (latency once, per-item overhead).
-    link_->request(request_frame.size());
-  }
+  // The request frame is one wire request; batch responses below are
+  // charged as a pipelined burst (latency once, per-item overhead).
+  charge_link_request(request_frame.size());
 
   response.fp = req.fp;
   switch (req.type) {
@@ -126,14 +141,8 @@ Bytes LoopbackTransport::round_trip(BytesView request_frame) {
   }
 
   Bytes frame = encode_message(response);
-  stats_.bytes_out += frame.size();
-  if (link_ != nullptr) {
-    if (n_items > 1) {
-      link_->pipelined(frame.size(), n_items);
-    } else {
-      link_->request(frame.size());
-    }
-  }
+  stats_.bytes_out.fetch_add(frame.size(), std::memory_order_relaxed);
+  charge_link_response(frame.size(), n_items);
   return frame;
 }
 

@@ -10,9 +10,12 @@
 //    client stub's integrity checking and retry logic.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 
+#include "gear/object_store.hpp"
 #include "gear/registry.hpp"
 #include "net/wire.hpp"
 #include "sim/network.hpp"
@@ -33,20 +36,25 @@ class Transport {
 /// Server-side accounting of a LoopbackTransport. One round_trip() call is
 /// one round trip, whatever it carries; the *_items counters expose how many
 /// objects each interface served, so tests can prove an N-file deploy cost
-/// ⌈N/batch⌉ download round-trips instead of N.
+/// ⌈N/batch⌉ download round-trips instead of N. Fields are atomics so
+/// concurrent clients account race-free; read them as plain numbers.
 struct LoopbackServerStats {
-  std::uint64_t round_trips = 0;
-  std::uint64_t bad_requests = 0;        // undecodable request frames
-  std::uint64_t query_round_trips = 0;
-  std::uint64_t query_items = 0;
-  std::uint64_t upload_round_trips = 0;
-  std::uint64_t upload_items = 0;
-  std::uint64_t download_round_trips = 0;
-  std::uint64_t download_items = 0;
-  std::uint64_t bytes_in = 0;            // request frame bytes
-  std::uint64_t bytes_out = 0;           // response frame bytes
+  std::atomic<std::uint64_t> round_trips{0};
+  std::atomic<std::uint64_t> bad_requests{0};  // undecodable request frames
+  std::atomic<std::uint64_t> query_round_trips{0};
+  std::atomic<std::uint64_t> query_items{0};
+  std::atomic<std::uint64_t> upload_round_trips{0};
+  std::atomic<std::uint64_t> upload_items{0};
+  std::atomic<std::uint64_t> download_round_trips{0};
+  std::atomic<std::uint64_t> download_items{0};
+  std::atomic<std::uint64_t> bytes_in{0};   // request frame bytes
+  std::atomic<std::uint64_t> bytes_out{0};  // response frame bytes
 };
 
+/// Serves round_trip() concurrently: the registry is internally sharded,
+/// stats are atomics, and the (single-threaded) simulated link is charged
+/// under a private mutex. Independent clients may call round_trip from any
+/// thread.
 class LoopbackTransport final : public Transport {
  public:
   /// `link`: optional; when given, every request/response frame's bytes are
@@ -55,13 +63,31 @@ class LoopbackTransport final : public Transport {
                              sim::NetworkLink* link = nullptr)
       : registry_(registry), link_(link) {}
 
+  /// Owns its registry, built over `backend` — how a wire-served registry
+  /// picks its storage engine (e.g. a DiskObjectStore that survives server
+  /// restarts). A null backend means a fresh in-memory registry.
+  explicit LoopbackTransport(std::unique_ptr<ObjectStore> backend,
+                             sim::NetworkLink* link = nullptr)
+      : owned_(std::make_unique<GearRegistry>(std::move(backend))),
+        registry_(*owned_),
+        link_(link) {}
+
   Bytes round_trip(BytesView request_frame) override;
+
+  /// The registry being served (owned or borrowed).
+  GearRegistry& registry() noexcept { return registry_; }
+  const GearRegistry& registry() const noexcept { return registry_; }
 
   const LoopbackServerStats& server_stats() const noexcept { return stats_; }
 
  private:
+  void charge_link_request(std::uint64_t bytes);
+  void charge_link_response(std::uint64_t bytes, std::uint64_t n_items);
+
+  std::unique_ptr<GearRegistry> owned_;  // set by the backend ctor only
   GearRegistry& registry_;
   sim::NetworkLink* link_;
+  std::mutex link_mutex_;  // NetworkLink is single-threaded; serialize charges
   LoopbackServerStats stats_;
 };
 

@@ -1,5 +1,10 @@
 #include "util/file_io.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 
 #include "util/error.hpp"
@@ -25,6 +30,58 @@ void write_file_bytes(const std::filesystem::path& path, BytesView content) {
   if (!out) {
     throw_error(ErrorCode::kInternal, "short write to " + path.string());
   }
+}
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what,
+                              const std::filesystem::path& path) {
+  throw_error(ErrorCode::kInternal,
+              what + " " + path.string() + ": " + std::strerror(errno));
+}
+
+void fsync_path(const std::filesystem::path& path, int open_flags) {
+  int fd = ::open(path.c_str(), open_flags);
+  if (fd < 0) throw_errno("cannot open for fsync", path);
+  if (::fsync(fd) != 0) {
+    int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("fsync failed for", path);
+  }
+  ::close(fd);
+}
+
+}  // namespace
+
+void write_file_durable(const std::filesystem::path& path, BytesView content) {
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw_errno("cannot create", tmp);
+  std::size_t written = 0;
+  while (written < content.size()) {
+    ssize_t n = ::write(fd, content.data() + written, content.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      int saved = errno;
+      ::close(fd);
+      errno = saved;
+      throw_errno("write failed to", tmp);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("fsync failed for", tmp);
+  }
+  if (::close(fd) != 0) throw_errno("close failed for", tmp);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw_errno("rename failed onto", path);
+  }
+  // The rename itself must be durable: sync the containing directory.
+  fsync_path(path.parent_path(), O_RDONLY | O_DIRECTORY);
 }
 
 }  // namespace gear

@@ -15,4 +15,11 @@ Bytes read_file_bytes(const std::filesystem::path& path);
 /// on failure (including short writes).
 void write_file_bytes(const std::filesystem::path& path, BytesView content);
 
+/// Crash-safe write: writes `content` to a sibling temp file, fsyncs it,
+/// atomically renames it onto `path`, then fsyncs the containing directory.
+/// A reader (or a reopen after a crash) therefore sees either no file or the
+/// complete content, never a torn prefix; an interrupted write leaves only a
+/// "<name>.tmp" sibling. Throws Error(kInternal) on failure.
+void write_file_durable(const std::filesystem::path& path, BytesView content);
+
 }  // namespace gear

@@ -27,6 +27,7 @@
 #include "gear/gc.hpp"
 #include "gear/local_runtime.hpp"
 #include "gear/fs_store.hpp"
+#include "gear/object_store.hpp"
 #include "gear/persistence.hpp"
 #include "util/format.hpp"
 #include "vfs/fs_io.hpp"
@@ -40,21 +41,45 @@ namespace {
 /// 0 = one thread per hardware core).
 util::Concurrency g_concurrency;
 
+/// --store-dir PATH: keep the Gear files on a durable DiskObjectStore at
+/// PATH instead of in memory. The disk store IS the live registry state —
+/// it needs no save/load snapshot and survives process restarts — so only
+/// the Docker half (manifests, index layers) is snapshotted under the
+/// store root. Empty = historical in-memory mode.
+fs::path g_object_store_dir;
+
+std::unique_ptr<ObjectStore> make_file_backend() {
+  if (g_object_store_dir.empty()) return nullptr;  // in-memory default
+  return std::make_unique<DiskObjectStore>(g_object_store_dir);
+}
+
 struct Store {
   fs::path root;
   docker::DockerRegistry docker;
   GearRegistry files;
 
-  explicit Store(fs::path r, bool must_exist) : root(std::move(r)) {
+  explicit Store(fs::path r, bool must_exist)
+      : root(std::move(r)), files(make_file_backend()) {
+    const bool disk_backed = !g_object_store_dir.empty();
     if (fs::is_directory(root / "docker")) {
-      load_registries(root, &docker, &files);
+      if (disk_backed) {
+        load_docker_registry(root, &docker);
+      } else {
+        load_registries(root, &docker, &files);
+      }
     } else if (must_exist) {
       throw Error(ErrorCode::kNotFound,
                   "no gear store at " + root.string() + " (run init first)");
     }
   }
 
-  void save() { save_registries(docker, files, root); }
+  void save() {
+    if (g_object_store_dir.empty()) {
+      save_registries(docker, files, root);
+    } else {
+      save_docker_registry(docker, root);
+    }
+  }
 };
 
 GearIndex load_index_of(Store& store, const std::string& ref) {
@@ -354,9 +379,12 @@ int cmd_stats(Store& store) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: gearctl [--workers N] <store-dir> <command> [args]\n"
-               "  --workers N   worker threads for import's fingerprinting/"
+               "usage: gearctl [--workers N] [--store-dir PATH] <store-dir> "
+               "<command> [args]\n"
+               "  --workers N      worker threads for import's fingerprinting/"
                "compression (default: one per core)\n"
+               "  --store-dir PATH durable on-disk object store for the gear "
+               "files (survives restarts; default: in-memory + snapshot)\n"
                "commands: init | import <dir> <name:tag> [chunk-threshold] | "
                "images | inspect <ref> | cat <ref> <path> | "
                "export <ref> <dir> | run <ref> <path...> | launch <ref> | "
@@ -385,6 +413,18 @@ int main(int argc, char** argv) {
         return 2;
       }
       g_concurrency.workers = static_cast<std::size_t>(parsed);
+      it = all.erase(it, it + 2);
+    } else if (*it == "--store-dir") {
+      if (std::next(it) == all.end()) {
+        std::fprintf(stderr, "gearctl: --store-dir requires a path\n");
+        return 2;
+      }
+      const std::string& value = *std::next(it);
+      if (value.empty()) {
+        std::fprintf(stderr, "gearctl: --store-dir expects a non-empty path\n");
+        return 2;
+      }
+      g_object_store_dir = value;
       it = all.erase(it, it + 2);
     } else {
       ++it;
