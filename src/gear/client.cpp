@@ -172,9 +172,12 @@ Bytes GearClient::fetch_from_registry(const std::string& reference,
   if (!file_registry_.transport_accounted()) {
     // Chunked files move as one pipelined burst of manifest + chunks.
     if (file_registry_.is_chunked(fp)) {
-      std::uint64_t n_chunks =
-          file_registry_.chunk_manifest(fp).value().chunks.size();
-      link_.pipelined(wire, n_chunks + 1);
+      StatusOr<ChunkManifest> manifest = file_registry_.chunk_manifest(fp);
+      if (!manifest.ok()) {
+        throw_error(manifest.code(), "materialize " + fp.hex() +
+                                         ": manifest: " + manifest.message());
+      }
+      link_.pipelined(wire, manifest->chunks.size() + 1);
     } else {
       link_.request(wire);
     }
@@ -388,9 +391,37 @@ std::pair<std::size_t, std::uint64_t> GearClient::warm_batch(
     batch_requests = 0;
   };
 
+  // Drop what the cache already holds, then let the batched cooperative
+  // source answer the rest in one burst before anything reaches the wire.
+  std::vector<std::pair<Fingerprint, std::uint64_t>> misses;
   for (const auto& [fp, size] : wanted) {
-    if (store_.cache().contains(fp)) continue;
-    // Cooperative source first, as in the on-demand path (§VI-B).
+    if (!store_.cache().contains(fp)) misses.emplace_back(fp, size);
+  }
+  if (batch_peer_source_ && !misses.empty()) {
+    std::vector<std::optional<Bytes>> from_peers = batch_peer_source_(misses);
+    if (from_peers.size() != misses.size()) {
+      throw_error(ErrorCode::kInternal,
+                  "batch peer source answered the wrong number of slots");
+    }
+    std::vector<std::pair<Fingerprint, std::uint64_t>> still;
+    for (std::size_t i = 0; i < misses.size(); ++i) {
+      if (!from_peers[i].has_value()) {
+        still.push_back(misses[i]);
+        continue;
+      }
+      if (from_peers[i]->size() != misses[i].second) {
+        throw_error(ErrorCode::kCorruptData,
+                    "peer served wrong size for " + misses[i].first.hex());
+      }
+      ++peer_hits_;
+      disk_.write(from_peers[i]->size());
+      store_.cache().put(misses[i].first, std::move(*from_peers[i]));
+    }
+    misses = std::move(still);
+  }
+
+  for (const auto& [fp, size] : misses) {
+    // Per-file cooperative source next, as in the on-demand path (§VI-B).
     if (peer_source_) {
       if (std::optional<Bytes> peer = peer_source_(fp, size)) {
         if (peer->size() != size) {
@@ -409,13 +440,23 @@ std::pair<std::size_t, std::uint64_t> GearClient::warm_batch(
       wire = size;  // budget by stub size; compressed payload is smaller
       requests = 1;
     } else {
-      wire = file_registry_.stored_size(fp).value();
+      StatusOr<std::uint64_t> stored = file_registry_.stored_size(fp);
+      if (!stored.ok()) {
+        throw_error(stored.code(),
+                    "bulk fetch of " + fp.hex() + ": " + stored.message());
+      }
+      wire = *stored;
       // A chunked file still moves as manifest + chunk requests inside the
       // shared pipeline (same request count the on-demand path charges).
-      requests =
-          file_registry_.is_chunked(fp)
-              ? file_registry_.chunk_manifest(fp).value().chunks.size() + 1
-              : 1;
+      requests = 1;
+      if (file_registry_.is_chunked(fp)) {
+        StatusOr<ChunkManifest> manifest = file_registry_.chunk_manifest(fp);
+        if (!manifest.ok()) {
+          throw_error(manifest.code(), "bulk fetch of " + fp.hex() +
+                                           ": manifest: " + manifest.message());
+        }
+        requests = manifest->chunks.size() + 1;
+      }
     }
     batch.push_back(fp);
     sizes.push_back(size);
@@ -534,38 +575,104 @@ StatusOr<Bytes> GearClient::read_range(const std::string& container_id,
   }
 
   // Chunked: fetch the manifest once per client, then only covering chunks.
+  const bool remote = file_registry_.transport_accounted();
   auto mit = manifest_cache_.find(fp);
   if (mit == manifest_cache_.end()) {
-    ChunkManifest manifest = file_registry_.chunk_manifest(fp).value();
+    StatusOr<ChunkManifest> got = file_registry_.chunk_manifest(fp);
+    if (!got.ok()) {
+      return {got.code(),
+              "read_range: manifest of " + fp.hex() + ": " + got.message()};
+    }
+    ChunkManifest manifest = std::move(got).value();
     std::uint64_t manifest_wire = manifest.serialize().size();
-    link_.request(manifest_wire);
+    if (!remote) link_.request(manifest_wire);
     range_downloaded_ += manifest_wire;
     mit = manifest_cache_.emplace(fp, std::move(manifest)).first;
   }
   const ChunkManifest& manifest = mit->second;
   auto [first, last] = manifest.chunk_range(offset, length);
 
-  Bytes assembled;
+  // Gather pass 1 — the shared cache.
+  std::vector<Bytes> pieces(last - first + 1);
+  std::vector<std::uint32_t> missing;  // chunk indices still to fetch
   for (std::size_t c = first; c <= last; ++c) {
-    const Fingerprint& chunk_fp = manifest.chunks[c];
-    if (StatusOr<Bytes> cached = store_.cache().get(chunk_fp); cached.ok()) {
+    if (StatusOr<Bytes> cached = store_.cache().get(manifest.chunks[c]);
+        cached.ok()) {
       disk_.touch();
-      append(assembled, *cached);
-      continue;
+      pieces[c - first] = std::move(cached).value();
+    } else {
+      missing.push_back(static_cast<std::uint32_t>(c));
     }
-    std::uint64_t wire = 0;
-    std::uint64_t chunk_off = static_cast<std::uint64_t>(c) * manifest.chunk_bytes;
-    std::uint64_t chunk_len = std::min<std::uint64_t>(
-        manifest.chunk_bytes, manifest.file_size - chunk_off);
-    Bytes chunk = file_registry_
-                      .download_range(fp, chunk_off, chunk_len, &wire)
-                      .value();
-    link_.request(wire);
-    range_downloaded_ += wire;
-    disk_.write(chunk.size());
-    store_.cache().put(chunk_fp, chunk);
-    append(assembled, chunk);
   }
+
+  // Gather pass 2 — one batched peer probe for every missing chunk. Peers
+  // serve chunk fingerprints from their shared caches exactly like whole
+  // files; a miss falls through to the registry.
+  if (batch_peer_source_ && !missing.empty()) {
+    std::vector<std::pair<Fingerprint, std::uint64_t>> ask;
+    ask.reserve(missing.size());
+    for (std::uint32_t c : missing) {
+      std::uint64_t chunk_off =
+          static_cast<std::uint64_t>(c) * manifest.chunk_bytes;
+      ask.emplace_back(manifest.chunks[c],
+                       std::min<std::uint64_t>(manifest.chunk_bytes,
+                                               manifest.file_size - chunk_off));
+    }
+    std::vector<std::optional<Bytes>> from_peers = batch_peer_source_(ask);
+    if (from_peers.size() != ask.size()) {
+      return {ErrorCode::kInternal,
+              "batch peer source answered the wrong number of slots"};
+    }
+    std::vector<std::uint32_t> still;
+    for (std::size_t i = 0; i < missing.size(); ++i) {
+      if (!from_peers[i].has_value()) {
+        still.push_back(missing[i]);
+        continue;
+      }
+      if (from_peers[i]->size() != ask[i].second) {
+        return {ErrorCode::kCorruptData,
+                "peer served wrong size for " + ask[i].first.hex()};
+      }
+      ++peer_hits_;
+      disk_.write(from_peers[i]->size());
+      store_.cache().put(ask[i].first, *from_peers[i]);
+      pieces[missing[i] - first] = std::move(*from_peers[i]);
+    }
+    missing = std::move(still);
+  }
+
+  // Gather pass 3 — the registry, ⌈missing/batch⌉ download_chunks calls: one
+  // kDownloadChunks frame each against a remote registry, an ordered
+  // per-chunk loop in-process (byte- and stats-identical to serial fetches).
+  for (std::size_t b = 0; b < missing.size(); b += range_batch_chunks_) {
+    std::vector<std::uint32_t> batch(
+        missing.begin() + static_cast<std::ptrdiff_t>(b),
+        missing.begin() + static_cast<std::ptrdiff_t>(
+                              std::min(b + range_batch_chunks_, missing.size())));
+    std::uint64_t wire = 0;
+    StatusOr<std::vector<Bytes>> got =
+        file_registry_.download_chunks(fp, manifest, batch, &wire);
+    if (!got.ok()) {
+      return {got.code(), "read_range: " + got.message()};
+    }
+    if (!remote) {
+      if (batch.size() > 1) {
+        link_.pipelined(wire, batch.size());
+      } else {
+        link_.request(wire);
+      }
+    }
+    range_downloaded_ += wire;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      Bytes& chunk = (*got)[i];
+      disk_.write(chunk.size());
+      store_.cache().put(manifest.chunks[batch[i]], chunk);
+      pieces[batch[i] - first] = std::move(chunk);
+    }
+  }
+
+  Bytes assembled;
+  for (const Bytes& piece : pieces) append(assembled, piece);
   std::uint64_t skip = offset - static_cast<std::uint64_t>(first) * manifest.chunk_bytes;
   disk_.read(length);
   return Bytes(assembled.begin() + static_cast<std::ptrdiff_t>(skip),

@@ -111,6 +111,20 @@ class GearClient {
     peer_source_ = std::move(source);
   }
 
+  /// Batched cooperative source: one callback for a whole list of wanted
+  /// (fingerprint, expected size) pairs — a cluster peer group answers them
+  /// in one LAN burst instead of one probe per object. out[i] is the content
+  /// of wanted[i] or nullopt (miss: falls through to the registry). Chunk
+  /// fingerprints are asked exactly like whole files — peers serve both from
+  /// the same shared cache. Consulted before the registry by the batched
+  /// paths (warm_batch, read_range chunk gathering); the per-file PeerSource
+  /// remains the on-demand fault path's source.
+  using BatchPeerSource = std::function<std::vector<std::optional<Bytes>>(
+      const std::vector<std::pair<Fingerprint, std::uint64_t>>& wanted)>;
+  void set_batch_peer_source(BatchPeerSource source) {
+    batch_peer_source_ = std::move(source);
+  }
+
   /// Count of files satisfied by the peer source (telemetry).
   std::uint64_t peer_hits() const noexcept { return peer_hits_; }
 
@@ -147,6 +161,18 @@ class GearClient {
     batch_files_ = n < 1 ? 1 : n;
   }
   std::size_t download_batch_files() const noexcept { return batch_files_; }
+
+  /// Cap on chunk indices per kDownloadChunks round-trip in read_range's
+  /// gathering loop. 1 reproduces the serial per-chunk protocol (the
+  /// baseline of the chunk-batching experiments); assembled bytes, cache
+  /// contents, and registry stats are identical at any setting — only the
+  /// round-trip count changes (⌈missing/batch⌉ frames).
+  void set_range_batch_chunks(std::size_t n) {
+    range_batch_chunks_ = n < 1 ? 1 : n;
+  }
+  std::size_t range_batch_chunks() const noexcept {
+    return range_batch_chunks_;
+  }
 
   /// When enabled, deploy() bulk-warms the access set's still-stubbed files
   /// into the shared cache with batched pipelined downloads before replaying
@@ -217,6 +243,7 @@ class GearClient {
   std::uint64_t untracked_downloaded_ = 0;  // bytes fetched via open_viewer
   std::uint64_t range_downloaded_ = 0;      // bytes fetched via read_range
   PeerSource peer_source_;                  // optional cooperative source
+  BatchPeerSource batch_peer_source_;       // optional batched variant
   std::uint64_t peer_hits_ = 0;
   /// Client-side cache of chunk manifests already transferred.
   std::unordered_map<Fingerprint, ChunkManifest, FingerprintHash>
@@ -225,6 +252,7 @@ class GearClient {
   std::unique_ptr<util::ThreadPool> pool_;   // lazily built
   bool bulk_warm_deploy_ = false;
   std::size_t batch_files_ = 64;             // files per bulk round-trip
+  std::size_t range_batch_chunks_ = 64;      // chunks per range round-trip
 
   /// Serializes the sim models (link/disk) and the three-level store —
   /// none of them are thread-safe.

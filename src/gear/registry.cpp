@@ -257,6 +257,17 @@ StatusOr<std::uint64_t> GearRegistry::stored_size(const Fingerprint& fp) const {
   return stored_size_locked(fp);
 }
 
+StatusOr<Bytes> GearRegistry::download_chunk_compressed(
+    const Fingerprint& chunk_fp) const {
+  std::shared_lock lock(shard_lock(chunk_fp));
+  StatusOr<Bytes> frame = store_->get(chunk_fp);
+  if (!frame.ok()) {
+    return {ErrorCode::kNotFound, "chunk not found: " + chunk_fp.hex()};
+  }
+  stats_.downloads.fetch_add(1, kRelaxed);
+  return frame;
+}
+
 StatusOr<std::uint64_t> GearRegistry::chunk_stored_size(
     const Fingerprint& chunk_fp) const {
   std::shared_lock lock(shard_lock(chunk_fp));

@@ -120,6 +120,12 @@ class GearRegistry : public FileRegistryApi {
   /// Wire size of one stored chunk object. kNotFound when absent.
   StatusOr<std::uint64_t> chunk_stored_size(const Fingerprint& chunk_fp) const;
 
+  /// The stored compressed frame of one chunk object — what a
+  /// kDownloadChunks response item carries. Counts one download, exactly
+  /// like the per-chunk download_range it replaces on the wire path.
+  /// kNotFound when absent.
+  StatusOr<Bytes> download_chunk_compressed(const Fingerprint& chunk_fp) const;
+
   /// Enumerates plain/chunk object fingerprints (unordered).
   std::vector<Fingerprint> list_objects() const;
 

@@ -1,5 +1,8 @@
 #include "gear/registry_api.hpp"
 
+#include <algorithm>
+#include <string>
+
 namespace gear {
 
 std::vector<std::uint8_t> FileRegistryApi::query_many(
@@ -42,6 +45,39 @@ StatusOr<Bytes> FileRegistryApi::download_range(
   }
   return Bytes(whole->begin() + static_cast<std::ptrdiff_t>(offset),
                whole->begin() + static_cast<std::ptrdiff_t>(offset + length));
+}
+
+StatusOr<std::vector<Bytes>> FileRegistryApi::download_chunks(
+    const Fingerprint& fp, const ChunkManifest& manifest,
+    const std::vector<std::uint32_t>& indices,
+    std::uint64_t* wire_bytes_out) const {
+  std::vector<Bytes> out(indices.size());
+  std::uint64_t wire = 0;
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const std::uint32_t index = indices[i];
+    if (index >= manifest.chunks.size()) {
+      return {ErrorCode::kInvalidArgument,
+              "download_chunks: chunk index " + std::to_string(index) +
+                  " out of range for " + fp.hex()};
+    }
+    std::uint64_t chunk_off =
+        static_cast<std::uint64_t>(index) * manifest.chunk_bytes;
+    std::uint64_t chunk_len =
+        std::min<std::uint64_t>(manifest.chunk_bytes,
+                                manifest.file_size - chunk_off);
+    std::uint64_t chunk_wire = 0;
+    StatusOr<Bytes> chunk = download_range(fp, chunk_off, chunk_len,
+                                           &chunk_wire);
+    if (!chunk.ok()) {
+      return {chunk.code(),
+              "download_chunks: chunk " + std::to_string(index) + " of " +
+                  fp.hex() + ": " + chunk.message()};
+    }
+    wire += chunk_wire;
+    out[i] = std::move(chunk).value();
+  }
+  if (wire_bytes_out != nullptr) *wire_bytes_out = wire;
+  return out;
 }
 
 bool FileRegistryApi::is_chunked(const Fingerprint& fp) const {

@@ -79,6 +79,20 @@ class FileRegistryApi {
       const Fingerprint& fp, std::uint64_t offset, std::uint64_t length,
       std::uint64_t* wire_bytes_out = nullptr) const;
 
+  /// Batched chunk download of the chunked file `fp`: out[i] is the
+  /// decompressed content of manifest.chunks[indices[i]]. `manifest` is the
+  /// file's chunk manifest as the caller already holds it (read_range
+  /// fetches it once per client), so implementations need no extra lookup
+  /// round-trip. Default is an ordered per-chunk download_range loop —
+  /// byte- and stats-identical to fetching each chunk individually — while
+  /// remote implementations move the whole batch in one kDownloadChunks
+  /// frame. `wire_bytes_out` (optional) receives the summed compressed
+  /// transfer size.
+  virtual StatusOr<std::vector<Bytes>> download_chunks(
+      const Fingerprint& fp, const ChunkManifest& manifest,
+      const std::vector<std::uint32_t>& indices,
+      std::uint64_t* wire_bytes_out = nullptr) const;
+
   /// Compressed (on-the-wire / on-disk) size of one object.
   virtual StatusOr<std::uint64_t> stored_size(const Fingerprint& fp) const = 0;
 

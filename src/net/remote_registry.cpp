@@ -231,6 +231,152 @@ StatusOr<std::vector<Bytes>> RemoteGearRegistry::download_batch(
   return out;
 }
 
+const std::optional<ChunkManifest>& RemoteGearRegistry::probe_manifest(
+    const Fingerprint& fp) const {
+  {
+    std::lock_guard guard(manifest_mutex_);
+    auto it = manifest_cache_.find(fp);
+    // References into the map stay valid: entries are never erased, and
+    // unordered_map rehashing moves buckets, not elements.
+    if (it != manifest_cache_.end()) return it->second;
+  }
+
+  WireMessage request;
+  request.type = MessageType::kDownloadChunksRequest;
+  request.fp = fp;
+  request.payload = encode_chunk_index_list({});  // empty list = probe
+
+  std::optional<ChunkManifest> probed;
+  bool resolved = false;
+  for (int attempt = 0; attempt < max_attempts_ && !resolved; ++attempt) {
+    WireMessage response = call(request, MessageType::kDownloadChunksResponse);
+    if (response.status == Status::kNotFound) {
+      // Stored plain, or not stored at all: either way, not chunked.
+      resolved = true;
+      break;
+    }
+    try {
+      probed = ChunkManifest::parse(response.payload);
+      resolved = true;
+    } catch (const Error&) {
+      ++stats_.integrity_failures;  // CRC-intact frame, garbled manifest
+    }
+  }
+  if (!resolved) {
+    throw_error(ErrorCode::kCorruptData,
+                "remote: manifest probe repeatedly garbled for " + fp.hex());
+  }
+
+  std::lock_guard guard(manifest_mutex_);
+  // A concurrent prober may have landed first; try_emplace keeps its answer.
+  return manifest_cache_.try_emplace(fp, std::move(probed)).first->second;
+}
+
+bool RemoteGearRegistry::is_chunked(const Fingerprint& fp) const {
+  return probe_manifest(fp).has_value();
+}
+
+StatusOr<ChunkManifest> RemoteGearRegistry::chunk_manifest(
+    const Fingerprint& fp) const {
+  const std::optional<ChunkManifest>& probed = probe_manifest(fp);
+  if (!probed.has_value()) {
+    return {ErrorCode::kNotFound, "remote: no chunk manifest for " + fp.hex()};
+  }
+  return *probed;
+}
+
+StatusOr<std::vector<Bytes>> RemoteGearRegistry::download_chunks(
+    const Fingerprint& fp, const ChunkManifest& manifest,
+    const std::vector<std::uint32_t>& indices,
+    std::uint64_t* wire_bytes_out) const {
+  std::vector<Bytes> out(indices.size());
+  std::uint64_t wire = 0;
+  if (indices.empty()) {
+    if (wire_bytes_out != nullptr) *wire_bytes_out = 0;
+    return out;
+  }
+  for (std::uint32_t index : indices) {
+    if (index >= manifest.chunks.size()) {
+      return {ErrorCode::kInvalidArgument,
+              "download_chunks: chunk index " + std::to_string(index) +
+                  " out of range for " + fp.hex()};
+    }
+  }
+
+  // Same two-level retry shape as download_batch: the first round asks for
+  // every chunk in one frame; later rounds refetch only the items that
+  // failed verification inside an otherwise intact frame.
+  std::vector<std::size_t> pending(indices.size());
+  std::iota(pending.begin(), pending.end(), std::size_t{0});
+
+  for (int round = 0; round < max_attempts_ && !pending.empty(); ++round) {
+    std::vector<std::uint32_t> ask(pending.size());
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      ask[i] = indices[pending[i]];
+    }
+    WireMessage request;
+    request.type = MessageType::kDownloadChunksRequest;
+    request.fp = fp;
+    request.payload = encode_chunk_index_list(ask);
+    WireMessage response = call(request, MessageType::kDownloadChunksResponse);
+    if (response.status == Status::kNotFound && response.items.empty()) {
+      return {ErrorCode::kNotFound,
+              "remote: not stored chunked: " + fp.hex()};
+    }
+    if (response.items.size() != pending.size()) {
+      ++stats_.integrity_failures;
+      continue;  // malformed item list: ask for the whole remainder again
+    }
+
+    // Serial pass: a per-item kNotFound with the correct fingerprint echo
+    // is an answer — the chunk object is missing server-side.
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      if (response.items[i].status == Status::kNotFound &&
+          response.items[i].fp == manifest.chunks[ask[i]]) {
+        return {ErrorCode::kNotFound,
+                "remote: missing chunk " + std::to_string(ask[i]) + " of " +
+                    fp.hex()};
+      }
+    }
+
+    std::vector<std::size_t> still;
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      const WireItem& item = response.items[i];
+      const Fingerprint& want = manifest.chunks[ask[i]];
+      bool good = false;
+      Bytes content;
+      if (item.fp == want && item.status == Status::kOk) {
+        try {
+          content = decompress(item.payload);
+          good = !verify_content_ || hasher_.fingerprint(content) == want;
+        } catch (const Error&) {
+          // corrupt compressed frame: leave the slot bad for refetch
+        }
+      }
+      if (good) {
+        wire += item.payload.size();
+        out[pending[i]] = std::move(content);
+      } else {
+        ++stats_.integrity_failures;
+        still.push_back(pending[i]);
+      }
+    }
+    pending = std::move(still);
+    if (!pending.empty() && round + 1 < max_attempts_) {
+      stats_.item_refetches += pending.size();
+    }
+  }
+
+  if (!pending.empty()) {
+    return {ErrorCode::kCorruptData,
+            "remote: " + std::to_string(pending.size()) +
+                " chunk(s) repeatedly failed fingerprint check, first index " +
+                std::to_string(indices[pending.front()]) + " of " + fp.hex()};
+  }
+  if (wire_bytes_out != nullptr) *wire_bytes_out = wire;
+  return out;
+}
+
 StatusOr<std::uint64_t> RemoteGearRegistry::stored_size(
     const Fingerprint& fp) const {
   WireMessage request;

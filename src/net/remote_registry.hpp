@@ -19,6 +19,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
 
 #include "gear/registry_api.hpp"
 #include "net/transport.hpp"
@@ -84,6 +87,26 @@ class RemoteGearRegistry final : public FileRegistryApi {
   /// Served from the size the server advertises in query responses.
   StatusOr<std::uint64_t> stored_size(const Fingerprint& fp) const override;
 
+  /// Chunk support over the wire. The first call per fingerprint issues a
+  /// manifest probe — a kDownloadChunks request with an empty index list,
+  /// answered with the serialized manifest (or kNotFound for a file stored
+  /// plain). Either answer is cached: a fingerprint's storage form is
+  /// immutable once stored (dedup upserts never restructure an object), so
+  /// repeat reads of the same file cost zero extra round trips.
+  bool is_chunked(const Fingerprint& fp) const override;
+  StatusOr<ChunkManifest> chunk_manifest(const Fingerprint& fp) const override;
+
+  /// Batched chunk download: the whole index list in one kDownloadChunks
+  /// frame. Retry granularity mirrors download_batch: a frame damaged in
+  /// transit is retransmitted whole, while one corrupt item inside an
+  /// intact frame refetches only that chunk (stats_.item_refetches). Items
+  /// are verified end-to-end — the echoed fingerprint must match the
+  /// manifest entry and the decompressed bytes must hash back to it.
+  StatusOr<std::vector<Bytes>> download_chunks(
+      const Fingerprint& fp, const ChunkManifest& manifest,
+      const std::vector<std::uint32_t>& indices,
+      std::uint64_t* wire_bytes_out = nullptr) const override;
+
   /// Frames through this stub are charged to the simulated link by the
   /// transport itself; clients must not charge their own link model.
   bool transport_accounted() const override { return true; }
@@ -95,11 +118,19 @@ class RemoteGearRegistry final : public FileRegistryApi {
   /// the echoed top-level fingerprint matches.
   WireMessage call(const WireMessage& request, MessageType expected_type) const;
 
+  /// Probes the server for `fp`'s manifest, serving repeats from the cache.
+  /// nullopt = probed and stored plain (negative answers cache too).
+  const std::optional<ChunkManifest>& probe_manifest(const Fingerprint& fp) const;
+
   Transport& transport_;
   int max_attempts_;
   bool verify_content_;
   const FingerprintHasher& hasher_;
   mutable RemoteRegistryStats stats_;
+  mutable std::mutex manifest_mutex_;
+  mutable std::unordered_map<Fingerprint, std::optional<ChunkManifest>,
+                             FingerprintHash>
+      manifest_cache_;
 };
 
 }  // namespace gear::net

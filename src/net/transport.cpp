@@ -41,8 +41,7 @@ Bytes LoopbackTransport::round_trip(BytesView request_frame) {
   }
 
   WireMessage& req = *request;
-  const std::uint64_t n_items =
-      is_batch_type(req.type) ? req.items.size() : 1;
+  std::uint64_t n_items = is_batch_type(req.type) ? req.items.size() : 1;
   // The request frame is one wire request; batch responses below are
   // charged as a pipelined burst (latency once, per-item overhead).
   charge_link_request(request_frame.size());
@@ -124,6 +123,53 @@ Bytes LoopbackTransport::round_trip(BytesView request_frame) {
         WireItem out;
         out.fp = item.fp;
         StatusOr<Bytes> stored = registry_.download_compressed(item.fp);
+        if (stored.ok()) {
+          out.status = Status::kOk;
+          out.payload = std::move(stored).value();
+        } else {
+          out.status = Status::kNotFound;
+        }
+        response.items.push_back(std::move(out));
+      }
+      break;
+    }
+    case MessageType::kDownloadChunksRequest: {
+      response.type = MessageType::kDownloadChunksResponse;
+      StatusOr<std::vector<std::uint32_t>> indices =
+          decode_chunk_index_list(req.payload);
+      if (!indices.ok()) {
+        stats_.bad_requests.fetch_add(1, std::memory_order_relaxed);
+        response.status = Status::kServerError;
+        break;
+      }
+      StatusOr<ChunkManifest> manifest = registry_.chunk_manifest(req.fp);
+      if (!manifest.ok()) {
+        // Not stored chunked (or not stored at all): an answer, not an
+        // error — the client falls back to whole-file materialization.
+        if (indices->empty()) ++stats_.manifest_round_trips;
+        response.status = Status::kNotFound;
+        break;
+      }
+      if (indices->empty()) {
+        // Manifest probe: ship the serialized manifest as the payload.
+        ++stats_.manifest_round_trips;
+        response.payload = manifest->serialize();
+        break;
+      }
+      ++stats_.chunk_round_trips;
+      stats_.chunk_items += indices->size();
+      n_items = indices->size();  // the response is a pipelined chunk burst
+      response.items.reserve(indices->size());
+      for (std::uint32_t index : *indices) {
+        WireItem out;
+        if (index >= manifest->chunks.size()) {
+          out.status = Status::kNotFound;  // echoes a zero fingerprint
+          response.items.push_back(std::move(out));
+          continue;
+        }
+        out.fp = manifest->chunks[index];
+        StatusOr<Bytes> stored =
+            registry_.download_chunk_compressed(out.fp);
         if (stored.ok()) {
           out.status = Status::kOk;
           out.payload = std::move(stored).value();

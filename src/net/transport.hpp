@@ -47,6 +47,12 @@ struct LoopbackServerStats {
   std::atomic<std::uint64_t> upload_items{0};
   std::atomic<std::uint64_t> download_round_trips{0};
   std::atomic<std::uint64_t> download_items{0};
+  /// kDownloadChunks traffic: manifest probes (empty index list) and chunk
+  /// batches are counted apart so tests can prove a range read over N
+  /// cache-missing chunks cost 1 probe + ⌈N/batch⌉ chunk frames.
+  std::atomic<std::uint64_t> manifest_round_trips{0};
+  std::atomic<std::uint64_t> chunk_round_trips{0};
+  std::atomic<std::uint64_t> chunk_items{0};
   std::atomic<std::uint64_t> bytes_in{0};   // request frame bytes
   std::atomic<std::uint64_t> bytes_out{0};  // response frame bytes
 };

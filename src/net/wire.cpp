@@ -16,7 +16,7 @@ constexpr std::size_t kMinItemBytes = Fingerprint::kSize + 2;
 
 bool valid_type(std::uint8_t t) {
   return t >= static_cast<std::uint8_t>(MessageType::kQueryRequest) &&
-         t <= static_cast<std::uint8_t>(MessageType::kDownloadManyResponse);
+         t <= static_cast<std::uint8_t>(MessageType::kDownloadChunksResponse);
 }
 
 bool valid_status(std::uint8_t s) {
@@ -47,6 +47,9 @@ bool is_batch_type(MessageType type) {
     case MessageType::kUploadManyResponse:
     case MessageType::kDownloadManyRequest:
     case MessageType::kDownloadManyResponse:
+    // The chunk *request* carries indices in its payload, not an item list;
+    // only the response is item-framed.
+    case MessageType::kDownloadChunksResponse:
       return true;
     default:
       return false;
@@ -169,6 +172,46 @@ StatusOr<WireMessage> decode_message(BytesView frame) {
     return {ErrorCode::kCorruptData, "wire: trailing garbage after items"};
   }
   return message;
+}
+
+Bytes encode_chunk_index_list(const std::vector<std::uint32_t>& indices) {
+  Bytes out;
+  put_varint(out, indices.size());
+  for (std::uint32_t index : indices) put_varint(out, index);
+  return out;
+}
+
+StatusOr<std::vector<std::uint32_t>> decode_chunk_index_list(
+    BytesView payload) {
+  std::size_t pos = 0;
+  std::uint64_t count;
+  try {
+    count = get_varint(payload, pos);
+  } catch (const Error&) {
+    return {ErrorCode::kCorruptData, "wire: bad chunk index count"};
+  }
+  // Each index takes at least one byte; bound before allocating.
+  if (count > payload.size() - pos) {
+    return {ErrorCode::kCorruptData, "wire: chunk index count exceeds payload"};
+  }
+  std::vector<std::uint32_t> indices;
+  indices.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t index;
+    try {
+      index = get_varint(payload, pos);
+    } catch (const Error&) {
+      return {ErrorCode::kCorruptData, "wire: bad chunk index"};
+    }
+    if (index > UINT32_MAX) {
+      return {ErrorCode::kCorruptData, "wire: chunk index overflows 32 bits"};
+    }
+    indices.push_back(static_cast<std::uint32_t>(index));
+  }
+  if (pos != payload.size()) {
+    return {ErrorCode::kCorruptData, "wire: trailing garbage after indices"};
+  }
+  return indices;
 }
 
 }  // namespace gear::net

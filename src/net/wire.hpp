@@ -22,6 +22,15 @@
 // refetch only the damaged items of an otherwise intact batch. decode
 // rejects anything malformed with kCorruptData, which the client stub turns
 // into retries.
+//
+// Chunk messages (kDownloadChunks) do for partial reads of one chunked file
+// what kDownloadMany does for whole files. The request's top-level
+// fingerprint names the chunked file and its payload is a varint-counted
+// list of chunk indices (encode_chunk_index_list); an empty list is a
+// manifest probe. The response answers index i with items[i]: the chunk's
+// own fingerprint (from the server's manifest), a per-chunk status, and the
+// stored compressed chunk frame; a manifest probe's response instead
+// carries the serialized manifest as its top-level payload.
 #pragma once
 
 #include <cstdint>
@@ -46,6 +55,8 @@ enum class MessageType : std::uint8_t {
   kUploadManyResponse = 10,
   kDownloadManyRequest = 11,
   kDownloadManyResponse = 12,
+  kDownloadChunksRequest = 13,
+  kDownloadChunksResponse = 14,
 };
 
 enum class Status : std::uint8_t {
@@ -87,5 +98,13 @@ Bytes encode_message(const WireMessage& message);
 /// Decodes a frame; returns kCorruptData for bad magic, bad CRC, truncation,
 /// unknown type/status, bad item list, or trailing garbage.
 StatusOr<WireMessage> decode_message(BytesView frame);
+
+/// Payload codec for kDownloadChunksRequest: varint count, then one varint
+/// per chunk index.
+Bytes encode_chunk_index_list(const std::vector<std::uint32_t>& indices);
+
+/// Inverse of encode_chunk_index_list; kCorruptData on truncation, trailing
+/// garbage, or an index that overflows 32 bits.
+StatusOr<std::vector<std::uint32_t>> decode_chunk_index_list(BytesView payload);
 
 }  // namespace gear::net

@@ -2,16 +2,33 @@
 
 namespace gear::p2p {
 
+namespace {
+/// Shared lookup body; the caller holds the tracker lock.
+const std::string* find_holder(
+    const std::map<Fingerprint, std::set<std::string>>& holders,
+    const Fingerprint& fp, const std::string& requester) {
+  auto it = holders.find(fp);
+  if (it == holders.end()) return nullptr;
+  for (const std::string& node : it->second) {
+    if (node != requester) return &node;
+  }
+  return nullptr;
+}
+}  // namespace
+
 void PeerTracker::announce(const std::string& node_id, const Fingerprint& fp) {
+  std::lock_guard guard(mutex_);
   holders_[fp].insert(node_id);
 }
 
 void PeerTracker::announce_all(const std::string& node_id,
                                const std::vector<Fingerprint>& fps) {
-  for (const Fingerprint& fp : fps) announce(node_id, fp);
+  std::lock_guard guard(mutex_);
+  for (const Fingerprint& fp : fps) holders_[fp].insert(node_id);
 }
 
 void PeerTracker::retract_node(const std::string& node_id) {
+  std::lock_guard guard(mutex_);
   for (auto it = holders_.begin(); it != holders_.end();) {
     it->second.erase(node_id);
     if (it->second.empty()) {
@@ -24,14 +41,28 @@ void PeerTracker::retract_node(const std::string& node_id) {
 
 StatusOr<std::string> PeerTracker::locate(const Fingerprint& fp,
                                           const std::string& requester) const {
-  auto it = holders_.find(fp);
-  if (it == holders_.end()) {
+  std::lock_guard guard(mutex_);
+  const std::string* holder = find_holder(holders_, fp, requester);
+  if (holder == nullptr) {
     return {ErrorCode::kNotFound, "no holder for " + fp.hex()};
   }
-  for (const std::string& node : it->second) {
-    if (node != requester) return node;
+  return *holder;
+}
+
+std::vector<std::optional<std::string>> PeerTracker::locate_many(
+    const std::vector<Fingerprint>& fps, const std::string& requester) const {
+  std::lock_guard guard(mutex_);
+  std::vector<std::optional<std::string>> out(fps.size());
+  for (std::size_t i = 0; i < fps.size(); ++i) {
+    const std::string* holder = find_holder(holders_, fps[i], requester);
+    if (holder != nullptr) out[i] = *holder;
   }
-  return {ErrorCode::kNotFound, "only the requester holds " + fp.hex()};
+  return out;
+}
+
+std::size_t PeerTracker::announced_objects() const {
+  std::lock_guard guard(mutex_);
+  return holders_.size();
 }
 
 Cluster::Cluster(docker::DockerRegistry& index_registry,
@@ -73,22 +104,89 @@ Cluster::Cluster(docker::DockerRegistry& index_registry,
           }
           return std::nullopt;
         });
+
+    // Batched fan-out: one tracker query for the whole miss list, then one
+    // pipelined LAN burst per holder. Slots no peer can serve stay nullopt
+    // and fall through to the registry.
+    if (params.batch_peer_fetch) {
+      node->client->set_batch_peer_source(
+          [this, raw](const std::vector<std::pair<Fingerprint, std::uint64_t>>&
+                          wanted) -> std::vector<std::optional<Bytes>> {
+            std::vector<std::optional<Bytes>> out(wanted.size());
+            std::vector<Fingerprint> fps(wanted.size());
+            for (std::size_t i = 0; i < wanted.size(); ++i) {
+              fps[i] = wanted[i].first;
+            }
+            std::vector<std::optional<std::string>> holders =
+                tracker_.locate_many(fps, raw->id);
+            std::map<std::string, std::vector<std::size_t>> by_holder;
+            for (std::size_t i = 0; i < holders.size(); ++i) {
+              if (holders[i].has_value()) by_holder[*holders[i]].push_back(i);
+            }
+            for (const auto& [holder_id, slots] : by_holder) {
+              Node* peer = nullptr;
+              for (const auto& p : nodes_) {
+                if (p->id == holder_id && !p->retired) {
+                  peer = p.get();
+                  break;
+                }
+              }
+              if (peer == nullptr) continue;  // stale advertisement
+              std::uint64_t burst_bytes = 0;
+              std::uint64_t served = 0;
+              for (std::size_t slot : slots) {
+                StatusOr<Bytes> content =
+                    peer->client->store().cache().get(wanted[slot].first);
+                if (!content.ok()) continue;  // stale advertisement
+                burst_bytes += content->size();
+                ++served;
+                out[slot] = std::move(content).value();
+              }
+              if (served > 0) {
+                raw->lan->pipelined(burst_bytes, served);
+                lan_bytes_ += burst_bytes;
+                ++lan_bursts_;
+              }
+            }
+            return out;
+          });
+    }
     nodes_.push_back(std::move(node));
   }
 }
 
 docker::DeployStats Cluster::deploy(std::size_t node,
                                     const std::string& reference,
-                                    const workload::AccessSet& access) {
+                                    const workload::AccessSet& access,
+                                    std::string* container_id_out) {
   if (node >= nodes_.size()) {
     throw_error(ErrorCode::kInvalidArgument, "no such node");
   }
   Node& n = *nodes_[node];
-  docker::DeployStats stats = n.client->deploy(reference, access);
+  docker::DeployStats stats =
+      n.client->deploy(reference, access, container_id_out);
   if (!n.retired) {
     tracker_.announce_all(n.id, n.client->store().cache().fingerprints());
   }
   return stats;
+}
+
+StatusOr<Bytes> Cluster::read_range(std::size_t node,
+                                    const std::string& container_id,
+                                    std::string_view path, std::uint64_t offset,
+                                    std::uint64_t length) {
+  if (node >= nodes_.size()) {
+    throw_error(ErrorCode::kInvalidArgument, "no such node");
+  }
+  Node& n = *nodes_[node];
+  StatusOr<Bytes> out =
+      n.client->read_range(container_id, path, offset, length);
+  if (out.ok() && !n.retired) {
+    // Chunk objects land in the shared cache like whole files; advertise
+    // them so later readers on other nodes batch-pull from this one.
+    tracker_.announce_all(n.id, n.client->store().cache().fingerprints());
+  }
+  return out;
 }
 
 void Cluster::retire_node(std::size_t node) {

@@ -13,6 +13,8 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -27,7 +29,8 @@
 namespace gear::p2p {
 
 /// Who has which fingerprint. A plain in-memory tracker, as CoMICon's
-/// master or Dragonfly's supernode would keep.
+/// master or Dragonfly's supernode would keep. Internally locked: nodes on
+/// different threads may announce and locate concurrently.
 class PeerTracker {
  public:
   void announce(const std::string& node_id, const Fingerprint& fp);
@@ -42,9 +45,16 @@ class PeerTracker {
   StatusOr<std::string> locate(const Fingerprint& fp,
                                const std::string& requester) const;
 
-  std::size_t announced_objects() const noexcept { return holders_.size(); }
+  /// Batched locate: out[i] is a holder of fps[i] (excluding `requester`)
+  /// or nullopt. One tracker query answers the whole list — the lookup leg
+  /// of a batched peer fetch.
+  std::vector<std::optional<std::string>> locate_many(
+      const std::vector<Fingerprint>& fps, const std::string& requester) const;
+
+  std::size_t announced_objects() const;
 
  private:
+  mutable std::mutex mutex_;
   std::map<Fingerprint, std::set<std::string>> holders_;
 };
 
@@ -58,6 +68,11 @@ class Cluster {
     double byte_scale = 1.0;  // corpus scale (scales both link speeds)
     std::size_t nodes = 3;
     docker::RuntimeParams runtime = {};
+    /// Batched peer fan-out: the bulk paths (warm deploys, range reads) ask
+    /// the tracker for a whole miss list at once and pull each holder's
+    /// objects as one pipelined LAN burst. Off = legacy one-probe-per-object
+    /// fetching only (the baseline of the fan-out experiments).
+    bool batch_peer_fetch = true;
   };
 
   Cluster(docker::DockerRegistry& index_registry, GearRegistry& file_registry,
@@ -67,9 +82,19 @@ class Cluster {
   sim::SimClock& clock() noexcept { return clock_; }
 
   /// Deploys on one node; peer fetches and tracker announcements happen
-  /// automatically.
+  /// automatically. The launched container id is written to
+  /// `container_id_out` when non-null (for follow-up read_range calls).
   docker::DeployStats deploy(std::size_t node, const std::string& reference,
-                             const workload::AccessSet& access);
+                             const workload::AccessSet& access,
+                             std::string* container_id_out = nullptr);
+
+  /// Range read on one node's container. Covering chunks missing locally
+  /// are pulled from peers in batched LAN bursts (batch_peer_fetch) before
+  /// falling back to the registry; whatever the node now caches — chunk
+  /// objects included — is announced to the tracker for later readers.
+  StatusOr<Bytes> read_range(std::size_t node, const std::string& container_id,
+                             std::string_view path, std::uint64_t offset,
+                             std::uint64_t length);
 
   /// Removes a node's advertisements (simulated departure). The node's
   /// client keeps working but no longer serves peers.
@@ -79,6 +104,10 @@ class Cluster {
   std::uint64_t wan_bytes() const;
   /// Aggregate LAN bytes moved between peers.
   std::uint64_t lan_bytes() const noexcept { return lan_bytes_; }
+  /// Pipelined LAN bursts issued by batched peer fetches (each serves a
+  /// whole holder group in one round trip; legacy per-object probes are not
+  /// counted here).
+  std::uint64_t lan_bursts() const noexcept { return lan_bursts_; }
   /// Peer-satisfied fetches across the cluster.
   std::uint64_t peer_hits() const;
 
@@ -98,6 +127,7 @@ class Cluster {
   PeerTracker tracker_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::uint64_t lan_bytes_ = 0;
+  std::uint64_t lan_bursts_ = 0;
 };
 
 }  // namespace gear::p2p

@@ -1,0 +1,425 @@
+// Chunk-granular batched range fetch: the kDownloadChunks wire message, the
+// remote manifest probe + cache, the batched read_range gathering path, and
+// its fault tolerance. Proves the round-trip arithmetic (1 manifest probe +
+// ⌈missing/batch⌉ chunk frames), byte- and stats-identity between batch-1
+// (the serial per-chunk protocol) and batch-64 modes, and that injected
+// transmission faults never corrupt an accepted read.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "compress/codec.hpp"
+#include "docker/image.hpp"
+#include "gear/chunking.hpp"
+#include "gear/client.hpp"
+#include "gear/converter.hpp"
+#include "gear/registry.hpp"
+#include "net/remote_registry.hpp"
+#include "net/transport.hpp"
+#include "net/wire.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace gear {
+namespace {
+
+using net::FaultPlan;
+using net::FaultyTransport;
+using net::LoopbackTransport;
+using net::RemoteGearRegistry;
+
+constexpr std::uint64_t kChunk = 4096;
+const ChunkPolicy kPolicy{/*threshold_bytes=*/16 * 1024, /*chunk_bytes=*/kChunk};
+
+Bytes big_content(std::uint64_t seed, std::size_t n) {
+  Rng rng(seed);
+  return rng.next_bytes(n, 0.3);
+}
+
+// ----------------------------------------------------------- wire codec
+
+TEST(WireChunk, IndexListRoundTrip) {
+  std::vector<std::uint32_t> indices{0, 5, 9, 1000000};
+  EXPECT_EQ(net::decode_chunk_index_list(net::encode_chunk_index_list(indices))
+                .value(),
+            indices);
+  EXPECT_TRUE(net::decode_chunk_index_list(net::encode_chunk_index_list({}))
+                  .value()
+                  .empty());
+}
+
+TEST(WireChunk, IndexListRejectsMalformed) {
+  Bytes good = net::encode_chunk_index_list({1, 2, 3});
+  Bytes truncated(good.begin(), good.end() - 1);
+  EXPECT_FALSE(net::decode_chunk_index_list(truncated).ok());
+
+  Bytes trailing = good;
+  trailing.push_back(0);
+  EXPECT_FALSE(net::decode_chunk_index_list(trailing).ok());
+
+  // Count larger than the remaining payload could possibly hold.
+  Bytes lying;
+  put_varint(lying, 1000);
+  put_varint(lying, 1);
+  EXPECT_FALSE(net::decode_chunk_index_list(lying).ok());
+
+  // An index that overflows 32 bits.
+  Bytes huge;
+  put_varint(huge, 1);
+  put_varint(huge, std::uint64_t{1} << 40);
+  EXPECT_FALSE(net::decode_chunk_index_list(huge).ok());
+}
+
+TEST(WireChunk, EveryByteFlipOfAFrameIsRejected) {
+  net::WireMessage request;
+  request.type = net::MessageType::kDownloadChunksRequest;
+  request.fp = default_hasher().fingerprint(to_bytes("model"));
+  request.payload = net::encode_chunk_index_list({0, 7, 63});
+  Bytes frame = net::encode_message(request);
+  ASSERT_EQ(net::decode_message(frame).value(), request);
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    Bytes damaged = frame;
+    damaged[i] ^= 0xFF;
+    EXPECT_FALSE(net::decode_message(damaged).ok()) << "flipped byte " << i;
+  }
+}
+
+// ------------------------------------------------------ transport-backed
+
+/// One full client stack over its own registry and (fault-injectable)
+/// transport, so stacks with different batch sizes can be compared
+/// byte-for-byte and stat-for-stat.
+struct Stack {
+  sim::SimClock clock;
+  sim::NetworkLink link{clock, 904.0, 0.0005, 0.0003};
+  sim::DiskModel disk{clock, 0.0001, 500.0, 480.0};
+  docker::DockerRegistry docker_registry;
+  GearRegistry server;
+  LoopbackTransport loopback{server, &link};
+  FaultyTransport faulty;
+  RemoteGearRegistry remote{faulty, /*max_attempts=*/5};
+  GearClient client{docker_registry, remote, link, disk};
+  std::string container;
+
+  Stack(const GearImage& image, std::size_t batch, FaultPlan plan = {})
+      : faulty(loopback, plan) {
+    push_gear_image(image, docker_registry, server, kPolicy);
+    client.set_range_batch_chunks(batch);
+    client.pull("ai:v1");
+    container = client.store().create_container("ai:v1");
+  }
+
+  StatusOr<Bytes> read(std::uint64_t offset, std::uint64_t length) {
+    return client.read_range(container, "models/weights.bin", offset, length);
+  }
+};
+
+struct ChunkBatchFixture : ::testing::Test {
+  Bytes model;
+  GearImage gear_image;
+  std::size_t n_chunks = 0;
+
+  void SetUp() override {
+    model = big_content(42, 10 * kChunk + 100);  // 11 chunks, partial tail
+    n_chunks = (model.size() + kChunk - 1) / kChunk;
+    vfs::FileTree root;
+    root.add_file("models/weights.bin", model);
+    root.add_file("etc/config.json", to_bytes("{\"layers\":128}"));
+    docker::ImageBuilder b;
+    b.add_snapshot(root);
+    gear_image = GearConverter().convert(b.build("ai", "v1", {})).image;
+  }
+
+  Bytes slice(std::uint64_t offset, std::uint64_t length) const {
+    return Bytes(model.begin() + static_cast<std::ptrdiff_t>(offset),
+                 model.begin() + static_cast<std::ptrdiff_t>(offset + length));
+  }
+};
+
+TEST_F(ChunkBatchFixture, WholeRangeCostsOneProbePlusCeilChunkFrames) {
+  Stack s(gear_image, /*batch=*/8);
+  EXPECT_EQ(s.read(0, model.size()).value(), model);
+
+  const net::LoopbackServerStats& stats = s.loopback.server_stats();
+  EXPECT_EQ(stats.manifest_round_trips, 1u);
+  EXPECT_EQ(stats.chunk_round_trips, (n_chunks + 7) / 8);  // ⌈11/8⌉ = 2
+  EXPECT_EQ(stats.chunk_items, n_chunks);
+  EXPECT_EQ(s.server.stats().downloads, n_chunks);
+  EXPECT_EQ(s.remote.stats().retries, 0u);
+  EXPECT_EQ(s.remote.stats().item_refetches, 0u);
+
+  // Everything is cached now: a repeat read adds zero round trips, and the
+  // manifest is cached on both the client and the stub.
+  std::uint64_t trips = stats.round_trips;
+  EXPECT_EQ(s.read(1000, 10000).value(), slice(1000, 10000));
+  EXPECT_EQ(stats.round_trips, trips);
+}
+
+TEST_F(ChunkBatchFixture, PartialRangeFetchesOnlyMissingChunks) {
+  Stack s(gear_image, /*batch=*/64);
+  // Chunks 2..4 first (one frame), then 0..6: only 0,1,5,6 are missing.
+  EXPECT_EQ(s.read(2 * kChunk, 3 * kChunk).value(),
+            slice(2 * kChunk, 3 * kChunk));
+  const net::LoopbackServerStats& stats = s.loopback.server_stats();
+  EXPECT_EQ(stats.chunk_round_trips, 1u);
+  EXPECT_EQ(stats.chunk_items, 3u);
+
+  EXPECT_EQ(s.read(0, 7 * kChunk).value(), slice(0, 7 * kChunk));
+  EXPECT_EQ(stats.chunk_round_trips, 2u);
+  EXPECT_EQ(stats.chunk_items, 7u);
+  EXPECT_EQ(stats.manifest_round_trips, 1u);
+}
+
+TEST_F(ChunkBatchFixture, BatchOneMatchesBatchSixtyFourExactly) {
+  Stack serial(gear_image, /*batch=*/1);
+  Stack batched(gear_image, /*batch=*/64);
+
+  // Same read sequence through both stacks.
+  const std::uint64_t off = 3 * kChunk - 57;
+  const std::uint64_t len = 5 * kChunk + 200;
+  EXPECT_EQ(serial.read(off, len).value(), batched.read(off, len).value());
+  EXPECT_EQ(serial.read(0, model.size()).value(),
+            batched.read(0, model.size()).value());
+  EXPECT_EQ(serial.read(0, model.size()).value(), model);
+
+  // Identical assembled bytes, wire volume, cache contents, and registry
+  // stats — only the round-trip count differs.
+  EXPECT_EQ(serial.client.range_bytes_downloaded(),
+            batched.client.range_bytes_downloaded());
+  EXPECT_EQ(serial.server.stats().downloads, batched.server.stats().downloads);
+  std::vector<Fingerprint> a = serial.client.store().cache().fingerprints();
+  std::vector<Fingerprint> b = batched.client.store().cache().fingerprints();
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+
+  EXPECT_EQ(serial.loopback.server_stats().chunk_items,
+            batched.loopback.server_stats().chunk_items);
+  EXPECT_EQ(serial.loopback.server_stats().chunk_round_trips, n_chunks);
+  // Two reads, each one frame: chunks 2..8, then the missing 0,1,9,10.
+  EXPECT_EQ(batched.loopback.server_stats().chunk_round_trips, 2u);
+}
+
+TEST_F(ChunkBatchFixture, FaultInjectionNeverCorruptsAnAcceptedRead) {
+  // Every second frame has one byte flipped: the CRC rejects it and the
+  // stub retransmits. The assembled bytes must still be exact, at batch 1
+  // and at batch 64.
+  FaultPlan plan{FaultPlan::Kind::kFlipByte, /*period=*/2};
+  Stack serial(gear_image, /*batch=*/1, plan);
+  Stack batched(gear_image, /*batch=*/64, plan);
+
+  EXPECT_EQ(serial.read(0, model.size()).value(), model);
+  EXPECT_EQ(batched.read(0, model.size()).value(), model);
+  EXPECT_GT(serial.faulty.faults_injected(), 0u);
+  EXPECT_GT(batched.faulty.faults_injected(), 0u);
+  EXPECT_GT(serial.remote.stats().retries + serial.remote.stats().integrity_failures, 0u);
+
+  // Cache contents converge to the same chunk set despite the faults.
+  std::vector<Fingerprint> a = serial.client.store().cache().fingerprints();
+  std::vector<Fingerprint> b = batched.client.store().cache().fingerprints();
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(ChunkBatchFixture, TruncatedAndDroppedFramesAreRetried) {
+  Stack truncating(gear_image, /*batch=*/8,
+                   FaultPlan{FaultPlan::Kind::kTruncate, /*period=*/3});
+  EXPECT_EQ(truncating.read(0, model.size()).value(), model);
+  EXPECT_GT(truncating.remote.stats().retries, 0u);
+
+  Stack dropping(gear_image, /*batch=*/8,
+                 FaultPlan{FaultPlan::Kind::kDrop, /*period=*/2});
+  EXPECT_EQ(dropping.read(0, model.size()).value(), model);
+  EXPECT_GT(dropping.remote.stats().retries, 0u);
+}
+
+/// Damages one item payload inside an otherwise intact frame (the CRC is
+/// recomputed), so only end-to-end chunk verification can catch it — the
+/// trigger for the item-granular refetch level of the retry protocol.
+class ItemCorruptingTransport final : public net::Transport {
+ public:
+  explicit ItemCorruptingTransport(net::Transport& inner) : inner_(inner) {}
+
+  Bytes round_trip(BytesView request_frame) override {
+    Bytes frame = inner_.round_trip(request_frame);
+    if (!armed_) return frame;
+    StatusOr<net::WireMessage> msg = net::decode_message(frame);
+    if (!msg.ok() || msg->items.empty() || msg->items[0].payload.empty()) {
+      return frame;
+    }
+    msg->items[0].payload[0] ^= 0xFF;
+    armed_ = false;
+    return net::encode_message(*msg);
+  }
+
+ private:
+  net::Transport& inner_;
+  bool armed_ = true;
+};
+
+TEST_F(ChunkBatchFixture, CorruptItemInIntactFrameRefetchesOnlyThatChunk) {
+  GearRegistry server;
+  docker::DockerRegistry docker_registry;
+  push_gear_image(gear_image, docker_registry, server, kPolicy);
+  LoopbackTransport loopback(server);
+  ItemCorruptingTransport corrupting(loopback);
+  RemoteGearRegistry remote(corrupting, 5);
+
+  Fingerprint model_fp = default_hasher().fingerprint(model);
+  StatusOr<ChunkManifest> manifest = remote.chunk_manifest(model_fp);
+  ASSERT_TRUE(manifest.ok());
+
+  std::vector<std::uint32_t> all(n_chunks);
+  for (std::size_t i = 0; i < n_chunks; ++i) all[i] = static_cast<std::uint32_t>(i);
+  StatusOr<std::vector<Bytes>> chunks =
+      remote.download_chunks(model_fp, *manifest, all);
+  ASSERT_TRUE(chunks.ok());
+  Bytes assembled;
+  for (const Bytes& c : *chunks) append(assembled, c);
+  EXPECT_EQ(assembled, model);
+
+  // One item refetched in one follow-up frame; the frame itself never
+  // retransmitted whole.
+  EXPECT_EQ(remote.stats().item_refetches, 1u);
+  EXPECT_EQ(remote.stats().retries, 0u);
+  EXPECT_EQ(loopback.server_stats().chunk_round_trips, 2u);
+  EXPECT_EQ(loopback.server_stats().chunk_items, n_chunks + 1);
+}
+
+TEST_F(ChunkBatchFixture, EdgeRangesSpanFinalPartialChunkAndBounds) {
+  Stack s(gear_image, /*batch=*/4);
+
+  // Straddles the last full chunk and the 100-byte tail chunk.
+  std::uint64_t off = 10 * kChunk - 50;
+  EXPECT_EQ(s.read(off, 150).value(), slice(off, 150));
+  // Exactly the tail.
+  EXPECT_EQ(s.read(model.size() - 100, 100).value(),
+            slice(model.size() - 100, 100));
+
+  // Zero-length, offset at EOF, and offset past EOF are invalid.
+  EXPECT_EQ(s.read(0, 0).code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(s.read(model.size(), 1).code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(s.read(model.size() + 5, 1).code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(s.read(model.size() - 10, 11).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(ChunkBatchPlain, SingleChunkFileFallsBackToPlainMaterialization) {
+  // A file whose manifest would hold one chunk is stored plain; the remote
+  // probe answers "not chunked" (kNotFound) and whole-file download serves.
+  GearRegistry server;
+  ChunkPolicy tiny{/*threshold_bytes=*/1024, /*chunk_bytes=*/8192};
+  Bytes content = big_content(7, 5000);
+  Fingerprint fp = default_hasher().fingerprint(content);
+  ASSERT_TRUE(server.upload_chunked(fp, content, tiny));
+  ASSERT_FALSE(server.is_chunked(fp));
+
+  LoopbackTransport transport(server);
+  RemoteGearRegistry remote(transport, 3);
+  EXPECT_FALSE(remote.is_chunked(fp));
+  EXPECT_EQ(remote.chunk_manifest(fp).code(), ErrorCode::kNotFound);
+  EXPECT_EQ(remote.download(fp).value(), content);
+  // Probe answered once and cached (positive or negative, storage form is
+  // immutable): the second is_chunked adds no round trip.
+  std::uint64_t probes = transport.server_stats().manifest_round_trips;
+  EXPECT_EQ(probes, 1u);
+  EXPECT_FALSE(remote.is_chunked(fp));
+  EXPECT_EQ(transport.server_stats().manifest_round_trips, probes);
+}
+
+TEST(ChunkBatchPlain, DownloadChunksOfUnchunkedFileIsNotFound) {
+  GearRegistry server;
+  Bytes content = big_content(8, 2000);
+  Fingerprint fp = default_hasher().fingerprint(content);
+  server.upload(fp, content);
+
+  LoopbackTransport transport(server);
+  RemoteGearRegistry remote(transport, 3);
+  ChunkManifest fake;
+  fake.file_size = content.size();
+  fake.chunk_bytes = 1024;
+  fake.chunks.resize(2);
+  EXPECT_EQ(remote.download_chunks(fp, fake, {0, 1}).code(),
+            ErrorCode::kNotFound);
+}
+
+// ------------------------------------------------- concurrent clients
+
+TEST(ConcurrentChunkBatch, SharedStubServesParallelChunkFetches) {
+  const std::size_t kThreads = 8;
+  const std::size_t kChunks = 32;
+  GearRegistry server;
+  Bytes content = big_content(99, kChunks * kChunk);
+  Fingerprint fp = default_hasher().fingerprint(content);
+  ASSERT_TRUE(server.upload_chunked(fp, content,
+                                    ChunkPolicy{16 * 1024, kChunk}));
+
+  LoopbackTransport transport(server);
+  RemoteGearRegistry remote(transport, 3);
+  ChunkManifest manifest = remote.chunk_manifest(fp).value();
+  ASSERT_EQ(manifest.chunks.size(), kChunks);
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Each thread fetches every chunk in batches of 8, in a thread-local
+      // rotation so concurrent frames differ.
+      for (std::size_t b = 0; b < kChunks; b += 8) {
+        std::vector<std::uint32_t> batch;
+        for (std::size_t i = 0; i < 8; ++i) {
+          batch.push_back(static_cast<std::uint32_t>((b + i + t) % kChunks));
+        }
+        StatusOr<std::vector<Bytes>> got =
+            remote.download_chunks(fp, manifest, batch);
+        if (!got.ok()) {
+          ++mismatches;
+          continue;
+        }
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+          BytesView want = chunk_view(content, manifest, batch[i]);
+          if ((*got)[i] != Bytes(want.begin(), want.end())) ++mismatches;
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(mismatches, 0);
+  EXPECT_EQ(transport.server_stats().chunk_items, kThreads * kChunks);
+  EXPECT_EQ(remote.stats().integrity_failures, 0u);
+}
+
+TEST(ConcurrentChunkBatch, ConcurrentManifestProbesConvergeAndCache) {
+  GearRegistry server;
+  Bytes content = big_content(100, 20 * kChunk);
+  Fingerprint fp = default_hasher().fingerprint(content);
+  ASSERT_TRUE(server.upload_chunked(fp, content,
+                                    ChunkPolicy{16 * 1024, kChunk}));
+
+  LoopbackTransport transport(server);
+  RemoteGearRegistry remote(transport, 3);
+  std::atomic<int> bad{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      StatusOr<ChunkManifest> m = remote.chunk_manifest(fp);
+      if (!m.ok() || m->chunks.size() != 20u) ++bad;
+      if (!remote.is_chunked(fp)) ++bad;
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(bad, 0);
+
+  // The answer is cached now: further probes cost nothing.
+  std::uint64_t probes = transport.server_stats().manifest_round_trips;
+  EXPECT_GE(probes, 1u);
+  EXPECT_LE(probes, 8u);
+  remote.chunk_manifest(fp).value();
+  EXPECT_EQ(transport.server_stats().manifest_round_trips, probes);
+}
+
+}  // namespace
+}  // namespace gear

@@ -1,6 +1,10 @@
 // Tests for cooperative (P2P) Gear-file distribution.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
+#include "gear/chunking.hpp"
 #include "gear/converter.hpp"
 #include "p2p/cluster.hpp"
 #include "test_helpers.hpp"
@@ -112,6 +116,133 @@ TEST_F(ClusterFixture, ColdStartScalesRegistryEgressSublinearly) {
   }
   EXPECT_LT(cluster.wan_bytes() * (kNodes / 2), solo_wan);
   EXPECT_GT(cluster.peer_hits(), 0u);
+}
+
+// ------------------------------------------------ batched chunk fan-out
+
+struct ChunkedClusterFixture : ::testing::Test {
+  static constexpr std::uint64_t kChunk = 4096;
+  docker::DockerRegistry index_registry;
+  GearRegistry file_registry;
+  Bytes model;
+  workload::AccessSet no_access;  // deploy only pulls; reads come via ranges
+
+  void SetUp() override {
+    Rng rng(123);
+    model = rng.next_bytes(24 * kChunk, 0.3);
+    vfs::FileTree root;
+    root.add_file("models/weights.bin", model);
+    root.add_file("etc/config.json", to_bytes("{\"layers\":128}"));
+    docker::ImageBuilder b;
+    b.add_snapshot(root);
+    push_gear_image(GearConverter().convert(b.build("ai", "v1", {})).image,
+                    index_registry, file_registry,
+                    ChunkPolicy{/*threshold_bytes=*/16 * 1024, kChunk});
+  }
+
+  Cluster make_cluster(std::size_t nodes, bool batch) {
+    Cluster::Params params;
+    params.nodes = nodes;
+    params.batch_peer_fetch = batch;
+    return Cluster(index_registry, file_registry, params);
+  }
+};
+
+TEST_F(ChunkedClusterFixture, RangeChunksFanOutFromPeerInOneBurst) {
+  Cluster cluster = make_cluster(2, /*batch=*/true);
+  std::string c0;
+  cluster.deploy(0, "ai:v1", no_access, &c0);
+  ASSERT_EQ(
+      cluster.read_range(0, c0, "models/weights.bin", 0, model.size()).value(),
+      model);
+
+  // Node0's chunk objects are announced; node1's identical read pulls every
+  // chunk from node0's cache as ONE pipelined LAN burst, and the WAN moves
+  // only the manifest.
+  std::string c1;
+  cluster.deploy(1, "ai:v1", no_access, &c1);
+  std::uint64_t hits_before = cluster.peer_hits();
+  std::uint64_t bursts_before = cluster.lan_bursts();
+  std::uint64_t wan_before = cluster.wan_bytes();
+  EXPECT_EQ(
+      cluster.read_range(1, c1, "models/weights.bin", 0, model.size()).value(),
+      model);
+  EXPECT_EQ(cluster.peer_hits() - hits_before, 24u);
+  EXPECT_EQ(cluster.lan_bursts() - bursts_before, 1u);
+  EXPECT_LT(cluster.wan_bytes() - wan_before, kChunk);  // manifest only
+}
+
+TEST_F(ChunkedClusterFixture, LegacyModeReadsFromRegistryWithoutBursts) {
+  Cluster cluster = make_cluster(2, /*batch=*/false);
+  std::string c0;
+  cluster.deploy(0, "ai:v1", no_access, &c0);
+  ASSERT_EQ(
+      cluster.read_range(0, c0, "models/weights.bin", 0, model.size()).value(),
+      model);
+
+  std::string c1;
+  cluster.deploy(1, "ai:v1", no_access, &c1);
+  std::uint64_t wan_before = cluster.wan_bytes();
+  EXPECT_EQ(
+      cluster.read_range(1, c1, "models/weights.bin", 0, model.size()).value(),
+      model);
+  EXPECT_EQ(cluster.lan_bursts(), 0u);
+  EXPECT_GT(cluster.wan_bytes() - wan_before, kChunk);  // chunks over the WAN
+}
+
+TEST_F(ChunkedClusterFixture, StaleChunkAdvertsFallThroughToRegistry) {
+  Cluster cluster = make_cluster(2, /*batch=*/true);
+  std::string c0;
+  cluster.deploy(0, "ai:v1", no_access, &c0);
+  ASSERT_EQ(
+      cluster.read_range(0, c0, "models/weights.bin", 0, model.size()).value(),
+      model);
+  std::string c1;
+  cluster.deploy(1, "ai:v1", no_access, &c1);
+  cluster.retire_node(0);
+
+  // The holder left: the batched probe finds nothing and every chunk falls
+  // through to the registry. The read is still byte-exact.
+  std::uint64_t bursts_before = cluster.lan_bursts();
+  std::uint64_t wan_before = cluster.wan_bytes();
+  EXPECT_EQ(
+      cluster.read_range(1, c1, "models/weights.bin", 0, model.size()).value(),
+      model);
+  EXPECT_EQ(cluster.lan_bursts(), bursts_before);
+  EXPECT_GT(cluster.wan_bytes() - wan_before, kChunk);
+}
+
+// -------------------------------------------------- concurrent tracker
+
+TEST(ConcurrentPeerBatch, TrackerSurvivesParallelAnnounceLocateRetract) {
+  PeerTracker tracker;
+  std::vector<Fingerprint> fps;
+  for (int i = 0; i < 64; ++i) {
+    fps.push_back(default_hasher().fingerprint(to_bytes("obj" +
+                                                        std::to_string(i))));
+  }
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      std::string id = "node" + std::to_string(t);
+      for (int round = 0; round < 50; ++round) {
+        tracker.announce_all(id, fps);
+        // Between our announce and this locate, other threads only retract
+        // their own ids — every slot must still name some holder.
+        std::vector<std::optional<std::string>> found =
+            tracker.locate_many(fps, "reader");
+        if (found.size() != fps.size()) ++errors;
+        for (const auto& holder : found) {
+          if (!holder.has_value()) ++errors;
+        }
+        tracker.retract_node(id);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(errors, 0);
+  EXPECT_EQ(tracker.announced_objects(), 0u);
 }
 
 TEST_F(ClusterFixture, ClusterValidation) {

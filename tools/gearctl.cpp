@@ -5,7 +5,7 @@
 //   gearctl <store-dir> import <directory> <name:tag> [chunk-threshold-bytes]
 //   gearctl <store-dir> images
 //   gearctl <store-dir> inspect <name:tag>
-//   gearctl <store-dir> cat <name:tag> <path>
+//   gearctl <store-dir> cat <name:tag> <path> [offset length]
 //   gearctl <store-dir> export <name:tag> <directory>
 //   gearctl <store-dir> rm <name:tag>
 //   gearctl <store-dir> gc
@@ -14,6 +14,7 @@
 // The store directory persists both registries (gear/persistence.hpp
 // layout). `import` turns a real directory into a Gear image; `export`
 // reconstructs an image's root filesystem back onto disk.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -40,6 +41,10 @@ namespace {
 /// Worker budget for import's fingerprinting/compression (--workers N;
 /// 0 = one thread per hardware core).
 util::Concurrency g_concurrency;
+
+/// --range-batch N: chunk indices per download_chunks batch in ranged cat.
+/// 1 = the serial per-chunk protocol (output is identical either way).
+std::size_t g_range_batch = 64;
 
 /// --store-dir PATH: keep the Gear files on a durable DiskObjectStore at
 /// PATH instead of in memory. The disk store IS the live registry state —
@@ -214,6 +219,67 @@ int cmd_cat(Store& store, const std::string& ref, const std::string& path) {
   return 0;
 }
 
+int cmd_cat_range(Store& store, const std::string& ref, const std::string& path,
+                  std::uint64_t offset, std::uint64_t length) {
+  GearIndex index = load_index_of(store, ref);
+  const vfs::FileNode* node = index.tree().lookup(path);
+  if (node == nullptr) {
+    std::fprintf(stderr, "no such file: %s\n", path.c_str());
+    return 1;
+  }
+  if (!node->is_fingerprint()) {
+    std::fprintf(stderr, "not a regular file: %s\n", path.c_str());
+    return 1;
+  }
+  Fingerprint fp = node->fingerprint();
+  if (!store.files.is_chunked(fp)) {
+    Bytes content = fetch_file(store, fp);
+    if (offset + length > content.size()) {
+      std::fprintf(stderr, "range out of bounds for %s\n", path.c_str());
+      return 1;
+    }
+    std::fwrite(content.data() + offset, 1, length, stdout);
+    return 0;
+  }
+
+  // Chunked: move only the covering chunks, --range-batch indices per
+  // download_chunks call.
+  StatusOr<ChunkManifest> manifest = store.files.chunk_manifest(fp);
+  if (!manifest.ok()) {
+    std::fprintf(stderr, "manifest of %s: %s\n", path.c_str(),
+                 manifest.message().c_str());
+    return 1;
+  }
+  if (offset + length > manifest->file_size) {
+    std::fprintf(stderr, "range out of bounds for %s\n", path.c_str());
+    return 1;
+  }
+  auto [first, last] = manifest->chunk_range(offset, length);
+  std::vector<std::uint32_t> indices;
+  for (std::size_t c = first; c <= last; ++c) {
+    indices.push_back(static_cast<std::uint32_t>(c));
+  }
+  Bytes assembled;
+  for (std::size_t b = 0; b < indices.size(); b += g_range_batch) {
+    std::vector<std::uint32_t> batch(
+        indices.begin() + static_cast<std::ptrdiff_t>(b),
+        indices.begin() + static_cast<std::ptrdiff_t>(
+                              std::min(b + g_range_batch, indices.size())));
+    StatusOr<std::vector<Bytes>> chunks =
+        store.files.download_chunks(fp, *manifest, batch);
+    if (!chunks.ok()) {
+      std::fprintf(stderr, "range read of %s: %s\n", path.c_str(),
+                   chunks.message().c_str());
+      return 1;
+    }
+    for (const Bytes& chunk : *chunks) append(assembled, chunk);
+  }
+  std::uint64_t skip =
+      offset - static_cast<std::uint64_t>(first) * manifest->chunk_bytes;
+  std::fwrite(assembled.data() + skip, 1, length, stdout);
+  return 0;
+}
+
 int cmd_export(Store& store, const std::string& ref, const std::string& dir) {
   GearIndex index = load_index_of(store, ref);
   // Materialize: stubs -> contents.
@@ -379,14 +445,16 @@ int cmd_stats(Store& store) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: gearctl [--workers N] [--store-dir PATH] <store-dir> "
-               "<command> [args]\n"
+               "usage: gearctl [--workers N] [--store-dir PATH] "
+               "[--range-batch N] <store-dir> <command> [args]\n"
                "  --workers N      worker threads for import's fingerprinting/"
                "compression (default: one per core)\n"
                "  --store-dir PATH durable on-disk object store for the gear "
                "files (survives restarts; default: in-memory + snapshot)\n"
+               "  --range-batch N  chunk indices per batched range request in "
+               "ranged cat (default 64; 1 = serial per-chunk)\n"
                "commands: init | import <dir> <name:tag> [chunk-threshold] | "
-               "images | inspect <ref> | cat <ref> <path> | "
+               "images | inspect <ref> | cat <ref> <path> [offset length] | "
                "export <ref> <dir> | run <ref> <path...> | launch <ref> | "
                "read <container> <path> | write <container> <path> <text> | "
                "commit <container> <name:tag> | rm <ref> | gc | scrub | "
@@ -413,6 +481,22 @@ int main(int argc, char** argv) {
         return 2;
       }
       g_concurrency.workers = static_cast<std::size_t>(parsed);
+      it = all.erase(it, it + 2);
+    } else if (*it == "--range-batch") {
+      if (std::next(it) == all.end()) {
+        std::fprintf(stderr, "gearctl: --range-batch requires a count\n");
+        return 2;
+      }
+      const std::string& value = *std::next(it);
+      char* end = nullptr;
+      unsigned long parsed = std::strtoul(value.c_str(), &end, 10);
+      if (value.empty() || end == nullptr || *end != '\0' || parsed < 1) {
+        std::fprintf(stderr,
+                     "gearctl: --range-batch expects a number >= 1, got '%s'\n",
+                     value.c_str());
+        return 2;
+      }
+      g_range_batch = static_cast<std::size_t>(parsed);
       it = all.erase(it, it + 2);
     } else if (*it == "--store-dir") {
       if (std::next(it) == all.end()) {
@@ -447,6 +531,23 @@ int main(int argc, char** argv) {
     if (cmd == "inspect" && args.size() == 1) return cmd_inspect(store, args[0]);
     if (cmd == "cat" && args.size() == 2) {
       return cmd_cat(store, args[0], args[1]);
+    }
+    if (cmd == "cat" && args.size() == 4) {
+      auto parse_u64 = [](const std::string& value, std::uint64_t* out) {
+        char* end = nullptr;
+        *out = std::strtoull(value.c_str(), &end, 10);
+        return !value.empty() && end != nullptr && *end == '\0';
+      };
+      std::uint64_t offset = 0;
+      std::uint64_t length = 0;
+      if (!parse_u64(args[2], &offset) || !parse_u64(args[3], &length) ||
+          length == 0) {
+        std::fprintf(stderr,
+                     "gearctl: cat range expects numeric offset and a length "
+                     ">= 1\n");
+        return 2;
+      }
+      return cmd_cat_range(store, args[0], args[1], offset, length);
     }
     if (cmd == "export" && args.size() == 2) {
       return cmd_export(store, args[0], args[1]);
