@@ -7,8 +7,16 @@
 // multiplies Docker by ~2.7x and Slacker by ~2.6x but Gear only by ~1.2x,
 // because Gear's file-level cache keeps later versions nearly free while
 // Slacker re-fetches every block for every version.
+// The trailing prefetch-order section replays the same version chain as an
+// upgrade workload (node running v-1 pulls v, then prefetches the rest) and
+// writes BENCH_prefetch.json: across path/delta/profile orders the wire work
+// is byte-identical, but delta-first makes the version delta — and the hot
+// set — resident far earlier. Ordering violations flip the exit code.
+#include <set>
+
 #include "bench_common.hpp"
 #include "docker/client.hpp"
+#include "gear/prefetch.hpp"
 #include "slacker/slacker.hpp"
 
 using namespace gear;
@@ -31,11 +39,17 @@ int main() {
 
   const std::uint64_t kBlock = 512;
   GearConverter converter;
+  // Per-version fingerprint sets, kept for the prefetch-order section's
+  // delta-membership checks.
+  std::vector<std::set<Fingerprint>> version_fps(tomcat.versions);
   for (int v = 0; v < tomcat.versions; ++v) {
     docker::Image image = gen.generate_image(tomcat, v);
     classic.push_image(image);
-    push_gear_image(converter.convert(image).image, index_registry,
-                    file_registry);
+    ConversionResult conv = converter.convert(image);
+    for (const auto& stub : conv.image.index.stubs()) {
+      version_fps[v].insert(stub.fingerprint);
+    }
+    push_gear_image(conv.image, index_registry, file_registry);
     // Fixed-size virtual device (the size cannot track the image, §II-D).
     auto capacity = static_cast<std::uint64_t>(4e9 * e.scale / kBlock);
     slacker_registry.put_image(image.manifest.reference(),
@@ -101,5 +115,147 @@ int main() {
               averages[1][2] / averages[0][2]);
   std::printf("expected shape: gear ~ slacker at high bandwidth; at low "
               "bandwidth docker and slacker degrade sharply, gear barely\n");
-  return 0;
+
+  // ------------------------------------------------------- prefetch order
+  // Upgrade workload: for every v-1 -> v transition, a fresh node lazily
+  // deploys v-1 (only the hot set becomes resident), pulls v, and then
+  // prefetches the remainder of v under each queue discipline. Total wire
+  // bytes and fetched files are identical across orders — only the schedule
+  // moves — so the differentiating metrics are how early the version delta
+  // and the hot set land in the cache.
+  std::printf("\n-- prefetch order (100 Mbps, node upgrading v-1 -> v) --\n");
+  int failures = 0;
+  struct OrderLeg {
+    PrefetchOrder order;
+    double warm_s = 0;          // full prefetch elapsed, summed
+    double delta_warm_s = 0;    // time until the whole version delta landed
+    double first_access_s = 0;  // time until the first hot-set file landed
+    std::uint64_t wire_bytes = 0;
+    std::uint64_t files = 0;
+    std::uint64_t bytes = 0;
+  };
+  OrderLeg legs[3] = {{PrefetchOrder::kPath},
+                      {PrefetchOrder::kDelta},
+                      {PrefetchOrder::kProfile}};
+  for (OrderLeg& leg : legs) {
+    for (int v = 1; v < tomcat.versions; ++v) {
+      sim::SimClock c;
+      sim::NetworkLink l = sim::scaled_link(c, 100.0, e.scale);
+      sim::DiskModel d = sim::DiskModel::scaled_ssd(c, e.scale);
+      GearClient client(index_registry, file_registry, l, d);
+      client.set_prefetch_order(leg.order);
+      client.set_download_batch_files(8);
+
+      std::string prev = "tomcat:v" + std::to_string(v - 1);
+      std::string next = "tomcat:v" + std::to_string(v);
+      client.deploy(prev, gen.access_set(tomcat, v - 1));
+      client.pull(next);
+
+      std::vector<std::pair<Fingerprint, double>> arrivals;
+      client.set_prefetch_observer(
+          [&arrivals](const Fingerprint& fp, std::uint64_t, double t) {
+            arrivals.emplace_back(fp, t);
+          });
+      std::uint64_t wire0 = l.stats().bytes_transferred;
+      double t0 = c.now();
+      auto [files, bytes] = client.prefetch_remaining(next);
+      leg.warm_s += c.now() - t0;
+      leg.wire_bytes += l.stats().bytes_transferred - wire0;
+      leg.files += files;
+      leg.bytes += bytes;
+
+      const std::set<Fingerprint>& cur = version_fps[v];
+      const std::set<Fingerprint>& old = version_fps[v - 1];
+      auto is_delta = [&cur, &old](const Fingerprint& fp) {
+        return cur.count(fp) != 0 && old.count(fp) == 0;
+      };
+      std::set<Fingerprint> hot;
+      for (const auto& fa : gen.access_set(tomcat, v).files) {
+        hot.insert(fa.fingerprint);
+      }
+      std::size_t delta_arrived = 0;
+      for (const auto& [fp, t] : arrivals) {
+        (void)t;
+        if (is_delta(fp)) ++delta_arrived;
+      }
+      double last_delta = t0;
+      double first_access = -1.0;
+      for (std::size_t i = 0; i < arrivals.size(); ++i) {
+        const auto& [fp, t] = arrivals[i];
+        if (is_delta(fp)) {
+          last_delta = std::max(last_delta, t);
+          // Delta-aware orders must schedule every delta member before any
+          // unchanged file.
+          if (leg.order != PrefetchOrder::kPath && i >= delta_arrived) {
+            std::printf("FAIL: %s order fetched a delta file after an "
+                        "unchanged file (v%d)\n",
+                        prefetch_order_name(leg.order), v);
+            ++failures;
+          }
+        }
+        if (first_access < 0 && hot.count(fp) != 0) first_access = t;
+      }
+      leg.delta_warm_s += last_delta - t0;
+      if (first_access >= 0) leg.first_access_s += first_access - t0;
+    }
+  }
+
+  // Ordering only permutes the schedule: the wire totals must be identical.
+  for (int i = 1; i < 3; ++i) {
+    if (legs[i].wire_bytes != legs[0].wire_bytes ||
+        legs[i].files != legs[0].files || legs[i].bytes != legs[0].bytes) {
+      std::printf("FAIL: %s order changed the wire work (files %llu vs %llu, "
+                  "wire bytes %llu vs %llu)\n",
+                  prefetch_order_name(legs[i].order),
+                  static_cast<unsigned long long>(legs[i].files),
+                  static_cast<unsigned long long>(legs[0].files),
+                  static_cast<unsigned long long>(legs[i].wire_bytes),
+                  static_cast<unsigned long long>(legs[0].wire_bytes));
+      ++failures;
+    }
+  }
+
+  std::vector<int> pw = {10, 12, 13, 14, 12, 10};
+  bench::print_row({"order", "full warm", "delta warm", "first access",
+                    "wire", "files"},
+                   pw);
+  bench::print_rule(pw);
+  JsonArray order_rows;
+  for (const OrderLeg& leg : legs) {
+    bench::print_row({prefetch_order_name(leg.order),
+                      format_duration(leg.warm_s),
+                      format_duration(leg.delta_warm_s),
+                      format_duration(leg.first_access_s),
+                      format_size(leg.wire_bytes),
+                      std::to_string(leg.files)},
+                     pw);
+    Json row;
+    row["order"] = prefetch_order_name(leg.order);
+    row["time_to_warm_s"] = leg.warm_s;
+    row["delta_warm_s"] = leg.delta_warm_s;
+    row["time_to_first_access_served_s"] = leg.first_access_s;
+    row["wire_bytes"] = leg.wire_bytes;
+    row["prefetched_files"] = leg.files;
+    row["prefetched_bytes"] = leg.bytes;
+    order_rows.push_back(std::move(row));
+  }
+  if (legs[1].delta_warm_s >= legs[0].delta_warm_s) {
+    std::printf("FAIL: delta order did not warm the version delta earlier "
+                "than path order\n");
+    ++failures;
+  }
+
+  Json doc;
+  doc["bench"] = "prefetch";
+  doc["scale"] = e.scale;
+  doc["seed"] = e.seed;
+  doc["versions"] = static_cast<std::int64_t>(tomcat.versions);
+  doc["orders"] = std::move(order_rows);
+  doc["identity_ok"] = (failures == 0);
+  bench::write_json("BENCH_prefetch.json", doc);
+
+  std::printf("expected shape: identical wire bytes across orders; delta "
+              "and profile orders warm the version delta and serve the hot "
+              "set far earlier than the path walk\n");
+  return failures == 0 ? 0 : 1;
 }

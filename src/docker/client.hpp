@@ -42,6 +42,12 @@ struct DeployStats {
   PullStats pull;
   double run_seconds = 0;
   std::uint64_t run_bytes_downloaded = 0;  // on-demand fetches (Gear/Slacker)
+  /// Files/bytes moved ahead of need during deploy (Gear: the bulk-warm leg
+  /// and, when enabled, the post-replay prefetch). A labeled subset of
+  /// run_bytes_downloaded — totals are unchanged, the split just makes
+  /// on-demand vs prefetch traffic separable.
+  std::size_t prefetched_files = 0;
+  std::uint64_t prefetched_bytes = 0;
   double total_seconds() const { return pull.seconds + run_seconds; }
   std::uint64_t total_bytes() const {
     return pull.bytes_downloaded + run_bytes_downloaded;

@@ -1,5 +1,7 @@
 #include "gear/cache.hpp"
 
+#include <algorithm>
+
 namespace gear {
 
 SharedFileCache::SharedFileCache(std::uint64_t capacity_bytes,
@@ -26,6 +28,8 @@ StatusOr<Bytes> SharedFileCache::get(const Fingerprint& fp) {
     return {ErrorCode::kNotFound, "cache miss: " + fp.hex()};
   }
   ++stats_.hits;
+  ++it->second.accesses;
+  it->second.last_access_tick = ++tick_;
   touch(it->second, fp);
   return it->second.content;
 }
@@ -54,6 +58,7 @@ bool SharedFileCache::make_room(std::uint64_t needed) {
 bool SharedFileCache::put(const Fingerprint& fp, Bytes content) {
   std::lock_guard<std::mutex> lock(mu_);
   if (auto it = entries_.find(fp); it != entries_.end()) {
+    it->second.last_access_tick = ++tick_;
     touch(it->second, fp);
     return true;  // already cached (deduplicated)
   }
@@ -64,6 +69,7 @@ bool SharedFileCache::put(const Fingerprint& fp, Bytes content) {
   Entry entry;
   size_bytes_ += content.size();
   entry.content = std::move(content);
+  entry.last_access_tick = ++tick_;
   entry.order_it = order_.insert(order_.end(), fp);
   entries_.emplace(fp, std::move(entry));
   ++stats_.insertions;
@@ -107,6 +113,31 @@ std::vector<Fingerprint> SharedFileCache::fingerprints() const {
     (void)entry;
     out.push_back(fp);
   }
+  return out;
+}
+
+std::optional<CacheEntryStats> SharedFileCache::entry_stats(
+    const Fingerprint& fp) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(fp);
+  if (it == entries_.end()) return std::nullopt;
+  const Entry& entry = it->second;
+  return CacheEntryStats{entry.content.size(), entry.links, entry.accesses,
+                         entry.last_access_tick};
+}
+
+std::vector<std::pair<Fingerprint, CacheEntryStats>>
+SharedFileCache::entry_snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<Fingerprint, CacheEntryStats>> out;
+  out.reserve(entries_.size());
+  for (const auto& [fp, entry] : entries_) {
+    out.emplace_back(fp,
+                     CacheEntryStats{entry.content.size(), entry.links,
+                                     entry.accesses, entry.last_access_tick});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
   return out;
 }
 

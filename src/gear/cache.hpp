@@ -10,7 +10,10 @@
 #include <cstdint>
 #include <list>
 #include <mutex>
+#include <optional>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "util/bytes.hpp"
 #include "util/error.hpp"
@@ -26,6 +29,15 @@ struct CacheStats {
   std::uint64_t insertions = 0;
   std::uint64_t evictions = 0;
   std::uint64_t rejected = 0;  // insertions that found no evictable space
+};
+
+/// Per-entry hotness snapshot (feeds the prefetch scheduler's telemetry and
+/// makes FIFO-vs-LRU eviction behavior observable in tests).
+struct CacheEntryStats {
+  std::uint64_t size = 0;
+  std::uint32_t links = 0;            // pin count
+  std::uint64_t accesses = 0;         // get() hits served by this entry
+  std::uint64_t last_access_tick = 0; // monotonic op tick of last hit/insert
 };
 
 /// Thread-safety: the lookup/mutation interface (contains/get/put/link/
@@ -72,10 +84,19 @@ class SharedFileCache {
   /// distribution to advertise a node's holdings.
   std::vector<Fingerprint> fingerprints() const;
 
+  /// Hotness of one entry; nullopt when absent. Reading stats does not
+  /// count as an access and does not refresh recency.
+  std::optional<CacheEntryStats> entry_stats(const Fingerprint& fp) const;
+
+  /// Snapshot of every entry's hotness, fingerprint-ordered (deterministic).
+  std::vector<std::pair<Fingerprint, CacheEntryStats>> entry_snapshot() const;
+
  private:
   struct Entry {
     Bytes content;
     std::uint32_t links = 0;
+    std::uint64_t accesses = 0;
+    std::uint64_t last_access_tick = 0;
     std::list<Fingerprint>::iterator order_it;
   };
 
@@ -94,6 +115,10 @@ class SharedFileCache {
   std::list<Fingerprint> order_;
   std::uint64_t size_bytes_ = 0;
   CacheStats stats_;
+  /// Monotonic operation counter stamped into last_access_tick on every
+  /// get() hit and put(). Ticks advance on access regardless of policy, so
+  /// FIFO-vs-LRU differences show up in eviction order, not in the stats.
+  std::uint64_t tick_ = 0;
 };
 
 }  // namespace gear

@@ -193,9 +193,31 @@ Bytes GearClient::fetch_from_registry(const std::string& reference,
   return content;
 }
 
+void GearClient::record_access(const std::string& reference,
+                               const std::string& path) {
+  std::lock_guard<std::mutex> lock(profiles_mutex_);
+  profiles_[series_of(reference)].record(path);
+}
+
+ImageAccessProfile GearClient::access_profile(const std::string& series) const {
+  std::lock_guard<std::mutex> lock(profiles_mutex_);
+  auto it = profiles_.find(series);
+  return it == profiles_.end() ? ImageAccessProfile{} : it->second;
+}
+
+void GearClient::merge_access_profile(const std::string& series,
+                                      const ImageAccessProfile& profile) {
+  std::lock_guard<std::mutex> lock(profiles_mutex_);
+  profiles_[series].merge(profile);
+}
+
 Bytes GearClient::materialize(const std::string& reference,
-                              const Fingerprint& fp, std::uint64_t size,
-                              std::uint64_t* downloaded) {
+                              const std::string& path, const Fingerprint& fp,
+                              std::uint64_t size, std::uint64_t* downloaded,
+                              bool record_access_flag) {
+  // A materializer call means the index node was still a stub — a genuine
+  // first touch of this file, the signal the prefetch scheduler ranks by.
+  if (record_access_flag) record_access(reference, path);
   // Level 1 first: the shared cache.
   {
     std::lock_guard<std::mutex> lock(state_mutex_);
@@ -289,6 +311,11 @@ docker::DeployStats GearClient::deploy(const std::string& reference,
   std::string container_id = store_.create_container(reference);
   if (container_id_out != nullptr) *container_id_out = container_id;
 
+  {
+    std::lock_guard<std::mutex> lock(profiles_mutex_);
+    profiles_[series_of(reference)].bump_run();
+  }
+
   std::uint64_t downloaded = 0;
   if (bulk_warm_deploy_) {
     // Bulk portion of deployment: batch-fetch the access set's still-stubbed
@@ -304,12 +331,16 @@ docker::DeployStats GearClient::deploy(const std::string& reference,
         wanted.emplace_back(node->fingerprint(), node->stub_size());
       }
     }
-    downloaded += warm_batch(wanted).second;
+    auto [warm_files, warm_bytes] = warm_batch(wanted);
+    downloaded += warm_bytes;
+    stats.prefetched_files += warm_files;
+    stats.prefetched_bytes += warm_bytes;
   }
   GearFileViewer viewer(
       store_.index_tree(reference), store_.container_diff(container_id),
-      [&](const Fingerprint& fp, std::uint64_t size) {
-        return materialize(reference, fp, size, &downloaded);
+      [&](const std::string& path, const Fingerprint& fp, std::uint64_t size) {
+        return materialize(reference, path, fp, size, &downloaded,
+                           /*record_access_flag=*/true);
       });
 
   for (const workload::FileAccess& fa : access.files) {
@@ -322,6 +353,15 @@ docker::DeployStats GearClient::deploy(const std::string& reference,
     disk_.read(content.size());
   }
 
+  if (prefetch_after_deploy_) {
+    // Background prefetch folded into the deployment window: the priority
+    // pipeline closes the lazy-pull availability gap right after startup.
+    auto [pre_files, pre_bytes] = prefetch_remaining(reference);
+    downloaded += pre_bytes;
+    stats.prefetched_files += pre_files;
+    stats.prefetched_bytes += pre_bytes;
+  }
+
   container_touched_[container_id] = access.files.size();
   stats.run_bytes_downloaded = downloaded;
   stats.run_seconds = timer.elapsed();
@@ -332,8 +372,10 @@ GearFileViewer GearClient::open_viewer(const std::string& container_id) {
   const std::string reference = store_.container_image(container_id);
   return GearFileViewer(
       store_.index_tree(reference), store_.container_diff(container_id),
-      [this, reference](const Fingerprint& fp, std::uint64_t size) {
-        return materialize(reference, fp, size, &untracked_downloaded_);
+      [this, reference](const std::string& path, const Fingerprint& fp,
+                        std::uint64_t size) {
+        return materialize(reference, path, fp, size, &untracked_downloaded_,
+                           /*record_access_flag=*/true);
       });
 }
 
@@ -356,41 +398,6 @@ std::pair<std::size_t, std::uint64_t> GearClient::warm_batch(
   // stub sizes the index already knows instead.
   const bool remote = file_registry_.transport_accounted();
 
-  std::vector<Fingerprint> batch;
-  std::vector<std::uint64_t> sizes;
-  std::uint64_t batch_wire = 0;
-  std::uint64_t batch_requests = 0;
-
-  auto flush = [&]() {
-    if (batch.empty()) return;
-    std::uint64_t wire = 0;
-    StatusOr<std::vector<Bytes>> got =
-        file_registry_.download_batch(batch, pool(), &wire);
-    if (!got.ok()) {
-      throw_error(got.code(),
-                  "bulk fetch of " + std::to_string(batch.size()) +
-                      " gear files failed: " + got.message());
-    }
-    std::vector<Bytes> contents = std::move(got).value();
-    // The serialized accounting point: one pipelined burst on the link,
-    // then per-file disk writes and cache inserts, in batch order.
-    if (!remote) link_.pipelined(wire, batch_requests);
-    bytes += wire;
-    fetched += batch.size();
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      if (contents[i].size() != sizes[i]) {
-        throw_error(ErrorCode::kCorruptData,
-                    "gear file size mismatch: " + batch[i].hex());
-      }
-      disk_.write(contents[i].size());
-      store_.cache().put(batch[i], std::move(contents[i]));
-    }
-    batch.clear();
-    sizes.clear();
-    batch_wire = 0;
-    batch_requests = 0;
-  };
-
   // Drop what the cache already holds, then let the batched cooperative
   // source answer the rest in one burst before anything reaches the wire.
   std::vector<std::pair<Fingerprint, std::uint64_t>> misses;
@@ -404,6 +411,7 @@ std::pair<std::size_t, std::uint64_t> GearClient::warm_batch(
                   "batch peer source answered the wrong number of slots");
     }
     std::vector<std::pair<Fingerprint, std::uint64_t>> still;
+    std::lock_guard<std::mutex> lock(state_mutex_);
     for (std::size_t i = 0; i < misses.size(); ++i) {
       if (!from_peers[i].has_value()) {
         still.push_back(misses[i]);
@@ -420,6 +428,17 @@ std::pair<std::size_t, std::uint64_t> GearClient::warm_batch(
     misses = std::move(still);
   }
 
+  // Batch formation: the exact historical boundaries — download_batch_files
+  // per round-trip, cut early when the estimated wire bytes reach the
+  // in-flight budget. Only formation happens here; fetching moves to the
+  // drain pipeline below.
+  std::vector<PrefetchBatch> batches;
+  PrefetchBatch batch;
+  auto cut = [&]() {
+    if (batch.fps.empty()) return;
+    batches.push_back(std::move(batch));
+    batch = PrefetchBatch{};
+  };
   for (const auto& [fp, size] : misses) {
     // Per-file cooperative source next, as in the on-demand path (§VI-B).
     if (peer_source_) {
@@ -428,6 +447,7 @@ std::pair<std::size_t, std::uint64_t> GearClient::warm_batch(
           throw_error(ErrorCode::kCorruptData,
                       "peer served wrong size for " + fp.hex());
         }
+        std::lock_guard<std::mutex> lock(state_mutex_);
         ++peer_hits_;
         disk_.write(peer->size());
         store_.cache().put(fp, std::move(*peer));
@@ -458,50 +478,121 @@ std::pair<std::size_t, std::uint64_t> GearClient::warm_batch(
         requests = manifest->chunks.size() + 1;
       }
     }
-    batch.push_back(fp);
-    sizes.push_back(size);
-    batch_wire += wire;
-    batch_requests += requests;
-    if (batch.size() >= batch_files_ ||
+    batch.fps.push_back(fp);
+    batch.sizes.push_back(size);
+    batch.wire_estimate += wire;
+    batch.requests += requests;
+    if (batch.fps.size() >= batch_files_ ||
         (concurrency_.max_inflight_bytes != 0 &&
-         batch_wire >= concurrency_.max_inflight_bytes)) {
-      flush();
+         batch.wire_estimate >= concurrency_.max_inflight_bytes)) {
+      cut();
     }
   }
-  flush();
+  cut();
+
+  // Two-stage drain: wire round-trips (+ decompression) overlapped across
+  // the pool, accounting serialized in batch order. Accounting takes
+  // state_mutex_ — prefetch may run concurrently with on-demand viewer
+  // faults, and the sim models/store are not thread-safe.
+  auto fetch_stage = [this](const PrefetchBatch& b,
+                            util::ThreadPool* p) -> FetchedBatch {
+    std::uint64_t wire = 0;
+    StatusOr<std::vector<Bytes>> got =
+        file_registry_.download_batch(b.fps, p, &wire);
+    if (!got.ok()) {
+      throw_error(got.code(),
+                  "bulk fetch of " + std::to_string(b.fps.size()) +
+                      " gear files failed: " + got.message());
+    }
+    return FetchedBatch{std::move(got).value(), wire};
+  };
+  auto account_stage = [&](const PrefetchBatch& b, FetchedBatch landed) {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    // One pipelined burst on the link, then per-file disk writes and cache
+    // inserts, in batch order.
+    if (!remote) link_.pipelined(landed.wire_bytes, b.requests);
+    bytes += landed.wire_bytes;
+    fetched += b.fps.size();
+    for (std::size_t i = 0; i < b.fps.size(); ++i) {
+      if (landed.contents[i].size() != b.sizes[i]) {
+        throw_error(ErrorCode::kCorruptData,
+                    "gear file size mismatch: " + b.fps[i].hex());
+      }
+      disk_.write(landed.contents[i].size());
+      store_.cache().put(b.fps[i], std::move(landed.contents[i]));
+      if (prefetch_observer_) {
+        prefetch_observer_(b.fps[i], b.sizes[i], link_.clock().now());
+      }
+    }
+  };
+  drain_batches(batches, pool(), concurrency_.max_inflight_bytes, fetch_stage,
+                account_stage);
   return {fetched, bytes};
+}
+
+PrefetchPlan GearClient::plan_prefetch(const std::string& reference) {
+  const vfs::FileTree& index = store_.index_tree(reference);
+  const vfs::FileTree* previous = nullptr;
+  ImageAccessProfile profile_copy;
+  const ImageAccessProfile* profile = nullptr;
+  if (prefetch_order_ != PrefetchOrder::kPath) {
+    // The delta baseline: the newest *other* locally-installed version of
+    // this series — the image a rolling update is most likely moving from.
+    std::string prev = newest_other_version(store_.images(), reference);
+    if (!prev.empty()) previous = &store_.index_tree(prev);
+    if (prefetch_order_ == PrefetchOrder::kProfile) {
+      profile_copy = access_profile(series_of(reference));
+      if (!profile_copy.empty()) profile = &profile_copy;
+    }
+  }
+  return build_prefetch_plan(index, prefetch_order_, previous, profile);
 }
 
 std::pair<std::size_t, std::uint64_t> GearClient::prefetch_remaining(
     const std::string& reference) {
   vfs::FileTree& index = store_.index_tree(reference);
 
-  // Collect the still-stubbed paths first (materialization mutates the
-  // tree), and the unique fingerprints behind them in path order.
+  // Cheap membership pass first: collect the still-stubbed paths
+  // (materialization mutates the tree) and whether any is missing from the
+  // cache. A fully-local image returns immediately; a fully-cached one
+  // skips plan building and the wire phase and goes straight to linking.
   std::vector<std::string> pending;
-  std::vector<std::pair<Fingerprint, std::uint64_t>> wanted;
-  std::unordered_set<Fingerprint, FingerprintHash> seen;
+  bool any_uncached = false;
   index.walk([&](const std::string& path, const vfs::FileNode& node) {
     if (!node.is_fingerprint()) return;
     pending.push_back(path);
-    if (seen.insert(node.fingerprint()).second) {
-      wanted.emplace_back(node.fingerprint(), node.stub_size());
+    if (!any_uncached && !store_.cache().contains(node.fingerprint())) {
+      any_uncached = true;
     }
   });
+  if (pending.empty()) return {0, 0};
 
-  // Bulk fetch into the shared cache: pipelined batches, overlapped
-  // decompression, serialized accounting.
-  auto [fetched, bytes] = warm_batch(wanted);
+  // Bulk fetch into the shared cache in priority order: pipelined batches,
+  // overlapped decompression, serialized accounting.
+  std::size_t fetched = 0;
+  std::uint64_t bytes = 0;
+  if (any_uncached) {
+    PrefetchPlan plan = plan_prefetch(reference);
+    std::vector<std::pair<Fingerprint, std::uint64_t>> wanted;
+    wanted.reserve(plan.items.size());
+    for (const PrefetchItem& item : plan.items) {
+      wanted.emplace_back(item.fingerprint, item.size);
+    }
+    std::tie(fetched, bytes) = warm_batch(wanted);
+  }
 
   // Hard-link every pending path from the now-warm cache. If a bounded
   // cache rejected a warm insert, the per-file on-demand path takes over
-  // for that file (and its cost is charged as such).
+  // for that file (and its cost is charged as such). This sweep is not a
+  // workload signal — it must not feed the access profile.
   std::uint64_t extra = 0;
   vfs::FileTree scratch_diff;  // viewer needs an upper layer; stays empty
-  GearFileViewer viewer(index, scratch_diff,
-                        [&](const Fingerprint& fp, std::uint64_t size) {
-                          return materialize(reference, fp, size, &extra);
-                        });
+  GearFileViewer viewer(
+      index, scratch_diff,
+      [&](const std::string& path, const Fingerprint& fp, std::uint64_t size) {
+        return materialize(reference, path, fp, size, &extra,
+                           /*record_access_flag=*/false);
+      });
   for (const std::string& path : pending) {
     std::uint64_t before = extra;
     StatusOr<Bytes> content = viewer.read_file(path);
@@ -569,8 +660,9 @@ StatusOr<Bytes> GearClient::read_range(const std::string& container_id,
 
   if (!file_registry_.is_chunked(fp)) {
     // Plain object: materialize fully (the classic path), then slice.
-    Bytes whole = materialize(reference, fp, node->stub_size(),
-                              &range_downloaded_);
+    Bytes whole = materialize(reference, std::string(path), fp,
+                              node->stub_size(), &range_downloaded_,
+                              /*record_access_flag=*/true);
     return slice_of(whole);
   }
 

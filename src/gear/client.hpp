@@ -29,6 +29,7 @@
 #include "docker/client.hpp"
 #include "docker/registry.hpp"
 #include "gear/index.hpp"
+#include "gear/prefetch.hpp"
 #include "gear/registry.hpp"
 #include "gear/registry_api.hpp"
 #include "gear/store.hpp"
@@ -144,6 +145,44 @@ class GearClient {
   std::pair<std::size_t, std::uint64_t> prefetch_remaining(
       const std::string& reference);
 
+  /// Queue discipline of prefetch_remaining's wire phase (gear/prefetch):
+  /// kPath is the legacy index-walk order (byte-, wire-, and stats-identical
+  /// to the historical prefetch); kDelta fetches the version delta against
+  /// the newest other locally-installed version of the same series first;
+  /// kProfile additionally ranks by the recorded access profile. Ordering
+  /// only permutes the fetch schedule — total bytes, requests, cache
+  /// contents, and registry stats are identical across orders.
+  void set_prefetch_order(PrefetchOrder order) { prefetch_order_ = order; }
+  PrefetchOrder prefetch_order() const noexcept { return prefetch_order_; }
+
+  /// When enabled, deploy() runs prefetch_remaining after the access replay
+  /// (time-to-warm deployments: the container starts lazily, then the
+  /// background prefetch closes the registry-dependence window). Its
+  /// (files, bytes) land in DeployStats::prefetched_*. Off by default.
+  void set_prefetch_after_deploy(bool enabled) {
+    prefetch_after_deploy_ = enabled;
+  }
+
+  /// Telemetry hook for the batched prefetch paths: invoked at the single
+  /// serialized accounting point, once per file fetched from the registry,
+  /// with the simulated time the file became cache-resident. Benches and
+  /// tests use it to measure time-to-first-useful-byte and to prove
+  /// delta-before-unchanged scheduling.
+  using PrefetchObserver = std::function<void(
+      const Fingerprint& fp, std::uint64_t size, double sim_seconds)>;
+  void set_prefetch_observer(PrefetchObserver observer) {
+    prefetch_observer_ = std::move(observer);
+  }
+
+  /// Copy of the recorded first-materialization profile of `series`
+  /// ("name" of "name:tag"); empty profile when nothing was recorded.
+  ImageAccessProfile access_profile(const std::string& series) const;
+
+  /// Merges a persisted/remote profile into the series' in-memory one
+  /// (redeploy on a node with saved history).
+  void merge_access_profile(const std::string& series,
+                            const ImageAccessProfile& profile);
+
   /// Sets the worker budget and in-flight byte bound for the batched fetch
   /// paths (prefetch_remaining, bulk-warm deploy). Defaults to the machine.
   void set_concurrency(const util::Concurrency& concurrency) {
@@ -213,9 +252,13 @@ class GearClient {
   /// one registry download (singleflight): the first caller fetches, the
   /// rest wait on the flight and share its content, paying only the
   /// hard-link cost. Safe to call from several viewer threads; all model
-  /// and store accounting is serialized under state_mutex_.
-  Bytes materialize(const std::string& reference, const Fingerprint& fp,
-                    std::uint64_t size, std::uint64_t* downloaded);
+  /// and store accounting is serialized under state_mutex_. `record_access`
+  /// feeds the series' access profile (true for real workload faults, false
+  /// for prefetch's own hard-link sweep, which would otherwise flatten the
+  /// profile into uniformity).
+  Bytes materialize(const std::string& reference, const std::string& path,
+                    const Fingerprint& fp, std::uint64_t size,
+                    std::uint64_t* downloaded, bool record_access);
 
   /// The registry leg of materialize (singleflight leaders only): one
   /// download_batch of one file, accounted under state_mutex_.
@@ -230,6 +273,14 @@ class GearClient {
   /// the batched paths: workers only decompress.
   std::pair<std::size_t, std::uint64_t> warm_batch(
       const std::vector<std::pair<Fingerprint, std::uint64_t>>& wanted);
+
+  /// Builds the priority plan for `reference`'s still-stubbed files under
+  /// the configured order (previous-version index + access profile looked
+  /// up internally).
+  PrefetchPlan plan_prefetch(const std::string& reference);
+
+  /// Records one first-materialization into the series' profile.
+  void record_access(const std::string& reference, const std::string& path);
 
   util::ThreadPool* pool();
 
@@ -251,8 +302,16 @@ class GearClient {
   util::Concurrency concurrency_;            // batched-fetch worker budget
   std::unique_ptr<util::ThreadPool> pool_;   // lazily built
   bool bulk_warm_deploy_ = false;
+  bool prefetch_after_deploy_ = false;
   std::size_t batch_files_ = 64;             // files per bulk round-trip
   std::size_t range_batch_chunks_ = 64;      // chunks per range round-trip
+  PrefetchOrder prefetch_order_ = PrefetchOrder::kPath;
+  PrefetchObserver prefetch_observer_;
+  /// First-materialization profiles, keyed by image series. Guarded by its
+  /// own mutex: recording happens inside viewer materializer callbacks,
+  /// possibly on viewer threads, and must not entangle with state_mutex_.
+  mutable std::mutex profiles_mutex_;
+  std::map<std::string, ImageAccessProfile> profiles_;
 
   /// Serializes the sim models (link/disk) and the three-level store —
   /// none of them are thread-safe.

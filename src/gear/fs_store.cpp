@@ -114,6 +114,40 @@ void FsStore::install_index(const std::string& reference,
   fs::path dir = image_dir(reference);
   fs::create_directories(dir / "files");
   write_file_bytes(dir / "index.gtree", vfs::serialize_tree(index.tree()));
+  // The original reference: directory names are sanitized (":" -> "_"), but
+  // series grouping for delta prefetch needs the real "name:tag".
+  write_file_bytes(dir / "ref", to_bytes(reference));
+}
+
+std::vector<std::string> FsStore::references() const {
+  std::vector<std::string> out;
+  for (const auto& entry : fs::directory_iterator(root_ / "images")) {
+    if (!entry.is_directory()) continue;
+    fs::path ref_file = entry.path() / "ref";
+    out.push_back(fs::exists(ref_file)
+                      ? to_string(read_file_bytes(ref_file))
+                      : entry.path().filename().string());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void FsStore::save_access_profile(const std::string& reference,
+                                  const std::string& serialized) {
+  fs::path dir = image_dir(reference);
+  if (!fs::exists(dir / "index.gtree")) {
+    throw_error(ErrorCode::kNotFound, "no index installed: " + reference);
+  }
+  write_file_bytes(dir / "profile.gprf", to_bytes(serialized));
+}
+
+StatusOr<std::string> FsStore::load_access_profile(
+    const std::string& reference) const {
+  fs::path p = image_dir(reference) / "profile.gprf";
+  if (!fs::exists(p)) {
+    return {ErrorCode::kNotFound, "no access profile for " + reference};
+  }
+  return to_string(read_file_bytes(p));
 }
 
 bool FsStore::has_index(const std::string& reference) const {

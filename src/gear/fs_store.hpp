@@ -65,6 +65,19 @@ class FsStore {
   GearIndex load_index(const std::string& reference) const;
   std::vector<std::string> images() const;
 
+  /// Original (unsanitized) references of the installed images. Image dirs
+  /// written before reference tracking fall back to their directory name.
+  std::vector<std::string> references() const;
+
+  /// Persists an access profile next to the image's index
+  /// (<root>/images/<ref>/profile.gprf, "GPRF1" text). Overwrites; removed
+  /// together with the image directory.
+  void save_access_profile(const std::string& reference,
+                           const std::string& serialized);
+
+  /// Loads the saved profile text; kNotFound when none was recorded.
+  StatusOr<std::string> load_access_profile(const std::string& reference) const;
+
   /// Materializes one stub: hard-links the cached file into the image's
   /// files/ directory at the stub's path. The cache entry must exist.
   void link_file(const std::string& reference, const std::string& path,

@@ -50,6 +50,20 @@ Bytes LocalRuntime::materialize(const std::string& reference,
       local.ok()) {
     return std::move(local).value();
   }
+  // A true first touch: feed the persisted access profile (load, merge the
+  // new observation, save) so later prefetches of this series can schedule
+  // hot files first.
+  ImageAccessProfile profile;
+  if (StatusOr<std::string> text = store_.load_access_profile(reference);
+      text.ok()) {
+    if (StatusOr<ImageAccessProfile> parsed = ImageAccessProfile::parse(*text);
+        parsed.ok()) {
+      profile = std::move(parsed).value();
+    }
+  }
+  profile.record(path);
+  store_.save_access_profile(reference, profile.serialize());
+
   // Shared cache, then the registry.
   Bytes content;
   if (StatusOr<Bytes> cached = store_.cache_get(fp); cached.ok()) {
@@ -62,6 +76,61 @@ Bytes LocalRuntime::materialize(const std::string& reference,
   return content;
 }
 
+std::pair<std::size_t, std::uint64_t> LocalRuntime::prefetch(
+    const std::string& reference, PrefetchOrder order) {
+  if (!store_.has_index(reference)) {
+    throw_error(ErrorCode::kNotFound, "no index installed: " + reference);
+  }
+  vfs::FileTree index = load_index_tree(reference);
+
+  // Delta baseline + merged profile history of the whole series.
+  const std::vector<std::string> installed = store_.references();
+  vfs::FileTree previous_tree;
+  const vfs::FileTree* previous = nullptr;
+  ImageAccessProfile profile;
+  const ImageAccessProfile* profile_ptr = nullptr;
+  if (order != PrefetchOrder::kPath) {
+    std::string prev = newest_other_version(installed, reference);
+    if (!prev.empty()) {
+      previous_tree = load_index_tree(prev);
+      previous = &previous_tree;
+    }
+    if (order == PrefetchOrder::kProfile) {
+      const std::string series = series_of(reference);
+      for (const std::string& ref : installed) {
+        if (series_of(ref) != series) continue;
+        if (StatusOr<std::string> text = store_.load_access_profile(ref);
+            text.ok()) {
+          if (StatusOr<ImageAccessProfile> parsed =
+                  ImageAccessProfile::parse(*text);
+              parsed.ok()) {
+            profile.merge(*parsed);
+          }
+        }
+      }
+      if (!profile.empty()) profile_ptr = &profile;
+    }
+  }
+
+  PrefetchPlan plan = build_prefetch_plan(index, order, previous, profile_ptr);
+  std::size_t fetched = 0;
+  std::uint64_t bytes = 0;
+  for (const PrefetchItem& item : plan.items) {
+    if (store_.cache_contains(item.fingerprint)) continue;
+    Bytes content = file_registry_.download(item.fingerprint).value();
+    bytes += content.size();
+    ++fetched;
+    store_.cache_put(item.fingerprint, content);
+  }
+  // Link every still-unmaterialized stub path from the now-warm cache.
+  index.walk([&](const std::string& path, const vfs::FileNode& node) {
+    if (!node.is_fingerprint()) return;
+    if (store_.is_materialized(reference, path)) return;
+    store_.link_file(reference, path, node.fingerprint());
+  });
+  return {fetched, bytes};
+}
+
 StatusOr<Bytes> LocalRuntime::read(const std::string& container_id,
                                    std::string_view path) {
   if (!store_.has_container(container_id)) {
@@ -70,11 +139,11 @@ StatusOr<Bytes> LocalRuntime::read(const std::string& container_id,
   const std::string reference = store_.container_image(container_id);
   vfs::FileTree index = load_index_tree(reference);
   vfs::FileTree diff = store_.load_diff(container_id);
-  std::string path_str(path);
   GearFileViewer viewer(
       index, diff,
-      [this, &reference, &path_str](const Fingerprint& fp, std::uint64_t) {
-        return materialize(reference, path_str, fp);
+      [this, &reference](const std::string& union_path, const Fingerprint& fp,
+                         std::uint64_t) {
+        return materialize(reference, union_path, fp);
       });
   return viewer.read_file(path);
 }
@@ -87,11 +156,11 @@ StatusOr<std::string> LocalRuntime::read_symlink(
   const std::string reference = store_.container_image(container_id);
   vfs::FileTree index = load_index_tree(reference);
   vfs::FileTree diff = store_.load_diff(container_id);
-  GearFileViewer viewer(index, diff,
-                        [](const Fingerprint&, std::uint64_t) -> Bytes {
-                          throw_error(ErrorCode::kInternal,
-                                      "symlink read fetched a file");
-                        });
+  GearFileViewer viewer(
+      index, diff,
+      [](const std::string&, const Fingerprint&, std::uint64_t) -> Bytes {
+        throw_error(ErrorCode::kInternal, "symlink read fetched a file");
+      });
   return viewer.read_symlink(path);
 }
 
@@ -100,11 +169,11 @@ void LocalRuntime::write(const std::string& container_id,
   const std::string reference = store_.container_image(container_id);
   vfs::FileTree index = load_index_tree(reference);
   vfs::FileTree diff = store_.load_diff(container_id);
-  GearFileViewer viewer(index, diff,
-                        [](const Fingerprint&, std::uint64_t) -> Bytes {
-                          throw_error(ErrorCode::kInternal,
-                                      "write fetched a file");
-                        });
+  GearFileViewer viewer(
+      index, diff,
+      [](const std::string&, const Fingerprint&, std::uint64_t) -> Bytes {
+        throw_error(ErrorCode::kInternal, "write fetched a file");
+      });
   viewer.write_file(path, Bytes(content.begin(), content.end()));
   store_.save_diff(container_id, diff);
 }
@@ -114,11 +183,11 @@ bool LocalRuntime::remove_path(const std::string& container_id,
   const std::string reference = store_.container_image(container_id);
   vfs::FileTree index = load_index_tree(reference);
   vfs::FileTree diff = store_.load_diff(container_id);
-  GearFileViewer viewer(index, diff,
-                        [](const Fingerprint&, std::uint64_t) -> Bytes {
-                          throw_error(ErrorCode::kInternal,
-                                      "remove fetched a file");
-                        });
+  GearFileViewer viewer(
+      index, diff,
+      [](const std::string&, const Fingerprint&, std::uint64_t) -> Bytes {
+        throw_error(ErrorCode::kInternal, "remove fetched a file");
+      });
   bool removed = viewer.remove(path);
   if (removed) store_.save_diff(container_id, diff);
   return removed;

@@ -25,6 +25,7 @@
 #include "docker/registry.hpp"
 #include "gear/committer.hpp"
 #include "gear/fs_store.hpp"
+#include "gear/prefetch.hpp"
 #include "gear/registry.hpp"
 
 namespace gear {
@@ -67,6 +68,16 @@ class LocalRuntime {
 
   /// Deletes the container (its diff only; the image stays launchable).
   void destroy(const std::string& container_id);
+
+  /// Warms every still-unmaterialized file of an installed image into the
+  /// on-disk cache in priority order (gear/prefetch): delta vs the newest
+  /// other installed version of the series, then the persisted access
+  /// profiles of the whole series, then fan-in/size tie-breakers. Files are
+  /// hard-linked into the image directory afterwards. Returns (files
+  /// fetched from the registry, bytes moved).
+  std::pair<std::size_t, std::uint64_t> prefetch(
+      const std::string& reference,
+      PrefetchOrder order = PrefetchOrder::kDelta);
 
   FsStore& store() noexcept { return store_; }
 

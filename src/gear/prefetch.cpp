@@ -1,0 +1,269 @@
+#include "gear/prefetch.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <deque>
+#include <future>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "vfs/tree_diff.hpp"
+
+namespace gear {
+
+std::optional<PrefetchOrder> parse_prefetch_order(std::string_view name) {
+  if (name == "path") return PrefetchOrder::kPath;
+  if (name == "delta") return PrefetchOrder::kDelta;
+  if (name == "profile") return PrefetchOrder::kProfile;
+  return std::nullopt;
+}
+
+const char* prefetch_order_name(PrefetchOrder order) noexcept {
+  switch (order) {
+    case PrefetchOrder::kPath:
+      return "path";
+    case PrefetchOrder::kDelta:
+      return "delta";
+    case PrefetchOrder::kProfile:
+      return "profile";
+  }
+  return "path";
+}
+
+void ImageAccessProfile::merge(const ImageAccessProfile& other) {
+  runs_ += other.runs_;
+  for (const auto& [path, count] : other.touches_) touches_[path] += count;
+}
+
+std::uint64_t ImageAccessProfile::touches(const std::string& path) const {
+  auto it = touches_.find(path);
+  return it == touches_.end() ? 0 : it->second;
+}
+
+std::string ImageAccessProfile::serialize() const {
+  std::string out = "GPRF1 " + std::to_string(runs_) + " " +
+                    std::to_string(touches_.size()) + "\n";
+  for (const auto& [path, count] : touches_) {
+    out += std::to_string(count);
+    out += ' ';
+    out += path;
+    out += '\n';
+  }
+  return out;
+}
+
+StatusOr<ImageAccessProfile> ImageAccessProfile::parse(std::string_view text) {
+  std::istringstream in{std::string(text)};
+  std::string magic;
+  std::uint64_t runs = 0;
+  std::uint64_t entries = 0;
+  if (!(in >> magic >> runs >> entries) || magic != "GPRF1") {
+    return {ErrorCode::kCorruptData, "access profile: bad GPRF1 header"};
+  }
+  ImageAccessProfile profile;
+  profile.runs_ = runs;
+  std::string line;
+  std::getline(in, line);  // consume the header's newline
+  for (std::uint64_t i = 0; i < entries; ++i) {
+    if (!std::getline(in, line) || line.empty()) {
+      return {ErrorCode::kCorruptData, "access profile: truncated entry list"};
+    }
+    std::size_t space = line.find(' ');
+    if (space == std::string::npos || space == 0 ||
+        space + 1 >= line.size()) {
+      return {ErrorCode::kCorruptData, "access profile: malformed entry"};
+    }
+    std::uint64_t count = 0;
+    for (std::size_t c = 0; c < space; ++c) {
+      if (line[c] < '0' || line[c] > '9') {
+        return {ErrorCode::kCorruptData, "access profile: bad count"};
+      }
+      count = count * 10 + static_cast<std::uint64_t>(line[c] - '0');
+    }
+    // Paths may contain further spaces: everything after the first one.
+    profile.touches_[line.substr(space + 1)] += count;
+  }
+  return profile;
+}
+
+std::string series_of(const std::string& reference) {
+  std::size_t colon = reference.rfind(':');
+  return colon == std::string::npos ? reference : reference.substr(0, colon);
+}
+
+namespace {
+
+/// Version-aware string order: digit runs compare numerically (v9 < v10),
+/// everything else bytewise.
+int natural_compare(std::string_view a, std::string_view b) {
+  std::size_t i = 0;
+  std::size_t j = 0;
+  auto digit = [](char c) { return c >= '0' && c <= '9'; };
+  while (i < a.size() && j < b.size()) {
+    if (digit(a[i]) && digit(b[j])) {
+      std::size_t ia = i;
+      std::size_t jb = j;
+      while (ia < a.size() && digit(a[ia])) ++ia;
+      while (jb < b.size() && digit(b[jb])) ++jb;
+      std::string_view ra = a.substr(i, ia - i);
+      std::string_view rb = b.substr(j, jb - j);
+      while (ra.size() > 1 && ra.front() == '0') ra.remove_prefix(1);
+      while (rb.size() > 1 && rb.front() == '0') rb.remove_prefix(1);
+      if (ra.size() != rb.size()) return ra.size() < rb.size() ? -1 : 1;
+      if (int c = ra.compare(rb); c != 0) return c < 0 ? -1 : 1;
+      i = ia;
+      j = jb;
+      continue;
+    }
+    if (a[i] != b[j]) return a[i] < b[j] ? -1 : 1;
+    ++i;
+    ++j;
+  }
+  if (i < a.size()) return 1;
+  if (j < b.size()) return -1;
+  return 0;
+}
+
+}  // namespace
+
+std::string newest_other_version(const std::vector<std::string>& installed,
+                                 const std::string& reference) {
+  const std::string series = series_of(reference);
+  std::string best;
+  for (const std::string& ref : installed) {
+    if (ref == reference || series_of(ref) != series) continue;
+    if (best.empty() || natural_compare(ref, best) > 0) best = ref;
+  }
+  return best;
+}
+
+PrefetchPlan build_prefetch_plan(const vfs::FileTree& index,
+                                 PrefetchOrder order,
+                                 const vfs::FileTree* previous,
+                                 const ImageAccessProfile* profile) {
+  PrefetchPlan plan;
+  std::unordered_map<Fingerprint, std::size_t, FingerprintHash> slot_of;
+  index.walk([&](const std::string& path, const vfs::FileNode& node) {
+    if (!node.is_fingerprint()) return;
+    auto [it, inserted] = slot_of.emplace(node.fingerprint(),
+                                          plan.items.size());
+    if (inserted) {
+      PrefetchItem item;
+      item.path = path;
+      item.fingerprint = node.fingerprint();
+      item.size = node.stub_size();
+      item.fanin = 1;
+      if (profile != nullptr) item.profile_touches = profile->touches(path);
+      plan.items.push_back(std::move(item));
+    } else {
+      PrefetchItem& item = plan.items[it->second];
+      ++item.fanin;
+      // A deduplicated file is as hot as its hottest referencing path.
+      if (profile != nullptr) {
+        item.profile_touches =
+            std::max(item.profile_touches, profile->touches(path));
+      }
+    }
+  });
+
+  if (order == PrefetchOrder::kPath) return plan;  // legacy walk order
+
+  if (previous != nullptr && !plan.items.empty()) {
+    // The version delta: every path the layer from previous→current touches
+    // that is still a stub carries its new fingerprint in the layer tree.
+    std::unordered_set<Fingerprint, FingerprintHash> delta;
+    vfs::FileTree layer = vfs::diff_trees(*previous, index);
+    layer.walk([&](const std::string& path, const vfs::FileNode& node) {
+      (void)path;
+      if (node.is_fingerprint()) delta.insert(node.fingerprint());
+    });
+    for (PrefetchItem& item : plan.items) {
+      item.in_delta = delta.count(item.fingerprint) != 0;
+    }
+  }
+
+  const bool by_profile = order == PrefetchOrder::kProfile;
+  std::stable_sort(plan.items.begin(), plan.items.end(),
+                   [by_profile](const PrefetchItem& a, const PrefetchItem& b) {
+                     if (a.in_delta != b.in_delta) return a.in_delta;
+                     if (by_profile && a.profile_touches != b.profile_touches) {
+                       return a.profile_touches > b.profile_touches;
+                     }
+                     if (a.fanin != b.fanin) return a.fanin > b.fanin;
+                     if (a.size != b.size) return a.size < b.size;
+                     return false;  // stable: walk order breaks the tie
+                   });
+
+  for (const PrefetchItem& item : plan.items) {
+    if (item.in_delta) ++plan.delta_files;
+    if (item.profile_touches > 0) ++plan.profiled_files;
+  }
+  return plan;
+}
+
+void drain_batches(const std::vector<PrefetchBatch>& batches,
+                   util::ThreadPool* pool, std::uint64_t max_inflight_bytes,
+                   const BatchFetchFn& fetch, const BatchAccountFn& account) {
+  if (pool == nullptr || batches.size() <= 1) {
+    // The serial pipeline IS the legacy loop: fetch (intra-batch
+    // decompression may still fan out across `pool`), then account.
+    for (const PrefetchBatch& batch : batches) {
+      account(batch, fetch(batch, pool));
+    }
+    return;
+  }
+
+  // Overlapped drain: pool workers run the wire+decompress stage of later
+  // batches while the caller accounts earlier ones, in submission order.
+  // Workers receive a null pool — fanning out again from a worker could
+  // exhaust the pool and deadlock.
+  struct Slot {
+    std::size_t idx;
+    std::future<FetchedBatch> fut;
+  };
+  std::deque<Slot> inflight;
+  std::size_t next = 0;
+  std::uint64_t inflight_bytes = 0;
+  const std::size_t lookahead_cap = pool->worker_count() * 2 + 2;
+
+  auto can_launch = [&]() {
+    if (next >= batches.size()) return false;
+    if (inflight.empty()) return true;  // always keep the pipe moving
+    if (inflight.size() >= lookahead_cap) return false;
+    return max_inflight_bytes == 0 ||
+           inflight_bytes + batches[next].wire_estimate <= max_inflight_bytes;
+  };
+
+  std::exception_ptr first_error;
+  while ((next < batches.size() || !inflight.empty()) && !first_error) {
+    while (can_launch()) {
+      const PrefetchBatch& batch = batches[next];
+      inflight_bytes += batch.wire_estimate;
+      inflight.push_back(
+          {next, pool->submit([&fetch, &batch] { return fetch(batch, nullptr); })});
+      ++next;
+    }
+    Slot slot = std::move(inflight.front());
+    inflight.pop_front();
+    try {
+      FetchedBatch got = slot.fut.get();
+      inflight_bytes -= batches[slot.idx].wire_estimate;
+      account(batches[slot.idx], std::move(got));
+    } catch (...) {
+      first_error = std::current_exception();
+    }
+  }
+  // Join everything still in flight before surfacing an error — the fetch
+  // closures reference caller-owned state.
+  for (Slot& slot : inflight) {
+    try {
+      slot.fut.get();
+    } catch (...) {
+      // The first error wins; later ones are usually its echoes.
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace gear

@@ -87,7 +87,7 @@ StatusOr<Bytes> GearFileViewer::read_file(std::string_view path) {
   // readable (cache hard-link or registry download), then resume.
   Fingerprint fp = node->fingerprint();
   std::uint64_t size = node->stub_size();
-  Bytes content = materializer_(fp, size);
+  Bytes content = materializer_(std::string(path), fp, size);
   if (content.size() != size) {
     throw_error(ErrorCode::kCorruptData,
                 "materialized size mismatch for " + std::string(path));

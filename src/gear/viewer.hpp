@@ -28,9 +28,11 @@ namespace gear {
 class GearFileViewer {
  public:
   /// Fetches the content of a Gear file by fingerprint, from the shared
-  /// cache or the Gear Registry. Must throw (or propagate) on failure.
-  using Materializer =
-      std::function<Bytes(const Fingerprint& fp, std::uint64_t size)>;
+  /// cache or the Gear Registry. Receives the union path being served so the
+  /// client can record first-touch access profiles (gear/prefetch). Must
+  /// throw (or propagate) on failure.
+  using Materializer = std::function<Bytes(
+      const std::string& path, const Fingerprint& fp, std::uint64_t size)>;
 
   /// `index`: the image's index tree (level 2, shared across containers of
   /// the image — stub materialization mutates it in place).

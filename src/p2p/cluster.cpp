@@ -84,6 +84,7 @@ Cluster::Cluster(docker::DockerRegistry& index_registry,
     node->client = std::make_unique<GearClient>(
         index_registry, file_registry, *node->wan, *node->disk,
         params.runtime);
+    node->client->set_prefetch_order(params.prefetch_order);
 
     // Peer fetch path: tracker lookup, then read straight out of the
     // holder's shared cache over the LAN link.
@@ -187,6 +188,20 @@ StatusOr<Bytes> Cluster::read_range(std::size_t node,
     tracker_.announce_all(n.id, n.client->store().cache().fingerprints());
   }
   return out;
+}
+
+std::pair<std::size_t, std::uint64_t> Cluster::prefetch(
+    std::size_t node, const std::string& reference) {
+  if (node >= nodes_.size()) {
+    throw_error(ErrorCode::kInvalidArgument, "no such node");
+  }
+  Node& n = *nodes_[node];
+  std::pair<std::size_t, std::uint64_t> moved =
+      n.client->prefetch_remaining(reference);
+  if (!n.retired) {
+    tracker_.announce_all(n.id, n.client->store().cache().fingerprints());
+  }
+  return moved;
 }
 
 void Cluster::retire_node(std::size_t node) {

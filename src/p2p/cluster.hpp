@@ -17,6 +17,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "docker/registry.hpp"
@@ -73,6 +74,8 @@ class Cluster {
     /// objects as one pipelined LAN burst. Off = legacy one-probe-per-object
     /// fetching only (the baseline of the fan-out experiments).
     bool batch_peer_fetch = true;
+    /// Scheduling order every node uses for prefetch_remaining.
+    PrefetchOrder prefetch_order = PrefetchOrder::kPath;
   };
 
   Cluster(docker::DockerRegistry& index_registry, GearRegistry& file_registry,
@@ -95,6 +98,14 @@ class Cluster {
   StatusOr<Bytes> read_range(std::size_t node, const std::string& container_id,
                              std::string_view path, std::uint64_t offset,
                              std::uint64_t length);
+
+  /// Prefetches a deployed image's remaining files on one node in the
+  /// cluster's configured priority order. Peer fetches count as usual; the
+  /// newly warmed cache is announced to the tracker so later deployers of
+  /// the same image batch-pull from this node. Returns (files, bytes)
+  /// fetched beyond what the node already cached.
+  std::pair<std::size_t, std::uint64_t> prefetch(std::size_t node,
+                                                 const std::string& reference);
 
   /// Removes a node's advertisements (simulated departure). The node's
   /// client keeps working but no longer serves peers.

@@ -48,7 +48,9 @@ TraceResult replay_trace(
     sim::SimClock& clock, const std::vector<TraceEvent>& events,
     const TraceSpec& spec,
     const std::function<std::string(std::size_t, int)>& deploy,
-    const std::function<void(const std::string&)>& destroy) {
+    const std::function<void(const std::string&)>& destroy,
+    const std::function<std::pair<std::size_t, std::uint64_t>(
+        const std::string&)>& post_deploy) {
   if (!deploy || !destroy) {
     throw_error(ErrorCode::kInvalidArgument, "trace replay needs callbacks");
   }
@@ -75,6 +77,12 @@ TraceResult replay_trace(
     live.push_back(deploy(event.series_index, event.version));
     result.deploy_latency.record(timer.elapsed());
     ++result.deployments;
+
+    if (post_deploy) {
+      auto [files, bytes] = post_deploy(live.back());
+      result.prefetched_files += files;
+      result.prefetched_bytes += bytes;
+    }
   }
 
   // Drain.

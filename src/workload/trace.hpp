@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/clock.hpp"
@@ -54,12 +55,20 @@ struct TraceResult {
   std::uint64_t deployments = 0;
   std::uint64_t destroys = 0;
   double makespan_seconds = 0;    // clock time to drain the trace
+  /// Accumulated from the optional post_deploy hook (background prefetch
+  /// work performed between arrivals).
+  std::uint64_t prefetched_files = 0;
+  std::uint64_t prefetched_bytes = 0;
 };
 
 /// Replays `events` against a client through callbacks:
 ///   deploy(series_index, version) -> container id (performs and charges
 ///   the deployment; the runner measures its latency via `clock`);
-///   destroy(container_id) tears one down.
+///   destroy(container_id) tears one down;
+///   post_deploy(container_id) — optional — runs right after each deploy,
+///   outside the latency measurement (the idle-gap slot a background
+///   prefetcher would occupy); returns (files, bytes) it moved, accumulated
+///   into TraceResult::prefetched_*.
 /// The runner advances `clock` through idle gaps between arrivals (a
 /// deployment that overruns the next arrival simply delays it, as a busy
 /// single-node executor would).
@@ -67,6 +76,8 @@ TraceResult replay_trace(
     sim::SimClock& clock, const std::vector<TraceEvent>& events,
     const TraceSpec& spec,
     const std::function<std::string(std::size_t, int)>& deploy,
-    const std::function<void(const std::string&)>& destroy);
+    const std::function<void(const std::string&)>& destroy,
+    const std::function<std::pair<std::size_t, std::uint64_t>(
+        const std::string&)>& post_deploy = nullptr);
 
 }  // namespace gear::workload

@@ -133,4 +133,24 @@ else test $? -eq 2; fi
 if "$GEARCTL" --range-batch nope "$CSTORE" stats 2>/dev/null; then exit 1
 else test $? -eq 2; fi
 
+# --- prefetch (--prefetch-order) -----------------------------------------
+# Warm a whole image into the on-disk cache; a second prefetch must move
+# nothing (the cheap membership pass early-outs). All three orders parse.
+PSTORE="$WORK/pstore"
+"$GEARCTL" "$PSTORE" init
+"$GEARCTL" "$PSTORE" import "$SRC" pf:v1 > /dev/null
+"$GEARCTL" "$PSTORE" prefetch pf:v1 | grep -q "delta order"
+"$GEARCTL" "$PSTORE" prefetch pf:v1 | grep -q "0 files"
+"$GEARCTL" --prefetch-order path "$PSTORE" prefetch pf:v1 | grep -q "0 files"
+"$GEARCTL" --prefetch-order profile "$PSTORE" prefetch pf:v1 \
+  | grep -q "profile order"
+# A prefetched file reads from the cache, not the registry.
+"$GEARCTL" "$PSTORE" run pf:v1 app/blob.bin | grep -q "cache"
+
+# Flag validation mirrors --workers: missing and bogus values are usage
+# errors (exit 2), not crashes.
+if "$GEARCTL" --prefetch-order 2>/dev/null; then exit 1; else test $? -eq 2; fi
+if "$GEARCTL" --prefetch-order sideways "$PSTORE" prefetch pf:v1 2>/dev/null
+then exit 1; else test $? -eq 2; fi
+
 echo "gearctl smoke test passed"

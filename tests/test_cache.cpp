@@ -138,6 +138,83 @@ TEST(Cache, ClearUnpinnedKeepsPinned) {
   EXPECT_EQ(cache.size_bytes(), 1u);
 }
 
+TEST(Cache, EntryStatsTrackAccessesAndTicks) {
+  SharedFileCache cache;
+  cache.put(fp_of("a"), to_bytes("aa"));
+  cache.put(fp_of("b"), to_bytes("bbb"));
+
+  // Fresh entries: no hits yet, insertion stamped the last-access tick.
+  CacheEntryStats a0 = cache.entry_stats(fp_of("a")).value();
+  EXPECT_EQ(a0.size, 2u);
+  EXPECT_EQ(a0.accesses, 0u);
+  EXPECT_GT(a0.last_access_tick, 0u);
+  EXPECT_FALSE(cache.entry_stats(fp_of("missing")).has_value());
+
+  // Hits bump the count and advance the tick monotonically.
+  cache.get(fp_of("a")).value();
+  cache.get(fp_of("a")).value();
+  CacheEntryStats a2 = cache.entry_stats(fp_of("a")).value();
+  EXPECT_EQ(a2.accesses, 2u);
+  EXPECT_GT(a2.last_access_tick, a0.last_access_tick);
+
+  // A dedup re-put refreshes recency but is not an access.
+  CacheEntryStats b0 = cache.entry_stats(fp_of("b")).value();
+  cache.put(fp_of("b"), to_bytes("bbb"));
+  CacheEntryStats b1 = cache.entry_stats(fp_of("b")).value();
+  EXPECT_EQ(b1.accesses, 0u);
+  EXPECT_GT(b1.last_access_tick, b0.last_access_tick);
+
+  // Misses never touch entry stats.
+  (void)cache.get(fp_of("missing"));
+  EXPECT_EQ(cache.entry_stats(fp_of("a")).value().last_access_tick,
+            a2.last_access_tick);
+}
+
+TEST(Cache, EntrySnapshotReportsHotness) {
+  SharedFileCache cache;
+  cache.put(fp_of("cold"), to_bytes("c"));
+  cache.put(fp_of("hot"), to_bytes("hh"));
+  cache.link(fp_of("hot"));
+  for (int i = 0; i < 3; ++i) cache.get(fp_of("hot")).value();
+
+  auto snapshot = cache.entry_snapshot();
+  ASSERT_EQ(snapshot.size(), 2u);
+  // Sorted by fingerprint, deterministic across runs.
+  EXPECT_LT(snapshot[0].first, snapshot[1].first);
+  for (const auto& [fp, stats] : snapshot) {
+    if (fp == fp_of("hot")) {
+      EXPECT_EQ(stats.accesses, 3u);
+      EXPECT_EQ(stats.links, 1u);
+      EXPECT_EQ(stats.size, 2u);
+    } else {
+      EXPECT_EQ(stats.accesses, 0u);
+      EXPECT_EQ(stats.links, 0u);
+    }
+  }
+}
+
+TEST(Cache, TicksMakeFifoVersusLruObservable) {
+  // Same access sequence against both policies: the recency ticks agree
+  // (they are policy-independent), but the victim differs — FIFO ignores
+  // the refreshed tick, LRU obeys it. The tick telemetry makes the policy
+  // difference observable from the outside.
+  auto run = [](EvictionPolicy policy) {
+    SharedFileCache cache(2500, policy);
+    cache.put(fp_of("first"), Bytes(1000, 'a'));
+    cache.put(fp_of("second"), Bytes(1000, 'b'));
+    cache.get(fp_of("first")).value();  // refresh "first"
+    std::uint64_t first_tick =
+        cache.entry_stats(fp_of("first")).value().last_access_tick;
+    std::uint64_t second_tick =
+        cache.entry_stats(fp_of("second")).value().last_access_tick;
+    EXPECT_GT(first_tick, second_tick);  // "first" is the recency winner
+    cache.put(fp_of("third"), Bytes(1000, 'c'));
+    return cache.contains(fp_of("first"));
+  };
+  EXPECT_FALSE(run(EvictionPolicy::kFifo));  // evicted despite recency
+  EXPECT_TRUE(run(EvictionPolicy::kLru));    // recency saved it
+}
+
 TEST(Cache, EvictionFreesExactBytes) {
   SharedFileCache cache(3000, EvictionPolicy::kFifo);
   cache.put(fp_of("a"), Bytes(1500, 'a'));

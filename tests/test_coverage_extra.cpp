@@ -141,7 +141,7 @@ TEST(ViewerEdge, RootListingAndWhiteoutMask) {
   index.add_fingerprint_stub("b/g", fp, 1);
   vfs::FileTree diff;
   GearFileViewer viewer(index, diff,
-                        [](const Fingerprint&, std::uint64_t) {
+                        [](const std::string&, const Fingerprint&, std::uint64_t) {
                           return to_bytes("x");
                         });
   EXPECT_EQ(viewer.list_dir("").size(), 2u);

@@ -81,7 +81,8 @@ TEST_P(ViewerOverlayEquivalence, FuzzedOpsAgree) {
   vfs::FileTree index_tree = std::move(index.tree());
   vfs::FileTree diff_tree;
   GearFileViewer viewer(index_tree, diff_tree,
-                        [&pool](const Fingerprint& fp, std::uint64_t) {
+                        [&pool](const std::string&, const Fingerprint& fp,
+                                std::uint64_t) {
                           return pool.at(fp);
                         });
 

@@ -36,7 +36,8 @@ struct ViewerFixture : ::testing::Test {
   GearFileViewer make_viewer(const std::string& container_id) {
     return GearFileViewer(store.index_tree("app:v1"),
                           store.container_diff(container_id),
-                          [this](const Fingerprint& fp, std::uint64_t) {
+                          [this](const std::string&, const Fingerprint& fp,
+                                 std::uint64_t) {
                             ++fetches;
                             return pool.at(fp);
                           });
@@ -176,7 +177,8 @@ TEST_F(ViewerFixture, DeleteThenRecreateDirHidesIndexContents) {
 TEST_F(ViewerFixture, SizeMismatchFromMaterializerThrows) {
   std::string c = store.create_container("app:v1");
   GearFileViewer bad(store.index_tree("app:v1"), store.container_diff(c),
-                     [](const Fingerprint&, std::uint64_t) {
+                     [](const std::string&, const Fingerprint&,
+                        std::uint64_t) {
                        return to_bytes("wrong-size");
                      });
   EXPECT_THROW(bad.read_file("usr/bin/app").value(), Error);
@@ -253,7 +255,8 @@ TEST_F(ViewerFixture, CommittedImageLaunchesCorrectly) {
   store.add_index("app:v2", GearIndex{vfs::FileTree(result.image.index.tree())});
   std::string c2 = store.create_container("app:v2");
   GearFileViewer v2(store.index_tree("app:v2"), store.container_diff(c2),
-                    [this](const Fingerprint& fp, std::uint64_t) {
+                    [this](const std::string&, const Fingerprint& fp,
+                                 std::uint64_t) {
                       return pool.at(fp);
                     });
   EXPECT_EQ(to_string(v2.read_file("app/data.bin").value()), "NEWDATA");

@@ -46,6 +46,10 @@ util::Concurrency g_concurrency;
 /// 1 = the serial per-chunk protocol (output is identical either way).
 std::size_t g_range_batch = 64;
 
+/// --prefetch-order {path,delta,profile}: queue discipline of the prefetch
+/// command (gear/prefetch.hpp). Delta-first is the paper's redeploy case.
+PrefetchOrder g_prefetch_order = PrefetchOrder::kDelta;
+
 /// --store-dir PATH: keep the Gear files on a durable DiskObjectStore at
 /// PATH instead of in memory. The disk store IS the live registry state —
 /// it needs no save/load snapshot and survives process restarts — so only
@@ -383,6 +387,17 @@ int cmd_exec_write(Store& store, const std::string& container,
   return 0;
 }
 
+int cmd_prefetch(Store& store, const std::string& ref) {
+  LocalRuntime runtime(store.docker, store.files, store.root / "local");
+  if (!runtime.has_image(ref)) runtime.pull(ref);
+  auto [files, bytes] = runtime.prefetch(ref, g_prefetch_order);
+  store.save();
+  std::printf("prefetched %s (%s order): %zu files, %s\n", ref.c_str(),
+              prefetch_order_name(g_prefetch_order), files,
+              format_size(bytes).c_str());
+  return 0;
+}
+
 int cmd_commit(Store& store, const std::string& container,
                const std::string& ref) {
   std::size_t colon = ref.find(':');
@@ -446,19 +461,22 @@ int cmd_stats(Store& store) {
 int usage() {
   std::fprintf(stderr,
                "usage: gearctl [--workers N] [--store-dir PATH] "
-               "[--range-batch N] <store-dir> <command> [args]\n"
+               "[--range-batch N] [--prefetch-order ORDER] "
+               "<store-dir> <command> [args]\n"
                "  --workers N      worker threads for import's fingerprinting/"
                "compression (default: one per core)\n"
                "  --store-dir PATH durable on-disk object store for the gear "
                "files (survives restarts; default: in-memory + snapshot)\n"
                "  --range-batch N  chunk indices per batched range request in "
                "ranged cat (default 64; 1 = serial per-chunk)\n"
+               "  --prefetch-order path|delta|profile  queue discipline of "
+               "the prefetch command (default delta)\n"
                "commands: init | import <dir> <name:tag> [chunk-threshold] | "
                "images | inspect <ref> | cat <ref> <path> [offset length] | "
                "export <ref> <dir> | run <ref> <path...> | launch <ref> | "
                "read <container> <path> | write <container> <path> <text> | "
-               "commit <container> <name:tag> | rm <ref> | gc | scrub | "
-               "stats\n");
+               "commit <container> <name:tag> | prefetch <ref> | rm <ref> | "
+               "gc | scrub | stats\n");
   return 2;
 }
 
@@ -497,6 +515,22 @@ int main(int argc, char** argv) {
         return 2;
       }
       g_range_batch = static_cast<std::size_t>(parsed);
+      it = all.erase(it, it + 2);
+    } else if (*it == "--prefetch-order") {
+      if (std::next(it) == all.end()) {
+        std::fprintf(stderr, "gearctl: --prefetch-order requires a value\n");
+        return 2;
+      }
+      const std::string& value = *std::next(it);
+      std::optional<PrefetchOrder> order = parse_prefetch_order(value);
+      if (!order.has_value()) {
+        std::fprintf(stderr,
+                     "gearctl: --prefetch-order expects path, delta or "
+                     "profile, got '%s'\n",
+                     value.c_str());
+        return 2;
+      }
+      g_prefetch_order = *order;
       it = all.erase(it, it + 2);
     } else if (*it == "--store-dir") {
       if (std::next(it) == all.end()) {
@@ -563,6 +597,9 @@ int main(int argc, char** argv) {
     }
     if (cmd == "commit" && args.size() == 2) {
       return cmd_commit(store, args[0], args[1]);
+    }
+    if (cmd == "prefetch" && args.size() == 1) {
+      return cmd_prefetch(store, args[0]);
     }
     if (cmd == "run" && args.size() >= 2) {
       return cmd_run(store, args[0],
