@@ -10,6 +10,7 @@
 //  * aligned table printing.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -96,6 +97,18 @@ inline double wall_seconds(Fn&& fn) {
   fn();
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
       .count();
+}
+
+/// Nearest-rank percentile (p in [0, 100]) of a sample set; 0 when empty.
+/// Shared by the latency-reporting legs (fig8 registry concurrency, the
+/// fleet load harness) so their p50/p99 definitions match exactly.
+inline double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  double rank = p / 100.0 * static_cast<double>(xs.size());
+  std::size_t idx = rank <= 1.0 ? 0 : static_cast<std::size_t>(rank + 0.5) - 1;
+  if (idx >= xs.size()) idx = xs.size() - 1;
+  return xs[idx];
 }
 
 /// Dumps a bench-result document to `path` (cwd) for downstream tooling.

@@ -1,0 +1,338 @@
+// Extension bench: registry fleet scale-out under a deploy storm.
+//
+// Scenario: hundreds of clients cold-deploy simultaneously against the Gear
+// file registry. One registry process is the throughput ceiling (the
+// registry_concurrency leg of BENCH_fig8 shows aggregate throughput sagging
+// with just 4 real clients); FleetRegistry shards the object space over N
+// backend instances behind the same FileRegistryApi, so the storm's demand
+// splits ~1/N per instance.
+//
+// Method (single-core friendly, fully deterministic):
+//  1. For each fleet config (shards x replicas), ingest the corpus and
+//     capture each image's REAL per-shard wire demand — frames and bytes,
+//     measured from LoopbackServerStats deltas around an actual cold deploy
+//     through the fleet.
+//  2. Replay a C-client storm through a discrete queueing model: every
+//     client opens at t=0 (FIFO in client order), each shard is one server,
+//     serving a client's sub-batches costs overhead*frames + bytes/bw, and
+//     a client finishes when its slowest shard finishes. Client latency
+//     percentiles and aggregate throughput (C / makespan) fall out.
+//  3. Byte-identity: every object downloaded through every fleet config
+//     must equal the single-registry copy.
+//  4. Rebalance: joining a shard mid-life must move only the ring-delta
+//     and re-upload NOTHING to the surviving shards.
+// Failing 3, 4, the 4-shard >= 2x throughput bar, or "p99 never worse than
+// 1 shard" flips the exit code.
+#include <cstdio>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "gear/converter.hpp"
+#include "gear/fleet.hpp"
+#include "net/remote_registry.hpp"
+#include "net/transport.hpp"
+
+using namespace gear;
+
+namespace {
+
+/// One backend registry instance served over the wire protocol.
+struct ShardInstance {
+  std::unique_ptr<GearRegistry> registry;
+  std::unique_ptr<net::LoopbackTransport> transport;
+  std::unique_ptr<net::RemoteGearRegistry> stub;
+
+  ShardInstance()
+      : registry(std::make_unique<GearRegistry>()),
+        transport(std::make_unique<net::LoopbackTransport>(*registry)),
+        stub(std::make_unique<net::RemoteGearRegistry>(
+            *transport, 3, /*verify_content=*/false)) {}
+};
+
+/// Wire demand one deploy places on one shard.
+struct ShardDemand {
+  std::uint64_t frames = 0;
+  std::uint64_t bytes = 0;
+};
+
+std::vector<ShardDemand> snapshot(const std::vector<ShardInstance>& shards) {
+  std::vector<ShardDemand> out(shards.size());
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    const net::LoopbackServerStats& s = shards[i].transport->server_stats();
+    out[i].frames = s.round_trips;
+    out[i].bytes = s.bytes_in + s.bytes_out;
+  }
+  return out;
+}
+
+std::vector<ShardDemand> delta(const std::vector<ShardDemand>& before,
+                               const std::vector<ShardDemand>& after) {
+  std::vector<ShardDemand> out(after.size());
+  for (std::size_t i = 0; i < after.size(); ++i) {
+    out[i].frames = after[i].frames - before[i].frames;
+    out[i].bytes = after[i].bytes - before[i].bytes;
+  }
+  return out;
+}
+
+struct ConfigResult {
+  std::size_t shards = 0;
+  std::size_t replicas = 0;
+  std::uint64_t ingest_uploads = 0;  // sum of backend uploads_accepted
+  double throughput_per_s = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  bool identical = false;
+};
+
+}  // namespace
+
+int main() {
+  bench::Env e = bench::env();
+  bench::print_title("Extension: registry fleet under a deploy storm", e);
+
+  // Queue-model constants (paper-equivalent units: measured bytes are
+  // un-scaled by e.scale before charging the 1 Gbps shard uplink).
+  constexpr double kFrameOverheadMs = 0.25;
+  constexpr double kShardBytesPerSec = 125.0e6;  // 1 Gbps
+  const int kClients = e.fast ? 32 : 256;
+  std::vector<std::size_t> shard_counts =
+      e.fast ? std::vector<std::size_t>{1, 4}
+             : std::vector<std::size_t>{1, 2, 4, 8};
+  const std::size_t replica_counts[] = {1, 2};
+
+  workload::CorpusGenerator gen(e.seed, e.scale);
+  std::vector<workload::SeriesSpec> all = bench::corpus(e);
+
+  // Convert once; ingest into the single-registry baseline.
+  GearConverter converter;
+  docker::DockerRegistry index_single;
+  GearRegistry single;
+  std::vector<GearImage> images;
+  std::vector<std::string> refs;
+  std::vector<workload::AccessSet> accesses;
+  for (const auto& spec : all) {
+    docker::Image image = gen.generate_image(spec, 0);
+    images.push_back(converter.convert(image).image);
+    refs.push_back(spec.name + ":v0");
+    accesses.push_back(gen.access_set(spec, 0));
+    push_gear_image(images.back(), index_single, single);
+  }
+  std::vector<Fingerprint> all_objects = single.list_objects();
+
+  auto service_ms = [&](const ShardDemand& d) {
+    return static_cast<double>(d.frames) * kFrameOverheadMs +
+           (static_cast<double>(d.bytes) / e.scale) / kShardBytesPerSec *
+               1000.0;
+  };
+
+  std::vector<ConfigResult> results;
+  for (std::size_t replicas : replica_counts) {
+    for (std::size_t n_shards : shard_counts) {
+      ConfigResult r;
+      r.shards = n_shards;
+      r.replicas = replicas;
+
+      std::vector<ShardInstance> shards(n_shards);
+      std::vector<FileRegistryApi*> backends;
+      for (ShardInstance& s : shards) backends.push_back(s.stub.get());
+      FleetRegistry::Options opts;
+      opts.replicas = replicas;
+      opts.workers = 1;  // single-core host: keep the fan-out inline
+      FleetRegistry fleet(backends, opts);
+
+      docker::DockerRegistry index_cfg;
+      for (const GearImage& img : images) {
+        push_gear_image(img, index_cfg, fleet);
+      }
+      for (const ShardInstance& s : shards) {
+        r.ingest_uploads += s.registry->stats().uploads_accepted;
+      }
+
+      // Byte-identity against the single registry, whole object space.
+      r.identical = true;
+      for (std::size_t at = 0; at < all_objects.size(); at += 64) {
+        std::vector<Fingerprint> group(
+            all_objects.begin() + static_cast<std::ptrdiff_t>(at),
+            all_objects.begin() +
+                static_cast<std::ptrdiff_t>(
+                    std::min(at + 64, all_objects.size())));
+        auto from_fleet = fleet.download_batch(group);
+        auto from_single = single.download_batch(group);
+        r.identical = r.identical && from_fleet.ok() && from_single.ok() &&
+                      from_fleet.value() == from_single.value();
+      }
+
+      // Real per-shard wire demand of one cold deploy of each image.
+      std::vector<std::vector<ShardDemand>> demand;
+      for (std::size_t i = 0; i < images.size(); ++i) {
+        std::vector<ShardDemand> before = snapshot(shards);
+        sim::SimClock clk;
+        sim::NetworkLink link = sim::scaled_link(clk, 904.0, e.scale);
+        sim::DiskModel disk = sim::DiskModel::scaled_ssd(clk, e.scale);
+        GearClient client(index_cfg, fleet, link, disk);
+        client.deploy(refs[i], accesses[i]);
+        demand.push_back(delta(before, snapshot(shards)));
+      }
+
+      // The storm: client c deploys image c % images, all arriving at t=0.
+      // Each shard is a FIFO server; a client completes when its slowest
+      // shard sub-stream completes.
+      std::vector<double> shard_free(n_shards, 0.0);
+      std::vector<double> latency_ms;
+      latency_ms.reserve(static_cast<std::size_t>(kClients));
+      for (int c = 0; c < kClients; ++c) {
+        const std::vector<ShardDemand>& d =
+            demand[static_cast<std::size_t>(c) % demand.size()];
+        double done = 0.0;
+        for (std::size_t j = 0; j < n_shards; ++j) {
+          if (d[j].frames == 0 && d[j].bytes == 0) continue;
+          shard_free[j] += service_ms(d[j]);
+          done = std::max(done, shard_free[j]);
+        }
+        latency_ms.push_back(done);
+      }
+      double makespan_ms = 0.0;
+      for (double l : latency_ms) makespan_ms = std::max(makespan_ms, l);
+      r.throughput_per_s =
+          makespan_ms > 0 ? kClients / (makespan_ms / 1000.0) : 0.0;
+      r.p50_ms = bench::percentile(latency_ms, 50.0);
+      r.p99_ms = bench::percentile(latency_ms, 99.0);
+      results.push_back(r);
+    }
+  }
+
+  std::vector<int> w = {8, 10, 16, 16, 12, 12, 11};
+  bench::print_row({"shards", "replicas", "ingest uploads", "deploys/s",
+                    "p50", "p99", "identical"},
+                   w);
+  bench::print_rule(w);
+  char buf[64];
+  for (const ConfigResult& r : results) {
+    std::vector<std::string> cells;
+    cells.push_back(std::to_string(r.shards));
+    cells.push_back(std::to_string(r.replicas));
+    cells.push_back(std::to_string(r.ingest_uploads));
+    std::snprintf(buf, sizeof(buf), "%.1f", r.throughput_per_s);
+    cells.push_back(buf);
+    std::snprintf(buf, sizeof(buf), "%.1f ms", r.p50_ms);
+    cells.push_back(buf);
+    std::snprintf(buf, sizeof(buf), "%.1f ms", r.p99_ms);
+    cells.push_back(buf);
+    cells.push_back(r.identical ? "yes" : "NO");
+    bench::print_row(cells, w);
+  }
+
+  // Rebalance leg: join a fourth shard into a live 3-shard fleet. The
+  // surviving shards must accept ZERO uploads (nothing resident moves) and
+  // the joiner must receive exactly the ring-delta.
+  std::vector<ShardInstance> reb_shards(4);
+  {
+    std::vector<FileRegistryApi*> initial = {reb_shards[0].stub.get(),
+                                             reb_shards[1].stub.get(),
+                                             reb_shards[2].stub.get()};
+    FleetRegistry::Options opts;
+    opts.workers = 1;
+    FleetRegistry fleet(initial, opts);
+    docker::DockerRegistry index_reb;
+    for (const GearImage& img : images) push_gear_image(img, index_reb, fleet);
+    std::uint64_t old_uploads = 0;
+    for (std::size_t i = 0; i < 3; ++i) {
+      old_uploads += reb_shards[i].registry->stats().uploads_accepted;
+    }
+    RebalanceReport report;
+    fleet.add_shard(reb_shards[3].stub.get(), &report);
+    std::uint64_t old_uploads_after = 0;
+    for (std::size_t i = 0; i < 3; ++i) {
+      old_uploads_after += reb_shards[i].registry->stats().uploads_accepted;
+    }
+    std::uint64_t reuploaded = old_uploads_after - old_uploads;
+    bool join_reads_ok = true;
+    for (std::size_t at = 0; at < all_objects.size(); at += 64) {
+      std::vector<Fingerprint> group(
+          all_objects.begin() + static_cast<std::ptrdiff_t>(at),
+          all_objects.begin() + static_cast<std::ptrdiff_t>(
+                                    std::min(at + 64, all_objects.size())));
+      auto got = fleet.download_batch(group);
+      join_reads_ok = join_reads_ok && got.ok() &&
+                      got.value() == single.download_batch(group).value();
+    }
+    bool rebalance_ok =
+        reuploaded == 0 && report.moved_objects > 0 &&
+        report.moved_objects + report.unmoved_objects == report.examined &&
+        join_reads_ok;
+    std::printf("\nrebalance (3 -> 4 shards): %zu/%zu objects moved "
+                "(ring-delta), %llu re-uploaded to survivors, reads "
+                "byte-identical after join: %s\n",
+                report.moved_objects, report.examined,
+                static_cast<unsigned long long>(reuploaded),
+                join_reads_ok ? "yes" : "NO");
+
+    // Scaling bars, folded with byte-identity into the exit code.
+    bool identity_ok = true;
+    for (const ConfigResult& r : results) {
+      identity_ok = identity_ok && r.identical;
+    }
+    bool throughput_ok = true;
+    bool p99_ok = true;
+    for (std::size_t replicas : replica_counts) {
+      const ConfigResult* base = nullptr;
+      for (const ConfigResult& r : results) {
+        if (r.replicas == replicas && r.shards == 1) base = &r;
+      }
+      for (const ConfigResult& r : results) {
+        if (r.replicas != replicas) continue;
+        if (r.shards == 4) {
+          throughput_ok = throughput_ok &&
+                          r.throughput_per_s >= 2.0 * base->throughput_per_s;
+        }
+        p99_ok = p99_ok && r.p99_ms <= base->p99_ms * 1.000001;
+      }
+    }
+    std::printf("\nbars: byte-identical %s, 4-shard throughput >= 2x "
+                "1-shard %s, p99 never worse than 1 shard %s, rebalance "
+                "delta-only %s\n",
+                identity_ok ? "yes" : "NO", throughput_ok ? "yes" : "NO",
+                p99_ok ? "yes" : "NO", rebalance_ok ? "yes" : "NO");
+    std::printf("expected shape: deploys/s grows ~linearly with shards; "
+                "replication doubles ingest uploads but leaves read-side "
+                "latency untouched\n");
+
+    Json doc;
+    doc["bench"] = "ext_fleet";
+    doc["scale"] = e.scale;
+    doc["seed"] = e.seed;
+    doc["clients"] = static_cast<std::int64_t>(kClients);
+    doc["objects"] = static_cast<std::int64_t>(all_objects.size());
+    doc["frame_overhead_ms"] = kFrameOverheadMs;
+    doc["shard_gbps"] = kShardBytesPerSec * 8.0 / 1.0e9;
+    JsonArray rows;
+    for (const ConfigResult& r : results) {
+      Json row;
+      row["shards"] = static_cast<std::int64_t>(r.shards);
+      row["replicas"] = static_cast<std::int64_t>(r.replicas);
+      row["ingest_uploads"] = static_cast<std::int64_t>(r.ingest_uploads);
+      row["throughput_deploys_per_s"] = r.throughput_per_s;
+      row["p50_ms"] = r.p50_ms;
+      row["p99_ms"] = r.p99_ms;
+      row["identical"] = r.identical;
+      rows.push_back(std::move(row));
+    }
+    doc["configs"] = std::move(rows);
+    Json reb;
+    reb["examined"] = static_cast<std::int64_t>(report.examined);
+    reb["moved_objects"] = static_cast<std::int64_t>(report.moved_objects);
+    reb["moved_bytes"] = static_cast<std::int64_t>(report.moved_bytes);
+    reb["survivor_reuploads"] = static_cast<std::int64_t>(reuploaded);
+    reb["reads_identical_after_join"] = join_reads_ok;
+    doc["rebalance"] = std::move(reb);
+    doc["identity_ok"] = identity_ok;
+    doc["throughput_ok"] = throughput_ok;
+    doc["p99_ok"] = p99_ok;
+    doc["rebalance_ok"] = rebalance_ok;
+    bench::write_json("BENCH_fleet.json", doc);
+    return (identity_ok && throughput_ok && p99_ok && rebalance_ok) ? 0 : 1;
+  }
+}

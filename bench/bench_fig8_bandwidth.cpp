@@ -196,7 +196,10 @@ int main() {
   // scaling keeps wall time flat (aggregate throughput 4x).
   std::vector<Fingerprint> every_object = file_registry.list_objects();
   net::LoopbackTransport shared_server(file_registry);
-  auto scan_all = [&]() {
+  // Each scan also records the wall latency of every 64-object batch it
+  // issues, so the leg reports per-client p50/p99 — the single-node baseline
+  // the fleet harness (bench_ext_fleet) compares its latency columns against.
+  auto scan_all = [&](std::vector<double>& batch_latency_ms) {
     net::RemoteGearRegistry client(shared_server, 3, /*verify_content=*/false);
     std::vector<Bytes> scanned;
     scanned.reserve(every_object.size());
@@ -205,7 +208,12 @@ int main() {
           every_object.begin() + static_cast<std::ptrdiff_t>(at),
           every_object.begin() + static_cast<std::ptrdiff_t>(
                                      std::min(at + 64, every_object.size())));
+      auto batch_begin = std::chrono::steady_clock::now();
       std::vector<Bytes> part = client.download_batch(group).value();
+      batch_latency_ms.push_back(
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - batch_begin)
+              .count());
       for (Bytes& b : part) scanned.push_back(std::move(b));
     }
     return scanned;
@@ -219,16 +227,20 @@ int main() {
   };
 
   std::vector<Bytes> serial_scan;
-  double serial_s = wall_s([&] { serial_scan = scan_all(); });
+  std::vector<double> serial_latency_ms;
+  double serial_s = wall_s([&] { serial_scan = scan_all(serial_latency_ms); });
 
   constexpr int kConcurrentClients = 4;
   std::vector<std::vector<Bytes>> concurrent_scans(kConcurrentClients);
+  std::vector<std::vector<double>> concurrent_latency_ms(kConcurrentClients);
   double concurrent_s = wall_s([&] {
     std::vector<std::thread> clients;
     clients.reserve(kConcurrentClients);
     for (int c = 0; c < kConcurrentClients; ++c) {
-      clients.emplace_back(
-          [&, c] { concurrent_scans[static_cast<std::size_t>(c)] = scan_all(); });
+      clients.emplace_back([&, c] {
+        std::size_t slot = static_cast<std::size_t>(c);
+        concurrent_scans[slot] = scan_all(concurrent_latency_ms[slot]);
+      });
     }
     for (std::thread& t : clients) t.join();
   });
@@ -240,12 +252,23 @@ int main() {
   double throughput_x = concurrent_s > 0.0
                             ? kConcurrentClients * serial_s / concurrent_s
                             : 0.0;
+  std::vector<double> merged_latency_ms;
+  for (const std::vector<double>& one : concurrent_latency_ms) {
+    merged_latency_ms.insert(merged_latency_ms.end(), one.begin(), one.end());
+  }
+  double serial_p50 = bench::percentile(serial_latency_ms, 50.0);
+  double serial_p99 = bench::percentile(serial_latency_ms, 99.0);
+  double client_p50 = bench::percentile(merged_latency_ms, 50.0);
+  double client_p99 = bench::percentile(merged_latency_ms, 99.0);
   std::printf("\nregistry concurrency (%zu objects per scan, shared wire "
               "server):\n  1 client %s, %d concurrent clients %s "
-              "(aggregate throughput %.2fx, byte-identical: %s)\n",
+              "(aggregate throughput %.2fx, byte-identical: %s)\n"
+              "  per-batch latency: serial p50 %.3f ms / p99 %.3f ms, "
+              "concurrent p50 %.3f ms / p99 %.3f ms\n",
               every_object.size(), format_duration(serial_s).c_str(),
               kConcurrentClients, format_duration(concurrent_s).c_str(),
-              throughput_x, concurrent_identical ? "yes" : "NO");
+              throughput_x, concurrent_identical ? "yes" : "NO", serial_p50,
+              serial_p99, client_p50, client_p99);
 
   Json doc;
   doc["bench"] = "fig8_bandwidth";
@@ -281,6 +304,10 @@ int main() {
   reg_concurrency["serial_scan_ms"] = serial_s * 1000.0;
   reg_concurrency["concurrent_scan_ms"] = concurrent_s * 1000.0;
   reg_concurrency["aggregate_throughput_x"] = throughput_x;
+  reg_concurrency["serial_p50_ms"] = serial_p50;
+  reg_concurrency["serial_p99_ms"] = serial_p99;
+  reg_concurrency["client_p50_ms"] = client_p50;
+  reg_concurrency["client_p99_ms"] = client_p99;
   reg_concurrency["identical"] = concurrent_identical;
   doc["registry_concurrency"] = reg_concurrency;
   bench::write_json("BENCH_fig8.json", doc);

@@ -110,8 +110,14 @@ docker::PullStats GearClient::pull(const std::string& reference) {
   docker::PullStats stats;
   sim::SimTimer timer(link_.clock());
 
-  docker::Manifest manifest =
-      index_registry_.get_manifest(reference).value();
+  StatusOr<docker::Manifest> manifest_or =
+      index_registry_.get_manifest(reference);
+  if (!manifest_or.ok()) {
+    throw_error(manifest_or.code(),
+                "pull: manifest of " + reference + ": " +
+                    manifest_or.message());
+  }
+  docker::Manifest manifest = std::move(manifest_or).value();
   link_.request(manifest.wire_size());
   stats.bytes_downloaded += manifest.wire_size();
 
@@ -131,7 +137,13 @@ docker::PullStats GearClient::pull(const std::string& reference) {
   }
 
   const docker::LayerDescriptor& desc = manifest.layers.front();
-  Bytes blob = index_registry_.get_blob(desc.digest).value();
+  StatusOr<Bytes> blob_or = index_registry_.get_blob(desc.digest);
+  if (!blob_or.ok()) {
+    throw_error(blob_or.code(), "pull: index layer " + desc.digest.to_string() +
+                                    " of " + reference + ": " +
+                                    blob_or.message());
+  }
+  Bytes blob = std::move(blob_or).value();
   link_.request(blob.size());
   stats.bytes_downloaded += blob.size();
   ++stats.layers_fetched;
@@ -345,7 +357,13 @@ docker::DeployStats GearClient::deploy(const std::string& reference,
 
   for (const workload::FileAccess& fa : access.files) {
     link_.clock().advance(params_.per_file_open_seconds);
-    Bytes content = viewer.read_file(fa.path).value();
+    StatusOr<Bytes> content_or = viewer.read_file(fa.path);
+    if (!content_or.ok()) {
+      throw_error(content_or.code(), "deploy: read of " + fa.path + " in " +
+                                         reference + ": " +
+                                         content_or.message());
+    }
+    Bytes content = std::move(content_or).value();
     if (content.size() != fa.size) {
       throw_error(ErrorCode::kInternal,
                   "access set size mismatch at " + fa.path);

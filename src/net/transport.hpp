@@ -105,6 +105,35 @@ struct FaultPlan {
   std::uint32_t period = 0;
 };
 
+/// A transport whose endpoint can be taken down and brought back at will —
+/// how the fleet tests and benches simulate a dead registry instance.
+/// While down, every round trip returns an empty frame (a dropped
+/// response), so the client stub burns its retries and surfaces the usual
+/// "unreachable" error; the fleet layer turns that into a replica
+/// fallback. Atomic flag: workload threads may race a kill switch.
+class DownTransport final : public Transport {
+ public:
+  explicit DownTransport(Transport& inner, bool down = false)
+      : inner_(inner), down_(down) {}
+
+  Bytes round_trip(BytesView request_frame) override {
+    if (down_.load(std::memory_order_relaxed)) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return {};
+    }
+    return inner_.round_trip(request_frame);
+  }
+
+  void set_down(bool down) { down_.store(down, std::memory_order_relaxed); }
+  bool down() const { return down_.load(std::memory_order_relaxed); }
+  std::uint64_t dropped() const { return dropped_.load(); }
+
+ private:
+  Transport& inner_;
+  std::atomic<bool> down_;
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
 class FaultyTransport final : public Transport {
  public:
   FaultyTransport(Transport& inner, FaultPlan plan, std::uint64_t seed = 1)

@@ -66,7 +66,7 @@ std::size_t PeerTracker::announced_objects() const {
 }
 
 Cluster::Cluster(docker::DockerRegistry& index_registry,
-                 GearRegistry& file_registry, const Params& params) {
+                 FileRegistryApi& file_registry, const Params& params) {
   if (params.nodes == 0) {
     throw_error(ErrorCode::kInvalidArgument, "cluster needs nodes");
   }

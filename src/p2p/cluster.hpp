@@ -78,8 +78,11 @@ class Cluster {
     PrefetchOrder prefetch_order = PrefetchOrder::kPath;
   };
 
-  Cluster(docker::DockerRegistry& index_registry, GearRegistry& file_registry,
-          const Params& params);
+  /// `file_registry` is any FileRegistryApi — the single in-process
+  /// registry, a remote stub, or a FleetRegistry (P2P caching composes
+  /// with registry scale-out unchanged).
+  Cluster(docker::DockerRegistry& index_registry,
+          FileRegistryApi& file_registry, const Params& params);
 
   std::size_t size() const noexcept { return nodes_.size(); }
   sim::SimClock& clock() noexcept { return clock_; }

@@ -25,6 +25,7 @@
 #include "docker/layer.hpp"
 #include "gear/converter.hpp"
 #include "gear/client.hpp"
+#include "gear/fleet.hpp"
 #include "gear/gc.hpp"
 #include "gear/local_runtime.hpp"
 #include "gear/fs_store.hpp"
@@ -57,6 +58,13 @@ PrefetchOrder g_prefetch_order = PrefetchOrder::kDelta;
 /// store root. Empty = historical in-memory mode.
 fs::path g_object_store_dir;
 
+/// --shards N / --replicas R: run the gear-file side as a FleetRegistry of
+/// N disk-backed instances (consistent-hash routed, R-way replicated) under
+/// <store-dir-path>/shard-<i>. Requires --store-dir; placement is stable
+/// across invocations because the ring depends only on shard ids.
+std::size_t g_shards = 1;
+std::size_t g_replicas = 1;
+
 std::unique_ptr<ObjectStore> make_file_backend() {
   if (g_object_store_dir.empty()) return nullptr;  // in-memory default
   return std::make_unique<DiskObjectStore>(g_object_store_dir);
@@ -65,16 +73,32 @@ std::unique_ptr<ObjectStore> make_file_backend() {
 struct Store {
   fs::path root;
   docker::DockerRegistry docker;
-  GearRegistry files;
+  // Backend registries: one in single-registry mode, g_shards disk-backed
+  // instances in fleet mode (--shards > 1).
+  std::vector<std::unique_ptr<GearRegistry>> shards;
+  std::unique_ptr<FleetRegistry> fleet;  // set only in fleet mode
 
-  explicit Store(fs::path r, bool must_exist)
-      : root(std::move(r)), files(make_file_backend()) {
+  explicit Store(fs::path r, bool must_exist) : root(std::move(r)) {
+    if (g_shards > 1) {
+      std::vector<FileRegistryApi*> backends;
+      for (std::size_t i = 0; i < g_shards; ++i) {
+        shards.push_back(std::make_unique<GearRegistry>(
+            std::make_unique<DiskObjectStore>(
+                g_object_store_dir / ("shard-" + std::to_string(i)))));
+        backends.push_back(shards.back().get());
+      }
+      FleetRegistry::Options opts;
+      opts.replicas = g_replicas;
+      fleet = std::make_unique<FleetRegistry>(std::move(backends), opts);
+    } else {
+      shards.push_back(std::make_unique<GearRegistry>(make_file_backend()));
+    }
     const bool disk_backed = !g_object_store_dir.empty();
     if (fs::is_directory(root / "docker")) {
       if (disk_backed) {
         load_docker_registry(root, &docker);
       } else {
-        load_registries(root, &docker, &files);
+        load_registries(root, &docker, shards[0].get());
       }
     } else if (must_exist) {
       throw Error(ErrorCode::kNotFound,
@@ -82,14 +106,35 @@ struct Store {
     }
   }
 
+  /// The registry the data path talks to: the fleet router with
+  /// --shards > 1, the lone backend otherwise.
+  FileRegistryApi& files() {
+    return fleet ? static_cast<FileRegistryApi&>(*fleet) : *shards[0];
+  }
+
+  /// The single backend registry, or null in fleet mode. Commands that
+  /// need registry internals (gc, scrub, the local runtime) only work
+  /// against a single instance.
+  GearRegistry* single() { return fleet ? nullptr : shards[0].get(); }
+
   void save() {
     if (g_object_store_dir.empty()) {
-      save_registries(docker, files, root);
+      save_registries(docker, *shards[0], root);
     } else {
       save_docker_registry(docker, root);
     }
   }
 };
+
+/// The single backend, or a "unsupported with --shards" usage error.
+GearRegistry* require_single(Store& store, const char* cmd) {
+  GearRegistry* single = store.single();
+  if (single == nullptr) {
+    std::fprintf(stderr, "gearctl: %s is unsupported with --shards > 1\n",
+                 cmd);
+  }
+  return single;
+}
 
 GearIndex load_index_of(Store& store, const std::string& ref) {
   docker::Manifest manifest = store.docker.get_manifest(ref).value();
@@ -104,7 +149,7 @@ GearIndex load_index_of(Store& store, const std::string& ref) {
 }
 
 Bytes fetch_file(Store& store, const Fingerprint& fp) {
-  return store.files.download(fp).value();
+  return store.files().download(fp).value();
 }
 
 int cmd_init(Store& store) {
@@ -140,7 +185,7 @@ int cmd_import(Store& store, const std::string& dir, const std::string& ref,
   // Convert with collision detection against what the store already holds.
   GearConverter converter(default_hasher(),
                           [&store](const Fingerprint& fp) {
-                            StatusOr<Bytes> got = store.files.download(fp);
+                            StatusOr<Bytes> got = store.files().download(fp);
                             return got.ok()
                                        ? std::optional<Bytes>(std::move(got).value())
                                        : std::nullopt;
@@ -156,7 +201,7 @@ int cmd_import(Store& store, const std::string& dir, const std::string& ref,
     pool = std::make_unique<util::ThreadPool>(g_concurrency.resolved_workers());
   }
   std::size_t uploaded =
-      push_gear_image(conv.image, store.docker, store.files, policy,
+      push_gear_image(conv.image, store.docker, store.files(), policy,
                       pool.get(), g_concurrency.max_inflight_bytes);
   store.save();
 
@@ -197,7 +242,7 @@ int cmd_inspect(Store& store, const std::string& ref) {
               format_size(index.referenced_bytes()).c_str());
   std::size_t chunked = 0;
   for (const Fingerprint& fp : index.distinct_fingerprints()) {
-    chunked += store.files.is_chunked(fp) ? 1 : 0;
+    chunked += store.files().is_chunked(fp) ? 1 : 0;
   }
   std::printf("  chunked files: %zu\n", chunked);
   return 0;
@@ -236,7 +281,7 @@ int cmd_cat_range(Store& store, const std::string& ref, const std::string& path,
     return 1;
   }
   Fingerprint fp = node->fingerprint();
-  if (!store.files.is_chunked(fp)) {
+  if (!store.files().is_chunked(fp)) {
     Bytes content = fetch_file(store, fp);
     if (offset + length > content.size()) {
       std::fprintf(stderr, "range out of bounds for %s\n", path.c_str());
@@ -248,7 +293,7 @@ int cmd_cat_range(Store& store, const std::string& ref, const std::string& path,
 
   // Chunked: move only the covering chunks, --range-batch indices per
   // download_chunks call.
-  StatusOr<ChunkManifest> manifest = store.files.chunk_manifest(fp);
+  StatusOr<ChunkManifest> manifest = store.files().chunk_manifest(fp);
   if (!manifest.ok()) {
     std::fprintf(stderr, "manifest of %s: %s\n", path.c_str(),
                  manifest.message().c_str());
@@ -270,7 +315,7 @@ int cmd_cat_range(Store& store, const std::string& ref, const std::string& path,
         indices.begin() + static_cast<std::ptrdiff_t>(
                               std::min(b + g_range_batch, indices.size())));
     StatusOr<std::vector<Bytes>> chunks =
-        store.files.download_chunks(fp, *manifest, batch);
+        store.files().download_chunks(fp, *manifest, batch);
     if (!chunks.ok()) {
       std::fprintf(stderr, "range read of %s: %s\n", path.c_str(),
                    chunks.message().c_str());
@@ -342,7 +387,7 @@ int cmd_run(Store& store, const std::string& ref,
     Fingerprint fp = node->fingerprint();
     const char* source = "cache";
     if (!local.cache_contains(fp)) {
-      local.cache_put(fp, store.files.download(fp).value());
+      local.cache_put(fp, store.files().download(fp).value());
       source = "registry";
     }
     local.link_file(ref, path, fp);
@@ -358,7 +403,9 @@ int cmd_run(Store& store, const std::string& ref,
 }
 
 int cmd_launch(Store& store, const std::string& ref) {
-  LocalRuntime runtime(store.docker, store.files, store.root / "local");
+  GearRegistry* single = require_single(store, "launch");
+  if (single == nullptr) return 2;
+  LocalRuntime runtime(store.docker, *single, store.root / "local");
   runtime.pull(ref);
   std::string container = runtime.launch(ref);
   store.save();  // the pull may have cached nothing, but keep state coherent
@@ -368,7 +415,9 @@ int cmd_launch(Store& store, const std::string& ref) {
 
 int cmd_exec_read(Store& store, const std::string& container,
                   const std::string& path) {
-  LocalRuntime runtime(store.docker, store.files, store.root / "local");
+  GearRegistry* single = require_single(store, "read");
+  if (single == nullptr) return 2;
+  LocalRuntime runtime(store.docker, *single, store.root / "local");
   StatusOr<Bytes> content = runtime.read(container, path);
   if (!content.ok()) {
     std::fprintf(stderr, "read failed: %s\n", path.c_str());
@@ -380,7 +429,9 @@ int cmd_exec_read(Store& store, const std::string& container,
 
 int cmd_exec_write(Store& store, const std::string& container,
                    const std::string& path, const std::string& text) {
-  LocalRuntime runtime(store.docker, store.files, store.root / "local");
+  GearRegistry* single = require_single(store, "write");
+  if (single == nullptr) return 2;
+  LocalRuntime runtime(store.docker, *single, store.root / "local");
   runtime.write(container, path, to_bytes(text));
   std::printf("wrote %zu bytes to %s:%s\n", text.size(), container.c_str(),
               path.c_str());
@@ -388,7 +439,9 @@ int cmd_exec_write(Store& store, const std::string& container,
 }
 
 int cmd_prefetch(Store& store, const std::string& ref) {
-  LocalRuntime runtime(store.docker, store.files, store.root / "local");
+  GearRegistry* single = require_single(store, "prefetch");
+  if (single == nullptr) return 2;
+  LocalRuntime runtime(store.docker, *single, store.root / "local");
   if (!runtime.has_image(ref)) runtime.pull(ref);
   auto [files, bytes] = runtime.prefetch(ref, g_prefetch_order);
   store.save();
@@ -405,7 +458,9 @@ int cmd_commit(Store& store, const std::string& container,
     std::fprintf(stderr, "reference must be name:tag\n");
     return 2;
   }
-  LocalRuntime runtime(store.docker, store.files, store.root / "local");
+  GearRegistry* single = require_single(store, "commit");
+  if (single == nullptr) return 2;
+  LocalRuntime runtime(store.docker, *single, store.root / "local");
   std::string result = runtime.commit(container, ref.substr(0, colon),
                                       ref.substr(colon + 1));
   store.save();
@@ -425,7 +480,9 @@ int cmd_rm(Store& store, const std::string& ref) {
 }
 
 int cmd_gc(Store& store) {
-  GearRegistryGc gc(store.docker, store.files);
+  GearRegistry* single = require_single(store, "gc");
+  if (single == nullptr) return 2;
+  GearRegistryGc gc(store.docker, *single);
   GcReport report = gc.collect();
   store.save();
   std::printf("gc: scanned %zu indexes, %zu live objects, swept %zu "
@@ -437,7 +494,9 @@ int cmd_gc(Store& store) {
 }
 
 int cmd_scrub(Store& store) {
-  ScrubReport report = scrub_registry(store.files);
+  GearRegistry* single = require_single(store, "scrub");
+  if (single == nullptr) return 2;
+  ScrubReport report = scrub_registry(*single);
   std::printf("scrub: %zu objects checked, %zu verified, %zu unverifiable "
               "(salted ids), %zu corrupt\n",
               report.objects_checked, report.verified, report.unverifiable,
@@ -452,21 +511,45 @@ int cmd_stats(Store& store) {
   std::printf("docker registry: %zu manifests, %zu blobs, %s\n",
               store.docker.manifest_count(), store.docker.blob_count(),
               format_size(store.docker.storage_bytes()).c_str());
-  std::printf("gear registry:   %zu objects, %s\n",
-              store.files.object_count(),
-              format_size(store.files.storage_bytes()).c_str());
+  if (store.fleet) {
+    std::size_t objects = 0;
+    std::uint64_t bytes = 0;
+    for (const auto& shard : store.shards) {
+      objects += shard->object_count();
+      bytes += shard->storage_bytes();
+    }
+    std::printf("gear registry:   fleet of %zu shards (replicas %zu), "
+                "%zu stored objects, %s\n",
+                store.shards.size(), store.fleet->replication(), objects,
+                format_size(bytes).c_str());
+    for (std::size_t i = 0; i < store.shards.size(); ++i) {
+      std::printf("  shard %zu: %zu objects, %s\n", i,
+                  store.shards[i]->object_count(),
+                  format_size(store.shards[i]->storage_bytes()).c_str());
+    }
+  } else {
+    std::printf("gear registry:   %zu objects, %s\n",
+                store.single()->object_count(),
+                format_size(store.single()->storage_bytes()).c_str());
+  }
   return 0;
 }
 
 int usage() {
   std::fprintf(stderr,
                "usage: gearctl [--workers N] [--store-dir PATH] "
+               "[--shards N] [--replicas R] "
                "[--range-batch N] [--prefetch-order ORDER] "
                "<store-dir> <command> [args]\n"
                "  --workers N      worker threads for import's fingerprinting/"
                "compression (default: one per core)\n"
                "  --store-dir PATH durable on-disk object store for the gear "
                "files (survives restarts; default: in-memory + snapshot)\n"
+               "  --shards N       route the gear files over a fleet of N "
+               "disk-backed registry instances (consistent-hash ring; "
+               "requires --store-dir)\n"
+               "  --replicas R     store every gear file on R distinct "
+               "shards (default 1; must not exceed --shards)\n"
                "  --range-batch N  chunk indices per batched range request in "
                "ranged cat (default 64; 1 = serial per-chunk)\n"
                "  --prefetch-order path|delta|profile  queue discipline of "
@@ -544,9 +627,37 @@ int main(int argc, char** argv) {
       }
       g_object_store_dir = value;
       it = all.erase(it, it + 2);
+    } else if (*it == "--shards" || *it == "--replicas") {
+      const bool is_shards = *it == "--shards";
+      const char* flag = is_shards ? "--shards" : "--replicas";
+      if (std::next(it) == all.end()) {
+        std::fprintf(stderr, "gearctl: %s requires a count\n", flag);
+        return 2;
+      }
+      const std::string& value = *std::next(it);
+      char* end = nullptr;
+      unsigned long parsed = std::strtoul(value.c_str(), &end, 10);
+      if (value.empty() || end == nullptr || *end != '\0' || parsed < 1) {
+        std::fprintf(stderr, "gearctl: %s expects a number >= 1, got '%s'\n",
+                     flag, value.c_str());
+        return 2;
+      }
+      (is_shards ? g_shards : g_replicas) = static_cast<std::size_t>(parsed);
+      it = all.erase(it, it + 2);
     } else {
       ++it;
     }
+  }
+  if (g_replicas > g_shards) {
+    std::fprintf(stderr, "gearctl: --replicas %zu exceeds --shards %zu\n",
+                 g_replicas, g_shards);
+    return 2;
+  }
+  if (g_shards > 1 && g_object_store_dir.empty()) {
+    std::fprintf(stderr,
+                 "gearctl: --shards > 1 requires --store-dir (each shard "
+                 "keeps its objects under <store-dir>/shard-<i>)\n");
+    return 2;
   }
   if (all.size() < 2) return usage();
   std::string store_dir = all[0];
