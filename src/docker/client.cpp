@@ -68,6 +68,7 @@ DeployStats DockerClient::deploy(const std::string& reference,
   sim::SimTimer timer(link_.clock());
   link_.clock().advance(params_.mount_seconds + params_.startup_seconds);
   OverlayMount root = mount(reference);
+  stats.ready_seconds = stats.pull.seconds + timer.elapsed();
 
   for (const workload::FileAccess& fa : access.files) {
     Bytes content = root.read_file(fa.path).value();

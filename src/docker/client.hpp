@@ -42,6 +42,11 @@ struct DeployStats {
   PullStats pull;
   double run_seconds = 0;
   std::uint64_t run_bytes_downloaded = 0;  // on-demand fetches (Gear/Slacker)
+  /// Time from deploy start until the container could begin serving: pull +
+  /// mount + startup (+ bulk-warm when a client warms before the replay).
+  /// Lazy Gear deploys return at this point — their whole run window IS
+  /// readiness; for eager deploys it marks where the access replay began.
+  double ready_seconds = 0;
   /// Files/bytes moved ahead of need during deploy (Gear: the bulk-warm leg
   /// and, when enabled, the post-replay prefetch). A labeled subset of
   /// run_bytes_downloaded — totals are unchanged, the split just makes

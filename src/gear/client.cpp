@@ -167,6 +167,11 @@ Bytes GearClient::fetch_from_registry(const std::string& reference,
   // not thread-safe, so leaders of *different* flights serialize their
   // downloads on download_mutex_; it is separate from state_mutex_ so a
   // joiner's cache probe never queues behind a download in progress.
+  //
+  // Register on the demand lane for the duration of the fetch: a running
+  // backfill drain launches no new batch until this fault completes, and
+  // the fault's bytes count against the shared in-flight budget.
+  DemandScope demand(&demand_lane_, size);
   std::uint64_t wire = 0;
   std::unique_lock<std::mutex> download_lock(download_mutex_);
   StatusOr<std::vector<Bytes>> got =
@@ -313,7 +318,8 @@ Bytes GearClient::materialize(const std::string& reference,
 
 docker::DeployStats GearClient::deploy(const std::string& reference,
                                        const workload::AccessSet& access,
-                                       std::string* container_id_out) {
+                                       std::string* container_id_out,
+                                       DeployMode mode) {
   docker::DeployStats stats;
   stats.pull = pull(reference);
 
@@ -328,32 +334,35 @@ docker::DeployStats GearClient::deploy(const std::string& reference,
     profiles_[series_of(reference)].bump_run();
   }
 
+  if (mode == DeployMode::kLazy) {
+    // Start-before-warm: the container is ready the moment the (tiny) index
+    // is local — nothing is materialized, no access is replayed here. The
+    // workload reads through open_viewer()/read_range() and faults files in
+    // on demand; backfill_remaining() runs behind those faults.
+    container_touched_[container_id] = 0;
+    stats.run_seconds = timer.elapsed();
+    stats.ready_seconds = stats.pull.seconds + stats.run_seconds;
+    return stats;
+  }
+
   std::uint64_t downloaded = 0;
   if (bulk_warm_deploy_) {
     // Bulk portion of deployment: batch-fetch the access set's still-stubbed
     // files into the cache before the replay, so the loop below mostly
     // hard-links instead of paying one round-trip per miss.
-    vfs::FileTree& index = store_.index_tree(reference);
-    std::vector<std::pair<Fingerprint, std::uint64_t>> wanted;
-    std::unordered_set<Fingerprint, FingerprintHash> seen;
-    for (const workload::FileAccess& fa : access.files) {
-      const vfs::FileNode* node = index.lookup(fa.path);
-      if (node != nullptr && node->is_fingerprint() &&
-          seen.insert(node->fingerprint()).second) {
-        wanted.emplace_back(node->fingerprint(), node->stub_size());
-      }
-    }
-    auto [warm_files, warm_bytes] = warm_batch(wanted);
+    auto [warm_files, warm_bytes] = warm_access(reference, access);
     downloaded += warm_bytes;
     stats.prefetched_files += warm_files;
     stats.prefetched_bytes += warm_bytes;
   }
+  stats.ready_seconds = stats.pull.seconds + timer.elapsed();
   GearFileViewer viewer(
       store_.index_tree(reference), store_.container_diff(container_id),
       [&](const std::string& path, const Fingerprint& fp, std::uint64_t size) {
         return materialize(reference, path, fp, size, &downloaded,
                            /*record_access_flag=*/true);
-      });
+      },
+      tree_lock(reference));
 
   for (const workload::FileAccess& fa : access.files) {
     link_.clock().advance(params_.per_file_open_seconds);
@@ -394,7 +403,15 @@ GearFileViewer GearClient::open_viewer(const std::string& container_id) {
                         std::uint64_t size) {
         return materialize(reference, path, fp, size, &untracked_downloaded_,
                            /*record_access_flag=*/true);
-      });
+      },
+      tree_lock(reference));
+}
+
+std::mutex* GearClient::tree_lock(const std::string& reference) {
+  std::lock_guard<std::mutex> lock(tree_locks_mutex_);
+  std::unique_ptr<std::mutex>& slot = tree_locks_[reference];
+  if (!slot) slot = std::make_unique<std::mutex>();
+  return slot.get();
 }
 
 util::ThreadPool* GearClient::pool() {
@@ -406,8 +423,24 @@ util::ThreadPool* GearClient::pool() {
   return pool_.get();
 }
 
+std::pair<std::size_t, std::uint64_t> GearClient::warm_access(
+    const std::string& reference, const workload::AccessSet& access) {
+  vfs::FileTree& index = store_.index_tree(reference);
+  std::vector<std::pair<Fingerprint, std::uint64_t>> wanted;
+  std::unordered_set<Fingerprint, FingerprintHash> seen;
+  for (const workload::FileAccess& fa : access.files) {
+    const vfs::FileNode* node = index.lookup(fa.path);
+    if (node != nullptr && node->is_fingerprint() &&
+        seen.insert(node->fingerprint()).second) {
+      wanted.emplace_back(node->fingerprint(), node->stub_size());
+    }
+  }
+  return warm_batch(wanted);
+}
+
 std::pair<std::size_t, std::uint64_t> GearClient::warm_batch(
-    const std::vector<std::pair<Fingerprint, std::uint64_t>>& wanted) {
+    const std::vector<std::pair<Fingerprint, std::uint64_t>>& wanted,
+    bool backfill) {
   std::size_t fetched = 0;
   std::uint64_t bytes = 0;
   // Transport-backed registries charge the link per frame themselves, and
@@ -508,43 +541,169 @@ std::pair<std::size_t, std::uint64_t> GearClient::warm_batch(
   }
   cut();
 
+  // Backfill coordination state: fingerprints this drain has claimed as
+  // singleflight flights (fetch stage claims, accounting publishes).
+  // Guarded by its own mutex — fetch stages run on pool workers.
+  std::mutex claimed_mutex;
+  std::unordered_map<Fingerprint, std::shared_ptr<Inflight>, FingerprintHash>
+      claimed;
+  auto publish_flight = [&](const Fingerprint& fp, const Bytes* content,
+                            std::exception_ptr error) {
+    std::shared_ptr<Inflight> flight;
+    {
+      std::lock_guard<std::mutex> lock(claimed_mutex);
+      auto it = claimed.find(fp);
+      if (it == claimed.end()) return;
+      flight = std::move(it->second);
+      claimed.erase(it);
+    }
+    {
+      std::lock_guard<std::mutex> flight_lock(flight->m);
+      if (content != nullptr) flight->content = *content;
+      flight->error = error;
+      flight->done = true;
+    }
+    flight->cv.notify_all();
+    std::lock_guard<std::mutex> lock(flights_mutex_);
+    inflight_.erase(fp);
+  };
+
   // Two-stage drain: wire round-trips (+ decompression) overlapped across
   // the pool, accounting serialized in batch order. Accounting takes
   // state_mutex_ — prefetch may run concurrently with on-demand viewer
   // faults, and the sim models/store are not thread-safe.
-  auto fetch_stage = [this](const PrefetchBatch& b,
-                            util::ThreadPool* p) -> FetchedBatch {
+  auto fetch_stage = [&, this](const PrefetchBatch& b,
+                               util::ThreadPool* p) -> FetchedBatch {
+    std::vector<Fingerprint> to_fetch = b.fps;
+    std::vector<std::uint8_t> mask;
+    if (backfill) {
+      // Claim each member as a singleflight flight. A member a demand
+      // fault (or another drain) is already fetching — or one the fault
+      // already landed in the cache — is dropped from this wire request:
+      // the fault's copy serves everyone, no file moves twice.
+      mask.assign(b.fps.size(), 0);
+      {
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        for (std::size_t i = 0; i < b.fps.size(); ++i) {
+          mask[i] = store_.cache().contains(b.fps[i]) ? 0 : 1;
+        }
+      }
+      {
+        std::lock_guard<std::mutex> lock(flights_mutex_);
+        for (std::size_t i = 0; i < b.fps.size(); ++i) {
+          if (!mask[i]) continue;
+          auto [it, inserted] =
+              inflight_.emplace(b.fps[i], std::shared_ptr<Inflight>());
+          if (!inserted) {
+            mask[i] = 0;  // a demand fault owns this fingerprint
+            continue;
+          }
+          it->second = std::make_shared<Inflight>();
+          std::lock_guard<std::mutex> claim_lock(claimed_mutex);
+          claimed.emplace(b.fps[i], it->second);
+        }
+      }
+      to_fetch.clear();
+      for (std::size_t i = 0; i < b.fps.size(); ++i) {
+        if (mask[i]) to_fetch.push_back(b.fps[i]);
+      }
+      if (to_fetch.empty()) {
+        FetchedBatch empty;
+        empty.contents.resize(b.fps.size());
+        empty.fetched = std::move(mask);
+        return empty;
+      }
+    }
     std::uint64_t wire = 0;
     StatusOr<std::vector<Bytes>> got =
-        file_registry_.download_batch(b.fps, p, &wire);
+        file_registry_.download_batch(to_fetch, p, &wire);
     if (!got.ok()) {
+      if (backfill) {
+        // Release this batch's claims so a waiting demand fault retries
+        // as its own leader instead of hanging.
+        std::exception_ptr error = std::make_exception_ptr(
+            Error(got.code(), "bulk fetch failed: " + got.message()));
+        for (std::size_t i = 0; i < b.fps.size(); ++i) {
+          if (mask[i]) publish_flight(b.fps[i], nullptr, error);
+        }
+      }
       throw_error(got.code(),
-                  "bulk fetch of " + std::to_string(b.fps.size()) +
+                  "bulk fetch of " + std::to_string(to_fetch.size()) +
                       " gear files failed: " + got.message());
     }
-    return FetchedBatch{std::move(got).value(), wire};
+    FetchedBatch landed;
+    landed.wire_bytes = wire;
+    if (!backfill) {
+      landed.contents = std::move(got).value();
+    } else {
+      landed.contents.resize(b.fps.size());
+      std::size_t j = 0;
+      for (std::size_t i = 0; i < b.fps.size(); ++i) {
+        if (mask[i]) landed.contents[i] = std::move((*got)[j++]);
+      }
+      landed.fetched = std::move(mask);
+    }
+    return landed;
   };
   auto account_stage = [&](const PrefetchBatch& b, FetchedBatch landed) {
-    std::lock_guard<std::mutex> lock(state_mutex_);
-    // One pipelined burst on the link, then per-file disk writes and cache
-    // inserts, in batch order.
-    if (!remote) link_.pipelined(landed.wire_bytes, b.requests);
-    bytes += landed.wire_bytes;
-    fetched += b.fps.size();
-    for (std::size_t i = 0; i < b.fps.size(); ++i) {
-      if (landed.contents[i].size() != b.sizes[i]) {
-        throw_error(ErrorCode::kCorruptData,
-                    "gear file size mismatch: " + b.fps[i].hex());
+    const bool all = landed.fetched.empty();
+    std::size_t members = 0;
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      for (std::size_t i = 0; i < b.fps.size(); ++i) {
+        if (!all && !landed.fetched[i]) continue;
+        ++members;
       }
-      disk_.write(landed.contents[i].size());
-      store_.cache().put(b.fps[i], std::move(landed.contents[i]));
-      if (prefetch_observer_) {
-        prefetch_observer_(b.fps[i], b.sizes[i], link_.clock().now());
+      // One pipelined burst on the link, then per-file disk writes and
+      // cache inserts, in batch order. When the backfill dropped members a
+      // demand fault owned, charge one request per file actually moved
+      // (the per-member chunk-burst split is no longer recoverable).
+      if (!remote && members > 0) {
+        link_.pipelined(landed.wire_bytes, all ? b.requests : members);
+      }
+      bytes += landed.wire_bytes;
+      fetched += members;
+      for (std::size_t i = 0; i < b.fps.size(); ++i) {
+        if (!all && !landed.fetched[i]) continue;
+        if (landed.contents[i].size() != b.sizes[i]) {
+          throw_error(ErrorCode::kCorruptData,
+                      "gear file size mismatch: " + b.fps[i].hex());
+        }
+        disk_.write(landed.contents[i].size());
+        store_.cache().put(b.fps[i], landed.contents[i]);
+        if (prefetch_observer_) {
+          prefetch_observer_(b.fps[i], b.sizes[i], link_.clock().now());
+        }
+      }
+    }
+    if (backfill) {
+      // Publish outside state_mutex_: joiners immediately re-take it for
+      // their hard-link accounting.
+      for (std::size_t i = 0; i < b.fps.size(); ++i) {
+        if (all || landed.fetched[i]) {
+          publish_flight(b.fps[i], &landed.contents[i], nullptr);
+        }
       }
     }
   };
-  drain_batches(batches, pool(), concurrency_.max_inflight_bytes, fetch_stage,
-                account_stage);
+  try {
+    drain_batches(batches, pool(), concurrency_.max_inflight_bytes,
+                  fetch_stage, account_stage,
+                  backfill ? &demand_lane_ : nullptr);
+  } catch (...) {
+    // Batches fetched but never accounted (an earlier batch failed) still
+    // hold claimed flights; fail them so no joiner waits forever.
+    std::vector<Fingerprint> leftover;
+    {
+      std::lock_guard<std::mutex> lock(claimed_mutex);
+      for (const auto& [fp, flight] : claimed) leftover.push_back(fp);
+    }
+    std::exception_ptr error = std::current_exception();
+    for (const Fingerprint& fp : leftover) {
+      publish_flight(fp, nullptr, error);
+    }
+    throw;
+  }
   return {fetched, bytes};
 }
 
@@ -568,41 +727,66 @@ PrefetchPlan GearClient::plan_prefetch(const std::string& reference) {
 
 std::pair<std::size_t, std::uint64_t> GearClient::prefetch_remaining(
     const std::string& reference) {
+  return prefetch_impl(reference, /*backfill=*/false);
+}
+
+std::pair<std::size_t, std::uint64_t> GearClient::backfill_remaining(
+    const std::string& reference) {
+  return prefetch_impl(reference, /*backfill=*/true);
+}
+
+std::pair<std::size_t, std::uint64_t> GearClient::prefetch_impl(
+    const std::string& reference, bool backfill) {
   vfs::FileTree& index = store_.index_tree(reference);
 
   // Cheap membership pass first: collect the still-stubbed paths
   // (materialization mutates the tree) and whether any is missing from the
   // cache. A fully-local image returns immediately; a fully-cached one
   // skips plan building and the wire phase and goes straight to linking.
+  // Backfill walks under the tree lock — concurrent demand faults swap
+  // stubs for regular files while this runs.
   std::vector<std::string> pending;
   bool any_uncached = false;
-  index.walk([&](const std::string& path, const vfs::FileNode& node) {
-    if (!node.is_fingerprint()) return;
-    pending.push_back(path);
-    if (!any_uncached && !store_.cache().contains(node.fingerprint())) {
-      any_uncached = true;
-    }
-  });
+  {
+    std::unique_lock<std::mutex> tlock;
+    if (backfill) tlock = std::unique_lock<std::mutex>(*tree_lock(reference));
+    index.walk([&](const std::string& path, const vfs::FileNode& node) {
+      if (!node.is_fingerprint()) return;
+      pending.push_back(path);
+      if (!any_uncached && !store_.cache().contains(node.fingerprint())) {
+        any_uncached = true;
+      }
+    });
+  }
   if (pending.empty()) return {0, 0};
 
   // Bulk fetch into the shared cache in priority order: pipelined batches,
-  // overlapped decompression, serialized accounting.
+  // overlapped decompression, serialized accounting. A backfill drain runs
+  // at strictly lower priority: demand faults preempt it for the link and
+  // the in-flight byte budget, and its batch members are claimed as
+  // singleflight flights so no file is fetched by both paths.
   std::size_t fetched = 0;
   std::uint64_t bytes = 0;
   if (any_uncached) {
-    PrefetchPlan plan = plan_prefetch(reference);
+    PrefetchPlan plan;
+    {
+      std::unique_lock<std::mutex> tlock;
+      if (backfill) tlock = std::unique_lock<std::mutex>(*tree_lock(reference));
+      plan = plan_prefetch(reference);
+    }
     std::vector<std::pair<Fingerprint, std::uint64_t>> wanted;
     wanted.reserve(plan.items.size());
     for (const PrefetchItem& item : plan.items) {
       wanted.emplace_back(item.fingerprint, item.size);
     }
-    std::tie(fetched, bytes) = warm_batch(wanted);
+    std::tie(fetched, bytes) = warm_batch(wanted, backfill);
   }
 
   // Hard-link every pending path from the now-warm cache. If a bounded
   // cache rejected a warm insert, the per-file on-demand path takes over
   // for that file (and its cost is charged as such). This sweep is not a
-  // workload signal — it must not feed the access profile.
+  // workload signal — it must not feed the access profile. Paths a demand
+  // fault already materialized resolve as plain hits and are skipped.
   std::uint64_t extra = 0;
   vfs::FileTree scratch_diff;  // viewer needs an upper layer; stays empty
   GearFileViewer viewer(
@@ -610,7 +794,8 @@ std::pair<std::size_t, std::uint64_t> GearClient::prefetch_remaining(
       [&](const std::string& path, const Fingerprint& fp, std::uint64_t size) {
         return materialize(reference, path, fp, size, &extra,
                            /*record_access_flag=*/false);
-      });
+      },
+      backfill ? tree_lock(reference) : nullptr);
   for (const std::string& path : pending) {
     std::uint64_t before = extra;
     StatusOr<Bytes> content = viewer.read_file(path);
@@ -654,20 +839,29 @@ StatusOr<Bytes> GearClient::read_range(const std::string& container_id,
     return slice_of(d->content());
   }
 
-  const vfs::FileNode* node = store_.index_tree(reference).lookup(path);
-  if (node == nullptr) {
-    return {ErrorCode::kNotFound, "no such file: " + std::string(path)};
+  // Capture everything needed from the index node under the tree lock and
+  // never touch the node again — a concurrent backfill sweep may swap the
+  // stub for a regular file the moment the lock drops.
+  Fingerprint fp;
+  std::uint64_t stub_size = 0;
+  {
+    std::lock_guard<std::mutex> tlock(*tree_lock(reference));
+    const vfs::FileNode* node = store_.index_tree(reference).lookup(path);
+    if (node == nullptr) {
+      return {ErrorCode::kNotFound, "no such file: " + std::string(path)};
+    }
+    link_.clock().advance(params_.per_file_open_seconds);
+    if (node->is_regular()) {
+      return slice_of(node->content());  // already materialized
+    }
+    if (!node->is_fingerprint()) {
+      return {ErrorCode::kInvalidArgument,
+              "not a regular file: " + std::string(path)};
+    }
+    fp = node->fingerprint();
+    stub_size = node->stub_size();
   }
-  link_.clock().advance(params_.per_file_open_seconds);
-  if (node->is_regular()) {
-    return slice_of(node->content());  // already materialized
-  }
-  if (!node->is_fingerprint()) {
-    return {ErrorCode::kInvalidArgument,
-            "not a regular file: " + std::string(path)};
-  }
-  Fingerprint fp = node->fingerprint();
-  if (offset + length > node->stub_size()) {
+  if (offset + length > stub_size) {
     return {ErrorCode::kInvalidArgument, "read_range: out of bounds"};
   }
 
@@ -678,8 +872,8 @@ StatusOr<Bytes> GearClient::read_range(const std::string& container_id,
 
   if (!file_registry_.is_chunked(fp)) {
     // Plain object: materialize fully (the classic path), then slice.
-    Bytes whole = materialize(reference, std::string(path), fp,
-                              node->stub_size(), &range_downloaded_,
+    Bytes whole = materialize(reference, std::string(path), fp, stub_size,
+                              &range_downloaded_,
                               /*record_access_flag=*/true);
     return slice_of(whole);
   }
@@ -754,6 +948,15 @@ StatusOr<Bytes> GearClient::read_range(const std::string& container_id,
   // Gather pass 3 — the registry, ⌈missing/batch⌉ download_chunks calls: one
   // kDownloadChunks frame each against a remote registry, an ordered
   // per-chunk loop in-process (byte- and stats-identical to serial fetches).
+  // A range demand preempts any backfill drain for its whole fetch window.
+  std::uint64_t missing_bytes = 0;
+  for (std::uint32_t c : missing) {
+    std::uint64_t chunk_off =
+        static_cast<std::uint64_t>(c) * manifest.chunk_bytes;
+    missing_bytes += std::min<std::uint64_t>(manifest.chunk_bytes,
+                                             manifest.file_size - chunk_off);
+  }
+  DemandScope demand(missing.empty() ? nullptr : &demand_lane_, missing_bytes);
   for (std::size_t b = 0; b < missing.size(); b += range_batch_chunks_) {
     std::vector<std::uint32_t> batch(
         missing.begin() + static_cast<std::ptrdiff_t>(b),

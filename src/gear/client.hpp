@@ -63,6 +63,19 @@ std::size_t push_gear_image(const GearImage& image,
                             util::ThreadPool* pool = nullptr,
                             std::uint64_t max_inflight_bytes = 0);
 
+/// How GearClient::deploy materializes image content.
+enum class DeployMode {
+  /// Legacy: the access set is replayed inside the deployment window (plus
+  /// optional bulk-warm / post-replay prefetch).
+  kEager,
+  /// Start-before-warm (the paper's on-demand story at its limit): deploy
+  /// returns as soon as the index is pulled and the container is created —
+  /// nothing is materialized. Reads issued afterwards (open_viewer,
+  /// read_range) fault files/chunks in on demand; backfill_remaining()
+  /// closes the availability window behind the workload.
+  kLazy,
+};
+
 class GearClient {
  public:
   GearClient(docker::DockerRegistry& index_registry,
@@ -77,9 +90,16 @@ class GearClient {
   /// Full deployment: pull, launch a container, replay `access` through the
   /// Gear File Viewer. Returns timing/bytes; the launched container id is
   /// written to `container_id_out` when non-null.
+  ///
+  /// Under DeployMode::kLazy the access set is ignored: deploy returns at
+  /// readiness (index pulled, container created, stats.ready_seconds ==
+  /// run window) and the workload reads against the still-cold container
+  /// through open_viewer()/read_range(), while backfill_remaining() warms
+  /// the rest strictly behind those demand faults.
   docker::DeployStats deploy(const std::string& reference,
                              const workload::AccessSet& access,
-                             std::string* container_id_out = nullptr);
+                             std::string* container_id_out = nullptr,
+                             DeployMode mode = DeployMode::kEager);
 
   /// Opens a viewer for an existing container (for direct file-system use
   /// by examples/tests; costs are still charged to the models).
@@ -98,6 +118,12 @@ class GearClient {
   /// Bytes fetched over the link by read_range calls (telemetry).
   std::uint64_t range_bytes_downloaded() const noexcept {
     return range_downloaded_;
+  }
+
+  /// Bytes fetched over the link by viewer faults through open_viewer()
+  /// (the lazy demand path's wire traffic; telemetry).
+  std::uint64_t viewer_bytes_downloaded() const noexcept {
+    return untracked_downloaded_;
   }
 
   /// Optional cooperative source consulted on a cache miss BEFORE the Gear
@@ -144,6 +170,36 @@ class GearClient {
   /// the simulated timings are identical at any worker count.
   std::pair<std::size_t, std::uint64_t> prefetch_remaining(
       const std::string& reference);
+
+  /// The background lane of a lazy deployment: prefetch_remaining's
+  /// priority pipeline (delta → profile → fan-in) running strictly below
+  /// the demand-fault lane. While any demand fault is fetching, the drain
+  /// launches no new wire batch and the fault's in-flight bytes consume the
+  /// shared byte budget (gear/prefetch DemandLane). Fingerprints the
+  /// backfill puts on the wire are registered as singleflight flights, so a
+  /// concurrent demand fault for the same file joins the in-flight batch,
+  /// and fingerprints a fault is already fetching are skipped by the
+  /// backfill — no file moves twice whichever lane sees it first. Safe to
+  /// run on a background thread while viewer readers fault concurrently.
+  std::pair<std::size_t, std::uint64_t> backfill_remaining(
+      const std::string& reference);
+
+  /// Bulk-warms an access set's still-stubbed files into the shared cache
+  /// (the deploy-time warm phase, callable standalone — e.g. warming a
+  /// predicted hot set after a pull without replaying it). Returns (files
+  /// fetched, bytes moved).
+  std::pair<std::size_t, std::uint64_t> warm_access(
+      const std::string& reference, const workload::AccessSet& access);
+
+  /// Times a backfill drain paused because a demand fault held the link
+  /// (telemetry for the preemption rule).
+  std::uint64_t backfill_yields() const {
+    return demand_lane_.backfill_yields();
+  }
+  /// Demand-lane registry fetches: faults that reached the wire.
+  std::uint64_t demand_fetches() const {
+    return demand_lane_.demand_fetches();
+  }
 
   /// Queue discipline of prefetch_remaining's wire phase (gear/prefetch):
   /// kPath is the legacy index-walk order (byte-, wire-, and stats-identical
@@ -271,8 +327,24 @@ class GearClient {
   /// consulting the peer source first. Returns (files downloaded from the
   /// registry, wire bytes moved). The single serialized accounting point for
   /// the batched paths: workers only decompress.
+  ///
+  /// With `backfill` set, the drain runs below the demand lane (no new
+  /// batch while a fault fetches) and coordinates with the singleflight
+  /// map: batch members are claimed as flights at fetch time — members an
+  /// in-flight demand fault already owns are dropped from the wire request
+  /// — and published to joiners at the accounting point.
   std::pair<std::size_t, std::uint64_t> warm_batch(
-      const std::vector<std::pair<Fingerprint, std::uint64_t>>& wanted);
+      const std::vector<std::pair<Fingerprint, std::uint64_t>>& wanted,
+      bool backfill = false);
+
+  /// Shared body of prefetch_remaining / backfill_remaining.
+  std::pair<std::size_t, std::uint64_t> prefetch_impl(
+      const std::string& reference, bool backfill);
+
+  /// Per-image index-tree lock, created on first use. Handed to every
+  /// viewer of the image so concurrent readers and the backfill sweep
+  /// serialize tree lookups/mutations (contents are fetched outside it).
+  std::mutex* tree_lock(const std::string& reference);
 
   /// Builds the priority plan for `reference`'s still-stubbed files under
   /// the configured order (previous-version index + access profile looked
@@ -324,6 +396,13 @@ class GearClient {
   std::unordered_map<Fingerprint, std::shared_ptr<Inflight>, FingerprintHash>
       inflight_;
   std::atomic<std::uint64_t> coalesced_hits_{0};
+  /// Demand/backfill link arbiter (lazy deployments). Faults register their
+  /// registry fetches; the backfill drain yields while any is in flight.
+  DemandLane demand_lane_;
+  /// Per-image index-tree locks (see tree_lock()); guarded by their own
+  /// mutex, held only during map lookup/insert.
+  std::mutex tree_locks_mutex_;
+  std::map<std::string, std::unique_ptr<std::mutex>> tree_locks_;
 };
 
 }  // namespace gear

@@ -8,7 +8,7 @@
 namespace gear {
 
 LocalRuntime::LocalRuntime(docker::DockerRegistry& index_registry,
-                           GearRegistry& file_registry,
+                           FileRegistryApi& file_registry,
                            std::filesystem::path root)
     : index_registry_(index_registry),
       file_registry_(file_registry),
@@ -16,16 +16,27 @@ LocalRuntime::LocalRuntime(docker::DockerRegistry& index_registry,
 
 void LocalRuntime::pull(const std::string& reference) {
   if (store_.has_index(reference)) return;
-  docker::Manifest manifest =
-      index_registry_.get_manifest(reference).value();
+  StatusOr<docker::Manifest> manifest_or =
+      index_registry_.get_manifest(reference);
+  if (!manifest_or.ok()) {
+    throw_error(manifest_or.code(),
+                "pull: manifest of " + reference + ": " +
+                    manifest_or.message());
+  }
+  docker::Manifest manifest = std::move(manifest_or).value();
   if (manifest.config.labels.count(kGearIndexLabel) == 0 ||
       manifest.layers.size() != 1) {
     throw_error(ErrorCode::kInvalidArgument,
                 reference + " is not a Gear index image");
   }
-  docker::Layer layer = docker::Layer::from_blob(
-      index_registry_.get_blob(manifest.layers[0].digest).value(),
-      manifest.layers[0].digest);
+  StatusOr<Bytes> blob =
+      index_registry_.get_blob(manifest.layers[0].digest);
+  if (!blob.ok()) {
+    throw_error(blob.code(), "pull: index layer of " + reference + ": " +
+                                 blob.message());
+  }
+  docker::Layer layer = docker::Layer::from_blob(std::move(blob).value(),
+                                                 manifest.layers[0].digest);
   store_.install_index(reference, GearIndex::from_wire_tree(layer.to_tree()));
 }
 
@@ -69,7 +80,12 @@ Bytes LocalRuntime::materialize(const std::string& reference,
   if (StatusOr<Bytes> cached = store_.cache_get(fp); cached.ok()) {
     content = std::move(cached).value();
   } else {
-    content = file_registry_.download(fp).value();
+    StatusOr<Bytes> fetched = file_registry_.download(fp);
+    if (!fetched.ok()) {
+      throw_error(fetched.code(), "materialize of " + path + " (" + fp.hex() +
+                                      "): " + fetched.message());
+    }
+    content = std::move(fetched).value();
     store_.cache_put(fp, content);
   }
   store_.link_file(reference, path, fp);
@@ -117,10 +133,15 @@ std::pair<std::size_t, std::uint64_t> LocalRuntime::prefetch(
   std::uint64_t bytes = 0;
   for (const PrefetchItem& item : plan.items) {
     if (store_.cache_contains(item.fingerprint)) continue;
-    Bytes content = file_registry_.download(item.fingerprint).value();
-    bytes += content.size();
+    StatusOr<Bytes> content = file_registry_.download(item.fingerprint);
+    if (!content.ok()) {
+      throw_error(content.code(), "prefetch of " + item.path + " (" +
+                                      item.fingerprint.hex() + "): " +
+                                      content.message());
+    }
+    bytes += content->size();
     ++fetched;
-    store_.cache_put(item.fingerprint, content);
+    store_.cache_put(item.fingerprint, std::move(content).value());
   }
   // Link every still-unmaterialized stub path from the now-warm cache.
   index.walk([&](const std::string& path, const vfs::FileNode& node) {
@@ -199,8 +220,12 @@ std::string LocalRuntime::commit(const std::string& container_id,
   const std::string reference = store_.container_image(container_id);
   vfs::FileTree index = load_index_tree(reference);
   vfs::FileTree diff = store_.load_diff(container_id);
-  docker::ImageConfig config =
-      index_registry_.get_manifest(reference).value().config;
+  StatusOr<docker::Manifest> manifest = index_registry_.get_manifest(reference);
+  if (!manifest.ok()) {
+    throw_error(manifest.code(), "commit: manifest of " + reference + ": " +
+                                     manifest.message());
+  }
+  docker::ImageConfig config = std::move(manifest->config);
 
   CommitResult result =
       GearCommitter().commit(index, diff, config, name, tag);

@@ -26,14 +26,16 @@
 #include "gear/committer.hpp"
 #include "gear/fs_store.hpp"
 #include "gear/prefetch.hpp"
-#include "gear/registry.hpp"
+#include "gear/registry_api.hpp"
 
 namespace gear {
 
 class LocalRuntime {
  public:
+  /// Any FileRegistryApi works — a single GearRegistry or a FleetRegistry
+  /// router — so gearctl's container commands run against --shards N too.
   LocalRuntime(docker::DockerRegistry& index_registry,
-               GearRegistry& file_registry, std::filesystem::path root);
+               FileRegistryApi& file_registry, std::filesystem::path root);
 
   /// Installs `reference`'s index from the Docker registry (no-op when
   /// already installed). Throws for classic (non-Gear) references.
@@ -92,7 +94,7 @@ class LocalRuntime {
                     const Fingerprint& fp);
 
   docker::DockerRegistry& index_registry_;
-  GearRegistry& file_registry_;
+  FileRegistryApi& file_registry_;
   FsStore store_;
 };
 

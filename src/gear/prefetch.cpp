@@ -202,13 +202,69 @@ PrefetchPlan build_prefetch_plan(const vfs::FileTree& index,
   return plan;
 }
 
+void DemandLane::begin_demand(std::uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++active_;
+  inflight_bytes_ += bytes;
+  ++fetches_;
+}
+
+void DemandLane::end_demand(std::uint64_t bytes) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --active_;
+    inflight_bytes_ -= bytes;
+  }
+  cv_.notify_all();
+}
+
+bool DemandLane::demand_active() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return active_ > 0;
+}
+
+std::uint64_t DemandLane::demand_inflight_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return inflight_bytes_;
+}
+
+void DemandLane::yield_to_demand() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (active_ == 0) return;
+  ++yields_;
+  cv_.wait(lock, [&] { return active_ == 0; });
+}
+
+std::uint64_t DemandLane::demand_fetches() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fetches_;
+}
+
+std::uint64_t DemandLane::backfill_yields() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return yields_;
+}
+
+DemandScope::DemandScope(DemandLane* lane, std::uint64_t bytes)
+    : lane_(lane), bytes_(bytes) {
+  if (lane_ != nullptr) lane_->begin_demand(bytes_);
+}
+
+DemandScope::~DemandScope() {
+  if (lane_ != nullptr) lane_->end_demand(bytes_);
+}
+
 void drain_batches(const std::vector<PrefetchBatch>& batches,
                    util::ThreadPool* pool, std::uint64_t max_inflight_bytes,
-                   const BatchFetchFn& fetch, const BatchAccountFn& account) {
+                   const BatchFetchFn& fetch, const BatchAccountFn& account,
+                   DemandLane* lane) {
   if (pool == nullptr || batches.size() <= 1) {
     // The serial pipeline IS the legacy loop: fetch (intra-batch
     // decompression may still fan out across `pool`), then account.
     for (const PrefetchBatch& batch : batches) {
+      // Preemption point: a demand fault in flight owns the link; the
+      // backfill resumes only once it completes.
+      if (lane != nullptr) lane->yield_to_demand();
       account(batch, fetch(batch, pool));
     }
     return;
@@ -229,10 +285,16 @@ void drain_batches(const std::vector<PrefetchBatch>& batches,
 
   auto can_launch = [&]() {
     if (next >= batches.size()) return false;
+    // Demand preemption: never put a new batch on the wire while a fault
+    // fetch is registered; in-flight batches complete and account normally.
+    if (lane != nullptr && lane->demand_active()) return false;
     if (inflight.empty()) return true;  // always keep the pipe moving
     if (inflight.size() >= lookahead_cap) return false;
+    const std::uint64_t demand_bytes =
+        lane != nullptr ? lane->demand_inflight_bytes() : 0;
     return max_inflight_bytes == 0 ||
-           inflight_bytes + batches[next].wire_estimate <= max_inflight_bytes;
+           inflight_bytes + demand_bytes + batches[next].wire_estimate <=
+               max_inflight_bytes;
   };
 
   std::exception_ptr first_error;
@@ -243,6 +305,13 @@ void drain_batches(const std::vector<PrefetchBatch>& batches,
       inflight.push_back(
           {next, pool->submit([&fetch, &batch] { return fetch(batch, nullptr); })});
       ++next;
+    }
+    if (inflight.empty()) {
+      // Launching is blocked solely by an active demand fetch (the loop
+      // condition guarantees work remains). Wait for it to clear instead
+      // of spinning, then re-evaluate.
+      lane->yield_to_demand();
+      continue;
     }
     Slot slot = std::move(inflight.front());
     inflight.pop_front();

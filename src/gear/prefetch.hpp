@@ -21,9 +21,11 @@
 //     registry stats are identical at any worker count.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -126,6 +128,55 @@ std::string series_of(const std::string& reference);
 std::string newest_other_version(const std::vector<std::string>& installed,
                                  const std::string& reference);
 
+/// Link arbiter between a lazy deployment's two fetch lanes: the demand
+/// fault path (viewer reads, read_range) and the background backfill drain.
+/// Demand is strictly higher priority — while any demand fetch is
+/// registered, a lane-aware drain launches no new wire batch (batches
+/// already in flight complete normally), and the demand fetch's in-flight
+/// bytes count against the drain's byte budget, so the two lanes together
+/// never exceed the configured cap. Thread-safe: demand registrations come
+/// from viewer/reader threads, yields from the backfill thread.
+class DemandLane {
+ public:
+  /// Registers a demand fetch of ~`bytes` about to hit the wire.
+  void begin_demand(std::uint64_t bytes);
+  /// Unregisters it (same `bytes` as the matching begin_demand).
+  void end_demand(std::uint64_t bytes);
+
+  bool demand_active() const;
+  std::uint64_t demand_inflight_bytes() const;
+
+  /// Blocks the calling (backfill) thread until no demand fetch is in
+  /// flight. Counts one yield when it actually had to wait.
+  void yield_to_demand();
+
+  /// Total demand fetches registered (faults that reached the wire).
+  std::uint64_t demand_fetches() const;
+  /// Times a backfill drain paused because demand held the link.
+  std::uint64_t backfill_yields() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t active_ = 0;
+  std::uint64_t inflight_bytes_ = 0;
+  std::uint64_t fetches_ = 0;
+  std::uint64_t yields_ = 0;
+};
+
+/// RAII demand registration; a null lane makes it a no-op.
+class DemandScope {
+ public:
+  DemandScope(DemandLane* lane, std::uint64_t bytes);
+  ~DemandScope();
+  DemandScope(const DemandScope&) = delete;
+  DemandScope& operator=(const DemandScope&) = delete;
+
+ private:
+  DemandLane* lane_;
+  std::uint64_t bytes_;
+};
+
 /// One wire batch of a prefetch drain, as formed by the client (bounded by
 /// download_batch_files and the in-flight wire budget).
 struct PrefetchBatch {
@@ -139,6 +190,11 @@ struct PrefetchBatch {
 struct FetchedBatch {
   std::vector<Bytes> contents;
   std::uint64_t wire_bytes = 0;
+  /// Per-slot flags for drains that may skip members (empty = every slot
+  /// fetched). The lazy backfill leaves fingerprints an in-flight demand
+  /// fault already owns to that fault: their contents slots are empty
+  /// placeholders and must not be accounted.
+  std::vector<std::uint8_t> fetched;
 };
 
 /// Stage 1 — one wire round-trip + decompression of a batch. Must be safe
@@ -161,8 +217,14 @@ using BatchAccountFn = std::function<void(const PrefetchBatch&, FetchedBatch)>;
 /// batches in submission order — the link stays busy while the CPU
 /// decompresses. An exception from any stage is rethrown on the caller's
 /// thread after every in-flight batch has been joined.
+///
+/// With a `lane`, the drain is preemptible: no new batch is launched while
+/// a demand fetch is registered on the lane (the drain waits for it to
+/// clear instead of spinning), and demand in-flight bytes are charged
+/// against `max_inflight_bytes` alongside the drain's own look-ahead.
 void drain_batches(const std::vector<PrefetchBatch>& batches,
                    util::ThreadPool* pool, std::uint64_t max_inflight_bytes,
-                   const BatchFetchFn& fetch, const BatchAccountFn& account);
+                   const BatchFetchFn& fetch, const BatchAccountFn& account,
+                   DemandLane* lane = nullptr);
 
 }  // namespace gear

@@ -7,12 +7,25 @@
 namespace gear {
 
 GearFileViewer::GearFileViewer(vfs::FileTree& index, vfs::FileTree& diff,
-                               Materializer materializer)
-    : index_(index), diff_(diff), materializer_(std::move(materializer)) {
+                               Materializer materializer,
+                               std::mutex* tree_lock)
+    : index_(index),
+      diff_(diff),
+      materializer_(std::move(materializer)),
+      tree_lock_(tree_lock) {
   if (!materializer_) {
     throw_error(ErrorCode::kInvalidArgument, "viewer: null materializer");
   }
 }
+
+namespace {
+/// Optionally-engaged lock: engaged when the viewer has a tree lock,
+/// default-constructed (no-op) otherwise.
+std::unique_lock<std::mutex> maybe_lock(std::mutex* m) {
+  return m != nullptr ? std::unique_lock<std::mutex>(*m)
+                      : std::unique_lock<std::mutex>();
+}
+}  // namespace
 
 GearFileViewer::ResolvedPair GearFileViewer::resolve_pair(
     const std::vector<std::string>& segments) const {
@@ -66,27 +79,42 @@ const vfs::FileNode* GearFileViewer::resolve(std::string_view path,
 }
 
 StatusOr<Bytes> GearFileViewer::read_file(std::string_view path) {
-  bool from_diff = false;
-  const vfs::FileNode* node = resolve(path, &from_diff);
-  if (node == nullptr) {
-    return {ErrorCode::kNotFound, "no such file: " + std::string(path)};
-  }
-  if (node->is_regular()) {
-    return node->content();
-  }
-  if (!node->is_fingerprint()) {
-    return {ErrorCode::kInvalidArgument,
-            "not a regular file: " + std::string(path)};
-  }
-  if (from_diff) {
-    return {ErrorCode::kCorruptData,
-            "stub in writable layer: " + std::string(path)};
+  reads_.fetch_add(1, std::memory_order_relaxed);
+  Fingerprint fp;
+  std::uint64_t size = 0;
+  {
+    // Resolution (and, for materialized files, the content copy) happens
+    // under the tree lock; a concurrent fault may replace sibling stubs —
+    // or this very node — while we look.
+    std::unique_lock<std::mutex> lock = maybe_lock(tree_lock_);
+    bool from_diff = false;
+    const vfs::FileNode* node = resolve(path, &from_diff);
+    if (node == nullptr) {
+      return {ErrorCode::kNotFound, "no such file: " + std::string(path)};
+    }
+    if (node->is_regular()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return node->content();
+    }
+    if (!node->is_fingerprint()) {
+      return {ErrorCode::kInvalidArgument,
+              "not a regular file: " + std::string(path)};
+    }
+    if (from_diff) {
+      return {ErrorCode::kCorruptData,
+              "stub in writable layer: " + std::string(path)};
+    }
+    fp = node->fingerprint();
+    size = node->stub_size();
   }
 
   // ovl_lookup_single() hit a fingerprint file: pause, make the target file
-  // readable (cache hard-link or registry download), then resume.
-  Fingerprint fp = node->fingerprint();
-  std::uint64_t size = node->stub_size();
+  // readable (cache hard-link or registry download), then resume. The tree
+  // lock is NOT held here — concurrent faults of different files download
+  // in parallel; same-fingerprint races coalesce in the materializer's
+  // singleflight layer.
+  faults_.fetch_add(1, std::memory_order_relaxed);
+  if (fault_hook_) fault_hook_(std::string(path), fp, size);
   Bytes content = materializer_(std::string(path), fp, size);
   if (content.size() != size) {
     throw_error(ErrorCode::kCorruptData,
@@ -95,28 +123,34 @@ StatusOr<Bytes> GearFileViewer::read_file(std::string_view path) {
 
   // Replace the stub in the index with the materialized file (the model of
   // hard-linking the Gear file into the index directory). Later lookups —
-  // from any container of this image — see a plain regular file.
+  // from any container of this image — see a plain regular file. Another
+  // reader may have replaced it while we fetched; its content is ours
+  // (same fingerprint), so losing that race just skips the swap.
+  std::unique_lock<std::mutex> lock = maybe_lock(tree_lock_);
   vfs::FileNode* index_node = index_.lookup(path);
-  if (index_node == nullptr || !index_node->is_fingerprint()) {
+  if (index_node == nullptr) {
     throw_error(ErrorCode::kInternal,
                 "index stub vanished during materialization: " +
                     std::string(path));
   }
-  auto segments = vfs::FileTree::split_path(path);
-  vfs::FileNode* parent = &index_.root();
-  for (std::size_t i = 0; i + 1 < segments.size(); ++i) {
-    parent = parent->child(segments[i]);
+  if (index_node->is_fingerprint()) {
+    auto segments = vfs::FileTree::split_path(path);
+    vfs::FileNode* parent = &index_.root();
+    for (std::size_t i = 0; i + 1 < segments.size(); ++i) {
+      parent = parent->child(segments[i]);
+    }
+    auto regular = std::make_unique<vfs::FileNode>(vfs::NodeType::kRegular);
+    regular->metadata() = index_node->metadata();
+    regular->set_content(content);
+    parent->add_child(segments.back(), std::move(regular));
+    materialized_.fetch_add(1, std::memory_order_relaxed);
   }
-  auto regular = std::make_unique<vfs::FileNode>(vfs::NodeType::kRegular);
-  regular->metadata() = index_node->metadata();
-  regular->set_content(content);
-  parent->add_child(segments.back(), std::move(regular));
-  ++materialized_;
   return content;
 }
 
 StatusOr<std::string> GearFileViewer::read_symlink(
     std::string_view path) const {
+  std::unique_lock<std::mutex> lock = maybe_lock(tree_lock_);
   const vfs::FileNode* node = resolve(path, nullptr);
   if (node == nullptr) {
     return {ErrorCode::kNotFound, "no such link: " + std::string(path)};
@@ -128,11 +162,13 @@ StatusOr<std::string> GearFileViewer::read_symlink(
 }
 
 bool GearFileViewer::exists(std::string_view path) const {
+  std::unique_lock<std::mutex> lock = maybe_lock(tree_lock_);
   return resolve(path, nullptr) != nullptr;
 }
 
 StatusOr<std::uint64_t> GearFileViewer::stat_size(
     std::string_view path) const {
+  std::unique_lock<std::mutex> lock = maybe_lock(tree_lock_);
   const vfs::FileNode* node = resolve(path, nullptr);
   if (node == nullptr) {
     return {ErrorCode::kNotFound, "no such file: " + std::string(path)};
@@ -145,6 +181,7 @@ StatusOr<std::uint64_t> GearFileViewer::stat_size(
 
 std::vector<std::string> GearFileViewer::list_dir(
     std::string_view path) const {
+  std::unique_lock<std::mutex> lock = maybe_lock(tree_lock_);
   const vfs::FileNode* diff_dir = nullptr;
   const vfs::FileNode* index_dir = nullptr;
   if (path.empty() || path == "/" || path == ".") {

@@ -14,7 +14,9 @@
 // index without any fetch.
 #pragma once
 
+#include <atomic>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -38,11 +40,42 @@ class GearFileViewer {
   /// the image — stub materialization mutates it in place).
   /// `diff`: the container's writable layer (level 3).
   /// Both must outlive the viewer.
+  ///
+  /// `tree_lock` (optional) serializes index-tree access across viewers of
+  /// the same image: lookups and the stub→regular replacement take it, but
+  /// the materializer itself runs outside, so concurrent faults still
+  /// download in parallel (singleflight dedups same-fingerprint races).
+  /// Required whenever several threads read through viewers of one image —
+  /// the lazy reader-storm-plus-backfill case; a null lock keeps the
+  /// single-threaded fast path lock-free. The diff layer stays
+  /// single-writer: write_file/make_dir/remove are not covered by the lock.
   GearFileViewer(vfs::FileTree& index, vfs::FileTree& diff,
-                 Materializer materializer);
+                 Materializer materializer, std::mutex* tree_lock = nullptr);
 
   /// Reads a regular file, materializing a stub on first access.
   StatusOr<Bytes> read_file(std::string_view path);
+
+  /// Fault-in hook: invoked once per stub fault, just before the
+  /// materializer, with the union path and the stub's fingerprint/size.
+  /// The lazy deploy path uses it to timestamp demand faults.
+  using FaultHook = std::function<void(
+      const std::string& path, const Fingerprint& fp, std::uint64_t size)>;
+  void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
+
+  /// Per-read telemetry: every read_file counts as a read; a read that hit
+  /// an already-materialized file (index or diff) is a hit, one that had to
+  /// pause for a fingerprint stub is a fault. reads == hits + faults for
+  /// successful reads (failed lookups count as reads only).
+  struct ReadStats {
+    std::uint64_t reads = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t faults = 0;
+  };
+  ReadStats read_stats() const noexcept {
+    return {reads_.load(std::memory_order_relaxed),
+            hits_.load(std::memory_order_relaxed),
+            faults_.load(std::memory_order_relaxed)};
+  }
 
   /// Reads a symlink target directly from the union (no materialization).
   StatusOr<std::string> read_symlink(std::string_view path) const;
@@ -70,7 +103,9 @@ class GearFileViewer {
   bool remove(std::string_view path);
 
   /// Count of stubs materialized through this viewer (telemetry).
-  std::uint64_t materialized_count() const noexcept { return materialized_; }
+  std::uint64_t materialized_count() const noexcept {
+    return materialized_.load(std::memory_order_relaxed);
+  }
 
   const vfs::FileTree& diff() const noexcept { return diff_; }
   const vfs::FileTree& index() const noexcept { return index_; }
@@ -97,7 +132,12 @@ class GearFileViewer {
   vfs::FileTree& index_;
   vfs::FileTree& diff_;
   Materializer materializer_;
-  std::uint64_t materialized_ = 0;
+  FaultHook fault_hook_;
+  std::mutex* tree_lock_;  // nullable; serializes index access + mutation
+  std::atomic<std::uint64_t> materialized_{0};
+  std::atomic<std::uint64_t> reads_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> faults_{0};
 };
 
 }  // namespace gear

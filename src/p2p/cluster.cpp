@@ -159,17 +159,32 @@ Cluster::Cluster(docker::DockerRegistry& index_registry,
 docker::DeployStats Cluster::deploy(std::size_t node,
                                     const std::string& reference,
                                     const workload::AccessSet& access,
-                                    std::string* container_id_out) {
+                                    std::string* container_id_out,
+                                    DeployMode mode) {
   if (node >= nodes_.size()) {
     throw_error(ErrorCode::kInvalidArgument, "no such node");
   }
   Node& n = *nodes_[node];
   docker::DeployStats stats =
-      n.client->deploy(reference, access, container_id_out);
+      n.client->deploy(reference, access, container_id_out, mode);
   if (!n.retired) {
     tracker_.announce_all(n.id, n.client->store().cache().fingerprints());
   }
   return stats;
+}
+
+std::pair<std::size_t, std::uint64_t> Cluster::backfill(
+    std::size_t node, const std::string& reference) {
+  if (node >= nodes_.size()) {
+    throw_error(ErrorCode::kInvalidArgument, "no such node");
+  }
+  Node& n = *nodes_[node];
+  std::pair<std::size_t, std::uint64_t> moved =
+      n.client->backfill_remaining(reference);
+  if (!n.retired) {
+    tracker_.announce_all(n.id, n.client->store().cache().fingerprints());
+  }
+  return moved;
 }
 
 StatusOr<Bytes> Cluster::read_range(std::size_t node,

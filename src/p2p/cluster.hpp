@@ -90,9 +90,19 @@ class Cluster {
   /// Deploys on one node; peer fetches and tracker announcements happen
   /// automatically. The launched container id is written to
   /// `container_id_out` when non-null (for follow-up read_range calls).
+  /// With DeployMode::kLazy the node is ready after the index pull; reads
+  /// fault in through read_range()/the node's viewers, and backfill()
+  /// warms the rest behind them.
   docker::DeployStats deploy(std::size_t node, const std::string& reference,
                              const workload::AccessSet& access,
-                             std::string* container_id_out = nullptr);
+                             std::string* container_id_out = nullptr,
+                             DeployMode mode = DeployMode::kEager);
+
+  /// Backfills a lazily deployed image's remaining files on one node at
+  /// strictly lower priority than demand faults (GearClient demand lane),
+  /// then announces the warmed cache to the tracker.
+  std::pair<std::size_t, std::uint64_t> backfill(std::size_t node,
+                                                 const std::string& reference);
 
   /// Range read on one node's container. Covering chunks missing locally
   /// are pulled from peers in batched LAN bursts (batch_peer_fetch) before

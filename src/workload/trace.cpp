@@ -50,7 +50,8 @@ TraceResult replay_trace(
     const std::function<std::string(std::size_t, int)>& deploy,
     const std::function<void(const std::string&)>& destroy,
     const std::function<std::pair<std::size_t, std::uint64_t>(
-        const std::string&)>& post_deploy) {
+        const std::string&)>& post_deploy,
+    const std::function<void(const std::string&)>& serve) {
   if (!deploy || !destroy) {
     throw_error(ErrorCode::kInvalidArgument, "trace replay needs callbacks");
   }
@@ -77,6 +78,12 @@ TraceResult replay_trace(
     live.push_back(deploy(event.series_index, event.version));
     result.deploy_latency.record(timer.elapsed());
     ++result.deployments;
+
+    if (serve) {
+      sim::SimTimer serve_timer(clock);
+      serve(live.back());
+      result.serve_latency.record(serve_timer.elapsed());
+    }
 
     if (post_deploy) {
       auto [files, bytes] = post_deploy(live.back());

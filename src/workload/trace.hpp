@@ -52,6 +52,10 @@ std::vector<TraceEvent> generate_trace(const std::vector<SeriesSpec>& specs,
 /// Replay outcome.
 struct TraceResult {
   Histogram deploy_latency;       // seconds per deployment
+  /// Seconds each deployment's workload spent issuing its reads (the
+  /// optional `serve` hook). For a lazy deploy this is where demand
+  /// fault-in happens — the container is still cold when serving starts.
+  Histogram serve_latency;
   std::uint64_t deployments = 0;
   std::uint64_t destroys = 0;
   double makespan_seconds = 0;    // clock time to drain the trace
@@ -65,10 +69,15 @@ struct TraceResult {
 ///   deploy(series_index, version) -> container id (performs and charges
 ///   the deployment; the runner measures its latency via `clock`);
 ///   destroy(container_id) tears one down;
-///   post_deploy(container_id) — optional — runs right after each deploy,
-///   outside the latency measurement (the idle-gap slot a background
-///   prefetcher would occupy); returns (files, bytes) it moved, accumulated
-///   into TraceResult::prefetched_*.
+///   post_deploy(container_id) — optional — runs right after each deploy
+///   (after `serve`), outside the latency measurement (the idle-gap slot a
+///   background prefetcher/backfiller would occupy); returns (files, bytes)
+///   it moved, accumulated into TraceResult::prefetched_*;
+///   serve(container_id) — optional — the workload itself: issues the
+///   deployment's reads right after deploy() returns, timed into
+///   serve_latency. With a lazy client deploy() returns at readiness, so
+///   serve() runs against a still-cold container and demand-faults its
+///   files in.
 /// The runner advances `clock` through idle gaps between arrivals (a
 /// deployment that overruns the next arrival simply delays it, as a busy
 /// single-node executor would).
@@ -78,6 +87,7 @@ TraceResult replay_trace(
     const std::function<std::string(std::size_t, int)>& deploy,
     const std::function<void(const std::string&)>& destroy,
     const std::function<std::pair<std::size_t, std::uint64_t>(
-        const std::string&)>& post_deploy = nullptr);
+        const std::string&)>& post_deploy = nullptr,
+    const std::function<void(const std::string&)>& serve = nullptr);
 
 }  // namespace gear::workload

@@ -183,6 +183,17 @@ N1="$(ls "$ROBJ/shard-1/objects" | wc -l)"
 test "$N0" -eq "$N1"
 test "$N0" -gt 0
 
+# Read-only commands route through the fleet router: cat, prefetch, and a
+# lazy launch's fault-in all work against a sharded registry.
+test "$("$GEARCTL" --store-dir "$FOBJ" --shards 2 "$FSTORE" \
+  cat fleet:v1 app/hello.txt)" = "hello from gearctl"
+"$GEARCTL" --store-dir "$FOBJ" --shards 2 "$FSTORE" prefetch fleet:v1 \
+  | grep -q "delta order"
+FC="$("$GEARCTL" --store-dir "$FOBJ" --shards 2 "$FSTORE" \
+  launch --lazy fleet:v1 2>/dev/null)"
+test "$("$GEARCTL" --store-dir "$FOBJ" --shards 2 "$FSTORE" \
+  read "$FC" app/hello.txt)" = "hello from gearctl"
+
 # Registry-internal commands reject fleet mode cleanly (usage error).
 if "$GEARCTL" --store-dir "$FOBJ" --shards 2 "$FSTORE" gc 2>/dev/null
 then exit 1; else test $? -eq 2; fi
@@ -203,6 +214,31 @@ if "$GEARCTL" --store-dir "$FOBJ" --shards 2 --replicas 3 "$FSTORE" stats \
   2>/dev/null
 then exit 1; else test $? -eq 2; fi
 if "$GEARCTL" --shards 2 "$FSTORE" stats 2>/dev/null; then exit 1
+else test $? -eq 2; fi
+
+# --- lazy launch (--lazy) -------------------------------------------------
+# launch --lazy prints the container id immediately (stdout) and reports the
+# background backfill on stderr; reads against the container then hit the
+# warmed cache.
+ZSTORE="$WORK/zstore"
+"$GEARCTL" "$ZSTORE" init
+"$GEARCTL" "$ZSTORE" import "$SRC" zz:v1 > /dev/null
+ZC="$("$GEARCTL" "$ZSTORE" launch --lazy zz:v1 2>"$WORK/lazy.err")"
+test -n "$ZC"
+grep -q "backfilled" "$WORK/lazy.err"
+test "$("$GEARCTL" "$ZSTORE" read "$ZC" app/hello.txt)" = "hello from gearctl"
+# The backfill warmed everything: a subsequent run reads from the cache and
+# a prefetch moves nothing.
+"$GEARCTL" "$ZSTORE" run zz:v1 app/blob.bin | grep -q "cache"
+"$GEARCTL" "$ZSTORE" prefetch zz:v1 | grep -q "0 files"
+
+# Strict flag validation: --lazy with any command but launch is a usage
+# error (exit 2), not a silent no-op.
+if "$GEARCTL" --lazy "$ZSTORE" stats 2>/dev/null; then exit 1
+else test $? -eq 2; fi
+if "$GEARCTL" "$ZSTORE" cat --lazy zz:v1 app/hello.txt 2>/dev/null
+then exit 1; else test $? -eq 2; fi
+if "$GEARCTL" --lazy "$ZSTORE" prefetch zz:v1 2>/dev/null; then exit 1
 else test $? -eq 2; fi
 
 echo "gearctl smoke test passed"

@@ -65,6 +65,11 @@ fs::path g_object_store_dir;
 std::size_t g_shards = 1;
 std::size_t g_replicas = 1;
 
+/// --lazy: start-before-warm launch — report the container id the moment
+/// the index is installed, then backfill the remaining files behind it.
+/// Only valid with the launch command.
+bool g_lazy = false;
+
 std::unique_ptr<ObjectStore> make_file_backend() {
   if (g_object_store_dir.empty()) return nullptr;  // in-memory default
   return std::make_unique<DiskObjectStore>(g_object_store_dir);
@@ -402,22 +407,31 @@ int cmd_run(Store& store, const std::string& ref,
   return 0;
 }
 
-int cmd_launch(Store& store, const std::string& ref) {
-  GearRegistry* single = require_single(store, "launch");
-  if (single == nullptr) return 2;
-  LocalRuntime runtime(store.docker, *single, store.root / "local");
+int cmd_launch(Store& store, const std::string& ref, bool lazy) {
+  // The runtime talks to store.files(): the fleet router with --shards > 1,
+  // the single backend otherwise — lazy fault-in works against both.
+  LocalRuntime runtime(store.docker, store.files(), store.root / "local");
   runtime.pull(ref);
   std::string container = runtime.launch(ref);
   store.save();  // the pull may have cached nothing, but keep state coherent
   std::printf("%s\n", container.c_str());
+  if (lazy) {
+    // Start-before-warm: the container id above is usable the moment the
+    // index is local; the backfill below is the background half, warming
+    // the remaining files in priority order after readiness is reported.
+    std::fflush(stdout);
+    auto [files, bytes] = runtime.prefetch(ref, g_prefetch_order);
+    store.save();
+    std::fprintf(stderr, "backfilled %s (%s order): %zu files, %s\n",
+                 ref.c_str(), prefetch_order_name(g_prefetch_order), files,
+                 format_size(bytes).c_str());
+  }
   return 0;
 }
 
 int cmd_exec_read(Store& store, const std::string& container,
                   const std::string& path) {
-  GearRegistry* single = require_single(store, "read");
-  if (single == nullptr) return 2;
-  LocalRuntime runtime(store.docker, *single, store.root / "local");
+  LocalRuntime runtime(store.docker, store.files(), store.root / "local");
   StatusOr<Bytes> content = runtime.read(container, path);
   if (!content.ok()) {
     std::fprintf(stderr, "read failed: %s\n", path.c_str());
@@ -429,9 +443,7 @@ int cmd_exec_read(Store& store, const std::string& container,
 
 int cmd_exec_write(Store& store, const std::string& container,
                    const std::string& path, const std::string& text) {
-  GearRegistry* single = require_single(store, "write");
-  if (single == nullptr) return 2;
-  LocalRuntime runtime(store.docker, *single, store.root / "local");
+  LocalRuntime runtime(store.docker, store.files(), store.root / "local");
   runtime.write(container, path, to_bytes(text));
   std::printf("wrote %zu bytes to %s:%s\n", text.size(), container.c_str(),
               path.c_str());
@@ -439,9 +451,7 @@ int cmd_exec_write(Store& store, const std::string& container,
 }
 
 int cmd_prefetch(Store& store, const std::string& ref) {
-  GearRegistry* single = require_single(store, "prefetch");
-  if (single == nullptr) return 2;
-  LocalRuntime runtime(store.docker, *single, store.root / "local");
+  LocalRuntime runtime(store.docker, store.files(), store.root / "local");
   if (!runtime.has_image(ref)) runtime.pull(ref);
   auto [files, bytes] = runtime.prefetch(ref, g_prefetch_order);
   store.save();
@@ -458,9 +468,7 @@ int cmd_commit(Store& store, const std::string& container,
     std::fprintf(stderr, "reference must be name:tag\n");
     return 2;
   }
-  GearRegistry* single = require_single(store, "commit");
-  if (single == nullptr) return 2;
-  LocalRuntime runtime(store.docker, *single, store.root / "local");
+  LocalRuntime runtime(store.docker, store.files(), store.root / "local");
   std::string result = runtime.commit(container, ref.substr(0, colon),
                                       ref.substr(colon + 1));
   store.save();
@@ -539,7 +547,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: gearctl [--workers N] [--store-dir PATH] "
                "[--shards N] [--replicas R] "
-               "[--range-batch N] [--prefetch-order ORDER] "
+               "[--range-batch N] [--prefetch-order ORDER] [--lazy] "
                "<store-dir> <command> [args]\n"
                "  --workers N      worker threads for import's fingerprinting/"
                "compression (default: one per core)\n"
@@ -552,11 +560,15 @@ int usage() {
                "shards (default 1; must not exceed --shards)\n"
                "  --range-batch N  chunk indices per batched range request in "
                "ranged cat (default 64; 1 = serial per-chunk)\n"
+               "  --lazy           launch only: print the container id as soon "
+               "as the index is installed, then backfill the remaining files "
+               "in --prefetch-order behind it\n"
                "  --prefetch-order path|delta|profile  queue discipline of "
                "the prefetch command (default delta)\n"
                "commands: init | import <dir> <name:tag> [chunk-threshold] | "
                "images | inspect <ref> | cat <ref> <path> [offset length] | "
-               "export <ref> <dir> | run <ref> <path...> | launch <ref> | "
+               "export <ref> <dir> | run <ref> <path...> | "
+               "launch [--lazy] <ref> | "
                "read <container> <path> | write <container> <path> <text> | "
                "commit <container> <name:tag> | prefetch <ref> | rm <ref> | "
                "gc | scrub | stats\n");
@@ -644,6 +656,9 @@ int main(int argc, char** argv) {
       }
       (is_shards ? g_shards : g_replicas) = static_cast<std::size_t>(parsed);
       it = all.erase(it, it + 2);
+    } else if (*it == "--lazy") {
+      g_lazy = true;
+      it = all.erase(it);
     } else {
       ++it;
     }
@@ -663,6 +678,10 @@ int main(int argc, char** argv) {
   std::string store_dir = all[0];
   std::string cmd = all[1];
   std::vector<std::string> args(all.begin() + 2, all.end());
+  if (g_lazy && cmd != "launch") {
+    std::fprintf(stderr, "gearctl: --lazy is only valid with launch\n");
+    return 2;
+  }
 
   try {
     Store store(store_dir, /*must_exist=*/cmd != "init");
@@ -698,7 +717,7 @@ int main(int argc, char** argv) {
       return cmd_export(store, args[0], args[1]);
     }
     if (cmd == "launch" && args.size() == 1) {
-      return cmd_launch(store, args[0]);
+      return cmd_launch(store, args[0], g_lazy);
     }
     if (cmd == "read" && args.size() == 2) {
       return cmd_exec_read(store, args[0], args[1]);
