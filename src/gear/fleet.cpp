@@ -296,6 +296,70 @@ StatusOr<Bytes> FleetRegistry::download(const Fingerprint& fp) const {
   return {ErrorCode::kInternal, "fleet: no live replicas for " + fp.hex()};
 }
 
+StatusOr<Bytes> FleetRegistry::download_compressed(const Fingerprint& fp) const {
+  Routing rt = routing_snapshot();
+  auto targets = replica_targets(rt, fp, replicas_);
+  std::optional<std::pair<ErrorCode, std::string>> last;
+  bool failed_before = false;
+  for (auto& [id, api] : targets) {
+    try {
+      stats_.shard_calls.fetch_add(1, kRelaxed);
+      auto got = api->download_compressed(fp);
+      if (got.ok()) {
+        rt.stats[id]->routed_items.fetch_add(1, kRelaxed);
+        if (failed_before) {
+          stats_.replica_fallbacks.fetch_add(1, kRelaxed);
+          rt.stats[id]->fallback_reads.fetch_add(1, kRelaxed);
+        }
+        return got;
+      }
+      last.emplace(got.code(), got.message());
+    } catch (const Error& e) {
+      stats_.failed_shard_calls.fetch_add(1, kRelaxed);
+      failed_before = true;
+      last.emplace(ErrorCode::kInternal, e.what());
+    }
+  }
+  if (last) return {last->first, last->second};
+  return {ErrorCode::kInternal, "fleet: no live replicas for " + fp.hex()};
+}
+
+StatusOr<Bytes> FleetRegistry::download_chunk_compressed(
+    const Fingerprint& chunk_fp) const {
+  // Chunk objects co-locate with their parent file, which is routed by the
+  // FILE fingerprint — a chunk fingerprint alone names no home shard. The
+  // stored-frame surface doesn't carry the parent fp, so probe every live
+  // shard (ring walk from chunk_fp's position, for a deterministic order);
+  // a per-shard miss is a cheap index lookup and kNotFound is an answer,
+  // not a failure.
+  Routing rt = routing_snapshot();
+  auto targets = replica_targets(rt, chunk_fp, rt.shards.size());
+  std::optional<std::pair<ErrorCode, std::string>> last;
+  bool failed_before = false;
+  for (auto& [id, api] : targets) {
+    try {
+      stats_.shard_calls.fetch_add(1, kRelaxed);
+      auto got = api->download_chunk_compressed(chunk_fp);
+      if (got.ok()) {
+        rt.stats[id]->routed_items.fetch_add(1, kRelaxed);
+        if (failed_before) {
+          stats_.replica_fallbacks.fetch_add(1, kRelaxed);
+          rt.stats[id]->fallback_reads.fetch_add(1, kRelaxed);
+        }
+        return got;
+      }
+      last.emplace(got.code(), got.message());
+    } catch (const Error& e) {
+      stats_.failed_shard_calls.fetch_add(1, kRelaxed);
+      failed_before = true;
+      last.emplace(ErrorCode::kInternal, e.what());
+    }
+  }
+  if (last) return {last->first, last->second};
+  return {ErrorCode::kInternal,
+          "fleet: no live replicas for chunk " + chunk_fp.hex()};
+}
+
 StatusOr<std::vector<Bytes>> FleetRegistry::download_batch(
     const std::vector<Fingerprint>& fps, util::ThreadPool* /*pool*/,
     std::uint64_t* wire_bytes_out) const {

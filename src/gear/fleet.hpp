@@ -162,6 +162,13 @@ class FleetRegistry final : public FileRegistryApi {
       const std::vector<std::uint32_t>& indices,
       std::uint64_t* wire_bytes_out = nullptr) const override;
   StatusOr<std::uint64_t> stored_size(const Fingerprint& fp) const override;
+  /// Stored-frame reads (the net::FrameServer surface): routed exactly like
+  /// download() — replicas in ring order, home first, fall back on any
+  /// failure — so a daemon can serve the batch wire protocol off a whole
+  /// fleet of shards.
+  StatusOr<Bytes> download_compressed(const Fingerprint& fp) const override;
+  StatusOr<Bytes> download_chunk_compressed(
+      const Fingerprint& chunk_fp) const override;
   bool is_chunked(const Fingerprint& fp) const override;
   StatusOr<ChunkManifest> chunk_manifest(const Fingerprint& fp) const override;
   bool transport_accounted() const override { return transport_accounted_; }

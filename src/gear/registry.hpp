@@ -89,7 +89,7 @@ class GearRegistry : public FileRegistryApi {
   /// frame for plain objects, a reassembled-and-recompressed frame for
   /// chunked files. What a batch download response carries per item — the
   /// server ships stored bytes verbatim instead of decompressing them.
-  StatusOr<Bytes> download_compressed(const Fingerprint& fp) const;
+  StatusOr<Bytes> download_compressed(const Fingerprint& fp) const override;
 
   /// Batched download: one call serves many fingerprints so a client can
   /// pay a single pipelined round-trip for a bulk fetch. Results line up
@@ -124,7 +124,7 @@ class GearRegistry : public FileRegistryApi {
   /// kDownloadChunks response item carries. Counts one download, exactly
   /// like the per-chunk download_range it replaces on the wire path.
   /// kNotFound when absent.
-  StatusOr<Bytes> download_chunk_compressed(const Fingerprint& chunk_fp) const;
+  StatusOr<Bytes> download_chunk_compressed(const Fingerprint& chunk_fp) const override;
 
   /// Enumerates plain/chunk object fingerprints (unordered).
   std::vector<Fingerprint> list_objects() const;

@@ -23,6 +23,21 @@ std::size_t FileRegistryApi::upload_precompressed_batch(
   return stored;
 }
 
+StatusOr<Bytes> FileRegistryApi::download_compressed(
+    const Fingerprint& fp) const {
+  return {ErrorCode::kUnsupported,
+          "download_compressed: backend does not expose stored frames for " +
+              fp.hex()};
+}
+
+StatusOr<Bytes> FileRegistryApi::download_chunk_compressed(
+    const Fingerprint& chunk_fp) const {
+  return {ErrorCode::kUnsupported,
+          "download_chunk_compressed: backend does not expose stored frames "
+          "for " +
+              chunk_fp.hex()};
+}
+
 bool FileRegistryApi::upload_chunked(const Fingerprint& fp, BytesView content,
                                      const ChunkPolicy& policy,
                                      const FingerprintHasher& hasher) {

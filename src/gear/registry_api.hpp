@@ -96,6 +96,20 @@ class FileRegistryApi {
   /// Compressed (on-the-wire / on-disk) size of one object.
   virtual StatusOr<std::uint64_t> stored_size(const Fingerprint& fp) const = 0;
 
+  /// The wire-transfer form of one object: the stored compressed (GZC1)
+  /// frame, shipped verbatim so the bytes on the wire equal the bytes
+  /// stored. This is the server half of the batch download protocol — a
+  /// net::FrameServer answers kDownloadMany items straight from it, which
+  /// is what lets one daemon host a single registry or a whole fleet behind
+  /// the same frames. Default: kUnsupported (only storage-backed registries
+  /// can serve stored frames; client stubs need not).
+  virtual StatusOr<Bytes> download_compressed(const Fingerprint& fp) const;
+
+  /// The stored compressed frame of one chunk object — what a
+  /// kDownloadChunks response item carries. Default: kUnsupported.
+  virtual StatusOr<Bytes> download_chunk_compressed(
+      const Fingerprint& chunk_fp) const;
+
   /// True when `fp` is stored in chunked form. Default: never.
   virtual bool is_chunked(const Fingerprint& fp) const;
 

@@ -1,0 +1,173 @@
+#include "net/frame_server.hpp"
+
+#include "compress/codec.hpp"  // varint helpers
+
+namespace gear::net {
+
+Bytes FrameServer::serve(BytesView request_frame,
+                         std::uint64_t* n_items_out) {
+  stats_.round_trips.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_in.fetch_add(request_frame.size(), std::memory_order_relaxed);
+  if (n_items_out != nullptr) *n_items_out = 1;
+
+  WireMessage response;
+  StatusOr<WireMessage> request = decode_message(request_frame);
+  if (!request.ok()) {
+    // A server cannot even parse the request: answer with a server error
+    // carrying an empty fingerprint.
+    stats_.bad_requests.fetch_add(1, std::memory_order_relaxed);
+    response.type = MessageType::kQueryResponse;
+    response.status = Status::kServerError;
+    Bytes frame = encode_message(response);
+    stats_.bytes_out.fetch_add(frame.size(), std::memory_order_relaxed);
+    return frame;
+  }
+
+  WireMessage& req = *request;
+  std::uint64_t n_items = is_batch_type(req.type) ? req.items.size() : 1;
+
+  response.fp = req.fp;
+  switch (req.type) {
+    case MessageType::kQueryRequest:
+      ++stats_.query_round_trips;
+      ++stats_.query_items;
+      response.type = MessageType::kQueryResponse;
+      response.status =
+          files_.query(req.fp) ? Status::kExists : Status::kNotFound;
+      break;
+    case MessageType::kUploadRequest:
+      ++stats_.upload_round_trips;
+      ++stats_.upload_items;
+      response.type = MessageType::kUploadResponse;
+      response.status =
+          files_.upload(req.fp, req.payload) ? Status::kOk : Status::kExists;
+      break;
+    case MessageType::kDownloadRequest: {
+      ++stats_.download_round_trips;
+      ++stats_.download_items;
+      response.type = MessageType::kDownloadResponse;
+      StatusOr<Bytes> content = files_.download(req.fp);
+      if (content.ok()) {
+        response.status = Status::kOk;
+        response.payload = std::move(content).value();
+      } else {
+        response.status = Status::kNotFound;
+      }
+      break;
+    }
+    case MessageType::kQueryManyRequest: {
+      ++stats_.query_round_trips;
+      stats_.query_items += req.items.size();
+      response.type = MessageType::kQueryManyResponse;
+      response.items.reserve(req.items.size());
+      for (const WireItem& item : req.items) {
+        WireItem out;
+        out.fp = item.fp;
+        if (files_.query(item.fp)) {
+          out.status = Status::kExists;
+          // Advertise the transfer size so clients can plan batch budgets
+          // without an extra round trip.
+          put_varint(out.payload, files_.stored_size(item.fp).value());
+        } else {
+          out.status = Status::kNotFound;
+        }
+        response.items.push_back(std::move(out));
+      }
+      break;
+    }
+    case MessageType::kUploadManyRequest: {
+      ++stats_.upload_round_trips;
+      stats_.upload_items += req.items.size();
+      response.type = MessageType::kUploadManyResponse;
+      response.items.reserve(req.items.size());
+      for (WireItem& item : req.items) {
+        WireItem out;
+        out.fp = item.fp;
+        // Item payloads are precompressed frames: stored verbatim, exactly
+        // the in-process upload_precompressed protocol.
+        out.status =
+            files_.upload_precompressed(item.fp, std::move(item.payload))
+                ? Status::kOk
+                : Status::kExists;
+        response.items.push_back(std::move(out));
+      }
+      break;
+    }
+    case MessageType::kDownloadManyRequest: {
+      ++stats_.download_round_trips;
+      stats_.download_items += req.items.size();
+      response.type = MessageType::kDownloadManyResponse;
+      response.items.reserve(req.items.size());
+      for (const WireItem& item : req.items) {
+        WireItem out;
+        out.fp = item.fp;
+        StatusOr<Bytes> stored = files_.download_compressed(item.fp);
+        if (stored.ok()) {
+          out.status = Status::kOk;
+          out.payload = std::move(stored).value();
+        } else {
+          out.status = Status::kNotFound;
+        }
+        response.items.push_back(std::move(out));
+      }
+      break;
+    }
+    case MessageType::kDownloadChunksRequest: {
+      response.type = MessageType::kDownloadChunksResponse;
+      StatusOr<std::vector<std::uint32_t>> indices =
+          decode_chunk_index_list(req.payload);
+      if (!indices.ok()) {
+        stats_.bad_requests.fetch_add(1, std::memory_order_relaxed);
+        response.status = Status::kServerError;
+        break;
+      }
+      StatusOr<ChunkManifest> manifest = files_.chunk_manifest(req.fp);
+      if (!manifest.ok()) {
+        // Not stored chunked (or not stored at all): an answer, not an
+        // error — the client falls back to whole-file materialization.
+        if (indices->empty()) ++stats_.manifest_round_trips;
+        response.status = Status::kNotFound;
+        break;
+      }
+      if (indices->empty()) {
+        // Manifest probe: ship the serialized manifest as the payload.
+        ++stats_.manifest_round_trips;
+        response.payload = manifest->serialize();
+        break;
+      }
+      ++stats_.chunk_round_trips;
+      stats_.chunk_items += indices->size();
+      n_items = indices->size();  // the response is a pipelined chunk burst
+      response.items.reserve(indices->size());
+      for (std::uint32_t index : *indices) {
+        WireItem out;
+        if (index >= manifest->chunks.size()) {
+          out.status = Status::kNotFound;  // echoes a zero fingerprint
+          response.items.push_back(std::move(out));
+          continue;
+        }
+        out.fp = manifest->chunks[index];
+        StatusOr<Bytes> stored = files_.download_chunk_compressed(out.fp);
+        if (stored.ok()) {
+          out.status = Status::kOk;
+          out.payload = std::move(stored).value();
+        } else {
+          out.status = Status::kNotFound;
+        }
+        response.items.push_back(std::move(out));
+      }
+      break;
+    }
+    default:
+      response.type = MessageType::kQueryResponse;
+      response.status = Status::kServerError;
+      break;
+  }
+
+  Bytes frame = encode_message(response);
+  stats_.bytes_out.fetch_add(frame.size(), std::memory_order_relaxed);
+  if (n_items_out != nullptr) *n_items_out = n_items;
+  return frame;
+}
+
+}  // namespace gear::net

@@ -1,0 +1,188 @@
+// Real TCP socket transport: the batched wire protocol between two OS
+// processes, without changing a byte of the frame format.
+//
+//  * TcpServer    — accepts connections and serves length-prefixed GWP1
+//    frames off a shared FrameServer: the same dispatch (and the same
+//    LoopbackServerStats) as the in-process loopback path, behind a real
+//    socket. One connection per client, served on the server's thread pool.
+//  * TcpTransport — the client half: a net::Transport whose round_trip
+//    writes the request frame down one persistent connection and reads the
+//    response back, with connect/IO timeouts and bounded
+//    reconnect-with-backoff on broken connections. Retrying a frame after a
+//    reconnect is safe because every wire message is an idempotent
+//    request/response — re-executing a query/upload/download yields the
+//    same answer.
+//
+// Transport-level failures never throw: after exhausting its attempts,
+// round_trip returns an empty frame (a dropped response), exactly what
+// DownTransport produces — the RemoteGearRegistry stub's retry ladder turns
+// persistent ones into clean errors. This keeps failure semantics identical
+// between the simulated and real paths.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "net/frame_server.hpp"
+#include "net/transport.hpp"
+#include "net/wire.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace gear::net {
+
+/// A parsed "host:port" endpoint.
+struct HostPort {
+  std::string host;
+  std::uint16_t port = 0;
+
+  friend bool operator==(const HostPort&, const HostPort&) = default;
+};
+
+/// Parses "host:port". kInvalidArgument on a missing/empty host, a
+/// missing/non-numeric port, or a port above 65535. Port 0 parses (a server
+/// may bind ephemeral); callers dialing out should reject it themselves.
+StatusOr<HostPort> parse_host_port(const std::string& spec);
+
+/// Serves a FrameServer over real TCP. Lifecycle is start() once, stop()
+/// once (also run by the destructor); the accept loop runs on a dedicated
+/// thread and each accepted connection is served by a task on the
+/// connection pool, so at most `max_clients` clients are served
+/// concurrently (further accepts queue). Frames larger than
+/// `max_frame_bytes` — and peers that go mute mid-frame for longer than
+/// `io_timeout_ms` — get their connection dropped; the client's retry
+/// ladder takes it from there.
+class TcpServer {
+ public:
+  struct Options {
+    /// Width of the connection-serving pool (min 2 so a lone slow client
+    /// can never pin the accept path).
+    std::size_t max_clients = 8;
+    std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+    /// Ceiling on mid-frame silence (reading the rest of a started frame /
+    /// writing a response). Waiting for a new request on an idle
+    /// connection is unbounded.
+    int io_timeout_ms = 10'000;
+  };
+
+  explicit TcpServer(FrameServer& frames) : TcpServer(frames, Options{}) {}
+  TcpServer(FrameServer& frames, Options options);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Binds `host:port` (port 0 = kernel-assigned, read it back via port()),
+  /// listens, and starts accepting. Throws Error(kInternal) when the
+  /// address cannot be resolved or bound.
+  void start(const std::string& host, std::uint16_t port);
+
+  /// The bound port (valid after start()).
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Stops accepting, wakes every connection, and joins all serving
+  /// threads. Idempotent.
+  void stop();
+
+  bool running() const noexcept { return started_ && !stopped_; }
+
+  std::uint64_t connections_accepted() const noexcept {
+    return connections_accepted_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t frames_served() const noexcept {
+    return frames_served_.load(std::memory_order_relaxed);
+  }
+  /// Connections dropped for protocol violations (zero-length or oversized
+  /// length prefix).
+  std::uint64_t frames_rejected() const noexcept {
+    return frames_rejected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+
+  FrameServer& frames_;
+  Options options_;
+  util::ThreadPool pool_;
+
+  std::atomic<int> listen_fd_{-1};
+  std::uint16_t port_ = 0;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopped_{false};
+  std::atomic<bool> stop_{false};
+  std::thread accept_thread_;
+
+  std::mutex clients_mutex_;
+  std::unordered_set<int> client_fds_;
+  std::vector<std::future<void>> connection_tasks_;
+
+  std::atomic<std::uint64_t> connections_accepted_{0};
+  std::atomic<std::uint64_t> frames_served_{0};
+  std::atomic<std::uint64_t> frames_rejected_{0};
+};
+
+/// Client side of the socket path. One persistent connection, dialed
+/// lazily on the first round_trip and redialed (bounded attempts,
+/// exponential backoff) whenever the peer breaks it — a server restart
+/// mid-workload heals transparently. round_trip is serialized under an
+/// internal mutex so one stub instance may be shared by concurrent client
+/// threads, exactly like the loopback transport.
+class TcpTransport final : public Transport {
+ public:
+  struct Options {
+    int connect_timeout_ms = 2'000;
+    /// Ceiling on waiting for the response to a sent request.
+    int io_timeout_ms = 10'000;
+    /// Dial/IO attempts per round_trip before giving up (returning the
+    /// empty "dropped response" frame).
+    int max_attempts = 8;
+    int backoff_initial_ms = 10;
+    int backoff_max_ms = 500;
+    std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  };
+
+  TcpTransport(std::string host, std::uint16_t port)
+      : TcpTransport(std::move(host), port, Options{}) {}
+  TcpTransport(std::string host, std::uint16_t port, Options options);
+  ~TcpTransport() override { close(); }
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  Bytes round_trip(BytesView request_frame) override;
+
+  /// Drops the connection; the next round_trip redials.
+  void close();
+
+  bool connected() const;
+  /// Successful dials after the first (how many times the link healed).
+  std::uint64_t reconnects() const noexcept {
+    return reconnects_.load(std::memory_order_relaxed);
+  }
+  /// Send/receive failures and timeouts that cost a connection.
+  std::uint64_t io_errors() const noexcept {
+    return io_errors_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  bool connect_locked();
+  void close_locked();
+
+  std::string host_;
+  std::uint16_t port_;
+  Options options_;
+
+  mutable std::mutex mutex_;
+  int fd_ = -1;
+  bool ever_connected_ = false;
+  std::atomic<std::uint64_t> reconnects_{0};
+  std::atomic<std::uint64_t> io_errors_{0};
+};
+
+}  // namespace gear::net

@@ -17,6 +17,7 @@
 
 #include "gear/object_store.hpp"
 #include "gear/registry.hpp"
+#include "net/frame_server.hpp"
 #include "net/wire.hpp"
 #include "sim/network.hpp"
 #include "util/rng.hpp"
@@ -33,41 +34,19 @@ class Transport {
   virtual Bytes round_trip(BytesView request_frame) = 0;
 };
 
-/// Server-side accounting of a LoopbackTransport. One round_trip() call is
-/// one round trip, whatever it carries; the *_items counters expose how many
-/// objects each interface served, so tests can prove an N-file deploy cost
-/// ⌈N/batch⌉ download round-trips instead of N. Fields are atomics so
-/// concurrent clients account race-free; read them as plain numbers.
-struct LoopbackServerStats {
-  std::atomic<std::uint64_t> round_trips{0};
-  std::atomic<std::uint64_t> bad_requests{0};  // undecodable request frames
-  std::atomic<std::uint64_t> query_round_trips{0};
-  std::atomic<std::uint64_t> query_items{0};
-  std::atomic<std::uint64_t> upload_round_trips{0};
-  std::atomic<std::uint64_t> upload_items{0};
-  std::atomic<std::uint64_t> download_round_trips{0};
-  std::atomic<std::uint64_t> download_items{0};
-  /// kDownloadChunks traffic: manifest probes (empty index list) and chunk
-  /// batches are counted apart so tests can prove a range read over N
-  /// cache-missing chunks cost 1 probe + ⌈N/batch⌉ chunk frames.
-  std::atomic<std::uint64_t> manifest_round_trips{0};
-  std::atomic<std::uint64_t> chunk_round_trips{0};
-  std::atomic<std::uint64_t> chunk_items{0};
-  std::atomic<std::uint64_t> bytes_in{0};   // request frame bytes
-  std::atomic<std::uint64_t> bytes_out{0};  // response frame bytes
-};
-
-/// Serves round_trip() concurrently: the registry is internally sharded,
-/// stats are atomics, and the (single-threaded) simulated link is charged
-/// under a private mutex. Independent clients may call round_trip from any
-/// thread.
+/// Serves round_trip() concurrently: the dispatch lives in a FrameServer
+/// (internally sharded registry, atomic stats) and the (single-threaded)
+/// simulated link is charged under a private mutex. Independent clients may
+/// call round_trip from any thread. net::TcpTransport/TcpServer are the
+/// real-socket twin of this path: identical frames, identical FrameServer,
+/// no simulated link.
 class LoopbackTransport final : public Transport {
  public:
   /// `link`: optional; when given, every request/response frame's bytes are
   /// charged to it (batch frames as pipelined bursts).
   explicit LoopbackTransport(GearRegistry& registry,
                              sim::NetworkLink* link = nullptr)
-      : registry_(registry), link_(link) {}
+      : registry_(&registry), server_(registry), link_(link) {}
 
   /// Owns its registry, built over `backend` — how a wire-served registry
   /// picks its storage engine (e.g. a DiskObjectStore that survives server
@@ -75,26 +54,32 @@ class LoopbackTransport final : public Transport {
   explicit LoopbackTransport(std::unique_ptr<ObjectStore> backend,
                              sim::NetworkLink* link = nullptr)
       : owned_(std::make_unique<GearRegistry>(std::move(backend))),
-        registry_(*owned_),
+        registry_(owned_.get()),
+        server_(*owned_),
         link_(link) {}
 
   Bytes round_trip(BytesView request_frame) override;
 
   /// The registry being served (owned or borrowed).
-  GearRegistry& registry() noexcept { return registry_; }
-  const GearRegistry& registry() const noexcept { return registry_; }
+  GearRegistry& registry() noexcept { return *registry_; }
+  const GearRegistry& registry() const noexcept { return *registry_; }
 
-  const LoopbackServerStats& server_stats() const noexcept { return stats_; }
+  /// The shared dispatch core (what a TcpServer would mount directly).
+  FrameServer& frame_server() noexcept { return server_; }
+
+  const LoopbackServerStats& server_stats() const noexcept {
+    return server_.stats();
+  }
 
  private:
   void charge_link_request(std::uint64_t bytes);
   void charge_link_response(std::uint64_t bytes, std::uint64_t n_items);
 
   std::unique_ptr<GearRegistry> owned_;  // set by the backend ctor only
-  GearRegistry& registry_;
+  GearRegistry* registry_;
+  FrameServer server_;
   sim::NetworkLink* link_;
   std::mutex link_mutex_;  // NetworkLink is single-threaded; serialize charges
-  LoopbackServerStats stats_;
 };
 
 /// Fault schedule: every `period`-th round trip is damaged.

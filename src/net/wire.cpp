@@ -174,6 +174,22 @@ StatusOr<WireMessage> decode_message(BytesView frame) {
   return message;
 }
 
+void put_frame_length(std::uint8_t (&header)[kFrameHeaderBytes],
+                      std::uint64_t frame_len) {
+  header[0] = static_cast<std::uint8_t>(frame_len);
+  header[1] = static_cast<std::uint8_t>(frame_len >> 8);
+  header[2] = static_cast<std::uint8_t>(frame_len >> 16);
+  header[3] = static_cast<std::uint8_t>(frame_len >> 24);
+}
+
+std::uint32_t get_frame_length(
+    const std::uint8_t (&header)[kFrameHeaderBytes]) {
+  return static_cast<std::uint32_t>(header[0]) |
+         (static_cast<std::uint32_t>(header[1]) << 8) |
+         (static_cast<std::uint32_t>(header[2]) << 16) |
+         (static_cast<std::uint32_t>(header[3]) << 24);
+}
+
 Bytes encode_chunk_index_list(const std::vector<std::uint32_t>& indices) {
   Bytes out;
   put_varint(out, indices.size());

@@ -99,6 +99,26 @@ Bytes encode_message(const WireMessage& message);
 /// unknown type/status, bad item list, or trailing garbage.
 StatusOr<WireMessage> decode_message(BytesView frame);
 
+/// Stream framing for socket transports. A GWP1 frame is not
+/// self-delimiting on a byte stream, so TCP peers exchange every frame
+/// behind a 4-byte little-endian length prefix. The prefix is transport
+/// framing, not part of the wire format — in-process transports hand frames
+/// over whole and never see it, which is why the TCP path stays
+/// byte-identical at the frame level.
+constexpr std::size_t kFrameHeaderBytes = 4;
+
+/// Ceiling a peer enforces on the length prefix before allocating: a frame
+/// longer than this is a protocol violation (or memory bomb) and the
+/// connection is dropped.
+constexpr std::size_t kDefaultMaxFrameBytes = std::size_t{256} << 20;
+
+/// Writes the length prefix for a `frame_len`-byte frame.
+void put_frame_length(std::uint8_t (&header)[kFrameHeaderBytes],
+                      std::uint64_t frame_len);
+
+/// Reads a length prefix written by put_frame_length.
+std::uint32_t get_frame_length(const std::uint8_t (&header)[kFrameHeaderBytes]);
+
 /// Payload codec for kDownloadChunksRequest: varint count, then one varint
 /// per chunk index.
 Bytes encode_chunk_index_list(const std::vector<std::uint32_t>& indices);

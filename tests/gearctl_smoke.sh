@@ -6,7 +6,8 @@ set -eu
 
 GEARCTL="$1"
 WORK="$(mktemp -d)"
-trap 'rm -rf "$WORK"' EXIT
+SERVE_PID=""
+trap 'test -n "$SERVE_PID" && kill "$SERVE_PID" 2>/dev/null; rm -rf "$WORK"' EXIT
 
 SRC="$WORK/src"
 STORE="$WORK/store"
@@ -240,5 +241,81 @@ if "$GEARCTL" "$ZSTORE" cat --lazy zz:v1 app/hello.txt 2>/dev/null
 then exit 1; else test $? -eq 2; fi
 if "$GEARCTL" --lazy "$ZSTORE" prefetch zz:v1 2>/dev/null; then exit 1
 else test $? -eq 2; fi
+
+# --- TCP registry daemon (serve / --remote) -------------------------------
+# Two real OS processes: a `gearctl serve` daemon owning the object store,
+# and client invocations dialing it with --remote. Covers push over TCP,
+# a daemon restart with zero re-upload, byte-identical export through the
+# socket, remote stats, and clean SIGTERM shutdown.
+NSTORE="$WORK/nstore"   # client side: docker snapshot only
+NOBJ="$WORK/nobj"       # daemon side: the durable object store
+NOUT="$WORK/nout"
+
+wait_serving() {
+  # Blocks until the daemon prints its "serving on" line (or ~10s pass).
+  i=0
+  while ! grep -q "serving on" "$1" 2>/dev/null; do
+    i=$((i+1)); test "$i" -le 100; sleep 0.1
+  done
+}
+
+"$GEARCTL" serve --addr 127.0.0.1:0 --store-dir "$NOBJ" \
+  > "$WORK/serve.out" 2> "$WORK/serve.err" &
+SERVE_PID=$!
+wait_serving "$WORK/serve.out"
+PORT="$(sed -n 's/^serving on 127\.0\.0\.1:\([0-9][0-9]*\)$/\1/p' \
+  "$WORK/serve.out")"
+test -n "$PORT"
+
+"$GEARCTL" --remote "127.0.0.1:$PORT" "$NSTORE" init
+"$GEARCTL" --remote "127.0.0.1:$PORT" "$NSTORE" import "$SRC" net:v1
+test -n "$(ls "$NOBJ/objects")"   # the objects live in the DAEMON's store
+"$GEARCTL" --remote "127.0.0.1:$PORT" "$NSTORE" stats > "$WORK/rstats"
+grep -q "reachable" "$WORK/rstats"
+# Every referenced file present remotely: "N / N present" with N > 0.
+grep -q "referenced gear files on remote: \([1-9][0-9]*\) / \1 present" \
+  "$WORK/rstats"
+
+# Restart the daemon: SIGTERM must shut it down cleanly (exit 0), and a new
+# process on the same port over the same store must already hold everything
+# — the re-import moves zero bytes over the wire.
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+grep -q "shut down" "$WORK/serve.err"
+"$GEARCTL" serve --addr "127.0.0.1:$PORT" --store-dir "$NOBJ" \
+  > "$WORK/serve2.out" 2> "$WORK/serve2.err" &
+SERVE_PID=$!
+wait_serving "$WORK/serve2.out"
+"$GEARCTL" --remote "127.0.0.1:$PORT" "$NSTORE" import "$SRC" net:v2 \
+  | grep -q "0 uploaded"
+"$GEARCTL" --remote "127.0.0.1:$PORT" "$NSTORE" export net:v1 "$NOUT"
+diff -r "$SRC" "$NOUT"
+test "$("$GEARCTL" --remote "127.0.0.1:$PORT" "$NSTORE" \
+  cat net:v1 app/hello.txt)" = "hello from gearctl"
+
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+SERVE_PID=""
+
+# Strict endpoint validation: malformed HOST:PORT specs and serve flag
+# conflicts are usage errors (exit 2), not crashes.
+for BAD in nohost host: :123 host:abc host:0 host:99999; do
+  if "$GEARCTL" --remote "$BAD" "$NSTORE" stats 2>/dev/null
+  then exit 1; else test $? -eq 2; fi
+done
+if "$GEARCTL" serve --store-dir "$NOBJ" 2>/dev/null
+then exit 1; else test $? -eq 2; fi
+if "$GEARCTL" serve --addr 127.0.0.1:0 2>/dev/null
+then exit 1; else test $? -eq 2; fi
+if "$GEARCTL" serve --addr bad-endpoint --store-dir "$NOBJ" 2>/dev/null
+then exit 1; else test $? -eq 2; fi
+if "$GEARCTL" serve --addr 127.0.0.1:0 --store-dir "$NOBJ" \
+  --remote 127.0.0.1:1 2>/dev/null
+then exit 1; else test $? -eq 2; fi
+if "$GEARCTL" --addr 127.0.0.1:0 "$NSTORE" stats 2>/dev/null
+then exit 1; else test $? -eq 2; fi
+if "$GEARCTL" --remote "127.0.0.1:$PORT" --store-dir "$NOBJ" "$NSTORE" stats \
+  2>/dev/null
+then exit 1; else test $? -eq 2; fi
 
 echo "gearctl smoke test passed"

@@ -10,16 +10,26 @@
 //   gearctl <store-dir> rm <name:tag>
 //   gearctl <store-dir> gc
 //   gearctl <store-dir> stats
+//   gearctl serve --addr HOST:PORT --store-dir DIR [--shards N --replicas R]
 //
 // The store directory persists both registries (gear/persistence.hpp
 // layout). `import` turns a real directory into a Gear image; `export`
 // reconstructs an image's root filesystem back onto disk.
+//
+// `serve` runs the gear-file registry as a TCP daemon over the wire
+// protocol; client invocations in other processes reach it with
+// --remote HOST:PORT (the Docker half — manifests, index layers — stays a
+// local snapshot under the client's store dir).
 #include <algorithm>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <memory>
 #include <string>
+#include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "docker/layer.hpp"
@@ -31,6 +41,8 @@
 #include "gear/fs_store.hpp"
 #include "gear/object_store.hpp"
 #include "gear/persistence.hpp"
+#include "net/remote_registry.hpp"
+#include "net/tcp.hpp"
 #include "util/format.hpp"
 #include "vfs/fs_io.hpp"
 
@@ -70,6 +82,21 @@ std::size_t g_replicas = 1;
 /// Only valid with the launch command.
 bool g_lazy = false;
 
+/// --remote HOST:PORT: dial a `gearctl serve` daemon for the gear files
+/// instead of opening a local store. Empty = local mode.
+net::HostPort g_remote;
+bool g_remote_set = false;
+
+/// --addr HOST:PORT: the endpoint `serve` binds. Only valid with serve.
+net::HostPort g_addr;
+bool g_addr_set = false;
+
+/// Set by SIGTERM/SIGINT while `serve` runs; the main loop notices and
+/// shuts the daemon down cleanly (exit 0).
+volatile std::sig_atomic_t g_serve_stop = 0;
+
+void handle_serve_signal(int) { g_serve_stop = 1; }
+
 std::unique_ptr<ObjectStore> make_file_backend() {
   if (g_object_store_dir.empty()) return nullptr;  // in-memory default
   return std::make_unique<DiskObjectStore>(g_object_store_dir);
@@ -82,8 +109,28 @@ struct Store {
   // instances in fleet mode (--shards > 1).
   std::vector<std::unique_ptr<GearRegistry>> shards;
   std::unique_ptr<FleetRegistry> fleet;  // set only in fleet mode
+  // Remote mode (--remote): the gear files live behind a `gearctl serve`
+  // daemon; the stub frames every call through one TCP connection.
+  std::unique_ptr<net::TcpTransport> remote_transport;
+  std::unique_ptr<net::RemoteGearRegistry> remote;
 
   explicit Store(fs::path r, bool must_exist) : root(std::move(r)) {
+    if (g_remote_set) {
+      remote_transport =
+          std::make_unique<net::TcpTransport>(g_remote.host, g_remote.port);
+      // The daemon may hold collision-salted unique ids whose names
+      // intentionally differ from their content hash, so skip the client's
+      // re-hash check (the frame CRC still covers transit integrity).
+      remote = std::make_unique<net::RemoteGearRegistry>(
+          *remote_transport, /*max_attempts=*/4, /*verify_content=*/false);
+      if (fs::is_directory(root / "docker")) {
+        load_docker_registry(root, &docker);
+      } else if (must_exist) {
+        throw Error(ErrorCode::kNotFound,
+                    "no gear store at " + root.string() + " (run init first)");
+      }
+      return;
+    }
     if (g_shards > 1) {
       std::vector<FileRegistryApi*> backends;
       for (std::size_t i = 0; i < g_shards; ++i) {
@@ -111,19 +158,24 @@ struct Store {
     }
   }
 
-  /// The registry the data path talks to: the fleet router with
-  /// --shards > 1, the lone backend otherwise.
+  /// The registry the data path talks to: the remote stub with --remote,
+  /// the fleet router with --shards > 1, the lone backend otherwise.
   FileRegistryApi& files() {
+    if (remote) return *remote;
     return fleet ? static_cast<FileRegistryApi&>(*fleet) : *shards[0];
   }
 
-  /// The single backend registry, or null in fleet mode. Commands that
-  /// need registry internals (gc, scrub, the local runtime) only work
-  /// against a single instance.
-  GearRegistry* single() { return fleet ? nullptr : shards[0].get(); }
+  /// The single backend registry, or null in fleet/remote mode. Commands
+  /// that need registry internals (gc, scrub) only work against a local
+  /// single instance.
+  GearRegistry* single() {
+    return (fleet || remote) ? nullptr : shards[0].get();
+  }
 
   void save() {
-    if (g_object_store_dir.empty()) {
+    if (remote) {
+      save_docker_registry(docker, root);
+    } else if (g_object_store_dir.empty()) {
       save_registries(docker, *shards[0], root);
     } else {
       save_docker_registry(docker, root);
@@ -131,11 +183,12 @@ struct Store {
   }
 };
 
-/// The single backend, or a "unsupported with --shards" usage error.
+/// The single backend, or a "unsupported with --shards/--remote" error.
 GearRegistry* require_single(Store& store, const char* cmd) {
   GearRegistry* single = store.single();
   if (single == nullptr) {
-    std::fprintf(stderr, "gearctl: %s is unsupported with --shards > 1\n",
+    std::fprintf(stderr,
+                 "gearctl: %s is unsupported with --shards > 1 or --remote\n",
                  cmd);
   }
   return single;
@@ -515,7 +568,63 @@ int cmd_scrub(Store& store) {
   return report.corrupt == 0 ? 0 : 1;
 }
 
+/// stats under --remote: reachability, how many of the locally referenced
+/// gear files the daemon holds, and this session's wire accounting.
+int cmd_stats_remote(Store& store) {
+  // Reachability probe: a query for the zero fingerprint. Any decoded
+  // answer — even "not found" — proves a live daemon; exhausted retries
+  // throw kInternal.
+  try {
+    (void)store.files().query(Fingerprint{});
+  } catch (const Error& e) {
+    std::fprintf(stderr, "gearctl: remote %s:%u unreachable (%s)\n",
+                 g_remote.host.c_str(), static_cast<unsigned>(g_remote.port),
+                 e.what());
+    return 1;
+  }
+  std::printf("remote registry: %s:%u reachable\n", g_remote.host.c_str(),
+              static_cast<unsigned>(g_remote.port));
+  std::printf("docker snapshot: %zu manifests, %zu blobs, %s\n",
+              store.docker.manifest_count(), store.docker.blob_count(),
+              format_size(store.docker.storage_bytes()).c_str());
+
+  // Every distinct fingerprint referenced by the local gear images, probed
+  // in batched queries (one round trip per 256 fingerprints).
+  std::unordered_set<Fingerprint, FingerprintHash> seen;
+  std::vector<Fingerprint> referenced;
+  for (const std::string& ref : store.docker.list_manifests()) {
+    docker::Manifest m = store.docker.get_manifest(ref).value();
+    if (m.config.labels.count(kGearIndexLabel) == 0) continue;
+    GearIndex index = load_index_of(store, ref);
+    for (const Fingerprint& fp : index.distinct_fingerprints()) {
+      if (seen.insert(fp).second) referenced.push_back(fp);
+    }
+  }
+  std::size_t present = 0;
+  constexpr std::size_t kQueryBatch = 256;
+  for (std::size_t b = 0; b < referenced.size(); b += kQueryBatch) {
+    std::vector<Fingerprint> batch(
+        referenced.begin() + static_cast<std::ptrdiff_t>(b),
+        referenced.begin() + static_cast<std::ptrdiff_t>(
+                                 std::min(b + kQueryBatch, referenced.size())));
+    std::vector<std::uint8_t> hits = store.files().query_many(batch);
+    for (std::uint8_t hit : hits) present += hit ? 1 : 0;
+  }
+  std::printf("referenced gear files on remote: %zu / %zu present\n", present,
+              referenced.size());
+
+  const net::RemoteRegistryStats& s = store.remote->stats();
+  std::printf("session wire stats: %llu round trips, %llu retries, "
+              "%llu item refetches, %llu integrity failures\n",
+              static_cast<unsigned long long>(s.requests.load()),
+              static_cast<unsigned long long>(s.retries.load()),
+              static_cast<unsigned long long>(s.item_refetches.load()),
+              static_cast<unsigned long long>(s.integrity_failures.load()));
+  return 0;
+}
+
 int cmd_stats(Store& store) {
+  if (store.remote) return cmd_stats_remote(store);
   std::printf("docker registry: %zu manifests, %zu blobs, %s\n",
               store.docker.manifest_count(), store.docker.blob_count(),
               format_size(store.docker.storage_bytes()).c_str());
@@ -543,12 +652,65 @@ int cmd_stats(Store& store) {
   return 0;
 }
 
+/// `gearctl serve`: run the gear-file registry as a TCP daemon. Mounts a
+/// DiskObjectStore at --store-dir (or a --shards fleet of them) behind a
+/// FrameServer and serves wire frames until SIGTERM/SIGINT. Prints
+/// "serving on HOST:PORT" once bound — with --addr HOST:0 the kernel picks
+/// the port and this line is how callers learn it.
+int cmd_serve() {
+  std::vector<std::unique_ptr<GearRegistry>> shards;
+  std::unique_ptr<FleetRegistry> fleet;
+  if (g_shards > 1) {
+    std::vector<FileRegistryApi*> backends;
+    for (std::size_t i = 0; i < g_shards; ++i) {
+      shards.push_back(std::make_unique<GearRegistry>(
+          std::make_unique<DiskObjectStore>(
+              g_object_store_dir / ("shard-" + std::to_string(i)))));
+      backends.push_back(shards.back().get());
+    }
+    FleetRegistry::Options opts;
+    opts.replicas = g_replicas;
+    fleet = std::make_unique<FleetRegistry>(std::move(backends), opts);
+  } else {
+    shards.push_back(std::make_unique<GearRegistry>(
+        std::make_unique<DiskObjectStore>(g_object_store_dir)));
+  }
+  FileRegistryApi& files =
+      fleet ? static_cast<FileRegistryApi&>(*fleet) : *shards[0];
+  net::FrameServer frames(files);
+  net::TcpServer server(frames);
+
+  // Handlers go in before the socket opens: a supervisor that signals the
+  // moment it reads "serving on" must never catch the default disposition.
+  g_serve_stop = 0;
+  std::signal(SIGTERM, handle_serve_signal);
+  std::signal(SIGINT, handle_serve_signal);
+  server.start(g_addr.host, g_addr.port);
+  std::printf("serving on %s:%u\n", g_addr.host.c_str(),
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+
+  while (g_serve_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.stop();
+  std::fprintf(stderr,
+               "gearctl serve: shut down (%llu connections, %llu frames "
+               "served, %llu rejected)\n",
+               static_cast<unsigned long long>(server.connections_accepted()),
+               static_cast<unsigned long long>(server.frames_served()),
+               static_cast<unsigned long long>(server.frames_rejected()));
+  return 0;
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage: gearctl [--workers N] [--store-dir PATH] "
                "[--shards N] [--replicas R] "
                "[--range-batch N] [--prefetch-order ORDER] [--lazy] "
-               "<store-dir> <command> [args]\n"
+               "[--remote HOST:PORT] <store-dir> <command> [args]\n"
+               "       gearctl serve --addr HOST:PORT --store-dir PATH "
+               "[--shards N] [--replicas R]\n"
                "  --workers N      worker threads for import's fingerprinting/"
                "compression (default: one per core)\n"
                "  --store-dir PATH durable on-disk object store for the gear "
@@ -565,7 +727,13 @@ int usage() {
                "in --prefetch-order behind it\n"
                "  --prefetch-order path|delta|profile  queue discipline of "
                "the prefetch command (default delta)\n"
-               "commands: init | import <dir> <name:tag> [chunk-threshold] | "
+               "  --remote HOST:PORT dial a `gearctl serve` daemon for the "
+               "gear files instead of opening a local store (the docker "
+               "snapshot stays under <store-dir>)\n"
+               "  --addr HOST:PORT serve only: the endpoint to bind "
+               "(HOST:0 = kernel-assigned port, printed on stdout)\n"
+               "commands: serve | "
+               "init | import <dir> <name:tag> [chunk-threshold] | "
                "images | inspect <ref> | cat <ref> <path> [offset length] | "
                "export <ref> <dir> | run <ref> <path...> | "
                "launch [--lazy] <ref> | "
@@ -656,6 +824,26 @@ int main(int argc, char** argv) {
       }
       (is_shards ? g_shards : g_replicas) = static_cast<std::size_t>(parsed);
       it = all.erase(it, it + 2);
+    } else if (*it == "--remote" || *it == "--addr") {
+      const bool is_remote = *it == "--remote";
+      const char* flag = is_remote ? "--remote" : "--addr";
+      if (std::next(it) == all.end()) {
+        std::fprintf(stderr, "gearctl: %s requires HOST:PORT\n", flag);
+        return usage();
+      }
+      StatusOr<net::HostPort> parsed = net::parse_host_port(*std::next(it));
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "gearctl: %s: %s\n", flag,
+                     parsed.message().c_str());
+        return usage();
+      }
+      if (is_remote && parsed->port == 0) {
+        std::fprintf(stderr, "gearctl: --remote cannot dial port 0\n");
+        return usage();
+      }
+      (is_remote ? g_remote : g_addr) = *parsed;
+      (is_remote ? g_remote_set : g_addr_set) = true;
+      it = all.erase(it, it + 2);
     } else if (*it == "--lazy") {
       g_lazy = true;
       it = all.erase(it);
@@ -674,6 +862,47 @@ int main(int argc, char** argv) {
                  "keeps its objects under <store-dir>/shard-<i>)\n");
     return 2;
   }
+
+  // `serve` takes no store-dir positional: the daemon owns no docker half,
+  // only the object store named by --store-dir.
+  if (!all.empty() && all[0] == "serve") {
+    if (all.size() != 1) {
+      std::fprintf(stderr, "gearctl: serve takes no positional arguments\n");
+      return usage();
+    }
+    if (!g_addr_set) {
+      std::fprintf(stderr, "gearctl: serve requires --addr HOST:PORT\n");
+      return usage();
+    }
+    if (g_object_store_dir.empty()) {
+      std::fprintf(stderr,
+                   "gearctl: serve requires --store-dir (the daemon's "
+                   "durable object store)\n");
+      return usage();
+    }
+    if (g_remote_set || g_lazy) {
+      std::fprintf(stderr,
+                   "gearctl: serve is incompatible with --remote/--lazy\n");
+      return usage();
+    }
+    try {
+      return cmd_serve();
+    } catch (const Error& e) {
+      std::fprintf(stderr, "gearctl: %s\n", e.what());
+      return 1;
+    }
+  }
+  if (g_addr_set) {
+    std::fprintf(stderr, "gearctl: --addr is only valid with serve\n");
+    return usage();
+  }
+  if (g_remote_set && (!g_object_store_dir.empty() || g_shards > 1)) {
+    std::fprintf(stderr,
+                 "gearctl: --remote is incompatible with --store-dir/--shards "
+                 "(the daemon owns the object store)\n");
+    return usage();
+  }
+
   if (all.size() < 2) return usage();
   std::string store_dir = all[0];
   std::string cmd = all[1];
