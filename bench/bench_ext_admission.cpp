@@ -1,0 +1,418 @@
+// Extension bench: host-wide admission control (gear/admission).
+//
+// Concurrent deployments on one host each obey their own per-client
+// in-flight cap, but nothing bounds their SUM: 32 simultaneous deploys can
+// stage 32 caps' worth of download+decompression buffers at once. The
+// HostBudget meters every staging buffer against one shared byte budget and
+// admits waiting deploys smallest-remaining-bytes-first, so short deploys
+// slip past long ones instead of queueing behind them.
+//
+// Method: a 32-client deploy storm — one GearClient per thread, each
+// deploying and prefetching its own image (image sizes deliberately spread
+// so "smallest remaining" is meaningful), all clients sharing one Gear
+// Registry and one HostBudget — run twice:
+//   percap — metering-only budget (0 = unbounded): today's behaviour, the
+//            per-client caps are the only bound; records the aggregate
+//            peak the host actually suffers;
+//   budget — the same storm under a fixed host budget B with
+//            smallest-remaining-first admission.
+// Then a deterministic virtual-time replay of the same per-image batch
+// chains through the exported pick_next_ticket() compares
+// smallest-remaining-first against FIFO admission at the same budget —
+// same arrivals, same service model, only the admission order differs.
+//
+// Exit-code bars (also recorded in BENCH_admission.json):
+//   1. peak:  under the budget leg, peak in-flight bytes <= B while the
+//             metering leg's peak overshoots it (the storm really needed
+//             governing);
+//   2. sjf:   smallest-remaining-first mean completion strictly beats FIFO
+//             at the same budget in the deterministic replay;
+//   3. wire:  both storm legs move identical total wire bytes — admission
+//             delays work, it never changes what is downloaded.
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "gear/admission.hpp"
+#include "util/rng.hpp"
+
+using namespace gear;
+
+namespace {
+
+/// One deploying node: clock, WAN link, disk, client.
+struct Universe {
+  sim::SimClock clock;
+  sim::NetworkLink link;
+  sim::DiskModel disk;
+  GearClient client;
+
+  Universe(docker::DockerRegistry& index_registry,
+           FileRegistryApi& file_registry, double scale)
+      : link(sim::scaled_link(clock, 100.0, scale)),
+        disk(sim::DiskModel::scaled_hdd(clock, scale)),
+        client(index_registry, file_registry, link, disk) {}
+};
+
+constexpr std::size_t kClients = 32;
+/// The shared host budget B for the governed leg.
+constexpr std::uint64_t kBudget = 256ull * 1024;
+/// Historical per-client bound (download+decompression staging bytes).
+constexpr std::uint64_t kPerClientCap = 128ull * 1024;
+constexpr std::size_t kBatchFiles = 8;
+/// Largest generated file — well under kBudget so no single request can
+/// exceed the envelope on its own.
+constexpr std::uint64_t kMaxFileBytes = 40ull * 1024;
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0;
+  double s = 0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+struct StormResult {
+  std::vector<double> completion_s;  // per client, storm start -> warm
+  double makespan_s = 0;
+  std::uint64_t wire_bytes = 0;
+  HostBudgetStats budget_stats;
+};
+
+/// Runs the 32-thread storm: every client deploys its own image and
+/// prefetches the remainder, all charging `budget`. Wall-clock completion
+/// per client; deterministic wire bytes from the simulated models.
+StormResult run_storm(docker::DockerRegistry& index_registry,
+                      FileRegistryApi& file_registry,
+                      const std::vector<std::string>& refs, double scale,
+                      HostBudget& budget) {
+  std::vector<std::unique_ptr<Universe>> nodes;
+  nodes.reserve(refs.size());
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    auto u = std::make_unique<Universe>(index_registry, file_registry, scale);
+    u->client.set_concurrency({2, kPerClientCap});
+    u->client.set_download_batch_files(kBatchFiles);
+    u->client.set_host_budget(&budget);
+    nodes.push_back(std::move(u));
+  }
+
+  StormResult out;
+  out.completion_s.assign(refs.size(), 0);
+  std::vector<std::uint64_t> wire(refs.size(), 0);
+  const workload::AccessSet empty_access;
+
+  std::mutex gate_mu;
+  std::condition_variable gate_cv;
+  bool go = false;
+  std::chrono::steady_clock::time_point t0;
+
+  std::vector<std::thread> threads;
+  threads.reserve(refs.size());
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    threads.emplace_back([&, i] {
+      {
+        std::unique_lock<std::mutex> lock(gate_mu);
+        gate_cv.wait(lock, [&] { return go; });
+      }
+      GearClient& client = nodes[i]->client;
+      docker::DeployStats stats = client.deploy(refs[i], empty_access);
+      auto [files, bytes] = client.prefetch_remaining(refs[i]);
+      (void)files;
+      wire[i] = stats.total_bytes() + bytes;
+      out.completion_s[i] =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+    });
+  }
+  {
+    std::lock_guard<std::mutex> lock(gate_mu);
+    t0 = std::chrono::steady_clock::now();
+    go = true;
+  }
+  gate_cv.notify_all();
+  for (auto& t : threads) t.join();
+
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    out.wire_bytes += wire[i];
+    out.makespan_s = std::max(out.makespan_s, out.completion_s[i]);
+  }
+  out.budget_stats = budget.stats();
+  return out;
+}
+
+/// Deterministic virtual-time replay of the storm's batch chains through
+/// pick_next_ticket() — the exact ranking the live HostBudget uses. Every
+/// job arrives at t = 0, fetches its batches serially (a deploy's wire
+/// phase), transfers proceed in parallel at one byte per time unit, and the
+/// budget bounds admitted in-flight bytes. Only the admission order
+/// differs between legs.
+double replay_mean_completion(
+    const std::vector<std::vector<std::uint64_t>>& chains,
+    std::uint64_t budget_bytes, AdmissionOrder order, double* makespan_out) {
+  struct Job {
+    std::vector<std::uint64_t> batches;
+    std::size_t next = 0;
+    std::uint64_t remaining = 0;
+    double done_at = 0;
+  };
+  struct Wait {
+    AdmissionTicket ticket;
+    std::size_t job;
+  };
+  // Completion events: (time, job) — job index breaks ties, so the replay
+  // is fully deterministic.
+  using Done = std::pair<double, std::size_t>;
+  std::priority_queue<Done, std::vector<Done>, std::greater<Done>> done;
+
+  std::vector<Job> jobs;
+  jobs.reserve(chains.size());
+  std::vector<Wait> waiting;
+  std::uint64_t seq = 0;
+  for (const auto& chain : chains) {
+    Job j;
+    j.batches = chain;
+    for (std::uint64_t b : chain) j.remaining += b;
+    jobs.push_back(std::move(j));
+  }
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (jobs[i].batches.empty()) continue;
+    waiting.push_back(
+        {{jobs[i].batches[0], AdmissionLane::kBackground, jobs[i].remaining,
+          seq++},
+         i});
+  }
+
+  double now = 0;
+  std::uint64_t inflight = 0;
+  while (!waiting.empty() || !done.empty()) {
+    // Admit everything the policy allows at this instant.
+    for (;;) {
+      std::vector<AdmissionTicket> tickets;
+      tickets.reserve(waiting.size());
+      for (const Wait& w : waiting) tickets.push_back(w.ticket);
+      std::size_t pick =
+          pick_next_ticket(tickets, inflight, budget_bytes, order);
+      if (pick == kNoTicket) break;
+      Wait w = waiting[pick];
+      waiting.erase(waiting.begin() + static_cast<std::ptrdiff_t>(pick));
+      inflight += w.ticket.bytes;
+      done.push({now + static_cast<double>(w.ticket.bytes), w.job});
+    }
+    if (done.empty()) break;  // nothing in flight and nothing admissible
+    auto [t, ji] = done.top();
+    done.pop();
+    now = t;
+    Job& j = jobs[ji];
+    std::uint64_t bytes = j.batches[j.next];
+    inflight -= bytes;
+    j.remaining -= bytes;
+    ++j.next;
+    if (j.next < j.batches.size()) {
+      waiting.push_back(
+          {{j.batches[j.next], AdmissionLane::kBackground, j.remaining, seq++},
+           ji});
+    } else {
+      j.done_at = now;
+    }
+  }
+
+  double sum = 0;
+  double makespan = 0;
+  for (const Job& j : jobs) {
+    sum += j.done_at;
+    makespan = std::max(makespan, j.done_at);
+  }
+  if (makespan_out != nullptr) *makespan_out = makespan;
+  return jobs.empty() ? 0 : sum / static_cast<double>(jobs.size());
+}
+
+/// The greedy batch former the wire phase uses: cut at kBatchFiles files,
+/// after the per-client cap overflows (the historical rule), and before a
+/// file would push the batch past the host budget.
+std::vector<std::uint64_t> form_batches(const std::vector<std::uint64_t>& files,
+                                        std::uint64_t host_budget) {
+  std::vector<std::uint64_t> batches;
+  std::uint64_t cur = 0;
+  std::size_t n = 0;
+  for (std::uint64_t f : files) {
+    if (n > 0 && host_budget != 0 && cur + f > host_budget) {
+      batches.push_back(cur);
+      cur = 0;
+      n = 0;
+    }
+    cur += f;
+    ++n;
+    if (n >= kBatchFiles || cur >= kPerClientCap) {
+      batches.push_back(cur);
+      cur = 0;
+      n = 0;
+    }
+  }
+  if (n > 0) batches.push_back(cur);
+  return batches;
+}
+
+}  // namespace
+
+int main() {
+  bench::Env e = bench::env();
+  bench::print_title(
+      "EXT: host-wide admission — shared budget, smallest-remaining-first",
+      e);
+
+  docker::DockerRegistry index_registry;
+  GearRegistry file_registry;
+  GearConverter converter;
+
+  // 32 single-version images with deliberately spread sizes (file counts
+  // 6+2i), so "smallest remaining" actually discriminates between deploys.
+  std::vector<std::string> refs;
+  std::vector<std::vector<std::uint64_t>> image_files(kClients);
+  std::uint64_t corpus_bytes = 0;
+  for (std::size_t i = 0; i < kClients; ++i) {
+    Rng rng = Rng::from_label(e.seed, "admission/img" + std::to_string(i));
+    std::size_t n_files = (e.fast ? 6 : 16) + 2 * i;
+    vfs::FileTree tree;
+    for (std::size_t f = 0; f < n_files; ++f) {
+      std::uint64_t size = rng.next_range(4096, kMaxFileBytes);
+      Bytes content(size);
+      for (auto& b : content) b = static_cast<std::uint8_t>(rng.next_u64());
+      image_files[i].push_back(size);
+      corpus_bytes += size;
+      tree.add_file("app/f" + std::to_string(f), std::move(content));
+    }
+    docker::ImageConfig config;
+    config.labels["series"] = "storm" + std::to_string(i);
+    docker::Image image =
+        docker::ImageBuilder().add_snapshot(tree).build(
+            "storm" + std::to_string(i), "v1", std::move(config));
+    push_gear_image(converter.convert(image).image, index_registry,
+                    file_registry);
+    refs.push_back("storm" + std::to_string(i) + ":v1");
+  }
+  std::printf("corpus: %zu images, %s raw; budget B = %s, per-client cap %s\n"
+              "\n",
+              refs.size(), format_size(corpus_bytes).c_str(),
+              format_size(kBudget).c_str(),
+              format_size(kPerClientCap).c_str());
+
+  // Leg 1 — per-client caps only: a metering budget observes the aggregate.
+  HostBudget meter(0, AdmissionOrder::kSmallestFirst);
+  StormResult percap =
+      run_storm(index_registry, file_registry, refs, e.scale, meter);
+
+  // Leg 2 — the same storm under the shared budget.
+  HostBudget governed(kBudget, AdmissionOrder::kSmallestFirst);
+  StormResult budget =
+      run_storm(index_registry, file_registry, refs, e.scale, governed);
+
+  std::vector<int> w = {8, 14, 11, 11, 11, 11, 9};
+  bench::print_row({"leg", "peak inflight", "deploys/s", "p50", "p99",
+                    "mean", "waits"},
+                   w);
+  bench::print_rule(w);
+  auto row = [&](const char* name, const StormResult& r) {
+    char rate[32];
+    std::snprintf(rate, sizeof rate, "%.1f",
+                  r.makespan_s > 0
+                      ? static_cast<double>(kClients) / r.makespan_s
+                      : 0.0);
+    bench::print_row(
+        {name, format_size(r.budget_stats.peak_inflight_bytes), rate,
+         format_duration(bench::percentile(r.completion_s, 50)),
+         format_duration(bench::percentile(r.completion_s, 99)),
+         format_duration(mean(r.completion_s)),
+         std::to_string(r.budget_stats.waits)},
+        w);
+  };
+  row("percap", percap);
+  row("budget", budget);
+
+  // Deterministic replay: identical batch chains, identical budget, only
+  // the admission order differs.
+  std::vector<std::vector<std::uint64_t>> chains;
+  chains.reserve(kClients);
+  for (const auto& files : image_files) {
+    chains.push_back(form_batches(files, kBudget));
+  }
+  double sjf_makespan = 0;
+  double fifo_makespan = 0;
+  double sjf_mean = replay_mean_completion(
+      chains, kBudget, AdmissionOrder::kSmallestFirst, &sjf_makespan);
+  double fifo_mean = replay_mean_completion(chains, kBudget,
+                                            AdmissionOrder::kFifo,
+                                            &fifo_makespan);
+
+  // Bar 1: the governed peak respects B and governing was not a no-op.
+  bool peak_ok =
+      budget.budget_stats.peak_inflight_bytes <= kBudget &&
+      percap.budget_stats.peak_inflight_bytes > kBudget;
+  std::printf("\npeak in-flight: percap %s vs budget %s (B = %s) — %s\n",
+              format_size(percap.budget_stats.peak_inflight_bytes).c_str(),
+              format_size(budget.budget_stats.peak_inflight_bytes).c_str(),
+              format_size(kBudget).c_str(),
+              peak_ok ? "ok, governed <= B < ungoverned"
+                      : "BAR FAILED");
+
+  // Bar 2: smallest-remaining-first strictly beats FIFO on mean completion.
+  bool sjf_ok = sjf_mean < fifo_mean;
+  std::printf("replay mean completion at B: smallest-first %.0f vs FIFO %.0f "
+              "byte-units (makespan %.0f vs %.0f) — %s\n",
+              sjf_mean, fifo_mean, sjf_makespan, fifo_makespan,
+              sjf_ok ? "ok, SJF < FIFO" : "BAR FAILED");
+
+  // Bar 3: admission only delays downloads, it never changes them.
+  bool wire_ok = percap.wire_bytes == budget.wire_bytes;
+  std::printf("wire identity: percap %llu vs budget %llu bytes — %s\n",
+              static_cast<unsigned long long>(percap.wire_bytes),
+              static_cast<unsigned long long>(budget.wire_bytes),
+              wire_ok ? "ok" : "MISMATCH");
+
+  Json doc;
+  doc["bench"] = "ext_admission";
+  doc["scale"] = e.scale;
+  doc["seed"] = e.seed;
+  doc["clients"] = static_cast<std::int64_t>(kClients);
+  doc["budget_bytes"] = kBudget;
+  doc["per_client_cap_bytes"] = kPerClientCap;
+  doc["corpus_bytes"] = corpus_bytes;
+  JsonArray legs;
+  auto leg_json = [&](const char* name, const StormResult& r) {
+    JsonObject o;
+    o["leg"] = name;
+    o["peak_inflight_bytes"] = r.budget_stats.peak_inflight_bytes;
+    o["admitted"] = r.budget_stats.admitted;
+    o["waits"] = r.budget_stats.waits;
+    o["demand_preemptions"] = r.budget_stats.demand_preemptions;
+    o["makespan_s"] = r.makespan_s;
+    o["deploys_per_s"] =
+        r.makespan_s > 0 ? static_cast<double>(kClients) / r.makespan_s : 0;
+    o["completion_p50_s"] = bench::percentile(r.completion_s, 50);
+    o["completion_p99_s"] = bench::percentile(r.completion_s, 99);
+    o["completion_mean_s"] = mean(r.completion_s);
+    o["wire_bytes"] = r.wire_bytes;
+    legs.push_back(Json(std::move(o)));
+  };
+  leg_json("percap", percap);
+  leg_json("budget", budget);
+  doc["legs"] = std::move(legs);
+  doc["replay_sjf_mean"] = sjf_mean;
+  doc["replay_fifo_mean"] = fifo_mean;
+  doc["replay_sjf_makespan"] = sjf_makespan;
+  doc["replay_fifo_makespan"] = fifo_makespan;
+  doc["peak_ok"] = peak_ok;
+  doc["sjf_ok"] = sjf_ok;
+  doc["wire_ok"] = wire_ok;
+  bench::write_json("BENCH_admission.json", doc);
+
+  if (!peak_ok || !sjf_ok || !wire_ok) {
+    std::printf("\nFAILED: admission bars not met\n");
+    return 1;
+  }
+  std::printf("\nall admission bars met\n");
+  return 0;
+}

@@ -1,0 +1,182 @@
+#include "gear/admission.hpp"
+
+#include <algorithm>
+
+namespace gear {
+
+std::size_t pick_next_ticket(const std::vector<AdmissionTicket>& waiting,
+                             std::uint64_t inflight_bytes,
+                             std::uint64_t budget_bytes, AdmissionOrder order) {
+  if (waiting.empty()) return kNoTicket;
+
+  // Demand strictly first: the earliest-arrived demand ticket is the only
+  // admission candidate while any demand ticket waits.
+  std::size_t best = kNoTicket;
+  for (std::size_t i = 0; i < waiting.size(); ++i) {
+    if (waiting[i].lane != AdmissionLane::kDemand) continue;
+    if (best == kNoTicket || waiting[i].seq < waiting[best].seq) best = i;
+  }
+
+  if (best == kNoTicket) {
+    // Background only: rank per the configured order.
+    for (std::size_t i = 0; i < waiting.size(); ++i) {
+      if (best == kNoTicket) {
+        best = i;
+        continue;
+      }
+      const AdmissionTicket& a = waiting[i];
+      const AdmissionTicket& b = waiting[best];
+      bool wins;
+      if (order == AdmissionOrder::kSmallestFirst) {
+        wins = a.remaining_hint != b.remaining_hint
+                   ? a.remaining_hint < b.remaining_hint
+                   : a.seq < b.seq;
+      } else {
+        wins = a.seq < b.seq;
+      }
+      if (wins) best = i;
+    }
+  }
+
+  // Head-of-line semantics: the policy's choice either starts now or
+  // everything waits — no smaller ticket slips past it (that would starve
+  // large deploys and make peak accounting order-dependent). The idle-host
+  // exception keeps oversized requests from deadlocking.
+  const AdmissionTicket& chosen = waiting[best];
+  if (budget_bytes == 0) return best;  // unbounded: metering only
+  if (inflight_bytes == 0) return best;
+  if (inflight_bytes + chosen.bytes <= budget_bytes) return best;
+  return kNoTicket;
+}
+
+HostBudget::HostBudget(std::uint64_t budget_bytes, AdmissionOrder order)
+    : budget_(budget_bytes), order_(order) {}
+
+void HostBudget::charge(std::uint64_t bytes) {
+  inflight_ += bytes;
+  ++stats_.admitted;
+  stats_.peak_inflight_bytes =
+      std::max(stats_.peak_inflight_bytes, inflight_);
+}
+
+void HostBudget::admit_waiters() {
+  while (!waiting_.empty()) {
+    std::vector<AdmissionTicket> tickets;
+    tickets.reserve(waiting_.size());
+    for (const Waiter* w : waiting_) tickets.push_back(w->ticket);
+    std::size_t idx = pick_next_ticket(tickets, inflight_, budget_, order_);
+    if (idx == kNoTicket) break;
+    auto it = waiting_.begin();
+    std::advance(it, idx);
+    Waiter* chosen = *it;
+    if (chosen->ticket.lane == AdmissionLane::kDemand) {
+      for (const Waiter* w : waiting_) {
+        if (w->ticket.lane == AdmissionLane::kBackground) {
+          ++stats_.demand_preemptions;
+          break;
+        }
+      }
+    }
+    waiting_.erase(it);
+    charge(chosen->ticket.bytes);
+    chosen->admitted = true;
+  }
+}
+
+void HostBudget::acquire(std::uint64_t bytes, AdmissionLane lane,
+                         std::uint64_t remaining_hint) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  Waiter waiter;
+  waiter.ticket = {bytes, lane, remaining_hint, next_seq_++};
+
+  bool admit_now = false;
+  if (budget_ == 0) {
+    admit_now = true;  // unbounded: meter only
+  } else if (lane == AdmissionLane::kDemand) {
+    // A demand arrival goes ahead of every queued background ticket but
+    // behind earlier demand tickets (arrival order within the lane).
+    bool earlier_demand = false;
+    for (const Waiter* w : waiting_) {
+      if (w->ticket.lane == AdmissionLane::kDemand) {
+        earlier_demand = true;
+        break;
+      }
+    }
+    admit_now = !earlier_demand &&
+                (inflight_ == 0 || inflight_ + bytes <= budget_);
+    if (admit_now && !waiting_.empty()) ++stats_.demand_preemptions;
+  } else {
+    admit_now =
+        waiting_.empty() && (inflight_ == 0 || inflight_ + bytes <= budget_);
+  }
+
+  if (admit_now) {
+    charge(bytes);
+    return;
+  }
+
+  ++stats_.waits;
+  waiting_.push_back(&waiter);
+  cv_.wait(lock, [&waiter] { return waiter.admitted; });
+}
+
+void HostBudget::release(std::uint64_t bytes) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    inflight_ = bytes > inflight_ ? 0 : inflight_ - bytes;
+    admit_waiters();
+  }
+  cv_.notify_all();
+}
+
+HostBudgetStats HostBudget::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  HostBudgetStats out = stats_;
+  out.inflight_bytes = inflight_;
+  return out;
+}
+
+BudgetLease::BudgetLease(HostBudget* budget, std::uint64_t bytes,
+                         AdmissionLane lane, std::uint64_t remaining_hint)
+    : budget_(budget), bytes_(bytes) {
+  if (budget_ != nullptr) budget_->acquire(bytes_, lane, remaining_hint);
+}
+
+BudgetLease::~BudgetLease() { release(); }
+
+BudgetLease::BudgetLease(BudgetLease&& other) noexcept
+    : budget_(other.budget_), bytes_(other.bytes_) {
+  other.budget_ = nullptr;
+  other.bytes_ = 0;
+}
+
+BudgetLease& BudgetLease::operator=(BudgetLease&& other) noexcept {
+  if (this != &other) {
+    release();
+    budget_ = other.budget_;
+    bytes_ = other.bytes_;
+    other.budget_ = nullptr;
+    other.bytes_ = 0;
+  }
+  return *this;
+}
+
+void BudgetLease::release() {
+  if (budget_ != nullptr) {
+    budget_->release(bytes_);
+    budget_ = nullptr;
+    bytes_ = 0;
+  }
+}
+
+std::shared_ptr<void> make_budget_lease(HostBudget* budget,
+                                        std::uint64_t bytes,
+                                        AdmissionLane lane,
+                                        std::uint64_t remaining_hint) {
+  if (budget == nullptr) return nullptr;
+  auto lease =
+      std::make_shared<BudgetLease>(budget, bytes, lane, remaining_hint);
+  return std::shared_ptr<void>(std::move(lease));
+}
+
+}  // namespace gear

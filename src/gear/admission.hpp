@@ -1,0 +1,163 @@
+// Host-wide admission control for concurrent deploys.
+//
+// Every GearClient caps its own in-flight bytes, but a node running dozens
+// of simultaneous deploys has no global envelope: N clients × per-client cap
+// can overwhelm the host's download + decompression staging memory. The
+// `HostBudget` here is one process-wide in-flight-bytes budget shared by all
+// clients on a node. Each wire batch (download + decompression staging)
+// acquires a lease for its expected bytes before touching the wire and
+// releases it once the batch has been accounted; when the budget is
+// exhausted, acquirers queue and are admitted by policy:
+//
+//   * demand faults (`AdmissionLane::kDemand`) are strictly above
+//     background prefetch/backfill traffic — while any demand ticket waits,
+//     no background ticket is admitted (the host-wide analogue of
+//     gear/prefetch's per-client DemandLane);
+//   * background tickets are admitted smallest-remaining-bytes-first
+//     (`AdmissionOrder::kSmallestFirst`): each ticket carries the owning
+//     deploy's remaining-bytes hint, and the deploy closest to completion
+//     goes first — the classic SJF argument, minimizing mean completion
+//     time under a deploy storm. `kFifo` is the unordered baseline.
+//
+// The selection rule is exported as a pure function (`pick_next_ticket`) so
+// benches/tests can replay recorded storms deterministically through the
+// exact policy the live budget uses.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace gear {
+
+/// Which lane a lease belongs to. Demand faults preempt background work.
+enum class AdmissionLane { kDemand, kBackground };
+
+/// Queue discipline for waiting background tickets.
+enum class AdmissionOrder {
+  kSmallestFirst,  // smallest remaining-bytes deploy first (SJF)
+  kFifo,           // arrival order (the unordered baseline)
+};
+
+/// Telemetry counters; `inflight_bytes` is the live value at snapshot time.
+struct HostBudgetStats {
+  std::uint64_t admitted = 0;             // leases granted
+  std::uint64_t waits = 0;                // leases that had to queue
+  std::uint64_t demand_preemptions = 0;   // demand admitted past waiting
+                                          // background tickets
+  std::uint64_t inflight_bytes = 0;       // currently leased
+  std::uint64_t peak_inflight_bytes = 0;  // high-water mark of the above
+};
+
+/// One queued admission request, as seen by the selection policy. Exposed so
+/// deterministic replays (bench_ext_admission) rank exactly like the live
+/// budget.
+struct AdmissionTicket {
+  std::uint64_t bytes = 0;           // lease size being requested
+  AdmissionLane lane = AdmissionLane::kBackground;
+  std::uint64_t remaining_hint = 0;  // owning deploy's remaining bytes
+  std::uint64_t seq = 0;             // arrival order (FIFO tie-break)
+};
+
+inline constexpr std::size_t kNoTicket = static_cast<std::size_t>(-1);
+
+/// The admission policy, pure: index into `waiting` of the next ticket to
+/// admit given `inflight_bytes` already leased against `budget_bytes`, or
+/// kNoTicket when nothing may start. Rules:
+///   * any waiting demand ticket blocks all background admission; demand
+///     tickets go in arrival order;
+///   * background tickets rank by (remaining_hint, seq) under
+///     kSmallestFirst, by seq alone under kFifo;
+///   * the chosen ticket is admitted only if it fits the budget — except
+///     when nothing is in flight, where it is admitted regardless so an
+///     oversized request can never deadlock the host.
+std::size_t pick_next_ticket(const std::vector<AdmissionTicket>& waiting,
+                             std::uint64_t inflight_bytes,
+                             std::uint64_t budget_bytes, AdmissionOrder order);
+
+/// The process-wide budget. Thread-safe; acquire() blocks until admitted.
+///
+/// `budget_bytes` = 0 means unbounded: every acquire is admitted
+/// immediately and the budget only meters (peak tracking) — used to measure
+/// what today's per-client caps let through.
+class HostBudget {
+ public:
+  explicit HostBudget(std::uint64_t budget_bytes = 0,
+                      AdmissionOrder order = AdmissionOrder::kSmallestFirst);
+
+  HostBudget(const HostBudget&) = delete;
+  HostBudget& operator=(const HostBudget&) = delete;
+
+  /// Blocks until `bytes` fit under the budget per the admission policy,
+  /// then charges them. `remaining_hint` is the owning deploy's estimate of
+  /// its total remaining bytes (smallest-remaining-first key); pass `bytes`
+  /// when no better estimate exists.
+  void acquire(std::uint64_t bytes, AdmissionLane lane,
+               std::uint64_t remaining_hint);
+
+  /// Returns a previously acquired lease. `bytes` must match the acquire.
+  void release(std::uint64_t bytes);
+
+  std::uint64_t budget_bytes() const noexcept { return budget_; }
+  AdmissionOrder order() const noexcept { return order_; }
+
+  HostBudgetStats stats() const;
+
+ private:
+  struct Waiter {
+    AdmissionTicket ticket;
+    bool admitted = false;
+  };
+
+  /// Charges an admitted ticket (locked).
+  void charge(std::uint64_t bytes);
+  /// Admits every currently admissible waiter in policy order (locked).
+  void admit_waiters();
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  const std::uint64_t budget_;
+  const AdmissionOrder order_;
+  std::uint64_t inflight_ = 0;
+  std::uint64_t next_seq_ = 0;
+  /// Waiter frames live on their acquire() stacks; the list holds pointers
+  /// in arrival order — the policy reorders at selection time.
+  std::list<Waiter*> waiting_;
+  HostBudgetStats stats_;
+};
+
+/// RAII lease; a null budget makes it a no-op (clients without host-wide
+/// governance behave exactly as before).
+class BudgetLease {
+ public:
+  BudgetLease() = default;
+  BudgetLease(HostBudget* budget, std::uint64_t bytes, AdmissionLane lane,
+              std::uint64_t remaining_hint);
+  ~BudgetLease();
+
+  BudgetLease(BudgetLease&& other) noexcept;
+  BudgetLease& operator=(BudgetLease&& other) noexcept;
+  BudgetLease(const BudgetLease&) = delete;
+  BudgetLease& operator=(const BudgetLease&) = delete;
+
+  void release();
+
+ private:
+  HostBudget* budget_ = nullptr;
+  std::uint64_t bytes_ = 0;
+};
+
+/// Type-erased lease for pipeline structs that must not depend on this
+/// header's internals (FetchedBatch carries one across the fetch → account
+/// handoff; destruction on any path — accounted, dropped, or thrown past —
+/// returns the bytes). Null when `budget` is null.
+std::shared_ptr<void> make_budget_lease(HostBudget* budget,
+                                        std::uint64_t bytes,
+                                        AdmissionLane lane,
+                                        std::uint64_t remaining_hint);
+
+}  // namespace gear

@@ -141,6 +141,31 @@ SharedFileCache::entry_snapshot() const {
   return out;
 }
 
+std::uint64_t SharedFileCache::set_capacity(std::uint64_t capacity_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity_bytes;
+  if (capacity_ == 0) return 0;  // unbounded
+  std::uint64_t evicted = 0;
+  auto victim = order_.begin();
+  while (size_bytes_ > capacity_ && victim != order_.end()) {
+    auto entry_it = entries_.find(*victim);
+    if (entry_it == entries_.end()) {
+      throw_error(ErrorCode::kInternal, "cache order list out of sync");
+    }
+    if (entry_it->second.links > 0) {
+      ++victim;  // pinned: survives even over the envelope
+      continue;
+    }
+    std::uint64_t size = entry_it->second.content.size();
+    size_bytes_ -= size;
+    evicted += size;
+    victim = order_.erase(victim);
+    entries_.erase(entry_it);
+    ++stats_.evictions;
+  }
+  return evicted;
+}
+
 void SharedFileCache::clear_unpinned() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto it = order_.begin(); it != order_.end();) {

@@ -77,6 +77,13 @@ class SharedFileCache {
   std::uint64_t capacity_bytes() const noexcept { return capacity_; }
   const CacheStats& stats() const noexcept { return stats_; }
 
+  /// Re-bounds the cache at runtime — the disk-pressure response. Evicts
+  /// unpinned entries in policy order until the new envelope fits (0 =
+  /// unbounded again). Pinned entries are never evicted, so pinned bytes
+  /// may still exceed a shrunken envelope; later put()s are then rejected
+  /// until gc/remove_image unpins. Returns bytes evicted.
+  std::uint64_t set_capacity(std::uint64_t capacity_bytes);
+
   /// Drops every unpinned entry (cold-cache experiments).
   void clear_unpinned();
 

@@ -172,6 +172,9 @@ Bytes GearClient::fetch_from_registry(const std::string& reference,
   // backfill drain launches no new batch until this fault completes, and
   // the fault's bytes count against the shared in-flight budget.
   DemandScope demand(&demand_lane_, size);
+  // Host-wide admission: a demand fault takes the strict-priority lane of
+  // the shared budget — admitted ahead of every queued background batch.
+  BudgetLease budget(host_budget_, size, AdmissionLane::kDemand, size);
   std::uint64_t wire = 0;
   std::unique_lock<std::mutex> download_lock(download_mutex_);
   StatusOr<std::vector<Bytes>> got =
@@ -529,6 +532,16 @@ std::pair<std::size_t, std::uint64_t> GearClient::warm_batch(
         requests = manifest->chunks.size() + 1;
       }
     }
+    // Under a host budget, cut BEFORE a batch would outgrow the whole
+    // budget: an admission request larger than the budget only starts on an
+    // idle host, which would let the peak exceed the envelope. (The
+    // per-client cap below keeps its historical cut-after-overflow
+    // boundaries, byte-identical when no budget is attached.)
+    if (host_budget_ != nullptr && host_budget_->budget_bytes() != 0 &&
+        !batch.fps.empty() &&
+        batch.wire_estimate + wire > host_budget_->budget_bytes()) {
+      cut();
+    }
     batch.fps.push_back(fp);
     batch.sizes.push_back(size);
     batch.wire_estimate += wire;
@@ -540,6 +553,15 @@ std::pair<std::size_t, std::uint64_t> GearClient::warm_batch(
     }
   }
   cut();
+
+  // Smallest-remaining-first key for host-wide admission: this drain's
+  // not-yet-accounted wire bytes. Fetch stages read it when requesting
+  // admission; accounting decrements it, so a deploy nearing completion
+  // ranks ahead of one just starting.
+  std::atomic<std::uint64_t> remaining_wire{0};
+  for (const auto& b : batches) {
+    remaining_wire.fetch_add(b.wire_estimate, std::memory_order_relaxed);
+  }
 
   // Backfill coordination state: fingerprints this drain has claimed as
   // singleflight flights (fetch stage claims, accounting publishes).
@@ -614,6 +636,14 @@ std::pair<std::size_t, std::uint64_t> GearClient::warm_batch(
         return empty;
       }
     }
+    // Host-wide admission: stage this batch's download+decompression bytes
+    // under the shared budget (background lane, keyed by the deploy's
+    // remaining bytes). The lease rides inside the FetchedBatch so it is
+    // returned only after accounting — and on any error/drop path via its
+    // destructor.
+    std::shared_ptr<void> lease = make_budget_lease(
+        host_budget_, b.wire_estimate, AdmissionLane::kBackground,
+        remaining_wire.load(std::memory_order_relaxed));
     std::uint64_t wire = 0;
     StatusOr<std::vector<Bytes>> got =
         file_registry_.download_batch(to_fetch, p, &wire);
@@ -632,6 +662,7 @@ std::pair<std::size_t, std::uint64_t> GearClient::warm_batch(
                       " gear files failed: " + got.message());
     }
     FetchedBatch landed;
+    landed.budget_lease = std::move(lease);
     landed.wire_bytes = wire;
     if (!backfill) {
       landed.contents = std::move(got).value();
@@ -646,6 +677,7 @@ std::pair<std::size_t, std::uint64_t> GearClient::warm_batch(
     return landed;
   };
   auto account_stage = [&](const PrefetchBatch& b, FetchedBatch landed) {
+    remaining_wire.fetch_sub(b.wire_estimate, std::memory_order_relaxed);
     const bool all = landed.fetched.empty();
     std::size_t members = 0;
     {
@@ -957,6 +989,11 @@ StatusOr<Bytes> GearClient::read_range(const std::string& container_id,
                                              manifest.file_size - chunk_off);
   }
   DemandScope demand(missing.empty() ? nullptr : &demand_lane_, missing_bytes);
+  // Range faults are demand traffic: stage the missing chunk bytes on the
+  // host budget's strict-priority lane for the whole gathering window.
+  BudgetLease range_budget(missing.empty() ? nullptr : host_budget_,
+                           missing_bytes, AdmissionLane::kDemand,
+                           missing_bytes);
   for (std::size_t b = 0; b < missing.size(); b += range_batch_chunks_) {
     std::vector<std::uint32_t> batch(
         missing.begin() + static_cast<std::ptrdiff_t>(b),

@@ -28,6 +28,7 @@
 
 #include "docker/client.hpp"
 #include "docker/registry.hpp"
+#include "gear/admission.hpp"
 #include "gear/index.hpp"
 #include "gear/prefetch.hpp"
 #include "gear/registry.hpp"
@@ -249,6 +250,17 @@ class GearClient {
     return concurrency_;
   }
 
+  /// Attaches this client to a host-wide admission budget (gear/admission):
+  /// every wire batch and demand fault acquires its bytes from `budget`
+  /// before touching the wire, so N clients on one node never stage more
+  /// than the budget in download+decompression buffers at once. Demand
+  /// faults use the strict-priority lane; bulk batches carry the deploy's
+  /// remaining-bytes hint for smallest-remaining-first admission. The
+  /// budget must outlive the client. Null (default) restores per-client
+  /// caps only.
+  void set_host_budget(HostBudget* budget) { host_budget_ = budget; }
+  HostBudget* host_budget() const noexcept { return host_budget_; }
+
   /// Cap on files per download_batch round-trip in the bulk-fetch paths.
   /// 1 reproduces the serial per-file protocol over the same wire messages
   /// (the per-file baseline of the batching experiments).
@@ -399,6 +411,9 @@ class GearClient {
   /// Demand/backfill link arbiter (lazy deployments). Faults register their
   /// registry fetches; the backfill drain yields while any is in flight.
   DemandLane demand_lane_;
+  /// Optional host-wide admission budget shared across clients (null = per
+  /// client caps only). Not owned.
+  HostBudget* host_budget_ = nullptr;
   /// Per-image index-tree locks (see tree_lock()); guarded by their own
   /// mutex, held only during map lookup/insert.
   std::mutex tree_locks_mutex_;

@@ -48,7 +48,8 @@ std::string ConversionService::receive_image(const docker::Image& image) {
     // the manifest alias; files and index layer dedup away entirely.
     ++stats_.conversions_skipped;
     docker::Manifest alias =
-        index_registry_.get_manifest(it->second).value();
+        unwrap(index_registry_.get_manifest(it->second),
+               "conversion alias: gear manifest " + it->second);
     alias.name = image.manifest.name;
     alias.tag = image.manifest.tag;
     index_registry_.put_manifest_json(alias.reference(),
@@ -76,14 +77,16 @@ std::string ConversionService::receive_image(const docker::Image& image) {
 std::size_t ConversionService::convert_backlog() {
   std::size_t converted = 0;
   for (const std::string& ref : classic_registry_.list_manifests()) {
-    docker::Manifest manifest = classic_registry_.get_manifest(ref).value();
+    docker::Manifest manifest = unwrap(classic_registry_.get_manifest(ref),
+                                       "backlog: classic manifest " + ref);
     if (manifest.config.labels.count(kGearIndexLabel) != 0) continue;
     if (index_registry_.has_manifest(ref)) continue;
     if (auto it = converted_.find(layer_key(manifest));
         it != converted_.end()) {
       // Same filesystem already converted under another tag: alias it.
       docker::Manifest alias =
-          index_registry_.get_manifest(it->second).value();
+          unwrap(index_registry_.get_manifest(it->second),
+                 "backlog alias: gear manifest " + it->second);
       alias.name = manifest.name;
       alias.tag = manifest.tag;
       index_registry_.put_manifest_json(alias.reference(),
@@ -97,7 +100,9 @@ std::size_t ConversionService::convert_backlog() {
     image.manifest = manifest;
     for (const docker::LayerDescriptor& desc : manifest.layers) {
       image.layers.push_back(docker::Layer::from_blob(
-          classic_registry_.get_blob(desc.digest).value(), desc.digest));
+          unwrap(classic_registry_.get_blob(desc.digest),
+                 "backlog: layer " + desc.digest.to_string() + " of " + ref),
+          desc.digest));
     }
     ConversionResult result = converter_.convert(image);
     stats_.files_uploaded += push_gear_image(

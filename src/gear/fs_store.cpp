@@ -1,5 +1,7 @@
 #include "gear/fs_store.hpp"
 
+#include <algorithm>
+
 #include "util/file_io.hpp"
 #include "vfs/tree_serialize.hpp"
 
@@ -63,16 +65,77 @@ bool FsStore::cache_contains(const Fingerprint& fp) const {
 
 void FsStore::cache_put(const Fingerprint& fp, BytesView content) {
   fs::path p = cache_path(fp);
-  if (fs::exists(p)) return;  // deduplicated
+  if (fs::exists(p)) {
+    // Deduplicated insert: under LRU this still counts as a touch.
+    if (cache_policy_ == EvictionPolicy::kLru) {
+      cache_ticks_[fp.hex()] = ++cache_tick_;
+    }
+    return;
+  }
+  if (cache_capacity_ != 0 && !make_cache_room(content.size())) {
+    // Every evictable file is gone and linked bytes still overflow the
+    // envelope. The file lands anyway — the caller is about to hard-link
+    // it into an index — but the overshoot is recorded.
+    ++cache_stats_.rejected;
+  }
   write_file_bytes(p, content);
+  ++cache_stats_.insertions;
+  cache_ticks_[fp.hex()] = ++cache_tick_;
 }
 
 StatusOr<Bytes> FsStore::cache_get(const Fingerprint& fp) const {
   fs::path p = cache_path(fp);
   if (!fs::exists(p)) {
+    ++cache_stats_.misses;
     return {ErrorCode::kNotFound, "not cached: " + fp.hex()};
   }
+  ++cache_stats_.hits;
+  if (cache_policy_ == EvictionPolicy::kLru) {
+    cache_ticks_[fp.hex()] = ++cache_tick_;
+  }
   return read_file_bytes(p);
+}
+
+void FsStore::set_cache_capacity(std::uint64_t capacity_bytes,
+                                 EvictionPolicy policy) {
+  cache_capacity_ = capacity_bytes;
+  cache_policy_ = policy;
+  // Shrinking below current use evicts immediately (disk-pressure response).
+  if (cache_capacity_ != 0) make_cache_room(0);
+}
+
+bool FsStore::make_cache_room(std::uint64_t needed) {
+  std::uint64_t used = cache_bytes();
+  if (used + needed <= cache_capacity_) return true;
+  // Victim scan: unlinked entries (st_nlink == 1) in policy-tick order;
+  // untracked files from earlier processes rank oldest, name-ordered for
+  // determinism.
+  struct Victim {
+    std::uint64_t tick;
+    std::string name;
+    std::uint64_t size;
+  };
+  std::vector<Victim> victims;
+  for (const auto& entry : fs::directory_iterator(root_ / "cache")) {
+    if (!entry.is_regular_file()) continue;
+    if (fs::hard_link_count(entry.path()) != 1) continue;
+    std::string name = entry.path().filename().string();
+    auto it = cache_ticks_.find(name);
+    victims.push_back({it == cache_ticks_.end() ? 0 : it->second, name,
+                       entry.file_size()});
+  }
+  std::sort(victims.begin(), victims.end(),
+            [](const Victim& a, const Victim& b) {
+              return a.tick != b.tick ? a.tick < b.tick : a.name < b.name;
+            });
+  for (const Victim& v : victims) {
+    if (used + needed <= cache_capacity_) break;
+    fs::remove(root_ / "cache" / v.name);
+    cache_ticks_.erase(v.name);
+    used -= v.size;
+    ++cache_stats_.evictions;
+  }
+  return used + needed <= cache_capacity_;
 }
 
 std::size_t FsStore::cache_entries() const {

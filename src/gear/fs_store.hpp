@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "gear/cache.hpp"
 #include "gear/index.hpp"
 #include "util/bytes.hpp"
 #include "util/error.hpp"
@@ -54,6 +55,22 @@ class FsStore {
 
   /// Removes every cache entry no image links to. Returns count removed.
   std::size_t evict_unlinked();
+
+  /// Bounds the on-disk cache — disk-pressure governance for gearctl's
+  /// `--cache-capacity-bytes`/`--eviction`. When an insert would push the
+  /// cache past `capacity_bytes`, unlinked entries (st_nlink == 1) are
+  /// evicted in policy order first — FIFO by insertion, LRU by last
+  /// cache_get (files from earlier processes rank oldest). Linked entries
+  /// are never removed, so pinned bytes may exceed the envelope; such
+  /// inserts still land (the file is about to be hard-linked into an index)
+  /// but count as `rejected`. 0 = unbounded (the default).
+  void set_cache_capacity(std::uint64_t capacity_bytes, EvictionPolicy policy);
+  std::uint64_t cache_capacity() const noexcept { return cache_capacity_; }
+  EvictionPolicy eviction_policy() const noexcept { return cache_policy_; }
+
+  /// This process's cache traffic (hits/misses/insertions/evictions/
+  /// rejected) since the store was opened — `gearctl stats` telemetry.
+  const CacheStats& session_stats() const noexcept { return cache_stats_; }
 
   // ---- Level 2: image index directories --------------------------
 
@@ -105,9 +122,21 @@ class FsStore {
   std::filesystem::path image_dir(const std::string& reference) const;
   std::filesystem::path container_dir(const std::string& id) const;
 
+  /// Evicts unlinked entries in policy order until `needed` more bytes fit
+  /// the envelope. Returns false when pinned bytes still overflow it.
+  bool make_cache_room(std::uint64_t needed);
+
   std::filesystem::path root_;
   std::map<std::string, std::string> container_refs_;  // id -> reference
   std::uint64_t next_container_ = 1;
+  std::uint64_t cache_capacity_ = 0;  // 0 = unbounded
+  EvictionPolicy cache_policy_ = EvictionPolicy::kLru;
+  /// Eviction order: fp-hex -> monotonic tick of insertion (FIFO) or last
+  /// access (LRU). Files written by earlier processes have no tick and rank
+  /// oldest. Mutable: cache_get is logically const but records hotness.
+  mutable std::map<std::string, std::uint64_t> cache_ticks_;
+  mutable std::uint64_t cache_tick_ = 0;
+  mutable CacheStats cache_stats_;
 };
 
 /// Turns an image reference into a safe single directory name

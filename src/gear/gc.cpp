@@ -9,7 +9,8 @@ namespace gear {
 std::unordered_set<Fingerprint, FingerprintHash> GearRegistryGc::mark() const {
   std::unordered_set<Fingerprint, FingerprintHash> live;
   for (const std::string& ref : index_registry_.list_manifests()) {
-    docker::Manifest manifest = index_registry_.get_manifest(ref).value();
+    docker::Manifest manifest = unwrap(index_registry_.get_manifest(ref),
+                                       "gc mark: manifest " + ref);
     if (manifest.config.labels.count(kGearIndexLabel) == 0) {
       continue;  // classic image: references no Gear files
     }
@@ -37,7 +38,8 @@ std::unordered_set<Fingerprint, FingerprintHash> GearRegistryGc::mark() const {
 GcReport GearRegistryGc::collect() {
   GcReport report;
   for (const std::string& ref : index_registry_.list_manifests()) {
-    docker::Manifest manifest = index_registry_.get_manifest(ref).value();
+    docker::Manifest manifest = unwrap(index_registry_.get_manifest(ref),
+                                       "gc scan: manifest " + ref);
     if (manifest.config.labels.count(kGearIndexLabel) != 0) {
       ++report.indexes_scanned;
     }

@@ -54,8 +54,8 @@ vfs::FileTree LocalRuntime::load_index_tree(
 }
 
 Bytes LocalRuntime::materialize(const std::string& reference,
-                                const std::string& path,
-                                const Fingerprint& fp) {
+                                const std::string& path, const Fingerprint& fp,
+                                std::uint64_t size) {
   // Already hard-linked into the image directory by an earlier access?
   if (StatusOr<Bytes> local = store_.read_materialized(reference, path);
       local.ok()) {
@@ -80,6 +80,9 @@ Bytes LocalRuntime::materialize(const std::string& reference,
   if (StatusOr<Bytes> cached = store_.cache_get(fp); cached.ok()) {
     content = std::move(cached).value();
   } else {
+    // A demand fault: its staging bytes take the strict-priority lane of
+    // the host budget, ahead of any queued prefetch batch.
+    BudgetLease lease(host_budget_, size, AdmissionLane::kDemand, size);
     StatusOr<Bytes> fetched = file_registry_.download(fp);
     if (!fetched.ok()) {
       throw_error(fetched.code(), "materialize of " + path + " (" + fp.hex() +
@@ -129,10 +132,19 @@ std::pair<std::size_t, std::uint64_t> LocalRuntime::prefetch(
   }
 
   PrefetchPlan plan = build_prefetch_plan(index, order, previous, profile_ptr);
+  // Smallest-remaining-first key for host-wide admission: the bytes this
+  // prefetch still has to move.
+  std::uint64_t remaining = 0;
+  for (const PrefetchItem& item : plan.items) {
+    if (!store_.cache_contains(item.fingerprint)) remaining += item.size;
+  }
   std::size_t fetched = 0;
   std::uint64_t bytes = 0;
   for (const PrefetchItem& item : plan.items) {
     if (store_.cache_contains(item.fingerprint)) continue;
+    BudgetLease lease(host_budget_, item.size, AdmissionLane::kBackground,
+                      remaining);
+    remaining -= item.size;
     StatusOr<Bytes> content = file_registry_.download(item.fingerprint);
     if (!content.ok()) {
       throw_error(content.code(), "prefetch of " + item.path + " (" +
@@ -147,6 +159,10 @@ std::pair<std::size_t, std::uint64_t> LocalRuntime::prefetch(
   index.walk([&](const std::string& path, const vfs::FileNode& node) {
     if (!node.is_fingerprint()) return;
     if (store_.is_materialized(reference, path)) return;
+    // Under a capacity envelope, an entry this pass cached earlier may
+    // already have been evicted again before anything pinned it. Leave the
+    // stub — a later read demand-faults it in.
+    if (!store_.cache_contains(node.fingerprint())) return;
     store_.link_file(reference, path, node.fingerprint());
   });
   return {fetched, bytes};
@@ -163,8 +179,8 @@ StatusOr<Bytes> LocalRuntime::read(const std::string& container_id,
   GearFileViewer viewer(
       index, diff,
       [this, &reference](const std::string& union_path, const Fingerprint& fp,
-                         std::uint64_t) {
-        return materialize(reference, union_path, fp);
+                         std::uint64_t size) {
+        return materialize(reference, union_path, fp, size);
       });
   return viewer.read_file(path);
 }

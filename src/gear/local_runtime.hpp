@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "docker/registry.hpp"
+#include "gear/admission.hpp"
 #include "gear/committer.hpp"
 #include "gear/fs_store.hpp"
 #include "gear/prefetch.hpp"
@@ -81,6 +82,13 @@ class LocalRuntime {
       const std::string& reference,
       PrefetchOrder order = PrefetchOrder::kDelta);
 
+  /// Attaches a host-wide admission budget (gearctl --host-budget-bytes):
+  /// prefetch's downloads stage their bytes on the background lane,
+  /// demand-fault materializations on the strict-priority demand lane. The
+  /// budget must outlive the runtime; null = ungoverned (the default).
+  void set_host_budget(HostBudget* budget) { host_budget_ = budget; }
+  HostBudget* host_budget() const noexcept { return host_budget_; }
+
   FsStore& store() noexcept { return store_; }
 
  private:
@@ -90,12 +98,14 @@ class LocalRuntime {
 
   /// Materializer callback bound to (reference); fetches through
   /// FsStore-materialized -> cache -> registry, hard-linking on success.
+  /// `size` is the stub's raw size — the demand lane's admission charge.
   Bytes materialize(const std::string& reference, const std::string& path,
-                    const Fingerprint& fp);
+                    const Fingerprint& fp, std::uint64_t size);
 
   docker::DockerRegistry& index_registry_;
   FileRegistryApi& file_registry_;
   FsStore store_;
+  HostBudget* host_budget_ = nullptr;  // not owned
 };
 
 }  // namespace gear

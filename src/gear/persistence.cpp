@@ -18,11 +18,13 @@ PersistReport save_docker_registry(const docker::DockerRegistry& registry,
 
   for (const docker::Digest& digest : registry.list_blobs()) {
     write_file_bytes(root / "docker" / "blobs" / digest.hex(),
-                     registry.get_blob(digest).value());
+                     unwrap(registry.get_blob(digest),
+                            "save: docker blob " + digest.hex()));
     ++report.blobs;
   }
   for (const std::string& ref : registry.list_manifests()) {
-    std::string json = registry.get_manifest_json(ref).value();
+    std::string json = unwrap(registry.get_manifest_json(ref),
+                              "save: docker manifest " + ref);
     write_file_bytes(
         root / "docker" / "manifests" / (sanitize_reference(ref) + ".json"),
         to_bytes(json));
@@ -42,13 +44,16 @@ PersistReport save_gear_registry(const GearRegistry& registry,
   for (const Fingerprint& fp : store.list_objects()) {
     // list_objects() covers plain files AND individual chunks; both are
     // written decompressed and re-compressed deterministically on load.
-    write_file_bytes(root / "gear" / "objects" / fp.hex(),
-                     decompress(store.get(fp).value()));
+    write_file_bytes(
+        root / "gear" / "objects" / fp.hex(),
+        decompress(unwrap(store.get(fp), "save: gear object " + fp.hex())));
     ++report.objects;
   }
   for (const Fingerprint& fp : store.list_manifests()) {
     write_file_bytes(root / "gear" / "chunked" / (fp.hex() + ".gcm"),
-                     store.get_manifest(fp).value().serialize());
+                     unwrap(store.get_manifest(fp),
+                            "save: chunk manifest " + fp.hex())
+                         .serialize());
     ++report.chunk_manifests;
   }
   return report;

@@ -190,6 +190,10 @@ struct PrefetchBatch {
 struct FetchedBatch {
   std::vector<Bytes> contents;
   std::uint64_t wire_bytes = 0;
+  /// Opaque host-budget lease (gear/admission) charged for this batch's
+  /// staging bytes. Held across the fetch → account handoff and returned by
+  /// destruction on every path — accounted, dropped, or thrown past.
+  std::shared_ptr<void> budget_lease;
   /// Per-slot flags for drains that may skip members (empty = every slot
   /// fetched). The lazy backfill leaves fingerprints an in-flight demand
   /// fault already owns to that fault: their contents slots are empty

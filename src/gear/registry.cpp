@@ -161,7 +161,13 @@ StatusOr<std::vector<Bytes>> GearRegistry::download_batch(
         return {whole.code(),
                 "download_batch: " + whole.message() + item_pos};
       }
-      wire += stored_size_locked(fps[i]).value();
+      StatusOr<std::uint64_t> size = stored_size_locked(fps[i]);
+      if (!size.ok()) {
+        return {size.code(), "download_batch: stored size of " +
+                                 fps[i].hex() + ": " + size.message() +
+                                 item_pos};
+      }
+      wire += *size;
       out[i] = std::move(whole).value();
       continue;
     }

@@ -56,6 +56,19 @@ class Error : public std::runtime_error {
   throw Error(code, msg);
 }
 
+template <typename T>
+class StatusOr;
+
+/// Unwraps a StatusOr or rethrows its error with call-site context
+/// prepended ("gc mark: manifest nginx:v3: not found: ..."), so a failure
+/// deep inside a sweep names the ref/path/digest that triggered it instead
+/// of only the producer's message.
+template <typename T>
+T unwrap(StatusOr<T>&& s, const std::string& context) {
+  if (!s.ok()) throw_error(s.code(), context + ": " + s.message());
+  return std::move(s).value();
+}
+
 /// Lightweight value-or-status result for recoverable outcomes.
 ///
 /// Unlike std::optional it records *why* the value is absent, which callers

@@ -1,0 +1,349 @@
+// Host-wide admission control (gear/admission): pick_next_ticket ranking,
+// HostBudget blocking/ordering/preemption, BudgetLease RAII, and the
+// ConcurrentAdmission* suites CI runs under TSAN.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "docker/client.hpp"
+#include "gear/admission.hpp"
+#include "gear/client.hpp"
+#include "gear/converter.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace gear {
+namespace {
+
+AdmissionTicket bg(std::uint64_t bytes, std::uint64_t remaining,
+                   std::uint64_t seq) {
+  return {bytes, AdmissionLane::kBackground, remaining, seq};
+}
+
+AdmissionTicket demand(std::uint64_t bytes, std::uint64_t seq) {
+  return {bytes, AdmissionLane::kDemand, bytes, seq};
+}
+
+TEST(PickNextTicket, EmptyWaitingReturnsNoTicket) {
+  EXPECT_EQ(pick_next_ticket({}, 0, 100, AdmissionOrder::kSmallestFirst),
+            kNoTicket);
+}
+
+TEST(PickNextTicket, ZeroBudgetAlwaysAdmitsPolicyChoice) {
+  std::vector<AdmissionTicket> w = {bg(50, 500, 0), bg(50, 100, 1)};
+  // Unbounded: admits immediately, still picking the policy's head.
+  EXPECT_EQ(pick_next_ticket(w, 1u << 30, 0, AdmissionOrder::kSmallestFirst),
+            1u);
+}
+
+TEST(PickNextTicket, SmallestRemainingFirstAmongBackground) {
+  std::vector<AdmissionTicket> w = {bg(10, 900, 0), bg(10, 30, 2),
+                                    bg(10, 300, 1)};
+  EXPECT_EQ(pick_next_ticket(w, 0, 100, AdmissionOrder::kSmallestFirst), 1u);
+}
+
+TEST(PickNextTicket, SmallestRemainingTieBreaksBySeq) {
+  std::vector<AdmissionTicket> w = {bg(10, 300, 5), bg(10, 300, 2)};
+  EXPECT_EQ(pick_next_ticket(w, 0, 100, AdmissionOrder::kSmallestFirst), 1u);
+}
+
+TEST(PickNextTicket, FifoIgnoresRemainingHint) {
+  std::vector<AdmissionTicket> w = {bg(10, 900, 0), bg(10, 30, 1)};
+  EXPECT_EQ(pick_next_ticket(w, 0, 100, AdmissionOrder::kFifo), 0u);
+}
+
+TEST(PickNextTicket, DemandBeatsSmallerBackground) {
+  std::vector<AdmissionTicket> w = {bg(10, 5, 0), demand(80, 1)};
+  EXPECT_EQ(pick_next_ticket(w, 0, 100, AdmissionOrder::kSmallestFirst), 1u);
+}
+
+TEST(PickNextTicket, EarliestDemandWins) {
+  std::vector<AdmissionTicket> w = {demand(10, 7), demand(10, 3)};
+  EXPECT_EQ(pick_next_ticket(w, 0, 100, AdmissionOrder::kSmallestFirst), 1u);
+}
+
+TEST(PickNextTicket, HeadOfLineBlocksRatherThanSkips) {
+  // The policy's choice (smallest remaining) does not fit; a later, larger-
+  // remaining ticket would — but skipping it would starve the head.
+  std::vector<AdmissionTicket> w = {bg(90, 90, 0), bg(5, 500, 1)};
+  EXPECT_EQ(pick_next_ticket(w, 20, 100, AdmissionOrder::kSmallestFirst),
+            kNoTicket);
+}
+
+TEST(PickNextTicket, OversizedRequestAdmittedWhenIdle) {
+  std::vector<AdmissionTicket> w = {bg(500, 500, 0)};
+  EXPECT_EQ(pick_next_ticket(w, 10, 100, AdmissionOrder::kSmallestFirst),
+            kNoTicket);
+  EXPECT_EQ(pick_next_ticket(w, 0, 100, AdmissionOrder::kSmallestFirst), 0u);
+}
+
+TEST(HostBudget, UnboundedMetersWithoutBlocking) {
+  HostBudget budget(0);
+  budget.acquire(70, AdmissionLane::kBackground, 70);
+  budget.acquire(50, AdmissionLane::kDemand, 50);
+  EXPECT_EQ(budget.stats().peak_inflight_bytes, 120u);
+  EXPECT_EQ(budget.stats().inflight_bytes, 120u);
+  EXPECT_EQ(budget.stats().admitted, 2u);
+  EXPECT_EQ(budget.stats().waits, 0u);
+  budget.release(70);
+  budget.release(50);
+  EXPECT_EQ(budget.stats().inflight_bytes, 0u);
+}
+
+TEST(HostBudget, AcquireBlocksUntilRelease) {
+  HostBudget budget(100);
+  budget.acquire(80, AdmissionLane::kBackground, 80);
+  std::atomic<bool> admitted{false};
+  std::thread waiter([&] {
+    budget.acquire(50, AdmissionLane::kBackground, 50);
+    admitted.store(true);
+    budget.release(50);
+  });
+  while (budget.stats().waits == 0) std::this_thread::yield();
+  EXPECT_FALSE(admitted.load());
+  budget.release(80);
+  waiter.join();
+  EXPECT_TRUE(admitted.load());
+  EXPECT_EQ(budget.stats().inflight_bytes, 0u);
+}
+
+TEST(HostBudget, SmallestRemainingDeployAdmittedFirst) {
+  HostBudget budget(100, AdmissionOrder::kSmallestFirst);
+  budget.acquire(100, AdmissionLane::kBackground, 100);
+
+  std::atomic<int> order{0};
+  std::atomic<int> big_at{0};
+  std::atomic<int> small_at{0};
+  std::thread big([&] {
+    budget.acquire(60, AdmissionLane::kBackground, 900);
+    big_at.store(++order);
+    budget.release(60);
+  });
+  while (budget.stats().waits < 1) std::this_thread::yield();
+  std::thread small([&] {
+    budget.acquire(60, AdmissionLane::kBackground, 70);
+    small_at.store(++order);
+    budget.release(60);
+  });
+  while (budget.stats().waits < 2) std::this_thread::yield();
+
+  // One release, both fit only serially (60 + 60 > 100): the deploy with
+  // the smaller remaining bytes goes first despite queueing second.
+  budget.release(100);
+  big.join();
+  small.join();
+  EXPECT_LT(small_at.load(), big_at.load());
+}
+
+TEST(HostBudget, DemandPreemptsQueuedBackground) {
+  HostBudget budget(100, AdmissionOrder::kSmallestFirst);
+  budget.acquire(100, AdmissionLane::kBackground, 100);
+
+  std::atomic<int> order{0};
+  std::atomic<int> background_at{0};
+  std::atomic<int> demand_at{0};
+  std::thread background([&] {
+    budget.acquire(80, AdmissionLane::kBackground, 80);
+    background_at.store(++order);
+    budget.release(80);
+  });
+  while (budget.stats().waits < 1) std::this_thread::yield();
+  std::thread fault([&] {
+    budget.acquire(80, AdmissionLane::kDemand, 80);
+    demand_at.store(++order);
+    budget.release(80);
+  });
+  while (budget.stats().waits < 2) std::this_thread::yield();
+
+  budget.release(100);
+  background.join();
+  fault.join();
+  EXPECT_LT(demand_at.load(), background_at.load());
+  EXPECT_GE(budget.stats().demand_preemptions, 1u);
+}
+
+TEST(BudgetLease, ReleasesOnDestruction) {
+  HostBudget budget(100);
+  {
+    BudgetLease lease(&budget, 60, AdmissionLane::kBackground, 60);
+    EXPECT_EQ(budget.stats().inflight_bytes, 60u);
+  }
+  EXPECT_EQ(budget.stats().inflight_bytes, 0u);
+}
+
+TEST(BudgetLease, MoveTransfersOwnership) {
+  HostBudget budget(100);
+  BudgetLease a(&budget, 40, AdmissionLane::kBackground, 40);
+  BudgetLease b = std::move(a);
+  EXPECT_EQ(budget.stats().inflight_bytes, 40u);
+  a = BudgetLease();  // idempotent on the moved-from lease
+  EXPECT_EQ(budget.stats().inflight_bytes, 40u);
+  b.release();
+  EXPECT_EQ(budget.stats().inflight_bytes, 0u);
+}
+
+TEST(BudgetLease, NullBudgetIsNoop) {
+  BudgetLease lease(nullptr, 40, AdmissionLane::kBackground, 40);
+  EXPECT_EQ(make_budget_lease(nullptr, 40, AdmissionLane::kBackground, 40),
+            nullptr);
+}
+
+TEST(BudgetLease, TypeErasedLeaseReleasesOnReset) {
+  HostBudget budget(100);
+  std::shared_ptr<void> lease =
+      make_budget_lease(&budget, 60, AdmissionLane::kDemand, 60);
+  ASSERT_NE(lease, nullptr);
+  EXPECT_EQ(budget.stats().inflight_bytes, 60u);
+  lease.reset();
+  EXPECT_EQ(budget.stats().inflight_bytes, 0u);
+}
+
+// ---- ConcurrentAdmission*: CI's TSAN suites --------------------------
+
+TEST(ConcurrentAdmissionStorm, PeakStaysUnderBudgetAcrossThreads) {
+  constexpr std::uint64_t kBudget = 4000;
+  HostBudget budget(kBudget, AdmissionOrder::kSmallestFirst);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(static_cast<std::uint64_t>(t) + 1);
+      for (int i = 0; i < kIters; ++i) {
+        std::uint64_t bytes = rng.next_range(1, 1000);
+        AdmissionLane lane = rng.next_double() < 0.2
+                                 ? AdmissionLane::kDemand
+                                 : AdmissionLane::kBackground;
+        budget.acquire(bytes, lane, bytes * 3);
+        std::this_thread::yield();
+        budget.release(bytes);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_LE(budget.stats().peak_inflight_bytes, kBudget);
+  EXPECT_EQ(budget.stats().inflight_bytes, 0u);
+  EXPECT_EQ(budget.stats().admitted,
+            static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TEST(ConcurrentAdmissionStorm, ClientDeploysShareOneBudget) {
+  // Four clients deploy + fully warm four differently-sized images against
+  // one HostBudget; the aggregate staging peak must respect the envelope
+  // and governing must not change what moves over the wire.
+  docker::DockerRegistry index_registry;
+  GearRegistry file_registry;
+  GearConverter converter;
+  constexpr int kNodes = 4;
+  std::vector<std::string> refs;
+  for (int i = 0; i < kNodes; ++i) {
+    vfs::FileTree tree =
+        gear::testing::random_tree(700 + i, 8 + 6 * i, 4096);
+    docker::ImageBuilder b;
+    b.add_snapshot(tree);
+    docker::Image image =
+        b.build("storm" + std::to_string(i), "v1", docker::ImageConfig{});
+    push_gear_image(converter.convert(image).image, index_registry,
+                    file_registry);
+    refs.push_back("storm" + std::to_string(i) + ":v1");
+  }
+
+  struct Node {
+    sim::SimClock clock;
+    sim::NetworkLink link{clock, 904.0, 0.0005, 0.0003};
+    sim::DiskModel disk{clock, 0.0001, 500.0, 480.0};
+  };
+  auto run_leg = [&](HostBudget& budget) {
+    std::uint64_t wire = 0;
+    std::vector<Node> nodes(kNodes);
+    std::vector<std::unique_ptr<GearClient>> clients;
+    for (int i = 0; i < kNodes; ++i) {
+      clients.push_back(std::make_unique<GearClient>(
+          index_registry, file_registry, nodes[static_cast<std::size_t>(i)]
+              .link,
+          nodes[static_cast<std::size_t>(i)].disk));
+      clients.back()->set_concurrency({2, 8192});
+      clients.back()->set_download_batch_files(4);
+      clients.back()->set_host_budget(&budget);
+    }
+    std::vector<std::thread> threads;
+    std::vector<std::uint64_t> moved(kNodes, 0);
+    const workload::AccessSet empty_access;
+    for (int i = 0; i < kNodes; ++i) {
+      threads.emplace_back([&, i] {
+        docker::DeployStats stats =
+            clients[static_cast<std::size_t>(i)]->deploy(
+                refs[static_cast<std::size_t>(i)], empty_access);
+        auto [files, bytes] =
+            clients[static_cast<std::size_t>(i)]->prefetch_remaining(
+                refs[static_cast<std::size_t>(i)]);
+        (void)files;
+        moved[static_cast<std::size_t>(i)] = stats.total_bytes() + bytes;
+      });
+    }
+    for (auto& t : threads) t.join();
+    for (std::uint64_t m : moved) wire += m;
+    return wire;
+  };
+
+  constexpr std::uint64_t kBudgetBytes = 16 * 1024;
+  HostBudget meter(0);
+  HostBudget governed(kBudgetBytes, AdmissionOrder::kSmallestFirst);
+  std::uint64_t ungoverned_wire = run_leg(meter);
+  std::uint64_t governed_wire = run_leg(governed);
+
+  EXPECT_LE(governed.stats().peak_inflight_bytes, kBudgetBytes);
+  EXPECT_EQ(governed.stats().inflight_bytes, 0u);
+  // Admission delays downloads; it never changes them.
+  EXPECT_EQ(governed_wire, ungoverned_wire);
+  EXPECT_GT(governed_wire, 0u);
+}
+
+TEST(ConcurrentAdmissionEvictionChurn, SharedCacheUnderCapacityPressure) {
+  SharedFileCache cache(64 * 1024, EvictionPolicy::kLru);
+  constexpr int kThreads = 4;
+  constexpr int kIters = 300;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(static_cast<std::uint64_t>(t) + 100);
+      std::vector<Fingerprint> pinned;
+      for (int i = 0; i < kIters; ++i) {
+        Bytes content(rng.next_range(64, 2048),
+                      static_cast<std::uint8_t>(t));
+        Fingerprint fp = default_hasher().fingerprint(content);
+        if (cache.put(fp, std::move(content)) && rng.next_double() < 0.25) {
+          // Pin under a fresh get() so the entry provably still exists.
+          if (cache.get(fp).ok()) {
+            try {
+              cache.link(fp);
+              pinned.push_back(fp);
+            } catch (const Error&) {
+              // evicted between get and link — acceptable churn
+            }
+          }
+        }
+        if (!pinned.empty() && rng.next_double() < 0.2) {
+          cache.unlink(pinned.back());
+          pinned.pop_back();
+        }
+        if (rng.next_double() < 0.02) {
+          cache.set_capacity(rng.next_double() < 0.5 ? 32 * 1024 : 64 * 1024);
+        }
+      }
+      for (const Fingerprint& fp : pinned) cache.unlink(fp);
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Quiescent coherence: everything unpinned now, so one shrink empties
+  // the cache entirely.
+  cache.set_capacity(1);
+  EXPECT_EQ(cache.entry_count(), 0u);
+  EXPECT_EQ(cache.size_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace gear

@@ -215,6 +215,74 @@ TEST(Cache, TicksMakeFifoVersusLruObservable) {
   EXPECT_TRUE(run(EvictionPolicy::kLru));    // recency saved it
 }
 
+TEST(Cache, SetCapacityShrinkEvictsImmediately) {
+  SharedFileCache cache(0, EvictionPolicy::kFifo);
+  for (int i = 0; i < 5; ++i) {
+    cache.put(fp_of(std::to_string(i)), Bytes(1000, 'x'));
+  }
+  std::uint64_t evicted = cache.set_capacity(2500);
+  EXPECT_EQ(evicted, 3000u);
+  EXPECT_EQ(cache.entry_count(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 3u);
+  EXPECT_EQ(cache.capacity_bytes(), 2500u);
+  // FIFO: the three oldest inserts went.
+  EXPECT_FALSE(cache.contains(fp_of("0")));
+  EXPECT_TRUE(cache.contains(fp_of("4")));
+}
+
+TEST(Cache, SetCapacityKeepsPinnedAndCountsRejections) {
+  SharedFileCache cache(0, EvictionPolicy::kLru);
+  cache.put(fp_of("pinned-a"), Bytes(1000, 'a'));
+  cache.put(fp_of("pinned-b"), Bytes(1000, 'b'));
+  cache.link(fp_of("pinned-a"));
+  cache.link(fp_of("pinned-b"));
+  // Pinned bytes exceed the shrunken envelope: nothing is evicted.
+  EXPECT_EQ(cache.set_capacity(500), 0u);
+  EXPECT_EQ(cache.entry_count(), 2u);
+  EXPECT_EQ(cache.size_bytes(), 2000u);
+  // And later inserts are rejected until something unpins.
+  EXPECT_FALSE(cache.put(fp_of("new"), Bytes(100, 'c')));
+  EXPECT_EQ(cache.stats().rejected, 1u);
+}
+
+TEST(Cache, SetCapacityZeroUnboundsAgain) {
+  SharedFileCache cache(1000, EvictionPolicy::kLru);
+  cache.put(fp_of("a"), Bytes(900, 'a'));
+  cache.link(fp_of("a"));  // pinned: no room can be made
+  EXPECT_FALSE(cache.put(fp_of("b"), Bytes(900, 'b')));
+  cache.set_capacity(0);
+  EXPECT_TRUE(cache.put(fp_of("b"), Bytes(900, 'b')));
+  EXPECT_EQ(cache.size_bytes(), 1800u);
+}
+
+TEST(Cache, GcUnpinThenShrinkEvicts) {
+  // The gc-refcount path: linked while an image references the file,
+  // unlinked on image deletion, then disk pressure reclaims it.
+  SharedFileCache cache(0, EvictionPolicy::kLru);
+  cache.put(fp_of("shared"), Bytes(1000, 's'));
+  cache.link(fp_of("shared"));
+  EXPECT_EQ(cache.set_capacity(500), 0u);  // pinned: survives
+  EXPECT_TRUE(cache.contains(fp_of("shared")));
+  cache.unlink(fp_of("shared"));
+  EXPECT_EQ(cache.set_capacity(500), 1000u);  // unpinned: reclaimed
+  EXPECT_FALSE(cache.contains(fp_of("shared")));
+}
+
+TEST(Cache, SetCapacityVictimDiffersByPolicy) {
+  // Same sequence, same shrink — the policies reclaim different entries,
+  // observable through entry_stats survivors.
+  auto survivor = [](EvictionPolicy policy) {
+    SharedFileCache cache(0, policy);
+    cache.put(fp_of("old"), Bytes(1000, 'o'));
+    cache.put(fp_of("new"), Bytes(1000, 'n'));
+    cache.get(fp_of("old")).value();  // refresh the older insert
+    cache.set_capacity(1000);
+    return cache.entry_stats(fp_of("old")).has_value();
+  };
+  EXPECT_FALSE(survivor(EvictionPolicy::kFifo));
+  EXPECT_TRUE(survivor(EvictionPolicy::kLru));
+}
+
 TEST(Cache, EvictionFreesExactBytes) {
   SharedFileCache cache(3000, EvictionPolicy::kFifo);
   cache.put(fp_of("a"), Bytes(1500, 'a'));

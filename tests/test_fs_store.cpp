@@ -226,6 +226,81 @@ TEST_F(FsStoreFixture, EndToEndWithConverter) {
   }
 }
 
+TEST_F(FsStoreFixture, CacheCapacityEvictsFifoByInsertion) {
+  store->set_cache_capacity(25, EvictionPolicy::kFifo);
+  Fingerprint a = put("aaaaaaaaaa");  // 10 bytes, oldest
+  Fingerprint b = put("bbbbbbbbbb");
+  // Touch the oldest — FIFO must ignore recency.
+  store->cache_get(a).value();
+  Fingerprint c = put("cccccccccc");  // needs room: evicts a
+  EXPECT_FALSE(store->cache_contains(a));
+  EXPECT_TRUE(store->cache_contains(b));
+  EXPECT_TRUE(store->cache_contains(c));
+  EXPECT_EQ(store->session_stats().evictions, 1u);
+}
+
+TEST_F(FsStoreFixture, CacheCapacityLruKeepsTouchedEntry) {
+  store->set_cache_capacity(25, EvictionPolicy::kLru);
+  Fingerprint a = put("aaaaaaaaaa");
+  Fingerprint b = put("bbbbbbbbbb");
+  store->cache_get(a).value();  // refresh a: b is now the LRU victim
+  Fingerprint c = put("cccccccccc");
+  EXPECT_TRUE(store->cache_contains(a));
+  EXPECT_FALSE(store->cache_contains(b));
+  EXPECT_TRUE(store->cache_contains(c));
+}
+
+TEST_F(FsStoreFixture, LinkedFilesSurvivePressureAndOvershootIsCounted) {
+  Fingerprint fp = put("pinned-content");  // 14 bytes
+  GearIndex index = GearIndex::from_root_fs(
+      gear::testing::sample_tree(), [](const std::string&, const Bytes& c) {
+        return default_hasher().fingerprint(c);
+      });
+  store->install_index("app:v1", index);
+  store->link_file("app:v1", "etc/pinned", fp);
+  EXPECT_GT(store->link_count(fp), 1u);
+
+  store->set_cache_capacity(10, EvictionPolicy::kLru);
+  // The hard-linked file must not be evicted even though it alone
+  // overflows the envelope...
+  EXPECT_TRUE(store->cache_contains(fp));
+  // ...and the next insert lands anyway (it is about to be linked) but is
+  // recorded as an overshoot.
+  Fingerprint extra = put("x");
+  EXPECT_TRUE(store->cache_contains(extra));
+  EXPECT_EQ(store->session_stats().rejected, 1u);
+}
+
+TEST_F(FsStoreFixture, ImageRemovalUnpinsForEviction) {
+  Fingerprint fp = put("gc-me-please");
+  GearIndex index = GearIndex::from_root_fs(
+      gear::testing::sample_tree(), [](const std::string&, const Bytes& c) {
+        return default_hasher().fingerprint(c);
+      });
+  store->install_index("app:v1", index);
+  store->link_file("app:v1", "etc/f", fp);
+
+  store->set_cache_capacity(5, EvictionPolicy::kLru);
+  EXPECT_TRUE(store->cache_contains(fp));  // pinned: survives the shrink
+  store->remove_image("app:v1");           // st_nlink drops back to 1
+  store->set_cache_capacity(5, EvictionPolicy::kLru);
+  EXPECT_FALSE(store->cache_contains(fp));
+  EXPECT_EQ(store->session_stats().evictions, 1u);
+}
+
+TEST_F(FsStoreFixture, PreexistingFilesRankOldestUnderCapacity) {
+  // Files written by an earlier process carry no tick: they are evicted
+  // before anything this process inserted.
+  Fingerprint old_fp = put("from-before");
+  store = std::make_unique<FsStore>(root);  // reopen: tick map is empty
+  store->set_cache_capacity(30, EvictionPolicy::kLru);
+  Fingerprint fresh = put("fresh-contentfresh");  // 18 bytes
+  Fingerprint fresh2 = put("0123456789");         // 10 bytes: needs room
+  EXPECT_FALSE(store->cache_contains(old_fp));
+  EXPECT_TRUE(store->cache_contains(fresh));
+  EXPECT_TRUE(store->cache_contains(fresh2));
+}
+
 TEST(SanitizeReference, MapsAndRejects) {
   EXPECT_EQ(sanitize_reference("nginx:1.17"), "nginx_1.17");
   EXPECT_EQ(sanitize_reference("library/redis:7"), "library_redis_7");

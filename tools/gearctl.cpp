@@ -82,6 +82,19 @@ std::size_t g_replicas = 1;
 /// Only valid with the launch command.
 bool g_lazy = false;
 
+/// --host-budget-bytes N: process-wide admission budget (gear/admission).
+/// Every download this invocation stages — prefetch batches on the
+/// background lane, demand-fault materializations on the strict-priority
+/// lane — acquires its bytes here first. 0 = ungoverned.
+std::uint64_t g_host_budget_bytes = 0;
+std::unique_ptr<HostBudget> g_host_budget;
+
+/// --cache-capacity-bytes N / --eviction {fifo,lru}: disk envelope of the
+/// local runtime's shared file cache. Inserts that would exceed it evict
+/// unlinked (st_nlink == 1) entries in policy order first. 0 = unbounded.
+std::uint64_t g_cache_capacity_bytes = 0;
+EvictionPolicy g_eviction = EvictionPolicy::kLru;
+
 /// --remote HOST:PORT: dial a `gearctl serve` daemon for the gear files
 /// instead of opening a local store. Empty = local mode.
 net::HostPort g_remote;
@@ -460,10 +473,50 @@ int cmd_run(Store& store, const std::string& ref,
   return 0;
 }
 
+/// Builds the container runtime with this invocation's governance applied:
+/// --cache-capacity-bytes/--eviction bound the on-disk cache,
+/// --host-budget-bytes meters every download through the shared admission
+/// budget.
+LocalRuntime make_runtime(Store& store) {
+  LocalRuntime runtime(store.docker, store.files(), store.root / "local");
+  if (g_cache_capacity_bytes != 0) {
+    runtime.store().set_cache_capacity(g_cache_capacity_bytes, g_eviction);
+  }
+  if (g_host_budget) runtime.set_host_budget(g_host_budget.get());
+  return runtime;
+}
+
+/// After a governed command: one stderr line of admission + cache-pressure
+/// telemetry, so runs under --host-budget-bytes/--cache-capacity-bytes show
+/// what the envelopes did.
+void report_governance(const FsStore& fs) {
+  if (g_host_budget) {
+    HostBudgetStats s = g_host_budget->stats();
+    std::fprintf(stderr,
+                 "admission: budget %s, %llu admitted, %llu waits, "
+                 "%llu demand preemptions, peak in-flight %s\n",
+                 format_size(g_host_budget->budget_bytes()).c_str(),
+                 static_cast<unsigned long long>(s.admitted),
+                 static_cast<unsigned long long>(s.waits),
+                 static_cast<unsigned long long>(s.demand_preemptions),
+                 format_size(s.peak_inflight_bytes).c_str());
+  }
+  if (fs.cache_capacity() != 0) {
+    const CacheStats& c = fs.session_stats();
+    std::fprintf(stderr,
+                 "cache pressure: capacity %s, used %s, %llu evictions, "
+                 "%llu rejected\n",
+                 format_size(fs.cache_capacity()).c_str(),
+                 format_size(fs.cache_bytes()).c_str(),
+                 static_cast<unsigned long long>(c.evictions),
+                 static_cast<unsigned long long>(c.rejected));
+  }
+}
+
 int cmd_launch(Store& store, const std::string& ref, bool lazy) {
   // The runtime talks to store.files(): the fleet router with --shards > 1,
   // the single backend otherwise — lazy fault-in works against both.
-  LocalRuntime runtime(store.docker, store.files(), store.root / "local");
+  LocalRuntime runtime = make_runtime(store);
   runtime.pull(ref);
   std::string container = runtime.launch(ref);
   store.save();  // the pull may have cached nothing, but keep state coherent
@@ -479,12 +532,13 @@ int cmd_launch(Store& store, const std::string& ref, bool lazy) {
                  ref.c_str(), prefetch_order_name(g_prefetch_order), files,
                  format_size(bytes).c_str());
   }
+  report_governance(runtime.store());
   return 0;
 }
 
 int cmd_exec_read(Store& store, const std::string& container,
                   const std::string& path) {
-  LocalRuntime runtime(store.docker, store.files(), store.root / "local");
+  LocalRuntime runtime = make_runtime(store);
   StatusOr<Bytes> content = runtime.read(container, path);
   if (!content.ok()) {
     std::fprintf(stderr, "read failed: %s\n", path.c_str());
@@ -496,7 +550,7 @@ int cmd_exec_read(Store& store, const std::string& container,
 
 int cmd_exec_write(Store& store, const std::string& container,
                    const std::string& path, const std::string& text) {
-  LocalRuntime runtime(store.docker, store.files(), store.root / "local");
+  LocalRuntime runtime = make_runtime(store);
   runtime.write(container, path, to_bytes(text));
   std::printf("wrote %zu bytes to %s:%s\n", text.size(), container.c_str(),
               path.c_str());
@@ -504,13 +558,14 @@ int cmd_exec_write(Store& store, const std::string& container,
 }
 
 int cmd_prefetch(Store& store, const std::string& ref) {
-  LocalRuntime runtime(store.docker, store.files(), store.root / "local");
+  LocalRuntime runtime = make_runtime(store);
   if (!runtime.has_image(ref)) runtime.pull(ref);
   auto [files, bytes] = runtime.prefetch(ref, g_prefetch_order);
   store.save();
   std::printf("prefetched %s (%s order): %zu files, %s\n", ref.c_str(),
               prefetch_order_name(g_prefetch_order), files,
               format_size(bytes).c_str());
+  report_governance(runtime.store());
   return 0;
 }
 
@@ -521,7 +576,7 @@ int cmd_commit(Store& store, const std::string& container,
     std::fprintf(stderr, "reference must be name:tag\n");
     return 2;
   }
-  LocalRuntime runtime(store.docker, store.files(), store.root / "local");
+  LocalRuntime runtime = make_runtime(store);
   std::string result = runtime.commit(container, ref.substr(0, colon),
                                       ref.substr(colon + 1));
   store.save();
@@ -649,6 +704,38 @@ int cmd_stats(Store& store) {
                 store.single()->object_count(),
                 format_size(store.single()->storage_bytes()).c_str());
   }
+
+  // The local runtime's on-disk cache (level 1 of the three-level store)
+  // under this invocation's governance flags, plus its session telemetry —
+  // commands that ran in this process (launch/prefetch/read) land here.
+  FsStore local(store.root / "local");
+  const CacheStats& cache = local.session_stats();
+  std::printf("local cache:     %zu files, %s used, capacity %s, "
+              "eviction %s\n",
+              local.cache_entries(), format_size(local.cache_bytes()).c_str(),
+              g_cache_capacity_bytes == 0
+                  ? "unbounded"
+                  : format_size(g_cache_capacity_bytes).c_str(),
+              g_eviction == EvictionPolicy::kFifo ? "fifo" : "lru");
+  std::printf("  session: %llu hits, %llu misses, %llu insertions, "
+              "%llu evictions, %llu rejected\n",
+              static_cast<unsigned long long>(cache.hits),
+              static_cast<unsigned long long>(cache.misses),
+              static_cast<unsigned long long>(cache.insertions),
+              static_cast<unsigned long long>(cache.evictions),
+              static_cast<unsigned long long>(cache.rejected));
+  if (g_host_budget) {
+    HostBudgetStats s = g_host_budget->stats();
+    std::printf("admission:       budget %s, %llu admitted, %llu waits, "
+                "%llu demand preemptions, peak in-flight %s\n",
+                format_size(g_host_budget->budget_bytes()).c_str(),
+                static_cast<unsigned long long>(s.admitted),
+                static_cast<unsigned long long>(s.waits),
+                static_cast<unsigned long long>(s.demand_preemptions),
+                format_size(s.peak_inflight_bytes).c_str());
+  } else {
+    std::printf("admission:       ungoverned (no --host-budget-bytes)\n");
+  }
   return 0;
 }
 
@@ -708,6 +795,8 @@ int usage() {
                "usage: gearctl [--workers N] [--store-dir PATH] "
                "[--shards N] [--replicas R] "
                "[--range-batch N] [--prefetch-order ORDER] [--lazy] "
+               "[--host-budget-bytes N] [--cache-capacity-bytes N] "
+               "[--eviction fifo|lru] "
                "[--remote HOST:PORT] <store-dir> <command> [args]\n"
                "       gearctl serve --addr HOST:PORT --store-dir PATH "
                "[--shards N] [--replicas R]\n"
@@ -727,6 +816,14 @@ int usage() {
                "in --prefetch-order behind it\n"
                "  --prefetch-order path|delta|profile  queue discipline of "
                "the prefetch command (default delta)\n"
+               "  --host-budget-bytes N  host-wide in-flight byte budget: "
+               "every download this invocation stages acquires admission "
+               "first (demand faults above prefetch; default ungoverned)\n"
+               "  --cache-capacity-bytes N  disk envelope of the local "
+               "runtime cache; inserts evict unlinked entries in --eviction "
+               "order when it would overflow (default unbounded)\n"
+               "  --eviction fifo|lru  cache eviction policy under "
+               "--cache-capacity-bytes (default lru)\n"
                "  --remote HOST:PORT dial a `gearctl serve` daemon for the "
                "gear files instead of opening a local store (the docker "
                "snapshot stays under <store-dir>)\n"
@@ -844,12 +941,54 @@ int main(int argc, char** argv) {
       (is_remote ? g_remote : g_addr) = *parsed;
       (is_remote ? g_remote_set : g_addr_set) = true;
       it = all.erase(it, it + 2);
+    } else if (*it == "--host-budget-bytes" ||
+               *it == "--cache-capacity-bytes") {
+      const bool is_budget = *it == "--host-budget-bytes";
+      const char* flag =
+          is_budget ? "--host-budget-bytes" : "--cache-capacity-bytes";
+      if (std::next(it) == all.end()) {
+        std::fprintf(stderr, "gearctl: %s requires a byte count\n", flag);
+        return 2;
+      }
+      const std::string& value = *std::next(it);
+      char* end = nullptr;
+      unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+      if (value.empty() || end == nullptr || *end != '\0' || parsed < 1) {
+        std::fprintf(stderr,
+                     "gearctl: %s expects a byte count >= 1, got '%s'\n",
+                     flag, value.c_str());
+        return 2;
+      }
+      (is_budget ? g_host_budget_bytes : g_cache_capacity_bytes) =
+          static_cast<std::uint64_t>(parsed);
+      it = all.erase(it, it + 2);
+    } else if (*it == "--eviction") {
+      if (std::next(it) == all.end()) {
+        std::fprintf(stderr, "gearctl: --eviction requires fifo or lru\n");
+        return 2;
+      }
+      const std::string& value = *std::next(it);
+      if (value == "fifo") {
+        g_eviction = EvictionPolicy::kFifo;
+      } else if (value == "lru") {
+        g_eviction = EvictionPolicy::kLru;
+      } else {
+        std::fprintf(stderr,
+                     "gearctl: --eviction expects fifo or lru, got '%s'\n",
+                     value.c_str());
+        return 2;
+      }
+      it = all.erase(it, it + 2);
     } else if (*it == "--lazy") {
       g_lazy = true;
       it = all.erase(it);
     } else {
       ++it;
     }
+  }
+  if (g_host_budget_bytes != 0) {
+    g_host_budget = std::make_unique<HostBudget>(
+        g_host_budget_bytes, AdmissionOrder::kSmallestFirst);
   }
   if (g_replicas > g_shards) {
     std::fprintf(stderr, "gearctl: --replicas %zu exceeds --shards %zu\n",
