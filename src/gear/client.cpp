@@ -247,16 +247,15 @@ Bytes GearClient::materialize(const std::string& reference,
       return std::move(cached).value();
     }
   }
-  // Cooperative source next (cluster peers, §VI-B) — cheaper than the WAN.
-  // Invoked outside the locks: the callback may reach into other clients.
-  if (peer_source_) {
-    if (std::optional<Bytes> peer = peer_source_(fp, size)) {
+  // Cooperative tiers next (cluster peers, §VI-B) — cheaper than the WAN.
+  // Invoked outside the locks: the callbacks may reach into other clients.
+  if (has_peer_source()) {
+    if (std::optional<Bytes> peer = consult_peer_tiers(fp, size)) {
       if (peer->size() != size) {
         throw_error(ErrorCode::kCorruptData,
                     "peer served wrong size for " + fp.hex());
       }
       std::lock_guard<std::mutex> lock(state_mutex_);
-      ++peer_hits_;
       disk_.write(peer->size());
       if (store_.cache().put(fp, *peer)) {
         store_.record_link(reference, fp);
@@ -417,6 +416,74 @@ std::mutex* GearClient::tree_lock(const std::string& reference) {
   return slot.get();
 }
 
+void GearClient::add_peer_source(PeerSource source) {
+  if (!source) return;
+  if (peer_tiers_.size() >= kMaxPeerTiers) {
+    throw_error(ErrorCode::kInvalidArgument,
+                "add_peer_source: tier ladder full");
+  }
+  peer_tiers_.push_back(std::move(source));
+}
+
+void GearClient::add_batch_peer_source(BatchPeerSource source) {
+  if (!source) return;
+  if (batch_peer_tiers_.size() >= kMaxPeerTiers) {
+    throw_error(ErrorCode::kInvalidArgument,
+                "add_batch_peer_source: tier ladder full");
+  }
+  batch_peer_tiers_.push_back(std::move(source));
+}
+
+std::vector<std::uint64_t> GearClient::peer_tier_hits() const {
+  std::vector<std::uint64_t> out(kMaxPeerTiers, 0);
+  for (std::size_t t = 0; t < kMaxPeerTiers; ++t) {
+    out[t] = peer_tier_hits_[t].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::optional<Bytes> GearClient::consult_peer_tiers(const Fingerprint& fp,
+                                                    std::uint64_t size) {
+  for (std::size_t t = 0; t < peer_tiers_.size(); ++t) {
+    if (std::optional<Bytes> hit = peer_tiers_[t](fp, size)) {
+      peer_hits_.fetch_add(1, std::memory_order_relaxed);
+      peer_tier_hits_[t].fetch_add(1, std::memory_order_relaxed);
+      return hit;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<std::optional<Bytes>> GearClient::consult_batch_peer_tiers(
+    const std::vector<std::pair<Fingerprint, std::uint64_t>>& wanted) {
+  std::vector<std::optional<Bytes>> out(wanted.size());
+  // Slots every earlier tier missed, as indices into `wanted`.
+  std::vector<std::size_t> open(wanted.size());
+  for (std::size_t i = 0; i < wanted.size(); ++i) open[i] = i;
+  for (std::size_t t = 0; t < batch_peer_tiers_.size() && !open.empty(); ++t) {
+    std::vector<std::pair<Fingerprint, std::uint64_t>> ask;
+    ask.reserve(open.size());
+    for (std::size_t i : open) ask.push_back(wanted[i]);
+    std::vector<std::optional<Bytes>> answers = batch_peer_tiers_[t](ask);
+    if (answers.size() != ask.size()) {
+      throw_error(ErrorCode::kInternal,
+                  "batch peer source answered the wrong number of slots");
+    }
+    std::vector<std::size_t> still;
+    for (std::size_t i = 0; i < open.size(); ++i) {
+      if (answers[i].has_value()) {
+        peer_hits_.fetch_add(1, std::memory_order_relaxed);
+        peer_tier_hits_[t].fetch_add(1, std::memory_order_relaxed);
+        out[open[i]] = std::move(answers[i]);
+      } else {
+        still.push_back(open[i]);
+      }
+    }
+    open = std::move(still);
+  }
+  return out;
+}
+
 util::ThreadPool* GearClient::pool() {
   std::size_t width = concurrency_.resolved_workers();
   if (width <= 1) return nullptr;
@@ -458,12 +525,9 @@ std::pair<std::size_t, std::uint64_t> GearClient::warm_batch(
   for (const auto& [fp, size] : wanted) {
     if (!store_.cache().contains(fp)) misses.emplace_back(fp, size);
   }
-  if (batch_peer_source_ && !misses.empty()) {
-    std::vector<std::optional<Bytes>> from_peers = batch_peer_source_(misses);
-    if (from_peers.size() != misses.size()) {
-      throw_error(ErrorCode::kInternal,
-                  "batch peer source answered the wrong number of slots");
-    }
+  if (has_batch_peer_source() && !misses.empty()) {
+    std::vector<std::optional<Bytes>> from_peers =
+        consult_batch_peer_tiers(misses);
     std::vector<std::pair<Fingerprint, std::uint64_t>> still;
     std::lock_guard<std::mutex> lock(state_mutex_);
     for (std::size_t i = 0; i < misses.size(); ++i) {
@@ -475,7 +539,6 @@ std::pair<std::size_t, std::uint64_t> GearClient::warm_batch(
         throw_error(ErrorCode::kCorruptData,
                     "peer served wrong size for " + misses[i].first.hex());
       }
-      ++peer_hits_;
       disk_.write(from_peers[i]->size());
       store_.cache().put(misses[i].first, std::move(*from_peers[i]));
     }
@@ -494,15 +557,14 @@ std::pair<std::size_t, std::uint64_t> GearClient::warm_batch(
     batch = PrefetchBatch{};
   };
   for (const auto& [fp, size] : misses) {
-    // Per-file cooperative source next, as in the on-demand path (§VI-B).
-    if (peer_source_) {
-      if (std::optional<Bytes> peer = peer_source_(fp, size)) {
+    // Per-file cooperative tiers next, as in the on-demand path (§VI-B).
+    if (has_peer_source()) {
+      if (std::optional<Bytes> peer = consult_peer_tiers(fp, size)) {
         if (peer->size() != size) {
           throw_error(ErrorCode::kCorruptData,
                       "peer served wrong size for " + fp.hex());
         }
         std::lock_guard<std::mutex> lock(state_mutex_);
-        ++peer_hits_;
         disk_.write(peer->size());
         store_.cache().put(fp, std::move(*peer));
         continue;
@@ -944,7 +1006,7 @@ StatusOr<Bytes> GearClient::read_range(const std::string& container_id,
   // Gather pass 2 — one batched peer probe for every missing chunk. Peers
   // serve chunk fingerprints from their shared caches exactly like whole
   // files; a miss falls through to the registry.
-  if (batch_peer_source_ && !missing.empty()) {
+  if (has_batch_peer_source() && !missing.empty()) {
     std::vector<std::pair<Fingerprint, std::uint64_t>> ask;
     ask.reserve(missing.size());
     for (std::uint32_t c : missing) {
@@ -954,11 +1016,8 @@ StatusOr<Bytes> GearClient::read_range(const std::string& container_id,
                        std::min<std::uint64_t>(manifest.chunk_bytes,
                                                manifest.file_size - chunk_off));
     }
-    std::vector<std::optional<Bytes>> from_peers = batch_peer_source_(ask);
-    if (from_peers.size() != ask.size()) {
-      return {ErrorCode::kInternal,
-              "batch peer source answered the wrong number of slots"};
-    }
+    std::vector<std::optional<Bytes>> from_peers =
+        consult_batch_peer_tiers(ask);
     std::vector<std::uint32_t> still;
     for (std::size_t i = 0; i < missing.size(); ++i) {
       if (!from_peers[i].has_value()) {
@@ -969,7 +1028,6 @@ StatusOr<Bytes> GearClient::read_range(const std::string& container_id,
         return {ErrorCode::kCorruptData,
                 "peer served wrong size for " + ask[i].first.hex()};
       }
-      ++peer_hits_;
       disk_.write(from_peers[i]->size());
       store_.cache().put(ask[i].first, *from_peers[i]);
       pieces[missing[i] - first] = std::move(*from_peers[i]);

@@ -1,5 +1,8 @@
 #include "p2p/cluster.hpp"
 
+#include "p2p/topology.hpp"
+#include "util/error.hpp"
+
 namespace gear::p2p {
 
 namespace {
@@ -60,192 +63,118 @@ std::vector<std::optional<std::string>> PeerTracker::locate_many(
   return out;
 }
 
+std::vector<std::string> PeerTracker::locate_ranked(
+    const Fingerprint& fp, const std::string& requester) const {
+  std::lock_guard guard(mutex_);
+  std::vector<std::string> out;
+  auto it = holders_.find(fp);
+  if (it == holders_.end()) return out;
+  for (const std::string& node : it->second) {
+    if (node != requester) out.push_back(node);
+  }
+  return out;
+}
+
+std::vector<std::vector<std::string>> PeerTracker::locate_ranked_many(
+    const std::vector<Fingerprint>& fps, const std::string& requester) const {
+  std::lock_guard guard(mutex_);
+  std::vector<std::vector<std::string>> out(fps.size());
+  for (std::size_t i = 0; i < fps.size(); ++i) {
+    auto it = holders_.find(fps[i]);
+    if (it == holders_.end()) continue;
+    for (const std::string& node : it->second) {
+      if (node != requester) out[i].push_back(node);
+    }
+  }
+  return out;
+}
+
+std::vector<Fingerprint> PeerTracker::announced() const {
+  std::lock_guard guard(mutex_);
+  std::vector<Fingerprint> out;
+  out.reserve(holders_.size());
+  for (const auto& [fp, nodes] : holders_) {
+    if (!nodes.empty()) out.push_back(fp);
+  }
+  return out;
+}
+
 std::size_t PeerTracker::announced_objects() const {
   std::lock_guard guard(mutex_);
   return holders_.size();
 }
 
-Cluster::Cluster(docker::DockerRegistry& index_registry,
-                 FileRegistryApi& file_registry, const Params& params) {
+
+namespace {
+Topology::Params single_site(const Cluster::Params& params) {
   if (params.nodes == 0) {
     throw_error(ErrorCode::kInvalidArgument, "cluster needs nodes");
   }
-  for (std::size_t i = 0; i < params.nodes; ++i) {
-    auto node = std::make_unique<Node>();
-    node->id = "node" + std::to_string(i);
-    node->wan = std::make_unique<sim::NetworkLink>(
-        sim::scaled_link(clock_, params.wan_mbps, params.byte_scale));
-    node->lan = std::make_unique<sim::NetworkLink>(
-        sim::scaled_link(clock_, params.lan_mbps, params.byte_scale,
-                         /*rtt_seconds=*/0.0002,
-                         /*request_overhead_seconds=*/0.0001));
-    node->disk = std::make_unique<sim::DiskModel>(
-        sim::DiskModel::scaled_ssd(clock_, params.byte_scale));
-    node->client = std::make_unique<GearClient>(
-        index_registry, file_registry, *node->wan, *node->disk,
-        params.runtime);
-    node->client->set_prefetch_order(params.prefetch_order);
-
-    // Peer fetch path: tracker lookup, then read straight out of the
-    // holder's shared cache over the LAN link.
-    Node* raw = node.get();
-    node->client->set_peer_source(
-        [this, raw](const Fingerprint& fp,
-                    std::uint64_t size) -> std::optional<Bytes> {
-          StatusOr<std::string> holder = tracker_.locate(fp, raw->id);
-          if (!holder.ok()) return std::nullopt;
-          for (const auto& peer : nodes_) {
-            if (peer->id != *holder || peer->retired) continue;
-            StatusOr<Bytes> content = peer->client->store().cache().get(fp);
-            if (!content.ok()) return std::nullopt;  // stale advertisement
-            (void)size;
-            raw->lan->request(content->size());
-            lan_bytes_ += content->size();
-            return std::move(content).value();
-          }
-          return std::nullopt;
-        });
-
-    // Batched fan-out: one tracker query for the whole miss list, then one
-    // pipelined LAN burst per holder. Slots no peer can serve stay nullopt
-    // and fall through to the registry.
-    if (params.batch_peer_fetch) {
-      node->client->set_batch_peer_source(
-          [this, raw](const std::vector<std::pair<Fingerprint, std::uint64_t>>&
-                          wanted) -> std::vector<std::optional<Bytes>> {
-            std::vector<std::optional<Bytes>> out(wanted.size());
-            std::vector<Fingerprint> fps(wanted.size());
-            for (std::size_t i = 0; i < wanted.size(); ++i) {
-              fps[i] = wanted[i].first;
-            }
-            std::vector<std::optional<std::string>> holders =
-                tracker_.locate_many(fps, raw->id);
-            std::map<std::string, std::vector<std::size_t>> by_holder;
-            for (std::size_t i = 0; i < holders.size(); ++i) {
-              if (holders[i].has_value()) by_holder[*holders[i]].push_back(i);
-            }
-            for (const auto& [holder_id, slots] : by_holder) {
-              Node* peer = nullptr;
-              for (const auto& p : nodes_) {
-                if (p->id == holder_id && !p->retired) {
-                  peer = p.get();
-                  break;
-                }
-              }
-              if (peer == nullptr) continue;  // stale advertisement
-              std::uint64_t burst_bytes = 0;
-              std::uint64_t served = 0;
-              for (std::size_t slot : slots) {
-                StatusOr<Bytes> content =
-                    peer->client->store().cache().get(wanted[slot].first);
-                if (!content.ok()) continue;  // stale advertisement
-                burst_bytes += content->size();
-                ++served;
-                out[slot] = std::move(content).value();
-              }
-              if (served > 0) {
-                raw->lan->pipelined(burst_bytes, served);
-                lan_bytes_ += burst_bytes;
-                ++lan_bursts_;
-              }
-            }
-            return out;
-          });
-    }
-    nodes_.push_back(std::move(node));
-  }
+  Topology::Params tp;
+  tp.sites = 1;
+  tp.nodes_per_site = params.nodes;
+  // The flat-LAN experiments' historical link latencies, unchanged.
+  tp.wan_link = sim::LinkProfile{params.wan_mbps, /*rtt_seconds=*/0.0005,
+                                 /*request_overhead_seconds=*/0.0003};
+  tp.lan_link = sim::LinkProfile{params.lan_mbps, /*rtt_seconds=*/0.0002,
+                                 /*request_overhead_seconds=*/0.0001};
+  tp.byte_scale = params.byte_scale;
+  tp.runtime = params.runtime;
+  tp.batch_peer_fetch = params.batch_peer_fetch;
+  tp.cross_site_fetch = false;  // one site: there is no second tier
+  tp.prefetch_order = params.prefetch_order;
+  return tp;
 }
+}  // namespace
+
+Cluster::Cluster(docker::DockerRegistry& index_registry,
+                 FileRegistryApi& file_registry, const Params& params)
+    : topo_(std::make_unique<Topology>(index_registry, file_registry,
+                                       single_site(params))) {}
+
+Cluster::~Cluster() = default;
+
+std::size_t Cluster::size() const noexcept { return topo_->size(); }
 
 docker::DeployStats Cluster::deploy(std::size_t node,
                                     const std::string& reference,
                                     const workload::AccessSet& access,
                                     std::string* container_id_out,
                                     DeployMode mode) {
-  if (node >= nodes_.size()) {
-    throw_error(ErrorCode::kInvalidArgument, "no such node");
-  }
-  Node& n = *nodes_[node];
-  docker::DeployStats stats =
-      n.client->deploy(reference, access, container_id_out, mode);
-  if (!n.retired) {
-    tracker_.announce_all(n.id, n.client->store().cache().fingerprints());
-  }
-  return stats;
+  return topo_->deploy(0, node, reference, access, container_id_out, mode);
 }
 
 std::pair<std::size_t, std::uint64_t> Cluster::backfill(
     std::size_t node, const std::string& reference) {
-  if (node >= nodes_.size()) {
-    throw_error(ErrorCode::kInvalidArgument, "no such node");
-  }
-  Node& n = *nodes_[node];
-  std::pair<std::size_t, std::uint64_t> moved =
-      n.client->backfill_remaining(reference);
-  if (!n.retired) {
-    tracker_.announce_all(n.id, n.client->store().cache().fingerprints());
-  }
-  return moved;
+  return topo_->backfill(0, node, reference);
 }
 
 StatusOr<Bytes> Cluster::read_range(std::size_t node,
                                     const std::string& container_id,
                                     std::string_view path, std::uint64_t offset,
                                     std::uint64_t length) {
-  if (node >= nodes_.size()) {
-    throw_error(ErrorCode::kInvalidArgument, "no such node");
-  }
-  Node& n = *nodes_[node];
-  StatusOr<Bytes> out =
-      n.client->read_range(container_id, path, offset, length);
-  if (out.ok() && !n.retired) {
-    // Chunk objects land in the shared cache like whole files; advertise
-    // them so later readers on other nodes batch-pull from this one.
-    tracker_.announce_all(n.id, n.client->store().cache().fingerprints());
-  }
-  return out;
+  return topo_->read_range(0, node, container_id, path, offset, length);
 }
 
 std::pair<std::size_t, std::uint64_t> Cluster::prefetch(
     std::size_t node, const std::string& reference) {
-  if (node >= nodes_.size()) {
-    throw_error(ErrorCode::kInvalidArgument, "no such node");
-  }
-  Node& n = *nodes_[node];
-  std::pair<std::size_t, std::uint64_t> moved =
-      n.client->prefetch_remaining(reference);
-  if (!n.retired) {
-    tracker_.announce_all(n.id, n.client->store().cache().fingerprints());
-  }
-  return moved;
+  return topo_->prefetch(0, node, reference);
 }
 
-void Cluster::retire_node(std::size_t node) {
-  if (node >= nodes_.size()) {
-    throw_error(ErrorCode::kInvalidArgument, "no such node");
-  }
-  nodes_[node]->retired = true;
-  tracker_.retract_node(nodes_[node]->id);
+void Cluster::retire_node(std::size_t node) { topo_->retire_node(0, node); }
+
+std::uint64_t Cluster::wan_bytes() const { return topo_->wan_bytes(); }
+
+std::uint64_t Cluster::lan_bytes() const noexcept {
+  return topo_->lan_bytes();
 }
 
-std::uint64_t Cluster::wan_bytes() const {
-  std::uint64_t total = 0;
-  for (const auto& node : nodes_) {
-    total += node->wan->stats().bytes_transferred;
-  }
-  return total;
+std::uint64_t Cluster::lan_bursts() const noexcept {
+  return topo_->lan_bursts();
 }
 
-std::uint64_t Cluster::peer_hits() const {
-  std::uint64_t total = 0;
-  for (const auto& node : nodes_) total += node->client->peer_hits();
-  return total;
-}
+std::uint64_t Cluster::peer_hits() const { return topo_->peer_hits(); }
 
-GearClient& Cluster::node(std::size_t i) {
-  if (i >= nodes_.size()) {
-    throw_error(ErrorCode::kInvalidArgument, "no such node");
-  }
-  return *nodes_[i]->client;
-}
+GearClient& Cluster::node(std::size_t i) { return topo_->node(0, i); }
 
 }  // namespace gear::p2p

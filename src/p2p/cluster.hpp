@@ -52,6 +52,21 @@ class PeerTracker {
   std::vector<std::optional<std::string>> locate_many(
       const std::vector<Fingerprint>& fps, const std::string& requester) const;
 
+  /// Every node advertising `fp` (excluding `requester`), in tracker order.
+  /// A fetcher walks the list so a holder that left or lost the object
+  /// degrades to the next holder instead of failing the pull.
+  std::vector<std::string> locate_ranked(const Fingerprint& fp,
+                                         const std::string& requester) const;
+
+  /// Batched ranked locate: out[i] is every holder of fps[i] in tracker
+  /// order (excluding `requester`). One query answers the whole miss list.
+  std::vector<std::vector<std::string>> locate_ranked_many(
+      const std::vector<Fingerprint>& fps, const std::string& requester) const;
+
+  /// Digest of every advertised fingerprint — the gossip payload one site's
+  /// tracker shares with other sites in a multi-site topology.
+  std::vector<Fingerprint> announced() const;
+
   std::size_t announced_objects() const;
 
  private:
@@ -59,8 +74,13 @@ class PeerTracker {
   std::map<Fingerprint, std::set<std::string>> holders_;
 };
 
-/// A cluster of Gear nodes sharing one simulated clock: each node has a WAN
-/// link to the registries and a LAN link to its peers.
+class Topology;
+
+/// A single-site cluster of Gear nodes: each node has a WAN link to the
+/// registries and a LAN link to its peers. Since the multi-site growth this
+/// is a thin facade over a one-site Topology (p2p/topology.hpp) — same
+/// tracker, same batched fan-out, same byte accounting — kept for the flat
+/// LAN experiments and API compatibility.
 class Cluster {
  public:
   struct Params {
@@ -83,9 +103,9 @@ class Cluster {
   /// with registry scale-out unchanged).
   Cluster(docker::DockerRegistry& index_registry,
           FileRegistryApi& file_registry, const Params& params);
+  ~Cluster();
 
-  std::size_t size() const noexcept { return nodes_.size(); }
-  sim::SimClock& clock() noexcept { return clock_; }
+  std::size_t size() const noexcept;
 
   /// Deploys on one node; peer fetches and tracker announcements happen
   /// automatically. The launched container id is written to
@@ -127,31 +147,18 @@ class Cluster {
   /// Aggregate WAN bytes pulled from the registries by all nodes.
   std::uint64_t wan_bytes() const;
   /// Aggregate LAN bytes moved between peers.
-  std::uint64_t lan_bytes() const noexcept { return lan_bytes_; }
+  std::uint64_t lan_bytes() const noexcept;
   /// Pipelined LAN bursts issued by batched peer fetches (each serves a
   /// whole holder group in one round trip; legacy per-object probes are not
   /// counted here).
-  std::uint64_t lan_bursts() const noexcept { return lan_bursts_; }
+  std::uint64_t lan_bursts() const noexcept;
   /// Peer-satisfied fetches across the cluster.
   std::uint64_t peer_hits() const;
 
   GearClient& node(std::size_t i);
 
  private:
-  struct Node {
-    std::string id;
-    std::unique_ptr<sim::NetworkLink> wan;
-    std::unique_ptr<sim::NetworkLink> lan;
-    std::unique_ptr<sim::DiskModel> disk;
-    std::unique_ptr<GearClient> client;
-    bool retired = false;
-  };
-
-  sim::SimClock clock_;
-  PeerTracker tracker_;
-  std::vector<std::unique_ptr<Node>> nodes_;
-  std::uint64_t lan_bytes_ = 0;
-  std::uint64_t lan_bursts_ = 0;
+  std::unique_ptr<Topology> topo_;
 };
 
 }  // namespace gear::p2p

@@ -1,0 +1,451 @@
+#include "p2p/topology.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace gear::p2p {
+
+Topology::Topology(docker::DockerRegistry& index_registry,
+                   FileRegistryApi& file_registry, const Params& params)
+    : params_(params),
+      file_registry_(file_registry),
+      nodes_per_site_(params.nodes_per_site) {
+  if (params.sites == 0 || params.nodes_per_site == 0) {
+    throw_error(ErrorCode::kInvalidArgument,
+                "topology needs at least one site and one node");
+  }
+  for (std::size_t s = 0; s < params.sites; ++s) {
+    auto site = std::make_unique<Site>();
+    for (std::size_t n = 0; n < params.nodes_per_site; ++n) {
+      auto node = std::make_unique<Node>();
+      node->id = "s" + std::to_string(s) + ".n" + std::to_string(n);
+      node->site = s;
+      node->clock = std::make_unique<sim::SimClock>();
+      node->wan = std::make_unique<sim::NetworkLink>(
+          sim::scaled_link(*node->clock, params.wan_link, params.byte_scale));
+      node->lan = std::make_unique<sim::NetworkLink>(
+          sim::scaled_link(*node->clock, params.lan_link, params.byte_scale));
+      node->disk = std::make_unique<sim::DiskModel>(
+          sim::DiskModel::scaled_ssd(*node->clock, params.byte_scale));
+      node->client = std::make_unique<GearClient>(
+          index_registry, file_registry, *node->wan, *node->disk,
+          params.runtime);
+      node->client->set_prefetch_order(params.prefetch_order);
+
+      // Two-tier cooperative ladder: tier 0 asks the site tracker and reads
+      // over the LAN; tier 1 follows gossiped digests to another site over
+      // the WAN; the registry (the client's own fall-through) stays last.
+      Node* raw = node.get();
+      node->client->add_peer_source(
+          [this, raw](const Fingerprint& fp,
+                      std::uint64_t size) -> std::optional<Bytes> {
+            (void)size;
+            return fetch_local(*raw, fp);
+          });
+      if (params.cross_site_fetch && params.sites > 1) {
+        node->client->add_peer_source(
+            [this, raw](const Fingerprint& fp,
+                        std::uint64_t size) -> std::optional<Bytes> {
+              (void)size;
+              return fetch_cross_site(*raw, fp);
+            });
+      }
+      if (params.batch_peer_fetch) {
+        node->client->add_batch_peer_source(
+            [this,
+             raw](const std::vector<std::pair<Fingerprint, std::uint64_t>>&
+                      wanted) -> std::vector<std::optional<Bytes>> {
+              return fetch_local_batch(*raw, wanted);
+            });
+        if (params.cross_site_fetch && params.sites > 1) {
+          node->client->add_batch_peer_source(
+              [this,
+               raw](const std::vector<std::pair<Fingerprint, std::uint64_t>>&
+                        wanted) -> std::vector<std::optional<Bytes>> {
+                return fetch_cross_site_batch(*raw, wanted);
+              });
+        }
+      }
+      site->nodes.push_back(std::move(node));
+    }
+    sites_.push_back(std::move(site));
+  }
+}
+
+Topology::Node& Topology::checked(std::size_t site, std::size_t node) {
+  if (site >= sites_.size() || node >= sites_[site]->nodes.size()) {
+    throw_error(ErrorCode::kInvalidArgument, "no such node");
+  }
+  return *sites_[site]->nodes[node];
+}
+
+Topology::Node* Topology::find_serving(std::size_t site,
+                                       const std::string& node_id) {
+  for (const auto& node : sites_[site]->nodes) {
+    if (node->id == node_id) {
+      return node->down.load(std::memory_order_acquire) ? nullptr : node.get();
+    }
+  }
+  return nullptr;
+}
+
+StatusOr<Bytes> Topology::read_peer_cache(const Node& peer,
+                                          const Fingerprint& fp) {
+  StatusOr<Bytes> content = peer.client->store().cache().get(fp);
+  if (!content.ok()) {
+    return {content.code(), "peer " + peer.id + " serving " + fp.hex() + ": " +
+                                content.message()};
+  }
+  return content;
+}
+
+void Topology::announce_node(Node& n) {
+  if (n.down.load(std::memory_order_acquire)) return;
+  sites_[n.site]->tracker.announce_all(
+      n.id, n.client->store().cache().fingerprints());
+  if (params_.eager_gossip && params_.cross_site_fetch && sites_.size() > 1) {
+    propagate_site_digest(n.site);
+  }
+}
+
+void Topology::propagate_site_digest(std::size_t from) {
+  std::vector<Fingerprint> digest = sites_[from]->tracker.announced();
+  for (std::size_t s = 0; s < sites_.size(); ++s) {
+    if (s == from) continue;
+    Site& site = *sites_[s];
+    std::lock_guard guard(site.adverts_mutex);
+    for (auto it = site.remote_adverts.begin();
+         it != site.remote_adverts.end();) {
+      it->second.erase(from);
+      if (it->second.empty()) {
+        it = site.remote_adverts.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (const Fingerprint& fp : digest) {
+      site.remote_adverts[fp].insert(from);
+    }
+  }
+}
+
+void Topology::gossip() {
+  for (std::size_t s = 0; s < sites_.size(); ++s) propagate_site_digest(s);
+}
+
+std::vector<std::size_t> Topology::advertised_sites(
+    std::size_t site, const Fingerprint& fp) const {
+  const Site& s = *sites_[site];
+  std::lock_guard guard(s.adverts_mutex);
+  auto it = s.remote_adverts.find(fp);
+  if (it == s.remote_adverts.end()) return {};
+  return {it->second.begin(), it->second.end()};
+}
+
+std::optional<Bytes> Topology::fetch_local(Node& self, const Fingerprint& fp) {
+  for (const std::string& holder_id :
+       sites_[self.site]->tracker.locate_ranked(fp, self.id)) {
+    Node* peer = find_serving(self.site, holder_id);
+    if (peer == nullptr) continue;  // holder left/crashed: next holder
+    StatusOr<Bytes> content = read_peer_cache(*peer, fp);
+    if (!content.ok()) {
+      if (content.code() == ErrorCode::kNotFound) continue;  // stale advert
+      throw_error(content.code(), content.message());
+    }
+    self.lan->request(content->size());
+    lan_bytes_.fetch_add(content->size(), std::memory_order_relaxed);
+    return unwrap(std::move(content), "local peer fetch of " + fp.hex());
+  }
+  return std::nullopt;
+}
+
+std::uint64_t Topology::wan_wire_cost(const Fingerprint& fp,
+                                      std::uint64_t raw_size) const {
+  // Transport-backed registries would pay a metadata round trip per query;
+  // charge raw bytes there rather than perturb their link accounting.
+  if (file_registry_.transport_accounted()) return raw_size;
+  StatusOr<std::uint64_t> stored = file_registry_.stored_size(fp);
+  return stored.ok() ? *stored : raw_size;
+}
+
+std::optional<Bytes> Topology::fetch_cross_site(Node& self,
+                                                const Fingerprint& fp) {
+  for (std::size_t remote : advertised_sites(self.site, fp)) {
+    // The digest names a *site*; ask that site's tracker for live holders.
+    for (const std::string& holder_id :
+         sites_[remote]->tracker.locate_ranked(fp, self.id)) {
+      Node* peer = find_serving(remote, holder_id);
+      if (peer == nullptr) continue;
+      StatusOr<Bytes> content = read_peer_cache(*peer, fp);
+      if (!content.ok()) {
+        if (content.code() == ErrorCode::kNotFound) continue;
+        throw_error(content.code(), content.message());
+      }
+      std::uint64_t wire = wan_wire_cost(fp, content->size());
+      self.wan->request(wire);
+      wan_peer_bytes_.fetch_add(wire, std::memory_order_relaxed);
+      return unwrap(std::move(content),
+                    "cross-site peer fetch of " + fp.hex());
+    }
+  }
+  return std::nullopt;  // stale digest everywhere: registry
+}
+
+std::vector<std::optional<Bytes>> Topology::fetch_local_batch(
+    Node& self,
+    const std::vector<std::pair<Fingerprint, std::uint64_t>>& wanted) {
+  std::vector<std::optional<Bytes>> out(wanted.size());
+  std::vector<Fingerprint> fps(wanted.size());
+  for (std::size_t i = 0; i < wanted.size(); ++i) fps[i] = wanted[i].first;
+  std::vector<std::vector<std::string>> ranked =
+      sites_[self.site]->tracker.locate_ranked_many(fps, self.id);
+
+  // Attempt rounds: each unserved slot targets its next-ranked holder, one
+  // pipelined burst per holder per round. Round 1 is the whole fan-out in
+  // the steady state; later rounds only fire when a holder left mid-storm
+  // or advertised stale content (degrade to the next holder).
+  std::vector<std::size_t> attempt(wanted.size(), 0);
+  for (;;) {
+    std::map<std::string, std::vector<std::size_t>> by_holder;
+    for (std::size_t i = 0; i < wanted.size(); ++i) {
+      if (out[i].has_value() || attempt[i] >= ranked[i].size()) continue;
+      by_holder[ranked[i][attempt[i]]].push_back(i);
+    }
+    if (by_holder.empty()) break;
+    for (const auto& [holder_id, slots] : by_holder) {
+      Node* peer = find_serving(self.site, holder_id);
+      std::uint64_t burst_bytes = 0;
+      std::uint64_t served = 0;
+      for (std::size_t slot : slots) {
+        if (peer != nullptr) {
+          StatusOr<Bytes> content =
+              read_peer_cache(*peer, wanted[slot].first);
+          if (content.ok()) {
+            burst_bytes += content->size();
+            ++served;
+            out[slot] = unwrap(
+                std::move(content),
+                "local peer burst of " + wanted[slot].first.hex());
+            continue;
+          }
+          if (content.code() != ErrorCode::kNotFound) {
+            throw_error(content.code(), content.message());
+          }
+        }
+        ++attempt[slot];  // holder down or stale: try the next one
+      }
+      if (served > 0) {
+        self.lan->pipelined(burst_bytes, served);
+        lan_bytes_.fetch_add(burst_bytes, std::memory_order_relaxed);
+        lan_bursts_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::optional<Bytes>> Topology::fetch_cross_site_batch(
+    Node& self,
+    const std::vector<std::pair<Fingerprint, std::uint64_t>>& wanted) {
+  std::vector<std::optional<Bytes>> out(wanted.size());
+  // Group slots by the first advertising site, then burst per live holder
+  // inside that site; a slot whose site turns out stale retries the next
+  // advertised site in a later round.
+  std::vector<std::vector<std::size_t>> candidate_sites(wanted.size());
+  for (std::size_t i = 0; i < wanted.size(); ++i) {
+    candidate_sites[i] = advertised_sites(self.site, wanted[i].first);
+  }
+  std::vector<std::size_t> attempt(wanted.size(), 0);
+  for (;;) {
+    std::map<std::size_t, std::vector<std::size_t>> by_site;
+    for (std::size_t i = 0; i < wanted.size(); ++i) {
+      if (out[i].has_value() || attempt[i] >= candidate_sites[i].size()) {
+        continue;
+      }
+      by_site[candidate_sites[i][attempt[i]]].push_back(i);
+    }
+    if (by_site.empty()) break;
+    for (const auto& [remote, slots] : by_site) {
+      std::vector<Fingerprint> fps;
+      fps.reserve(slots.size());
+      for (std::size_t slot : slots) fps.push_back(wanted[slot].first);
+      std::vector<std::vector<std::string>> ranked =
+          sites_[remote]->tracker.locate_ranked_many(fps, self.id);
+      std::map<std::string, std::vector<std::size_t>> by_holder;
+      for (std::size_t k = 0; k < slots.size(); ++k) {
+        if (ranked[k].empty()) {
+          ++attempt[slots[k]];  // site digest was stale for this object
+          continue;
+        }
+        by_holder[ranked[k][0]].push_back(slots[k]);
+      }
+      for (const auto& [holder_id, holder_slots] : by_holder) {
+        Node* peer = find_serving(remote, holder_id);
+        std::uint64_t burst_bytes = 0;
+        std::uint64_t served = 0;
+        for (std::size_t slot : holder_slots) {
+          if (peer != nullptr) {
+            StatusOr<Bytes> content =
+                read_peer_cache(*peer, wanted[slot].first);
+            if (content.ok()) {
+              burst_bytes += wan_wire_cost(wanted[slot].first, content->size());
+              ++served;
+              out[slot] = unwrap(
+                  std::move(content),
+                  "cross-site peer burst of " + wanted[slot].first.hex());
+              continue;
+            }
+            if (content.code() != ErrorCode::kNotFound) {
+              throw_error(content.code(), content.message());
+            }
+          }
+          ++attempt[slot];  // holder down or stale: next advertised site
+        }
+        if (served > 0) {
+          self.wan->pipelined(burst_bytes, served);
+          wan_peer_bytes_.fetch_add(burst_bytes, std::memory_order_relaxed);
+          wan_peer_bursts_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+docker::DeployStats Topology::deploy(std::size_t site, std::size_t node,
+                                     const std::string& reference,
+                                     const workload::AccessSet& access,
+                                     std::string* container_id_out,
+                                     DeployMode mode) {
+  Node& n = checked(site, node);
+  docker::DeployStats stats =
+      n.client->deploy(reference, access, container_id_out, mode);
+  announce_node(n);
+  return stats;
+}
+
+std::pair<std::size_t, std::uint64_t> Topology::backfill(
+    std::size_t site, std::size_t node, const std::string& reference) {
+  Node& n = checked(site, node);
+  std::pair<std::size_t, std::uint64_t> moved =
+      n.client->backfill_remaining(reference);
+  announce_node(n);
+  return moved;
+}
+
+StatusOr<Bytes> Topology::read_range(std::size_t site, std::size_t node,
+                                     const std::string& container_id,
+                                     std::string_view path,
+                                     std::uint64_t offset,
+                                     std::uint64_t length) {
+  Node& n = checked(site, node);
+  StatusOr<Bytes> out =
+      n.client->read_range(container_id, path, offset, length);
+  if (out.ok()) {
+    // Chunk objects land in the shared cache like whole files; advertise
+    // them so later readers anywhere batch-pull from this node.
+    announce_node(n);
+  }
+  return out;
+}
+
+std::pair<std::size_t, std::uint64_t> Topology::prefetch(
+    std::size_t site, std::size_t node, const std::string& reference) {
+  Node& n = checked(site, node);
+  std::pair<std::size_t, std::uint64_t> moved =
+      n.client->prefetch_remaining(reference);
+  announce_node(n);
+  return moved;
+}
+
+void Topology::retire_node(std::size_t site, std::size_t node) {
+  Node& n = checked(site, node);
+  n.down.store(true, std::memory_order_release);
+  sites_[site]->tracker.retract_node(n.id);
+  if (params_.eager_gossip && params_.cross_site_fetch && sites_.size() > 1) {
+    propagate_site_digest(site);
+  }
+}
+
+void Topology::crash_node(std::size_t site, std::size_t node) {
+  // No retraction: the tracker and every gossiped digest keep advertising
+  // this node until fetchers miss and move on.
+  checked(site, node).down.store(true, std::memory_order_release);
+}
+
+void Topology::rejoin_node(std::size_t site, std::size_t node) {
+  Node& n = checked(site, node);
+  n.down.store(false, std::memory_order_release);
+  announce_node(n);
+}
+
+std::uint64_t Topology::wan_bytes() const {
+  std::uint64_t total = 0;
+  for (std::size_t s = 0; s < sites_.size(); ++s) total += wan_bytes(s);
+  return total;
+}
+
+std::uint64_t Topology::wan_bytes(std::size_t site) const {
+  if (site >= sites_.size()) {
+    throw_error(ErrorCode::kInvalidArgument, "no such site");
+  }
+  std::uint64_t total = 0;
+  for (const auto& node : sites_[site]->nodes) {
+    total += node->wan->stats().bytes_transferred;
+  }
+  return total;
+}
+
+std::uint64_t Topology::lan_bytes(std::size_t site) const {
+  if (site >= sites_.size()) {
+    throw_error(ErrorCode::kInvalidArgument, "no such site");
+  }
+  std::uint64_t total = 0;
+  for (const auto& node : sites_[site]->nodes) {
+    total += node->lan->stats().bytes_transferred;
+  }
+  return total;
+}
+
+std::uint64_t Topology::peer_hits() const {
+  std::uint64_t total = 0;
+  for (const auto& site : sites_) {
+    for (const auto& node : site->nodes) total += node->client->peer_hits();
+  }
+  return total;
+}
+
+std::uint64_t Topology::lan_peer_hits() const {
+  std::uint64_t total = 0;
+  for (const auto& site : sites_) {
+    for (const auto& node : site->nodes) {
+      std::vector<std::uint64_t> hits = node->client->peer_tier_hits();
+      // Tier 0 is the per-file LAN source; tier layout for batched sources
+      // mirrors it, so tier 0 counts every site-local hit.
+      total += hits.empty() ? 0 : hits[0];
+    }
+  }
+  return total;
+}
+
+std::uint64_t Topology::wan_peer_hits() const {
+  std::uint64_t total = 0;
+  for (const auto& site : sites_) {
+    for (const auto& node : site->nodes) {
+      std::vector<std::uint64_t> hits = node->client->peer_tier_hits();
+      total += hits.size() > 1 ? hits[1] : 0;
+    }
+  }
+  return total;
+}
+
+GearClient& Topology::node(std::size_t site, std::size_t node) {
+  return *checked(site, node).client;
+}
+
+sim::SimClock& Topology::node_clock(std::size_t site, std::size_t node) {
+  return *checked(site, node).clock;
+}
+
+}  // namespace gear::p2p

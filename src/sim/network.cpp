@@ -52,4 +52,20 @@ NetworkLink scaled_link(SimClock& clock, double real_mbps, double byte_scale,
                      request_overhead_seconds);
 }
 
+LinkProfile lan_profile(double mbps) {
+  return LinkProfile{mbps, /*rtt_seconds=*/0.0002,
+                     /*request_overhead_seconds=*/0.0001};
+}
+
+LinkProfile wan_profile(double mbps) {
+  return LinkProfile{mbps, /*rtt_seconds=*/0.04,
+                     /*request_overhead_seconds=*/0.001};
+}
+
+NetworkLink scaled_link(SimClock& clock, const LinkProfile& profile,
+                        double byte_scale) {
+  return scaled_link(clock, profile.mbps, byte_scale, profile.rtt_seconds,
+                     profile.request_overhead_seconds);
+}
+
 }  // namespace gear::sim

@@ -69,4 +69,24 @@ NetworkLink scaled_link(SimClock& clock, double real_mbps, double byte_scale,
                         double rtt_seconds = 0.0005,
                         double request_overhead_seconds = 0.0003);
 
+/// Parameter preset of one hop class in a multi-site topology: bandwidth
+/// plus the latency/overhead pair a link of that class pays per request.
+struct LinkProfile {
+  double mbps = 100.0;
+  double rtt_seconds = 0.0005;
+  double request_overhead_seconds = 0.0003;
+};
+
+/// Site-local LAN hop: gigabit-class, sub-millisecond round trips.
+LinkProfile lan_profile(double mbps = 1000.0);
+
+/// Wide-area hop between edge sites (EdgePier's 5-100 Mbps inter-site
+/// links): slow, tens of milliseconds of latency, costlier per-request
+/// handling than a rack-local fetch.
+LinkProfile wan_profile(double mbps = 50.0);
+
+/// scaled_link over a profile (bandwidth scaled, latencies real).
+NetworkLink scaled_link(SimClock& clock, const LinkProfile& profile,
+                        double byte_scale);
+
 }  // namespace gear::sim

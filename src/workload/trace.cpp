@@ -1,5 +1,6 @@
 #include "workload/trace.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <deque>
 
@@ -40,6 +41,44 @@ std::vector<TraceEvent> generate_trace(const std::vector<SeriesSpec>& specs,
     auto head = static_cast<int>(t / spec.release_cadence_seconds + phase);
     event.version = std::min(head, s.versions - 1);
     events.push_back(event);
+  }
+  return events;
+}
+
+std::vector<StormEvent> generate_deploy_storm(std::size_t sites,
+                                              std::size_t nodes_per_site,
+                                              double mean_jitter_seconds,
+                                              std::uint64_t seed) {
+  if (sites == 0 || nodes_per_site == 0) {
+    throw_error(ErrorCode::kInvalidArgument,
+                "deploy storm needs at least one site and one node");
+  }
+  if (mean_jitter_seconds < 0) {
+    throw_error(ErrorCode::kInvalidArgument, "bad storm jitter");
+  }
+  Rng rng(seed ^ 0x5708357083570835ull);
+  std::vector<StormEvent> events;
+  events.reserve(sites * nodes_per_site);
+  for (std::size_t s = 0; s < sites; ++s) {
+    for (std::size_t n = 0; n < nodes_per_site; ++n) {
+      StormEvent event;
+      event.site = s;
+      event.node = n;
+      double u = std::max(rng.next_double(), 1e-12);
+      event.arrival_seconds = -mean_jitter_seconds * std::log(u);
+      events.push_back(event);
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const StormEvent& a, const StormEvent& b) {
+                     return a.arrival_seconds < b.arrival_seconds;
+                   });
+  std::vector<bool> seeded(sites, false);
+  for (StormEvent& event : events) {
+    if (!seeded[event.site]) {
+      seeded[event.site] = true;
+      event.site_seed = true;
+    }
   }
   return events;
 }

@@ -49,6 +49,28 @@ struct TraceEvent {
 std::vector<TraceEvent> generate_trace(const std::vector<SeriesSpec>& specs,
                                        const TraceSpec& spec);
 
+/// One node's arrival in a cross-site deploy storm: a new version lands and
+/// every node of every site warms it at (nearly) the same time, jittered so
+/// arrivals interleave instead of marching in lockstep.
+struct StormEvent {
+  std::size_t site = 0;
+  std::size_t node = 0;        // node index within the site
+  double arrival_seconds = 0;  // jittered offset from the push
+  /// True for the first arrival of each site: that node is the one that
+  /// seeds its site over the WAN (everyone after it should find local
+  /// peers). Exactly one per site.
+  bool site_seed = false;
+};
+
+/// Generates the deploy-storm arrival order for `sites` x `nodes_per_site`
+/// nodes: every node gets an exponential-jitter arrival, events are sorted
+/// by time, and the earliest arrival of each site is flagged `site_seed`.
+/// Deterministic per (sites, nodes_per_site, seed).
+std::vector<StormEvent> generate_deploy_storm(std::size_t sites,
+                                              std::size_t nodes_per_site,
+                                              double mean_jitter_seconds,
+                                              std::uint64_t seed);
+
 /// Replay outcome.
 struct TraceResult {
   Histogram deploy_latency;       // seconds per deployment

@@ -359,4 +359,46 @@ if "$GEARCTL" --remote "127.0.0.1:$PORT" --store-dir "$NOBJ" "$NSTORE" stats \
   2>/dev/null
 then exit 1; else test $? -eq 2; fi
 
+# --- multi-site edge simulation (cluster-sim) -----------------------------
+# A self-contained in-process storm: no store dir, no daemon. The summary
+# must show per-site WAN lines and peer traffic; churn mode reports the
+# crash and the rejoin; lazy mode and custom link speeds parse.
+"$GEARCTL" cluster-sim > "$WORK/sim.out"
+grep -q "cluster-sim: 2 sites x 3 nodes" "$WORK/sim.out"
+grep -q "site 1: wan" "$WORK/sim.out"
+grep -q "peer hits" "$WORK/sim.out"
+"$GEARCTL" cluster-sim --sites 3 --nodes-per-site 2 --wan-mbps 25 \
+  --lan-mbps 500 --mode lazy > "$WORK/sim2.out"
+grep -q "3 sites x 2 nodes, wan 25 Mbps, lan 500 Mbps, lazy" "$WORK/sim2.out"
+grep -q "site 2: wan" "$WORK/sim2.out"
+"$GEARCTL" cluster-sim --churn > "$WORK/sim3.out"
+grep -q "crashed s0" "$WORK/sim3.out"
+grep -q "rejoined s0" "$WORK/sim3.out"
+
+# Strict flag validation: missing, zero, and non-numeric values are usage
+# errors (exit 2), and the cluster-sim flags are rejected everywhere else.
+if "$GEARCTL" cluster-sim --sites 2>/dev/null; then exit 1
+else test $? -eq 2; fi
+if "$GEARCTL" cluster-sim --sites 0 2>/dev/null; then exit 1
+else test $? -eq 2; fi
+if "$GEARCTL" cluster-sim --nodes-per-site nope 2>/dev/null; then exit 1
+else test $? -eq 2; fi
+if "$GEARCTL" cluster-sim --wan-mbps 0 2>/dev/null; then exit 1
+else test $? -eq 2; fi
+if "$GEARCTL" cluster-sim --lan-mbps fast 2>/dev/null; then exit 1
+else test $? -eq 2; fi
+if "$GEARCTL" cluster-sim --mode sideways 2>/dev/null; then exit 1
+else test $? -eq 2; fi
+if "$GEARCTL" cluster-sim extra-arg 2>/dev/null; then exit 1
+else test $? -eq 2; fi
+if "$GEARCTL" cluster-sim --remote 127.0.0.1:9 2>/dev/null; then exit 1
+else test $? -eq 2; fi
+if "$GEARCTL" --sites 2 "$STORE" stats 2>/dev/null; then exit 1
+else test $? -eq 2; fi
+if "$GEARCTL" --churn "$STORE" stats 2>/dev/null; then exit 1
+else test $? -eq 2; fi
+if "$GEARCTL" serve --addr 127.0.0.1:0 --store-dir "$NOBJ" --mode lazy \
+  2>/dev/null
+then exit 1; else test $? -eq 2; fi
+
 echo "gearctl smoke test passed"

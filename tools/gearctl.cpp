@@ -43,8 +43,11 @@
 #include "gear/persistence.hpp"
 #include "net/remote_registry.hpp"
 #include "net/tcp.hpp"
+#include "p2p/topology.hpp"
 #include "util/format.hpp"
 #include "vfs/fs_io.hpp"
+#include "workload/generator.hpp"
+#include "workload/trace.hpp"
 
 namespace fs = std::filesystem;
 using namespace gear;
@@ -103,6 +106,25 @@ bool g_remote_set = false;
 /// --addr HOST:PORT: the endpoint `serve` binds. Only valid with serve.
 net::HostPort g_addr;
 bool g_addr_set = false;
+
+/// cluster-sim knobs: replay an in-process multi-site edge deploy storm
+/// over the hierarchical P2P topology (p2p/topology.hpp) and report the
+/// WAN/LAN split. Only valid with the cluster-sim command.
+std::size_t g_sites = 2;
+bool g_sites_set = false;
+std::size_t g_nodes_per_site = 3;
+bool g_nodes_per_site_set = false;
+double g_wan_mbps = 50.0;
+bool g_wan_mbps_set = false;
+double g_lan_mbps = 1000.0;
+bool g_lan_mbps_set = false;
+/// --mode eager|lazy: eager deploys warm the access set up front; lazy
+/// starts before warm and backfills behind the container.
+bool g_sim_lazy = false;
+bool g_mode_set = false;
+/// --churn: crash the first site's seed node mid-storm (stale adverts left
+/// behind) and rejoin it before the last wave.
+bool g_churn = false;
 
 /// Set by SIGTERM/SIGINT while `serve` runs; the main loop notices and
 /// shuts the daemon down cleanly (exit 0).
@@ -790,6 +812,121 @@ int cmd_serve() {
   return 0;
 }
 
+// cluster-sim: replay a jittered multi-site deploy storm over the
+// hierarchical P2P topology, entirely in process (synthetic corpus +
+// simulated links — no store dir, no daemon). Reports the per-site WAN
+// split, the LAN traffic that replaced it, and the peer-hit ladder; with
+// --churn the first site's seed crashes mid-storm and rejoins before the
+// last wave. Exit 1 if cooperation moved nothing (no peer hits on a
+// multi-node topology).
+int cmd_cluster_sim() {
+  const std::uint64_t kSeed = 42;
+  const double kScale = 0.05;  // shrink the corpus: a CLI run, not a bench
+  workload::CorpusGenerator gen(kSeed, kScale);
+  workload::SeriesSpec spec;
+  for (const auto& s : workload::table1_corpus()) {
+    if (s.name == "node") spec = s;
+  }
+  docker::DockerRegistry index_registry;
+  GearRegistry file_registry;
+  push_gear_image(GearConverter().convert(gen.generate_image(spec, 0)).image,
+                  index_registry, file_registry);
+  const std::string reference = "node:v0";
+  workload::AccessSet access = gen.access_set(spec, 0);
+
+  p2p::Topology::Params tp;
+  tp.sites = g_sites;
+  tp.nodes_per_site = g_nodes_per_site;
+  tp.wan_link = sim::wan_profile(g_wan_mbps);
+  tp.lan_link = sim::lan_profile(g_lan_mbps);
+  tp.byte_scale = kScale;
+  tp.prefetch_order = g_prefetch_order;
+  p2p::Topology topo(index_registry, file_registry, tp);
+
+  std::vector<workload::StormEvent> storm = workload::generate_deploy_storm(
+      g_sites, g_nodes_per_site, /*mean_jitter_seconds=*/2.0, kSeed);
+  std::printf("cluster-sim: %zu site%s x %zu nodes, wan %.0f Mbps, "
+              "lan %.0f Mbps, %s deploys%s\n",
+              g_sites, g_sites == 1 ? "" : "s", g_nodes_per_site, g_wan_mbps,
+              g_lan_mbps, g_sim_lazy ? "lazy" : "eager",
+              g_churn ? ", churn on" : "");
+
+  // Crash the first site's seed once a third of the storm has landed, rejoin
+  // it before the final event: fetchers must degrade past its stale adverts
+  // and the rejoin must re-announce.
+  const std::size_t crash_at = g_churn ? storm.size() / 3 + 1 : storm.size();
+  const std::size_t rejoin_at = g_churn ? storm.size() - 1 : storm.size();
+  std::size_t seed_site = 0;
+  std::size_t seed_node = 0;
+  for (const workload::StormEvent& ev : storm) {
+    if (ev.site == 0 && ev.site_seed) {
+      seed_site = ev.site;
+      seed_node = ev.node;
+      break;
+    }
+  }
+  for (std::size_t i = 0; i < storm.size(); ++i) {
+    if (i == crash_at) {
+      topo.crash_node(seed_site, seed_node);
+      std::printf("churn: crashed s%zu.n%zu mid-storm (adverts left stale)\n",
+                  seed_site, seed_node);
+    }
+    if (i == rejoin_at) {
+      topo.rejoin_node(seed_site, seed_node);
+      std::printf("churn: rejoined s%zu.n%zu (cache re-announced)\n",
+                  seed_site, seed_node);
+    }
+    const workload::StormEvent& ev = storm[i];
+    if (g_churn && ev.site == seed_site && ev.node == seed_node &&
+        i >= crash_at && i < rejoin_at) {
+      continue;  // the crashed node deploys nothing while down
+    }
+    sim::SimClock& clock = topo.node_clock(ev.site, ev.node);
+    if (clock.now() < ev.arrival_seconds) {
+      clock.advance(ev.arrival_seconds - clock.now());
+    }
+    if (g_sim_lazy) {
+      topo.deploy(ev.site, ev.node, reference, access, nullptr,
+                  DeployMode::kLazy);
+      topo.backfill(ev.site, ev.node, reference);
+    } else {
+      topo.deploy(ev.site, ev.node, reference, access);
+      topo.prefetch(ev.site, ev.node, reference);
+    }
+  }
+
+  for (std::size_t s = 0; s < g_sites; ++s) {
+    std::printf("site %zu: wan %s, lan %s\n", s,
+                format_size(topo.wan_bytes(s)).c_str(),
+                format_size(topo.lan_bytes(s)).c_str());
+  }
+  double makespan = 0;
+  for (std::size_t s = 0; s < g_sites; ++s) {
+    for (std::size_t n = 0; n < g_nodes_per_site; ++n) {
+      makespan = std::max(makespan, topo.node_clock(s, n).now());
+    }
+  }
+  std::printf("totals: wan %s (cross-site peers %s), lan %s over %llu "
+              "bursts, peer hits %llu (lan %llu, wan %llu), storm %s\n",
+              format_size(topo.wan_bytes()).c_str(),
+              format_size(topo.wan_peer_bytes()).c_str(),
+              format_size(topo.lan_bytes()).c_str(),
+              static_cast<unsigned long long>(topo.lan_bursts()),
+              static_cast<unsigned long long>(topo.peer_hits()),
+              static_cast<unsigned long long>(topo.lan_peer_hits()),
+              static_cast<unsigned long long>(topo.wan_peer_hits()),
+              format_duration(makespan).c_str());
+
+  if (topo.size() > 1 && topo.peer_hits() == 0) {
+    std::fprintf(stderr,
+                 "gearctl: cluster-sim moved no bytes between peers on a "
+                 "%zu-node topology\n",
+                 topo.size());
+    return 1;
+  }
+  return 0;
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage: gearctl [--workers N] [--store-dir PATH] "
@@ -800,6 +937,8 @@ int usage() {
                "[--remote HOST:PORT] <store-dir> <command> [args]\n"
                "       gearctl serve --addr HOST:PORT --store-dir PATH "
                "[--shards N] [--replicas R]\n"
+               "       gearctl cluster-sim [--sites N] [--nodes-per-site N] "
+               "[--wan-mbps F] [--lan-mbps F] [--mode eager|lazy] [--churn]\n"
                "  --workers N      worker threads for import's fingerprinting/"
                "compression (default: one per core)\n"
                "  --store-dir PATH durable on-disk object store for the gear "
@@ -829,7 +968,15 @@ int usage() {
                "snapshot stays under <store-dir>)\n"
                "  --addr HOST:PORT serve only: the endpoint to bind "
                "(HOST:0 = kernel-assigned port, printed on stdout)\n"
-               "commands: serve | "
+               "  --sites N / --nodes-per-site N  cluster-sim only: shape "
+               "of the simulated edge topology (defaults 2 x 3)\n"
+               "  --wan-mbps F / --lan-mbps F  cluster-sim only: inter-site "
+               "and in-site link speeds (defaults 50 / 1000)\n"
+               "  --mode eager|lazy  cluster-sim only: deploy mode of the "
+               "storm (default eager)\n"
+               "  --churn          cluster-sim only: crash the first site's "
+               "seed mid-storm and rejoin it before the last wave\n"
+               "commands: serve | cluster-sim | "
                "init | import <dir> <name:tag> [chunk-threshold] | "
                "images | inspect <ref> | cat <ref> <path> [offset length] | "
                "export <ref> <dir> | run <ref> <path...> | "
@@ -979,6 +1126,66 @@ int main(int argc, char** argv) {
         return 2;
       }
       it = all.erase(it, it + 2);
+    } else if (*it == "--sites" || *it == "--nodes-per-site") {
+      const bool is_sites = *it == "--sites";
+      const char* flag = is_sites ? "--sites" : "--nodes-per-site";
+      if (std::next(it) == all.end()) {
+        std::fprintf(stderr, "gearctl: %s requires a count\n", flag);
+        return 2;
+      }
+      const std::string& value = *std::next(it);
+      char* end = nullptr;
+      unsigned long parsed = std::strtoul(value.c_str(), &end, 10);
+      if (value.empty() || end == nullptr || *end != '\0' || parsed < 1) {
+        std::fprintf(stderr, "gearctl: %s expects a number >= 1, got '%s'\n",
+                     flag, value.c_str());
+        return 2;
+      }
+      (is_sites ? g_sites : g_nodes_per_site) =
+          static_cast<std::size_t>(parsed);
+      (is_sites ? g_sites_set : g_nodes_per_site_set) = true;
+      it = all.erase(it, it + 2);
+    } else if (*it == "--wan-mbps" || *it == "--lan-mbps") {
+      const bool is_wan = *it == "--wan-mbps";
+      const char* flag = is_wan ? "--wan-mbps" : "--lan-mbps";
+      if (std::next(it) == all.end()) {
+        std::fprintf(stderr, "gearctl: %s requires a link speed\n", flag);
+        return 2;
+      }
+      const std::string& value = *std::next(it);
+      char* end = nullptr;
+      double parsed = std::strtod(value.c_str(), &end);
+      if (value.empty() || end == nullptr || *end != '\0' || parsed <= 0 ||
+          !(parsed == parsed)) {
+        std::fprintf(stderr,
+                     "gearctl: %s expects megabits/second > 0, got '%s'\n",
+                     flag, value.c_str());
+        return 2;
+      }
+      (is_wan ? g_wan_mbps : g_lan_mbps) = parsed;
+      (is_wan ? g_wan_mbps_set : g_lan_mbps_set) = true;
+      it = all.erase(it, it + 2);
+    } else if (*it == "--mode") {
+      if (std::next(it) == all.end()) {
+        std::fprintf(stderr, "gearctl: --mode requires eager or lazy\n");
+        return 2;
+      }
+      const std::string& value = *std::next(it);
+      if (value == "eager") {
+        g_sim_lazy = false;
+      } else if (value == "lazy") {
+        g_sim_lazy = true;
+      } else {
+        std::fprintf(stderr,
+                     "gearctl: --mode expects eager or lazy, got '%s'\n",
+                     value.c_str());
+        return 2;
+      }
+      g_mode_set = true;
+      it = all.erase(it, it + 2);
+    } else if (*it == "--churn") {
+      g_churn = true;
+      it = all.erase(it);
     } else if (*it == "--lazy") {
       g_lazy = true;
       it = all.erase(it);
@@ -1000,6 +1207,38 @@ int main(int argc, char** argv) {
                  "gearctl: --shards > 1 requires --store-dir (each shard "
                  "keeps its objects under <store-dir>/shard-<i>)\n");
     return 2;
+  }
+
+  // `cluster-sim` is a self-contained simulation: no store-dir positional,
+  // no daemon — just the edge-topology knobs.
+  const bool cluster_sim_cmd = !all.empty() && all[0] == "cluster-sim";
+  if (!cluster_sim_cmd &&
+      (g_sites_set || g_nodes_per_site_set || g_wan_mbps_set ||
+       g_lan_mbps_set || g_mode_set || g_churn)) {
+    std::fprintf(stderr,
+                 "gearctl: --sites/--nodes-per-site/--wan-mbps/--lan-mbps/"
+                 "--mode/--churn are only valid with cluster-sim\n");
+    return usage();
+  }
+  if (cluster_sim_cmd) {
+    if (all.size() != 1) {
+      std::fprintf(stderr,
+                   "gearctl: cluster-sim takes no positional arguments\n");
+      return usage();
+    }
+    if (g_remote_set || g_addr_set || g_lazy || !g_object_store_dir.empty() ||
+        g_shards > 1) {
+      std::fprintf(stderr,
+                   "gearctl: cluster-sim is incompatible with "
+                   "--remote/--addr/--lazy/--store-dir/--shards\n");
+      return usage();
+    }
+    try {
+      return cmd_cluster_sim();
+    } catch (const Error& e) {
+      std::fprintf(stderr, "gearctl: %s\n", e.what());
+      return 1;
+    }
   }
 
   // `serve` takes no store-dir positional: the daemon owns no docker half,
